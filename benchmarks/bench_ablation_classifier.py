@@ -1,0 +1,68 @@
+"""Ablation: the z_i-sorted greedy classifier vs alternatives (§4.2).
+
+Compares the paper's model-based classification against the two
+extremes (all-sync, all-async) and a naive density-threshold heuristic
+(flip the sparsest half of remote stripes).  Paper's claim: the model
+approximately equalises lanes and beats both extremes overall.
+"""
+
+import numpy as np
+
+from repro.algorithms import TwoFace
+from repro.core.calibration import density_threshold_override
+from repro.sparse import suite
+
+from conftest import emit
+
+
+def run_classifier_ablation(harness, machine32):
+    rows = []
+    for name in suite.matrix_names():
+        A = harness.matrix(name)
+        B = harness.dense_input(name, 128)
+        variants = {
+            "model": TwoFace(coeffs=harness.coeffs),
+            "all_sync": TwoFace(coeffs=harness.coeffs,
+                                force_all_sync=True),
+            "all_async": TwoFace(coeffs=harness.coeffs,
+                                 force_all_async=True),
+            "density_half": TwoFace(
+                coeffs=harness.coeffs,
+                classify_override=density_threshold_override(0.5),
+            ),
+        }
+        row = [name]
+        for variant in ("model", "all_sync", "all_async", "density_half"):
+            result = variants[variant].run(A, B, machine32)
+            row.append(
+                float("nan") if result.failed else result.seconds
+            )
+        rows.append(row)
+    return rows
+
+
+def test_ablation_classifier(benchmark, harness, machine32, results_dir):
+    rows = benchmark.pedantic(
+        run_classifier_ablation, args=(harness, machine32),
+        rounds=1, iterations=1,
+    )
+    emit(
+        results_dir,
+        "ablation_classifier",
+        ["matrix", "model (s)", "all sync (s)", "all async (s)",
+         "density 50% (s)"],
+        rows,
+        "Ablation - stripe classification strategies at K=128 "
+        "(model = the paper's z-sorted greedy rule)",
+    )
+    model_times = np.array([row[1] for row in rows])
+    geo = lambda xs: float(np.exp(np.nanmean(np.log(xs))))  # noqa: E731
+    model_geo = geo(model_times)
+    for column, label in ((2, "all_sync"), (3, "all_async"),
+                          (4, "density_half")):
+        other = np.array([row[column] for row in rows], dtype=float)
+        assert model_geo <= geo(other) * 1.05, label
+    # The model never loses catastrophically to the better extreme.
+    for row in rows:
+        best_extreme = np.nanmin([row[2], row[3]])
+        assert row[1] <= 2.5 * best_extreme, row[0]

@@ -1,0 +1,78 @@
+"""Ablation: row coalescing in asynchronous transfers (§5.2.3).
+
+Compares Two-Face's one-sided traffic and time with the paper's
+K-dependent coalescing distance against (a) no coalescing beyond
+adjacency and (b) aggressive coalescing.  The paper's rule (127/K)+1
+trades useless rows for fewer requests only when K is small.
+"""
+
+import numpy as np
+
+from repro import MachineConfig
+from repro.algorithms import AsyncFine
+from repro.runtime import max_coalescing_gap
+from repro.sparse import suite
+
+from conftest import emit
+
+
+def run_coalescing(harness, machine32, monkey_gaps=(1, None, 8)):
+    """None = the paper's formula; integers = fixed gaps."""
+    import repro.core.executor as executor_module
+
+    rows = []
+    original = executor_module.max_coalescing_gap
+    try:
+        for k in (32, 128):
+            for name in ("kmer", "web"):
+                A = harness.matrix(name)
+                B = harness.dense_input(name, k)
+                row = [f"K={k}", name]
+                for gap in monkey_gaps:
+                    if gap is None:
+                        executor_module.max_coalescing_gap = original
+                    else:
+                        executor_module.max_coalescing_gap = (
+                            lambda _k, _g=gap: _g
+                        )
+                    algo = AsyncFine(coeffs=harness.coeffs)
+                    result = algo.run(A, B, machine32)
+                    row.extend(
+                        [result.seconds,
+                         result.traffic.onesided_requests,
+                         result.traffic.onesided_bytes]
+                    )
+                rows.append(row)
+    finally:
+        executor_module.max_coalescing_gap = original
+    return rows
+
+
+def test_ablation_coalescing(benchmark, harness, machine32, results_dir):
+    rows = benchmark.pedantic(
+        run_coalescing, args=(harness, machine32), rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "ablation_coalescing",
+        [
+            "K", "matrix",
+            "adj-only s", "adj-only reqs", "adj-only bytes",
+            "paper-rule s", "paper reqs", "paper bytes",
+            "gap=8 s", "gap=8 reqs", "gap=8 bytes",
+        ],
+        rows,
+        "Ablation - async transfer coalescing (paper rule: gap = "
+        "127/K + 1; Async Fine, so all transfers are one-sided)",
+    )
+    for row in rows:
+        adj_bytes, paper_bytes, aggressive_bytes = row[4], row[7], row[10]
+        # More aggressive coalescing never moves fewer bytes.
+        assert adj_bytes <= paper_bytes <= aggressive_bytes
+        adj_reqs, paper_reqs, aggressive_reqs = row[3], row[6], row[9]
+        assert aggressive_reqs <= paper_reqs <= adj_reqs
+    # At K=128 the paper rule degenerates to adjacency-only.
+    k128 = [row for row in rows if row[0] == "K=128"]
+    for row in k128:
+        assert row[4] == row[7]
+        assert max_coalescing_gap(128) == 1

@@ -1,0 +1,55 @@
+"""Ablation: the sync/async thread split (Table 2).
+
+The paper dedicates 2 async-comm + 8 async-comp threads of 128 and
+leaves 120 for sync compute.  This sweep varies the async team size on a
+matrix with a real async load (web) and on an all-sync matrix (queen) to
+show why a small, fixed async team is a sound default.
+"""
+
+from repro.algorithms import TwoFace
+from repro.runtime import ThreadConfig
+
+from conftest import emit
+
+SPLITS = (
+    ("paper (2+8)", ThreadConfig(total=128, async_comm=2, async_comp=8)),
+    ("tiny (1+2)", ThreadConfig(total=128, async_comm=1, async_comp=2)),
+    ("big (8+32)", ThreadConfig(total=128, async_comm=8, async_comp=32)),
+    ("huge (16+64)", ThreadConfig(total=128, async_comm=16, async_comp=64)),
+)
+
+
+def run_thread_ablation(harness, machine32):
+    rows = []
+    for name in ("web", "kmer", "queen"):
+        A = harness.matrix(name)
+        B = harness.dense_input(name, 128)
+        row = [name]
+        for _, threads in SPLITS:
+            result = TwoFace(coeffs=harness.coeffs).run(
+                A, B, machine32, threads=threads
+            )
+            row.append(result.seconds)
+        rows.append(row)
+    return rows
+
+
+def test_ablation_threads(benchmark, harness, machine32, results_dir):
+    rows = benchmark.pedantic(
+        run_thread_ablation, args=(harness, machine32), rounds=1,
+        iterations=1,
+    )
+    emit(
+        results_dir,
+        "ablation_threads",
+        ["matrix"] + [label for label, _ in SPLITS],
+        rows,
+        "Ablation - Two-Face time vs async thread allocation at K=128 "
+        "(classification is fixed; only the runtime split varies)",
+    )
+    by_name = {row[0]: row for row in rows}
+    # Paper split is within 30% of the sweep's best everywhere.
+    for row in rows:
+        assert row[1] <= 1.3 * min(row[1:]), row[0]
+    # Starving async compute hurts async-heavy matrices.
+    assert by_name["kmer"][2] >= by_name["kmer"][1]

@@ -1,0 +1,67 @@
+"""Extension bench: distributed SDDMM (paper §9).
+
+The paper claims Two-Face "should also be applicable to ... SDDMM,
+which exhibits very similar patterns to SpMM".  This bench evaluates
+that claim on the full matrix suite: Two-Face SDDMM vs full-replication
+SDDMM, with the Two-Face plan *shared with SpMM* to demonstrate the
+pattern identity.
+"""
+
+from repro.algorithms import AllGatherSDDMM, TwoFace, TwoFaceSDDMM
+from repro.sparse import suite
+
+from conftest import emit
+
+import numpy as np
+
+
+def run_sddmm(harness, machine32):
+    rows = []
+    rng = np.random.default_rng(3)
+    for name in suite.matrix_names():
+        A = harness.matrix(name)
+        k = 128
+        X = rng.standard_normal((A.shape[0], k))
+        Y = harness.dense_input(name, k)  # plays the role of SpMM's B
+        spmm = TwoFace(coeffs=harness.coeffs)
+        spmm_result = spmm.run(A, Y, machine32)
+        shared_plan = spmm.last_plan if not spmm_result.failed else None
+
+        twoface = TwoFaceSDDMM(plan=shared_plan, coeffs=harness.coeffs)
+        tf = twoface.run(A, X, Y, machine32)
+        ag = AllGatherSDDMM().run(A, X, Y, machine32)
+        rows.append(
+            [
+                name,
+                float("nan") if ag.failed else ag.seconds,
+                float("nan") if tf.failed else tf.seconds,
+                float("nan") if (ag.failed or tf.failed)
+                else ag.seconds / tf.seconds,
+                float("nan") if spmm_result.failed else spmm_result.seconds,
+            ]
+        )
+    return rows
+
+
+def test_ext_sddmm(benchmark, harness, machine32, results_dir):
+    rows = benchmark.pedantic(
+        run_sddmm, args=(harness, machine32), rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "ext_sddmm",
+        ["matrix", "AllGather SDDMM (s)", "Two-Face SDDMM (s)",
+         "speedup (x)", "Two-Face SpMM (s, same plan)"],
+        rows,
+        "Extension (§9) - distributed SDDMM at K=128, Two-Face plan "
+        "shared with SpMM",
+    )
+    by_name = {row[0]: row for row in rows}
+    # The SpMM winners win at SDDMM too (same communication structure).
+    for name in ("web", "queen", "stokes", "arabic"):
+        assert by_name[name][3] > 1.5
+    # SDDMM cost tracks SpMM cost for the same plan within a small
+    # factor (compute differs, communication is identical).
+    for row in rows:
+        if row[2] == row[2] and row[4] == row[4]:
+            assert row[2] < 3 * row[4] + 1e-6

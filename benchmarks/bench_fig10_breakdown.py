@@ -1,0 +1,68 @@
+"""Figure 10: execution-time breakdown of DS4 vs Two-Face at K=128.
+
+Per matrix, DS4's time (all synchronous) and Two-Face's two parallel
+lanes (sync comm+comp | async comm+comp) plus Other, normalised to DS4.
+Paper shape: DS4 is communication-dominated; Two-Face's lanes are far
+smaller on the locality-heavy matrices; on twitter/friendster Two-Face's
+sync communication exceeds DS4's; on mawi async compute is the limiter.
+"""
+
+from repro.sparse import suite
+
+from conftest import emit
+
+
+def run_fig10(harness, machine32):
+    rows = []
+    for name in suite.matrix_names():
+        ds = harness.run_one(name, "DS4", 128, machine32)
+        tf = harness.run_one(name, "TwoFace", 128, machine32)
+        ds_mean = ds.breakdown.component_means()
+        tf_mean = tf.breakdown.component_means()
+        norm = ds.seconds if not ds.failed else float("nan")
+        rows.append(
+            [
+                name,
+                ds_mean.sync_comm / norm,
+                ds_mean.sync_comp / norm,
+                tf_mean.sync_comm / norm,
+                tf_mean.sync_comp / norm,
+                tf_mean.async_comm / norm,
+                tf_mean.async_comp / norm,
+                tf_mean.other / norm,
+                tf.seconds / norm,
+            ]
+        )
+    return rows
+
+
+def test_fig10_breakdown(benchmark, harness, machine32, results_dir):
+    rows = benchmark.pedantic(
+        run_fig10, args=(harness, machine32), rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "fig10_breakdown",
+        [
+            "matrix", "DS4 sComm", "DS4 sComp", "2F sComm", "2F sComp",
+            "2F aComm", "2F aComp", "2F other", "2F total",
+        ],
+        rows,
+        "Fig. 10 - per-node mean time components normalised to DS4 "
+        "total (Two-Face lanes run in parallel)",
+    )
+    by_name = {row[0]: row for row in rows}
+    # DS4 is communication-bound everywhere.
+    for row in rows:
+        assert row[1] > row[2]
+    # Locality-heavy matrices: Two-Face communicates far less than DS4.
+    for name in ("web", "queen", "stokes", "arabic"):
+        assert by_name[name][3] + by_name[name][5] < 0.5
+    # mawi: a hard case — Two-Face gains nothing over DS4, and async
+    # compute is a significant component (its known pathology).
+    assert by_name["mawi"][8] > 0.9
+    assert by_name["mawi"][6] > 0.15
+    # twitter/friendster: Two-Face's sync communication exceeds half of
+    # DS4's total despite moving less data (§7.1's multicast pathology).
+    for name in ("twitter", "friendster"):
+        assert by_name[name][3] > 0.45

@@ -1,0 +1,53 @@
+"""Figure 2: speedup of Async Fine over AllGather (full replication).
+
+Paper shape: async wins on web/queen/stokes/arabic, collectives win on
+mawi/twitter/friendster; kmer at K=128 has no AllGather data point
+because full replication exceeds node memory.
+"""
+
+import math
+
+from repro.sparse import suite
+
+from conftest import emit
+
+
+def run_fig2(harness, machine32):
+    rows = []
+    for name in suite.matrix_names():
+        row = [name]
+        for k in (32, 128):
+            fine = harness.run_one(name, "AsyncFine", k, machine32)
+            gather = harness.run_one(name, "Allgather", k, machine32)
+            if gather.failed or fine.failed:
+                row.append(float("nan"))
+            else:
+                row.append(gather.seconds / fine.seconds)
+        rows.append(row)
+    return rows
+
+
+def test_fig2_async_vs_collectives(
+    benchmark, harness, machine32, results_dir
+):
+    rows = benchmark.pedantic(
+        run_fig2, args=(harness, machine32), rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "fig2_async_vs_collectives",
+        ["matrix", "K=32 speedup", "K=128 speedup"],
+        rows,
+        "Fig. 2 - Async Fine speedup over AllGather collectives "
+        "(>1 = async better; OOM reproduces the paper's missing kmer "
+        "K=128 point)",
+    )
+    by_name = {row[0]: row for row in rows}
+    # Async-friendly half wins at K=32.
+    for name in ("web", "queen", "stokes", "arabic"):
+        assert by_name[name][1] > 1.0
+    # Collective-friendly matrices lose.
+    for name in ("mawi", "twitter", "friendster"):
+        assert by_name[name][1] < 1.0
+    # kmer K=128: AllGather out of memory, like the paper.
+    assert math.isnan(by_name["kmer"][2])

@@ -1,0 +1,25 @@
+"""Figure 7: speedups of all SpMM algorithms over DS2 at K=32.
+
+Paper shape: Two-Face is the fastest algorithm on the locality-heavy
+matrices (web, queen, stokes, arabic) and on average; dense shifting
+wins on twitter/friendster; Async Fine collapses on social graphs.
+"""
+
+from speedup_common import emit_speedups, run_speedup_sweep, twoface_speedup
+
+
+def test_fig7_speedups_k32(benchmark, harness, machine32, results_dir):
+    rows, _ = benchmark.pedantic(
+        run_speedup_sweep, args=(harness, machine32, 32),
+        rounds=1, iterations=1,
+    )
+    emit_speedups(
+        results_dir,
+        "fig7_speedups_k32",
+        "Fig. 7 - speedup over DS2, p=32, K=32 (OOM = failed run)",
+        rows,
+    )
+    for name in ("web", "queen", "stokes", "arabic"):
+        assert twoface_speedup(rows, name) > 1.5
+    for name in ("twitter", "friendster"):
+        assert twoface_speedup(rows, name) < 1.0

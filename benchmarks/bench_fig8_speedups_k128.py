@@ -1,0 +1,25 @@
+"""Figure 8: speedups of all SpMM algorithms over DS2 at K=128.
+
+Paper shape: Two-Face is the fastest algorithm on the locality-heavy
+matrices (web, queen, stokes, arabic) and on average; dense shifting
+wins on twitter/friendster; Async Fine collapses on social graphs.
+"""
+
+from speedup_common import emit_speedups, run_speedup_sweep, twoface_speedup
+
+
+def test_fig8_speedups_k128(benchmark, harness, machine32, results_dir):
+    rows, _ = benchmark.pedantic(
+        run_speedup_sweep, args=(harness, machine32, 128),
+        rounds=1, iterations=1,
+    )
+    emit_speedups(
+        results_dir,
+        "fig8_speedups_k128",
+        "Fig. 8 - speedup over DS2, p=32, K=128 (OOM = failed run)",
+        rows,
+    )
+    for name in ("web", "queen", "stokes", "arabic"):
+        assert twoface_speedup(rows, name) > 1.5
+    for name in ("twitter", "friendster"):
+        assert twoface_speedup(rows, name) < 1.0

@@ -1,0 +1,52 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the rows/series to ``benchmarks/results/<name>.txt`` (pytest
+captures stdout, so files are the reliable artefact) in addition to
+printing them.
+
+Set ``REPRO_BENCH_SIZE=small`` to run the whole benchmark suite on
+quarter-scale matrices (useful for smoke runs).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro import MachineConfig
+from repro.bench import ExperimentHarness, format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_size() -> str:
+    return os.environ.get("REPRO_BENCH_SIZE", "default")
+
+
+@pytest.fixture(scope="session")
+def harness():
+    """Matrix/input cache shared across all benchmarks in a session."""
+    return ExperimentHarness(size=bench_size())
+
+
+@pytest.fixture(scope="session")
+def machine32():
+    """The paper's default platform: 32 nodes."""
+    return MachineConfig(n_nodes=32)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir, name, headers, rows, title):
+    """Print a table and persist it under benchmarks/results/."""
+    table = format_table(headers, rows, title=title)
+    print("\n" + table + "\n")
+    (results_dir / f"{name}.txt").write_text(table + "\n")
+    return table

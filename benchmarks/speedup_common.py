@@ -1,0 +1,44 @@
+"""Shared logic for the Figs. 7-9 speedup benchmarks."""
+
+from repro.algorithms import FIGURE_ALGORITHMS
+from repro.sparse import suite
+
+from conftest import emit
+
+HEADERS = ["matrix"] + [f"{a} (x)" for a in FIGURE_ALGORITHMS]
+
+
+def run_speedup_sweep(harness, machine, k):
+    """Run all figure algorithms at one K; return speedup-over-DS2 rows."""
+    sweep = harness.sweep(
+        suite.matrix_names(), FIGURE_ALGORITHMS, k, machine
+    )
+    rows = []
+    geo_mean = [1.0] * len(FIGURE_ALGORITHMS)
+    counts = [0] * len(FIGURE_ALGORITHMS)
+    for name in suite.matrix_names():
+        row = [name]
+        for i, algo in enumerate(FIGURE_ALGORITHMS):
+            s = sweep.speedup_over(name, algo, "DS2")
+            row.append(s)
+            if s == s:  # not NaN
+                geo_mean[i] *= s
+                counts[i] += 1
+        rows.append(row)
+    avg_row = ["geomean"]
+    for i in range(len(FIGURE_ALGORITHMS)):
+        avg_row.append(
+            geo_mean[i] ** (1.0 / counts[i]) if counts[i] else float("nan")
+        )
+    rows.append(avg_row)
+    return rows, sweep
+
+
+def emit_speedups(results_dir, name, title, rows):
+    return emit(results_dir, name, HEADERS, rows, title)
+
+
+def twoface_speedup(rows, matrix):
+    by_name = {row[0]: row for row in rows}
+    idx = 1 + FIGURE_ALGORITHMS.index("TwoFace")
+    return by_name[matrix][idx]

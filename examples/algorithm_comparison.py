@@ -1,0 +1,52 @@
+"""Compare all distributed SpMM algorithms across the matrix suite.
+
+A miniature of the paper's Figs. 7-8: every algorithm of Table 4 runs on
+every evaluation matrix (small analogues for speed), and the speedup
+over DS2 is tabulated.  Watch the pattern: Two-Face dominates on
+locality-heavy matrices (web, queen, stokes, arabic), dense shifting
+wins on social networks (twitter, friendster), and pure one-sided
+communication (Async Fine) collapses there.
+
+Run:  python examples/algorithm_comparison.py [K]
+"""
+
+import sys
+
+from repro import MachineConfig
+from repro.algorithms import FIGURE_ALGORITHMS
+from repro.bench import ExperimentHarness, print_table
+from repro.sparse import suite
+
+
+def main(k: int = 128) -> None:
+    machine = MachineConfig(n_nodes=32)
+    harness = ExperimentHarness(size="small")
+    print(
+        f"running {len(FIGURE_ALGORITHMS)} algorithms x "
+        f"{len(suite.matrix_names())} matrices at K={k}, p=32 ..."
+    )
+    sweep = harness.sweep(
+        suite.matrix_names(), FIGURE_ALGORITHMS, k, machine
+    )
+    rows = sweep.speedup_rows(FIGURE_ALGORITHMS, baseline="DS2")
+    print_table(
+        ["matrix"] + [f"{a} (x)" for a in FIGURE_ALGORITHMS],
+        rows,
+        title=f"Speedup over DS2 at K={k} (OOM = exceeded node memory)",
+    )
+
+    fastest = {}
+    for name in suite.matrix_names():
+        times = {
+            algo: sweep.results[name][algo].seconds
+            for algo in FIGURE_ALGORITHMS
+            if not sweep.results[name][algo].failed
+        }
+        fastest[name] = min(times, key=times.get)
+    print("fastest algorithm per matrix:")
+    for name, algo in fastest.items():
+        print(f"  {name:12s} {algo}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 128)

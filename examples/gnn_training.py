@@ -1,0 +1,60 @@
+"""Full-graph GCN training with Two-Face as the SpMM backend (§5.4).
+
+Trains a 2-layer GCN on a planted-partition graph, full-graph (no
+sampling or mini-batching), on a simulated 16-node cluster.  Every
+forward/backward aggregation is one distributed SpMM, so training shows
+both that the library computes correctly (loss falls, accuracy rises)
+and how Two-Face's one-time preprocessing amortises over the run
+(§7.3).
+
+Run:  python examples/gnn_training.py
+"""
+
+from repro import MachineConfig
+from repro.algorithms import DenseShifting
+from repro.gnn import planted_partition, train_gcn
+
+
+def main() -> None:
+    dataset = planted_partition(
+        4096, n_classes=16, intra_fraction=0.95, avg_degree=12,
+        feature_dim=32, seed=3,
+    )
+    print(
+        f"graph: {dataset.n_nodes} nodes, {dataset.adjacency.nnz} edges, "
+        f"{dataset.n_classes} classes, "
+        f"{int(dataset.train_mask.sum())} labelled"
+    )
+
+    machine = MachineConfig(n_nodes=16, memory_capacity=1 << 30)
+    report = train_gcn(
+        dataset, machine, hidden_dim=32, epochs=10, lr=0.5,
+        baseline_factory=lambda: DenseShifting(2),
+    )
+
+    print("\nepoch losses:")
+    for epoch, loss in enumerate(report.losses):
+        print(f"  {epoch:3d}  {loss:.4f}")
+    print(f"train accuracy: {report.train_accuracy:.3f}")
+
+    print(f"\ndistributed SpMM operations: {report.spmm_ops}")
+    print(f"Two-Face SpMM time (simulated): {report.spmm_seconds:.3f} s")
+    print(f"one-time preprocessing:         {report.preprocess_seconds:.3f} s")
+    print(
+        "DS2 on the same schedule:       "
+        f"{report.baseline_spmm_seconds:.3f} s"
+    )
+    if report.amortization_ops is None:
+        print("Two-Face was not faster per-op on this workload.")
+    else:
+        epochs = report.amortization_ops / 4  # 4 SpMMs per epoch
+        print(
+            f"preprocessing amortised after {report.amortization_ops} "
+            f"SpMM ops (~{epochs:.0f} epochs) - full-graph GNN training "
+            "runs for hundreds of epochs, so the cost is negligible "
+            "(paper §7.3)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Edge-sampled SpMM with one offline plan (the §5.4 sketch, working).
+
+The paper notes Two-Face is incompatible with sampled GNN training *as
+published*, because every iteration's reduced matrix would need
+reclassification — and sketches the fix: classify once, offline, and
+filter eliminated nonzeros with per-iteration masks over the stored
+Fig. 6 structures.  This example runs that design: ten iterations of
+Bernoulli edge sampling, one plan, per-iteration masks, results
+verified against each iteration's materialised sampled matrix.
+
+Run:  python examples/sampled_training.py
+"""
+
+import numpy as np
+
+from repro import MachineConfig
+from repro.core import masked_matrix
+from repro.dist import RowPartition
+from repro.gnn import SampledSpMMEngine, gcn_normalize, planted_partition
+from repro.sparse import spmm_reference
+
+
+def main() -> None:
+    dataset = planted_partition(
+        2048, n_classes=8, intra_fraction=0.95, avg_degree=10, seed=5
+    )
+    ahat = gcn_normalize(dataset.adjacency)
+    machine = MachineConfig(n_nodes=16, memory_capacity=1 << 30)
+
+    engine = SampledSpMMEngine(
+        ahat, machine, keep_probability=0.5, k=64, seed=0
+    )
+    print(
+        f"graph: {ahat.shape[0]} nodes, {ahat.nnz} stored nonzeros; "
+        "plan classified once, offline"
+    )
+    print(
+        f"one-time preprocessing: {engine.preprocess_seconds:.3f} s\n"
+    )
+
+    rng = np.random.default_rng(1)
+    B = rng.standard_normal((ahat.shape[1], 64))
+    partition = RowPartition(ahat.shape[0], machine.n_nodes)
+    for iteration in range(10):
+        C, mask, seconds = engine.multiply(B)
+        sampled = masked_matrix(engine.plan, mask, partition)
+        assert np.allclose(C, spmm_reference(sampled, B))
+        print(
+            f"iteration {iteration}: kept "
+            f"{mask.kept_nnz}/{mask.total_nnz} edges, "
+            f"SpMM {seconds * 1e3:.2f} ms (verified)"
+        )
+
+    print(
+        f"\ntotal sampled-SpMM time: {engine.spmm_seconds:.3f} s over "
+        f"{engine.iteration} iterations — no reclassification ever ran."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Strong scaling of Two-Face vs dense shifting (a mini Fig. 11).
+
+Sweeps the node count from 1 to 64 for two contrasting matrices: a web
+crawl (Two-Face's best regime) and a social network (where wide
+multicasts limit Two-Face at scale).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import MachineConfig
+from repro.bench import ExperimentHarness, print_table
+
+NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+MATRICES = ("web", "twitter")
+ALGORITHMS = ("TwoFace", "DS2", "DS8")
+
+
+def main() -> None:
+    harness = ExperimentHarness(size="small")
+    rows = []
+    for name in MATRICES:
+        for algo in ALGORITHMS:
+            row = [name, algo]
+            for p in NODE_COUNTS:
+                machine = MachineConfig(n_nodes=p)
+                result = harness.run_one(name, algo, 128, machine)
+                row.append(
+                    float("nan") if result.failed else result.seconds
+                )
+            rows.append(row)
+    print_table(
+        ["matrix", "algorithm"] + [f"p={p}" for p in NODE_COUNTS],
+        rows,
+        title="Execution time (s) vs node count, K=128",
+    )
+
+    for name in MATRICES:
+        tf = next(r for r in rows if r[0] == name and r[1] == "TwoFace")
+        speedup = tf[2] / tf[-1]
+        print(
+            f"{name}: Two-Face improves {speedup:.2f}x from 1 to 64 "
+            "nodes"
+        )
+    print(
+        "\nNote the contrast: the web crawl keeps scaling, while the "
+        "social network's wide synchronous multicasts flatten the "
+        "curve at high node counts (paper §7.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

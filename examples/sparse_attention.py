@@ -1,0 +1,70 @@
+"""Sparse attention with one shared Two-Face plan (§9 in action).
+
+A GAT-style layer needs two distributed sparse kernels per forward
+pass: SDDMM to score every edge, then SpMM to aggregate neighbour
+values with the normalised scores.  Both kernels have the same
+communication structure, so one Two-Face preprocessing pass serves the
+pair — this example runs the layer and prices the same pipeline with
+full replication for contrast.
+
+Run:  python examples/sparse_attention.py
+"""
+
+import numpy as np
+
+from repro import MachineConfig
+from repro.algorithms import AllGather, AllGatherSDDMM
+from repro.gnn import planted_partition
+from repro.gnn.attention import DistAttentionLayer, sparse_row_softmax
+from repro.sparse import sddmm_reference
+
+
+def main() -> None:
+    dataset = planted_partition(
+        2048, n_classes=16, intra_fraction=0.95, avg_degree=10,
+        feature_dim=32, seed=4,
+    )
+    machine = MachineConfig(n_nodes=16, memory_capacity=1 << 30)
+    print(
+        f"graph: {dataset.n_nodes} nodes, {dataset.adjacency.nnz} edges"
+    )
+
+    layer = DistAttentionLayer(
+        dataset.adjacency, machine, dim=32, seed=0
+    )
+    out, attention = layer.forward(dataset.features)
+    print(
+        f"\nattention layer output: {out.shape}, "
+        f"{attention.nnz} attention weights"
+    )
+    print(
+        f"Two-Face SDDMM+SpMM simulated time: "
+        f"{layer.simulated_seconds * 1e3:.2f} ms (one shared plan)"
+    )
+
+    # Price the same pipeline with full replication.
+    A = dataset.adjacency.sum_duplicates()
+    H = dataset.features
+    queries, keys = H @ layer.w_query, H @ layer.w_key
+    values = H @ layer.w_value
+    sddmm = AllGatherSDDMM().run(A, queries, keys, machine)
+    att = sparse_row_softmax(sddmm.S)
+    spmm = AllGather().run(att, values, machine)
+    baseline = sddmm.seconds + spmm.seconds
+    print(
+        f"full-replication SDDMM+SpMM:        {baseline * 1e3:.2f} ms"
+    )
+    print(
+        f"speedup: {baseline / layer.simulated_seconds:.2f}x "
+        "(locality-aware hybrid communication, amortised preprocessing)"
+    )
+
+    # Numerics check against a single-machine reference.
+    ref_att = sparse_row_softmax(sddmm_reference(A, queries, keys))
+    ref_out = ref_att.to_scipy() @ values
+    assert np.allclose(out, ref_out)
+    print("numerics verified against reference.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Two-Face: collective + one-sided communication for distributed SpMM.
+
+A complete Python reproduction of *Two-Face: Combining Collective and
+One-Sided Communication for Efficient Distributed SpMM* (ASPLOS 2024).
+The physical supercomputer is replaced by a simulated cluster with
+calibrated network/compute cost models; the algorithms, data structures,
+preprocessing model, and evaluation harness follow the paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro import MachineConfig, TwoFace, suite
+
+    A = suite.load("web", size="small")
+    B = np.random.default_rng(0).standard_normal((A.shape[1], 128))
+    result = TwoFace().run(A, B, MachineConfig(n_nodes=32))
+    print(result.seconds, result.breakdown.makespan)
+"""
+
+from . import algorithms, cluster, core, dist, runtime, sparse
+from .algorithms import (
+    AllGather,
+    AsyncCoarse,
+    AsyncFine,
+    DenseShifting,
+    DistSpMMAlgorithm,
+    SpMMResult,
+    TwoFace,
+    make_algorithm,
+)
+from .cluster import Cluster, ComputeModel, MachineConfig, NetworkModel, SimMPI
+from .core import (
+    CostCoefficients,
+    StripeGeometry,
+    TwoFacePlan,
+    preprocess,
+)
+from .dist import DistDenseMatrix, DistSparseMatrix, RowPartition
+from .errors import (
+    CalibrationError,
+    CommunicationError,
+    ConfigurationError,
+    FormatError,
+    OutOfMemoryError,
+    PartitionError,
+    ReproError,
+    ShapeError,
+)
+from .runtime import ThreadConfig, TimeBreakdown
+from .sparse import COOMatrix, CSRMatrix, spmm_reference
+from .sparse import suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllGather",
+    "AsyncCoarse",
+    "AsyncFine",
+    "COOMatrix",
+    "CSRMatrix",
+    "CalibrationError",
+    "Cluster",
+    "CommunicationError",
+    "ComputeModel",
+    "ConfigurationError",
+    "CostCoefficients",
+    "DenseShifting",
+    "DistDenseMatrix",
+    "DistSparseMatrix",
+    "DistSpMMAlgorithm",
+    "FormatError",
+    "MachineConfig",
+    "NetworkModel",
+    "OutOfMemoryError",
+    "PartitionError",
+    "ReproError",
+    "RowPartition",
+    "ShapeError",
+    "SimMPI",
+    "SpMMResult",
+    "StripeGeometry",
+    "ThreadConfig",
+    "TimeBreakdown",
+    "TwoFace",
+    "TwoFacePlan",
+    "algorithms",
+    "cluster",
+    "core",
+    "dist",
+    "make_algorithm",
+    "preprocess",
+    "runtime",
+    "sparse",
+    "spmm_reference",
+    "suite",
+]

@@ -1,0 +1,29 @@
+"""Distributed sparse kernels: Two-Face, the paper's SpMM baselines,
+and the §9 extensions (SDDMM, SpMV)."""
+
+from .allgather import AllGather
+from .async_coarse import AsyncCoarse
+from .base import DistSpMMAlgorithm, RunContext, SpMMResult
+from .dense_shifting import DenseShifting
+from .registry import FIGURE_ALGORITHMS, algorithm_names, make_algorithm
+from .sddmm import AllGatherSDDMM, SDDMMResult, TwoFaceSDDMM
+from .spmv import distributed_spmv
+from .twoface import AsyncFine, TwoFace
+
+__all__ = [
+    "AllGather",
+    "AllGatherSDDMM",
+    "AsyncCoarse",
+    "AsyncFine",
+    "DenseShifting",
+    "DistSpMMAlgorithm",
+    "FIGURE_ALGORITHMS",
+    "RunContext",
+    "SDDMMResult",
+    "SpMMResult",
+    "TwoFace",
+    "TwoFaceSDDMM",
+    "algorithm_names",
+    "distributed_spmv",
+    "make_algorithm",
+]

@@ -1,0 +1,47 @@
+"""AllGather baseline: full replication of ``B`` before computing.
+
+Each node broadcasts its block of ``B`` to all others with a single
+MPI_Allgather and then computes its whole slab locally.  Simple and
+latency-light, but it transfers every row of ``B`` to every node whether
+needed or not, and the replicated ``B`` must fit per node — which is why
+this baseline cannot run kmer at K=128 in the paper (Fig. 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import DistSpMMAlgorithm, RunContext
+
+
+class AllGather(DistSpMMAlgorithm):
+    """Sparsity-unaware full replication (Table 4: MPI_Allgather)."""
+
+    name = "Allgather"
+
+    def _execute(self, ctx: RunContext) -> None:
+        compute = ctx.machine.compute
+        k = ctx.k
+
+        # Replicate B everywhere; this is where OOM strikes.
+        ctx.mpi.allgather(ctx.B.blocks(), label="B_replica")
+        gather_time = ctx.machine.network.allgather_time(
+            ctx.B.partition.max_size() * k * 8, ctx.n_nodes
+        )
+
+        comp_times = np.zeros(ctx.n_nodes)
+        for rank in range(ctx.n_nodes):
+            slab = ctx.A.slab(rank)
+            if slab.nnz:
+                csr = slab.to_scipy().tocsr()
+                ctx.C.block(rank)[:] += csr @ ctx.B.data
+                nonempty = int(np.count_nonzero(np.diff(csr.indptr)))
+            else:
+                nonempty = 0
+            comp_times[rank] = compute.sync_panel_time(
+                slab.nnz, k, nonempty, ctx.threads.total
+            )
+        for rank in range(ctx.n_nodes):
+            node = ctx.breakdown.node(rank)
+            node.sync_comm += gather_time
+            node.sync_comp += comp_times[rank]

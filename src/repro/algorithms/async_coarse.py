@@ -1,0 +1,53 @@
+"""Async Coarse-Grained baseline: one-sided whole-block MPI_Get.
+
+Each node determines which blocks of ``B`` its nonzeros touch and pulls
+each of those blocks with a one-sided MPI_Get, then computes locally.
+Compared to AllGather it skips blocks it does not need at all, but a
+block with even one needed row is transferred whole — so for matrices
+whose nonzeros touch every block (social networks) it degenerates into
+full replication paid at the expensive one-sided rate (paper Figs. 7-9
+show it trailing the field).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import DistSpMMAlgorithm, RunContext
+
+
+class AsyncCoarse(DistSpMMAlgorithm):
+    """Sparsity-aware only at block granularity (Table 4: MPI_Get)."""
+
+    name = "AsyncCoarse"
+
+    def _execute(self, ctx: RunContext) -> None:
+        net = ctx.machine.network
+        compute = ctx.machine.compute
+        k = ctx.k
+
+        for rank in range(ctx.n_nodes):
+            slab = ctx.A.slab(rank)
+            node = ctx.breakdown.node(rank)
+            if slab.nnz == 0:
+                continue
+            needed_blocks = np.unique(ctx.B.partition.owners_of(slab.cols))
+            get_time = 0.0
+            for block_id in needed_blocks:
+                if block_id == rank:
+                    continue
+                block = ctx.B.block(int(block_id))
+                ctx.mpi.get_block(
+                    rank, int(block_id), block, label="B_got",
+                    charge_time=False,
+                )
+                get_time += net.rget_time(int(block.nbytes), n_chunks=1)
+            # A couple of threads issue the gets concurrently.
+            node.async_comm += get_time / ctx.threads.async_comm
+
+            csr = slab.to_scipy().tocsr()
+            ctx.C.block(rank)[:] += csr @ ctx.B.data
+            nonempty = int(np.count_nonzero(np.diff(csr.indptr)))
+            node.sync_comp += compute.sync_panel_time(
+                slab.nnz, k, nonempty, ctx.threads.total
+            )

@@ -1,0 +1,178 @@
+"""Common interface for distributed SpMM algorithms.
+
+Every algorithm in the comparison (Table 4) takes a global sparse ``A``
+and dense ``B``, distributes them under 1D partitioning onto a fresh
+simulated cluster, executes, and returns an :class:`SpMMResult` with the
+numerically correct ``C``, a per-node time breakdown, and traffic stats.
+Runs whose working set exceeds node memory come back as failed results
+(the paper's missing data points), never as exceptions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..cluster.machine import Cluster, MachineConfig
+from ..cluster.simmpi import SimMPI, TrafficStats
+from ..dist.matrices import DistDenseMatrix, DistSparseMatrix
+from ..dist.oned import RowPartition
+from ..errors import OutOfMemoryError, ShapeError
+from ..runtime.threads import ThreadConfig
+from ..runtime.trace import TimeBreakdown
+from ..sparse.coo import COOMatrix
+
+#: Simulated cost of setting up MPI structures before communication
+#: (windows, datatypes, queues) — the paper's "Other" category.
+BASE_SETUP_SECONDS = 1.0e-5
+
+
+@dataclass
+class SpMMResult:
+    """Outcome of one distributed SpMM execution.
+
+    Attributes:
+        algorithm: algorithm name.
+        C: the computed output (global array) or None on failure.
+        seconds: simulated makespan.
+        breakdown: per-node lane components.
+        traffic: byte/message counts by category.
+        failed: True when the run could not complete.
+        failure: human-readable failure reason (e.g. OOM details).
+        extras: algorithm-specific diagnostics.
+        events: recorded communication operations, in issue order
+            (capped; see ``repro.cluster.simmpi.MAX_RECORDED_EVENTS``).
+    """
+
+    algorithm: str
+    C: Optional[np.ndarray]
+    seconds: float
+    breakdown: TimeBreakdown
+    traffic: TrafficStats
+    failed: bool = False
+    failure: Optional[str] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+    events: list = field(default_factory=list)
+
+    def speedup_over(self, other: "SpMMResult") -> float:
+        """``other.seconds / self.seconds`` (paper-style speedup)."""
+        if self.failed or other.failed:
+            raise ValueError("cannot compare failed results")
+        return other.seconds / self.seconds
+
+
+@dataclass
+class RunContext:
+    """Everything an algorithm body needs, pre-distributed."""
+
+    machine: MachineConfig
+    cluster: Cluster
+    mpi: SimMPI
+    A: DistSparseMatrix
+    B: DistDenseMatrix
+    C: DistDenseMatrix
+    threads: ThreadConfig
+    breakdown: TimeBreakdown
+
+    @property
+    def n_nodes(self) -> int:
+        return self.machine.n_nodes
+
+    @property
+    def k(self) -> int:
+        return self.B.k
+
+
+class DistSpMMAlgorithm(abc.ABC):
+    """Base class: distribution, memory charging, failure capture."""
+
+    #: Display name; subclasses override (e.g. ``"DS4"``).
+    name: str = "abstract"
+
+    def run(
+        self,
+        A: COOMatrix,
+        B: np.ndarray,
+        machine: MachineConfig,
+        threads: Optional[ThreadConfig] = None,
+    ) -> SpMMResult:
+        """Distribute inputs, execute, and collect the result.
+
+        Args:
+            A: global sparse matrix, shape ``(n, m)``.
+            B: global dense input, shape ``(m, K)``.
+            machine: simulated machine description.
+            threads: per-node thread split; derived from the machine's
+                thread count when omitted.
+
+        Returns:
+            The result; ``failed=True`` on simulated OOM.
+        """
+        B = np.ascontiguousarray(B, dtype=np.float64)
+        if B.ndim != 2 or B.shape[0] != A.shape[1]:
+            raise ShapeError(
+                f"B shape {B.shape} incompatible with A shape {A.shape}"
+            )
+        threads = threads or ThreadConfig.for_machine(machine.threads_per_node)
+        cluster = Cluster(machine)
+        mpi = SimMPI(cluster)
+        breakdown = TimeBreakdown.zeros(machine.n_nodes)
+        try:
+            row_part = RowPartition(A.shape[0], machine.n_nodes)
+            col_part = RowPartition(B.shape[0], machine.n_nodes)
+            A_dist = DistSparseMatrix(A, row_part, cluster, label="A_slab")
+            B_dist = DistDenseMatrix(B, col_part, cluster, label="B_block")
+            C_dist = DistDenseMatrix.zeros(
+                A.shape[0], B.shape[1], row_part, cluster, label="C_block"
+            )
+            ctx = RunContext(
+                machine=machine,
+                cluster=cluster,
+                mpi=mpi,
+                A=A_dist,
+                B=B_dist,
+                C=C_dist,
+                threads=threads,
+                breakdown=breakdown,
+            )
+            self._setup_cost(ctx)
+            self._execute(ctx)
+        except OutOfMemoryError as oom:
+            return SpMMResult(
+                algorithm=self.name,
+                C=None,
+                seconds=float("nan"),
+                breakdown=breakdown,
+                traffic=mpi.traffic,
+                failed=True,
+                failure=str(oom),
+                events=mpi.events,
+            )
+        return SpMMResult(
+            algorithm=self.name,
+            C=ctx.C.data,
+            seconds=breakdown.makespan,
+            breakdown=breakdown,
+            traffic=mpi.traffic,
+            extras=self._extras(ctx),
+            events=mpi.events,
+        )
+
+    # ------------------------------------------------------------------
+    def _setup_cost(self, ctx: RunContext) -> None:
+        """Charge baseline setup time; subclasses may extend."""
+        for node in ctx.breakdown.nodes:
+            node.other += BASE_SETUP_SECONDS
+
+    def _extras(self, ctx: RunContext) -> Dict[str, Any]:
+        """Algorithm-specific diagnostics attached to the result."""
+        return {}
+
+    @abc.abstractmethod
+    def _execute(self, ctx: RunContext) -> None:
+        """Perform the distributed SpMM, filling ``ctx.C`` and the
+        breakdown. Raise :class:`OutOfMemoryError` on memory exhaustion.
+        """

@@ -1,0 +1,44 @@
+"""Registry of the algorithms compared in the paper (Table 4)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from .allgather import AllGather
+from .async_coarse import AsyncCoarse
+from .base import DistSpMMAlgorithm
+from .dense_shifting import DenseShifting
+from .twoface import AsyncFine, TwoFace
+
+_FACTORIES: Dict[str, Callable[[], DistSpMMAlgorithm]] = {
+    "Allgather": AllGather,
+    "AsyncCoarse": AsyncCoarse,
+    "AsyncFine": AsyncFine,
+    "DS1": lambda: DenseShifting(1),
+    "DS2": lambda: DenseShifting(2),
+    "DS4": lambda: DenseShifting(4),
+    "DS8": lambda: DenseShifting(8),
+    "TwoFace": TwoFace,
+}
+
+#: Bar order of the paper's Figs. 7-9.
+FIGURE_ALGORITHMS: List[str] = [
+    "Allgather", "AsyncCoarse", "AsyncFine", "DS2", "DS4", "DS8", "TwoFace",
+]
+
+
+def algorithm_names() -> List[str]:
+    """All registered algorithm names."""
+    return sorted(_FACTORIES)
+
+
+def make_algorithm(name: str) -> DistSpMMAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; known: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()

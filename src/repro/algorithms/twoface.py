@@ -1,0 +1,117 @@
+"""Two-Face and Async Fine-Grained as runnable algorithms.
+
+:class:`TwoFace` preprocesses (or reuses a supplied plan) and executes
+via :mod:`repro.core.executor`.  :class:`AsyncFine` is the paper's
+extreme baseline: the identical runtime with every remote stripe forced
+asynchronous, i.e. pure fine-grained one-sided communication.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.executor import execute_plan
+from ..core.model import CostCoefficients
+from ..core.plan import TwoFacePlan
+from ..core.preprocess import PreprocessReport, preprocess
+from ..errors import PartitionError
+from ..sparse.suite import stripe_width_for
+from .base import DistSpMMAlgorithm, RunContext
+
+
+class TwoFace(DistSpMMAlgorithm):
+    """The paper's contribution: hybrid collective + one-sided SpMM.
+
+    Args:
+        stripe_width: sparse-stripe width ``W``; defaults to the
+            dimension-scaled rule of Table 1.
+        coeffs: preprocessing-model coefficients (Table 3 defaults).
+        plan: a precomputed plan (skips preprocessing; the plan must
+            match the matrix, node count, and K of the run).
+        force_all_async / force_all_sync: classification overrides used
+            by baselines and ablations.
+        mask: optional per-nonzero sampling mask (§5.4's sampled-GNN
+            sketch); requires a precomputed ``plan`` the mask aligns
+            with.
+    """
+
+    name = "TwoFace"
+
+    def __init__(
+        self,
+        stripe_width: Optional[int] = None,
+        coeffs: Optional[CostCoefficients] = None,
+        plan: Optional[TwoFacePlan] = None,
+        force_all_async: bool = False,
+        force_all_sync: bool = False,
+        classify_override=None,
+        mask=None,
+    ):
+        if mask is not None and plan is None:
+            raise PartitionError(
+                "a sampling mask requires the plan it aligns with"
+            )
+        self.stripe_width = stripe_width
+        self.coeffs = coeffs
+        self.plan = plan
+        self.force_all_async = force_all_async
+        self.force_all_sync = force_all_sync
+        self.classify_override = classify_override
+        self.mask = mask
+        self.last_plan: Optional[TwoFacePlan] = None
+        self.last_report: Optional[PreprocessReport] = None
+
+    def _execute(self, ctx: RunContext) -> None:
+        plan = self.plan
+        if plan is not None:
+            if plan.n_nodes != ctx.n_nodes or plan.k != ctx.k:
+                raise PartitionError(
+                    "precomputed plan does not match this run "
+                    f"(plan: p={plan.n_nodes}, K={plan.k}; "
+                    f"run: p={ctx.n_nodes}, K={ctx.k})"
+                )
+            self.last_report = None
+        else:
+            width = self.stripe_width or stripe_width_for(ctx.A.shape[0])
+            plan, report = preprocess(
+                ctx.A,
+                k=ctx.k,
+                stripe_width=width,
+                coeffs=self.coeffs,
+                machine=ctx.machine,
+                panel_height=ctx.threads.panel_height,
+                force_all_async=self.force_all_async,
+                force_all_sync=self.force_all_sync,
+                classify_override=self.classify_override,
+            )
+            self.last_report = report
+        self.last_plan = plan
+        execute_plan(plan, ctx, mask=self.mask)
+
+    def _extras(self, ctx: RunContext) -> dict:
+        plan = self.last_plan
+        if plan is None:
+            return {}
+        return {
+            "sync_stripes": plan.total_sync_stripes(),
+            "async_stripes": plan.total_async_stripes(),
+            "local_stripes": plan.total_local_stripes(),
+            "async_rows": plan.total_async_rows(),
+            "mean_multicast_fanout": plan.mean_multicast_fanout(),
+            "preprocess_report": self.last_report,
+        }
+
+
+class AsyncFine(TwoFace):
+    """All-asynchronous Two-Face: the pure one-sided baseline (§2.3)."""
+
+    name = "AsyncFine"
+
+    def __init__(
+        self,
+        stripe_width: Optional[int] = None,
+        coeffs: Optional[CostCoefficients] = None,
+    ):
+        super().__init__(
+            stripe_width=stripe_width, coeffs=coeffs, force_all_async=True
+        )

@@ -1,0 +1,21 @@
+"""Benchmark harness: sweeps, result tables, text reporting."""
+
+from .harness import (
+    ExperimentHarness,
+    SweepResult,
+    load_sweep_json,
+    save_sweep_json,
+    sweep_records,
+)
+from .reporting import format_cell, format_table, print_table
+
+__all__ = [
+    "ExperimentHarness",
+    "SweepResult",
+    "format_cell",
+    "format_table",
+    "load_sweep_json",
+    "print_table",
+    "save_sweep_json",
+    "sweep_records",
+]

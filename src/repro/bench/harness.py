@@ -1,0 +1,187 @@
+"""Experiment harness: run algorithm x matrix x K sweeps and tabulate.
+
+Used by every file in ``benchmarks/`` to regenerate the paper's tables
+and figures.  Matrices and dense inputs are cached per (name, size, K)
+so a benchmark session does not regenerate them per algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms.base import SpMMResult
+from ..algorithms.registry import make_algorithm
+from ..algorithms.twoface import AsyncFine, TwoFace
+from ..cluster.machine import MachineConfig
+from ..core.model import CostCoefficients
+from ..errors import ConfigurationError
+from ..sparse import suite
+from ..sparse.coo import COOMatrix
+
+
+@dataclass
+class SweepResult:
+    """Results of one (matrices x algorithms) sweep at fixed K and p."""
+
+    k: int
+    machine: MachineConfig
+    #: matrix name -> algorithm name -> result
+    results: Dict[str, Dict[str, SpMMResult]] = field(default_factory=dict)
+
+    def seconds(self, matrix: str, algorithm: str) -> float:
+        """Simulated seconds; NaN when the run failed (OOM)."""
+        return self.results[matrix][algorithm].seconds
+
+    def speedup_over(
+        self, matrix: str, algorithm: str, baseline: str
+    ) -> float:
+        """Paper-style speedup of ``algorithm`` over ``baseline``."""
+        base = self.results[matrix][baseline]
+        target = self.results[matrix][algorithm]
+        if base.failed or target.failed:
+            return float("nan")
+        return base.seconds / target.seconds
+
+    def speedup_rows(
+        self, algorithms: Sequence[str], baseline: str = "DS2"
+    ) -> List[List]:
+        """Rows of matrix + speedups, ready for printing."""
+        rows = []
+        for matrix in self.results:
+            row: List = [matrix]
+            for algorithm in algorithms:
+                row.append(self.speedup_over(matrix, algorithm, baseline))
+            rows.append(row)
+        return rows
+
+
+class ExperimentHarness:
+    """Caches matrices/inputs and runs algorithm sweeps.
+
+    Args:
+        size: suite size class used for all matrices.
+        coeffs: Two-Face model coefficients shared by all Two-Face /
+            Async Fine runs (defaults to the simulator-calibrated set).
+        seed: RNG seed for dense inputs.
+    """
+
+    def __init__(
+        self,
+        size: str = "default",
+        coeffs: Optional[CostCoefficients] = None,
+        seed: int = 1,
+    ):
+        self.size = size
+        self.coeffs = coeffs if coeffs is not None else CostCoefficients()
+        self.seed = seed
+        self._matrices: Dict[str, COOMatrix] = {}
+        self._dense: Dict[Tuple[str, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def matrix(self, name: str) -> COOMatrix:
+        """The cached suite matrix ``name``."""
+        if name not in self._matrices:
+            self._matrices[name] = suite.load(name, size=self.size)
+        return self._matrices[name]
+
+    def dense_input(self, name: str, k: int) -> np.ndarray:
+        """A cached random dense input of width ``k`` for ``name``."""
+        key = (name, k)
+        if key not in self._dense:
+            rng = np.random.default_rng(self.seed)
+            A = self.matrix(name)
+            self._dense[key] = rng.standard_normal((A.shape[1], k))
+        return self._dense[key]
+
+    def make(self, algorithm: str):
+        """Instantiate an algorithm, wiring shared coefficients."""
+        if algorithm == "TwoFace":
+            return TwoFace(coeffs=self.coeffs)
+        if algorithm == "AsyncFine":
+            return AsyncFine(coeffs=self.coeffs)
+        return make_algorithm(algorithm)
+
+    # ------------------------------------------------------------------
+    def run_one(
+        self,
+        matrix: str,
+        algorithm: str,
+        k: int,
+        machine: MachineConfig,
+    ) -> SpMMResult:
+        """Run one (matrix, algorithm, K) cell."""
+        A = self.matrix(matrix)
+        B = self.dense_input(matrix, k)
+        return self.make(algorithm).run(A, B, machine)
+
+    def sweep(
+        self,
+        matrices: Sequence[str],
+        algorithms: Sequence[str],
+        k: int,
+        machine: Optional[MachineConfig] = None,
+    ) -> SweepResult:
+        """Run a full matrices x algorithms sweep at one K."""
+        if not matrices or not algorithms:
+            raise ConfigurationError("need at least one matrix and algorithm")
+        machine = machine or MachineConfig(n_nodes=32)
+        sweep = SweepResult(k=k, machine=machine)
+        for matrix in matrices:
+            sweep.results[matrix] = {}
+            for algorithm in algorithms:
+                sweep.results[matrix][algorithm] = self.run_one(
+                    matrix, algorithm, k, machine
+                )
+        return sweep
+
+
+def sweep_records(sweep: SweepResult) -> List[Dict]:
+    """Flatten a sweep into JSON-ready records (one per run).
+
+    Each record carries the identifying keys, the simulated time (null
+    when the run failed), and the headline traffic/breakdown numbers —
+    enough to re-plot any of the paper's figures without re-running.
+    """
+    records: List[Dict] = []
+    for matrix, by_algo in sweep.results.items():
+        for algorithm, result in by_algo.items():
+            means = result.breakdown.component_means()
+            records.append(
+                {
+                    "matrix": matrix,
+                    "algorithm": algorithm,
+                    "k": sweep.k,
+                    "n_nodes": sweep.machine.n_nodes,
+                    "failed": result.failed,
+                    "seconds": None if result.failed else result.seconds,
+                    "sync_comm": means.sync_comm,
+                    "sync_comp": means.sync_comp,
+                    "async_comm": means.async_comm,
+                    "async_comp": means.async_comp,
+                    "other": means.other,
+                    "collective_bytes": result.traffic.collective_bytes,
+                    "p2p_bytes": result.traffic.p2p_bytes,
+                    "onesided_bytes": result.traffic.onesided_bytes,
+                    "onesided_requests": result.traffic.onesided_requests,
+                }
+            )
+    return records
+
+
+def save_sweep_json(sweep: SweepResult, path) -> None:
+    """Persist a sweep's records as JSON (for external plotting)."""
+    import json
+
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(sweep_records(sweep), handle, indent=2, sort_keys=True)
+
+
+def load_sweep_json(path) -> List[Dict]:
+    """Load records written by :func:`save_sweep_json`."""
+    import json
+
+    with open(path, "r", encoding="ascii") as handle:
+        return json.load(handle)

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``       — one distributed SpMM: matrix x algorithm x K.
+* ``sweep``     — all algorithms over chosen matrices (mini Fig. 7/8).
+* ``calibrate`` — fit the preprocessing-model coefficients (§6.2).
+* ``stats``     — structural statistics of a suite matrix.
+* ``gnn``       — full-graph GCN training demo with amortisation report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .algorithms import FIGURE_ALGORITHMS, algorithm_names
+from .bench import ExperimentHarness, print_table
+from .cluster import MachineConfig
+from .core import calibrate
+from .sparse import compute_stats, suite
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Two-Face distributed SpMM reproduction (ASPLOS 2024)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one distributed SpMM")
+    run.add_argument("--matrix", default="web", choices=suite.matrix_names())
+    run.add_argument(
+        "--algorithm", default="TwoFace", choices=algorithm_names()
+    )
+    run.add_argument("--k", type=int, default=128)
+    run.add_argument("--nodes", type=int, default=32)
+    run.add_argument(
+        "--size", default="small", choices=list(suite.SIZE_CLASSES)
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="all algorithms over matrices (mini Fig. 7/8)"
+    )
+    sweep.add_argument(
+        "--matrices", nargs="+", default=list(suite.matrix_names()),
+        choices=suite.matrix_names(),
+    )
+    sweep.add_argument("--k", type=int, default=128)
+    sweep.add_argument("--nodes", type=int, default=32)
+    sweep.add_argument(
+        "--size", default="small", choices=list(suite.SIZE_CLASSES)
+    )
+
+    cal = sub.add_parser(
+        "calibrate", help="fit model coefficients (paper §6.2)"
+    )
+    cal.add_argument("--matrix", default="twitter",
+                     choices=suite.matrix_names())
+    cal.add_argument("--k", type=int, default=32)
+    cal.add_argument("--nodes", type=int, default=32)
+    cal.add_argument(
+        "--size", default="small", choices=list(suite.SIZE_CLASSES)
+    )
+
+    stats = sub.add_parser("stats", help="matrix structure statistics")
+    stats.add_argument("--matrix", default="web",
+                       choices=suite.matrix_names())
+    stats.add_argument(
+        "--size", default="small", choices=list(suite.SIZE_CLASSES)
+    )
+
+    gnn = sub.add_parser("gnn", help="full-graph GCN training demo")
+    gnn.add_argument("--nodes", type=int, default=16)
+    gnn.add_argument("--graph-size", type=int, default=2048)
+    gnn.add_argument("--epochs", type=int, default=5)
+    return parser
+
+
+def cmd_run(args) -> int:
+    harness = ExperimentHarness(size=args.size)
+    machine = MachineConfig(n_nodes=args.nodes)
+    result = harness.run_one(args.matrix, args.algorithm, args.k, machine)
+    if result.failed:
+        print(f"{args.algorithm} on {args.matrix}: OOM ({result.failure})")
+        return 1
+    means = result.breakdown.component_means()
+    print_table(
+        ["metric", "value"],
+        [
+            ["algorithm", args.algorithm],
+            ["matrix", args.matrix],
+            ["K", args.k],
+            ["nodes", args.nodes],
+            ["simulated seconds", result.seconds],
+            ["sync comm (mean/node)", means.sync_comm],
+            ["sync comp (mean/node)", means.sync_comp],
+            ["async comm (mean/node)", means.async_comm],
+            ["async comp (mean/node)", means.async_comp],
+            ["collective MB", result.traffic.collective_bytes / 1e6],
+            ["one-sided MB", result.traffic.onesided_bytes / 1e6],
+            ["one-sided requests", result.traffic.onesided_requests],
+        ],
+        title="distributed SpMM",
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    harness = ExperimentHarness(size=args.size)
+    machine = MachineConfig(n_nodes=args.nodes)
+    sweep = harness.sweep(args.matrices, FIGURE_ALGORITHMS, args.k, machine)
+    print_table(
+        ["matrix"] + [f"{a} (x)" for a in FIGURE_ALGORITHMS],
+        sweep.speedup_rows(FIGURE_ALGORITHMS, baseline="DS2"),
+        title=f"speedup over DS2, K={args.k}, p={args.nodes}",
+    )
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    machine = MachineConfig(n_nodes=args.nodes)
+    matrix = suite.load(args.matrix, size=args.size)
+    coeffs = calibrate(matrix, machine, k=args.k)
+    print_table(
+        ["coefficient", "value"],
+        [[name, value] for name, value in coeffs.as_dict().items()]
+        + [["beta_a / beta_s", coeffs.beta_a / max(coeffs.beta_s, 1e-30)]],
+        title=f"calibrated on {args.matrix} at K={args.k}, p={args.nodes}",
+    )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    matrix = suite.load(args.matrix, size=args.size)
+    stats = compute_stats(matrix)
+    spec = suite.SUITE[args.matrix]
+    print_table(
+        ["statistic", "value"],
+        [
+            ["stands in for", spec.long_name],
+            ["structural class", spec.structural_class],
+            ["rows", stats.n_rows],
+            ["nonzeros", stats.nnz],
+            ["avg degree", stats.avg_degree],
+            ["density", stats.density],
+            ["max row nnz", stats.max_row_nnz],
+            ["max col nnz", stats.max_col_nnz],
+            ["row gini", stats.row_gini],
+            ["col gini", stats.col_gini],
+            ["bandwidth p95", stats.bandwidth_p95],
+            ["diag-block fraction (p=32)", stats.diag_block_fraction],
+        ],
+        title=f"{args.matrix} ({args.size})",
+    )
+    return 0
+
+
+def cmd_gnn(args) -> int:
+    from .algorithms import DenseShifting
+    from .gnn import planted_partition, train_gcn
+
+    dataset = planted_partition(
+        args.graph_size, n_classes=16, intra_fraction=0.95,
+        avg_degree=12, feature_dim=32, seed=3,
+    )
+    machine = MachineConfig(n_nodes=args.nodes, memory_capacity=1 << 30)
+    report = train_gcn(
+        dataset, machine, hidden_dim=32, epochs=args.epochs, lr=0.5,
+        baseline_factory=lambda: DenseShifting(2),
+    )
+    print_table(
+        ["metric", "value"],
+        [
+            ["loss (first epoch)", report.losses[0]],
+            ["loss (last epoch)", report.losses[-1]],
+            ["train accuracy", report.train_accuracy],
+            ["SpMM ops", report.spmm_ops],
+            ["Two-Face SpMM seconds", report.spmm_seconds],
+            ["preprocessing seconds", report.preprocess_seconds],
+            ["DS2 seconds (same schedule)", report.baseline_spmm_seconds],
+            ["ops to amortise", report.amortization_ops],
+        ],
+        title="full-graph GCN training",
+    )
+    return 0
+
+
+_COMMANDS = {
+    "run": cmd_run,
+    "sweep": cmd_sweep,
+    "calibrate": cmd_calibrate,
+    "stats": cmd_stats,
+    "gnn": cmd_gnn,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=4)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

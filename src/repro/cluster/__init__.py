@@ -1,0 +1,27 @@
+"""Simulated distributed machine: nodes, network model, simulated MPI."""
+
+from .machine import (
+    DEFAULT_NODE_MEMORY,
+    MEMORY_SCALE,
+    Cluster,
+    MachineConfig,
+    MemoryLedger,
+    SimNode,
+)
+from .network import ComputeModel, NetworkModel
+from .simmpi import MAX_RECORDED_EVENTS, CommEvent, SimMPI, TrafficStats
+
+__all__ = [
+    "CommEvent",
+    "Cluster",
+    "ComputeModel",
+    "DEFAULT_NODE_MEMORY",
+    "MEMORY_SCALE",
+    "MachineConfig",
+    "MAX_RECORDED_EVENTS",
+    "MemoryLedger",
+    "NetworkModel",
+    "SimMPI",
+    "SimNode",
+    "TrafficStats",
+]

@@ -1,0 +1,164 @@
+"""Simulated machine: nodes, clocks, and memory accounting.
+
+Each simulated node owns a clock (advanced by the cost models as data
+moves and kernels run) and a memory ledger (so algorithms whose working
+set exceeds node capacity fail with :class:`~repro.errors.OutOfMemoryError`,
+reproducing the paper's missing data points).
+
+The default configuration mirrors the paper's platform at 1/4096 scale:
+32 nodes, 128 threads each, 256 GiB / 4096 = 64 MiB of DRAM per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import ConfigurationError, OutOfMemoryError
+from .network import ComputeModel, NetworkModel
+
+#: Simulated DRAM per node.  Chosen so that capacity relative to the
+#: analogue matrices' dense working sets mirrors Delta's 256 GiB relative
+#: to the paper's inputs: full replication of B for the largest matrix at
+#: K=128 must not fit (AllGather OOMs on kmer, Fig. 2), high-replication
+#: dense-shifting bundles must fail at K=512 (Fig. 9) while DS2 always
+#: fits, and at K=512 the B-to-capacity ratio sits near 1 for the
+#: social/trace matrices (so Two-Face's memory fallback engages the way
+#: it does on Delta) and well above 1 for kmer.
+DEFAULT_NODE_MEMORY = 48 * 1024**2
+#: Ratio between a Delta node's DRAM and a simulated node's.
+MEMORY_SCALE = (256 * 1024**3) // DEFAULT_NODE_MEMORY
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of the simulated cluster.
+
+    Attributes:
+        n_nodes: MPI ranks (the paper default is 32, max 64).
+        threads_per_node: OpenMP threads per rank (the paper uses 128).
+        memory_capacity: simulated DRAM per node, bytes.
+        network: interconnect cost model.
+        compute: local-kernel cost model.
+    """
+
+    n_nodes: int = 32
+    threads_per_node: int = 128
+    memory_capacity: int = DEFAULT_NODE_MEMORY
+    network: NetworkModel = field(default_factory=NetworkModel)
+    compute: ComputeModel = field(default_factory=ComputeModel)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ConfigurationError(f"n_nodes must be positive: {self.n_nodes}")
+        if self.threads_per_node <= 0:
+            raise ConfigurationError(
+                f"threads_per_node must be positive: {self.threads_per_node}"
+            )
+        if self.memory_capacity <= 0:
+            raise ConfigurationError("memory_capacity must be positive")
+
+
+class MemoryLedger:
+    """Tracks a node's simulated allocations against its capacity.
+
+    Allocations are named so tests can inspect what an algorithm charged.
+    ``peak`` records the high-water mark, which is what decides OOM.
+    """
+
+    def __init__(self, node: int, capacity: int):
+        self._node = node
+        self._capacity = int(capacity)
+        self._allocations: Dict[str, int] = {}
+        self._current = 0
+        self.peak = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def current(self) -> int:
+        return self._current
+
+    def allocations(self) -> Dict[str, int]:
+        """Copy of live allocations (name -> bytes)."""
+        return dict(self._allocations)
+
+    def allocate(self, name: str, nbytes: int) -> None:
+        """Charge ``nbytes`` under ``name``; additive if name exists.
+
+        Raises:
+            OutOfMemoryError: if the new total exceeds node capacity.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"negative allocation: {nbytes}")
+        new_total = self._current + nbytes
+        if new_total > self._capacity:
+            raise OutOfMemoryError(self._node, new_total, self._capacity)
+        self._allocations[name] = self._allocations.get(name, 0) + int(nbytes)
+        self._current = new_total
+        self.peak = max(self.peak, new_total)
+
+    def free(self, name: str) -> int:
+        """Release everything charged under ``name``; returns the bytes."""
+        nbytes = self._allocations.pop(name, 0)
+        self._current -= nbytes
+        return nbytes
+
+
+class SimNode:
+    """One simulated rank: a clock plus a memory ledger."""
+
+    def __init__(self, rank: int, config: MachineConfig):
+        self.rank = rank
+        self.config = config
+        self.time = 0.0
+        self.memory = MemoryLedger(rank, config.memory_capacity)
+
+    def advance(self, seconds: float) -> None:
+        """Spend ``seconds`` of simulated time on this node."""
+        if seconds < 0:
+            raise ConfigurationError(f"cannot advance time by {seconds}")
+        self.time += seconds
+
+    def sync_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t`` (never back)."""
+        self.time = max(self.time, t)
+
+
+class Cluster:
+    """The set of simulated nodes plus barrier/makespan helpers."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.nodes: List[SimNode] = [
+            SimNode(rank, config) for rank in range(config.n_nodes)
+        ]
+
+    @property
+    def n_nodes(self) -> int:
+        return self.config.n_nodes
+
+    def node(self, rank: int) -> SimNode:
+        if not 0 <= rank < self.n_nodes:
+            raise ConfigurationError(
+                f"rank {rank} out of range 0..{self.n_nodes - 1}"
+            )
+        return self.nodes[rank]
+
+    def barrier(self) -> float:
+        """Synchronise all clocks to the latest one; returns that time."""
+        latest = max(node.time for node in self.nodes)
+        for node in self.nodes:
+            node.sync_to(latest)
+        return latest
+
+    def makespan(self) -> float:
+        """Latest clock across nodes (total simulated execution time)."""
+        return max(node.time for node in self.nodes)
+
+    def reset_clocks(self) -> None:
+        """Zero every node clock (memory ledgers are left untouched)."""
+        for node in self.nodes:
+            node.time = 0.0

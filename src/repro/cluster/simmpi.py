@@ -1,0 +1,323 @@
+"""Simulated MPI layer.
+
+Algorithms in this library are written against :class:`SimMPI` the way
+the paper's C++ is written against MPI: allgathers, cyclic sendrecv
+shifts, (multi)casts, and one-sided gets.  Because all simulated nodes
+live in one address space, "transferring" dense data hands out read-only
+views; what a transfer really does is
+
+* advance the participating nodes' clocks by the network cost model,
+* charge destination memory ledgers (possibly raising
+  :class:`~repro.errors.OutOfMemoryError`), and
+* record traffic in :class:`TrafficStats` for tests and breakdowns.
+
+Received dense data must be treated as immutable — exactly the contract
+a real ``MPI_Bcast`` buffer of the input matrix ``B`` has in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import CommunicationError
+from .machine import Cluster
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One recorded communication operation.
+
+    Attributes:
+        kind: ``"allgather"``, ``"shift"``, ``"multicast"``, or
+            ``"rget"``.
+        source: sending rank (the root for multicasts; -1 for
+            symmetric collectives like allgather).
+        destination: receiving rank (-1 when every rank receives).
+        nbytes: payload bytes of this leg.
+        detail: free-form context (e.g. chunk count, label).
+    """
+
+    kind: str
+    source: int
+    destination: int
+    nbytes: int
+    detail: str = ""
+
+
+#: Hard cap on retained events; beyond it recording stops silently
+#: (stats keep counting) so long simulations cannot exhaust memory.
+MAX_RECORDED_EVENTS = 200_000
+
+
+@dataclass
+class TrafficStats:
+    """Bytes and message counts by communication category.
+
+    Attributes:
+        p2p_bytes / p2p_messages: cyclic shift (MPI_Sendrecv) traffic.
+        collective_bytes / collective_ops: allgather + bcast payload bytes
+            (counted once per payload, not per destination) and operation
+            count.
+        onesided_bytes / onesided_requests: MPI_Rget traffic.
+        per_node_recv_bytes: bytes received by each rank, all categories.
+    """
+
+    n_nodes: int = 0
+    p2p_bytes: int = 0
+    p2p_messages: int = 0
+    collective_bytes: int = 0
+    collective_ops: int = 0
+    onesided_bytes: int = 0
+    onesided_requests: int = 0
+    per_node_recv_bytes: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.per_node_recv_bytes:
+            self.per_node_recv_bytes = [0] * self.n_nodes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.p2p_bytes + self.collective_bytes + self.onesided_bytes
+
+    def _recv(self, rank: int, nbytes: int) -> None:
+        self.per_node_recv_bytes[rank] += nbytes
+
+
+class SimMPI:
+    """Data-plane operations over a simulated :class:`Cluster`."""
+
+    def __init__(self, cluster: Cluster, record_events: bool = True):
+        self.cluster = cluster
+        self.traffic = TrafficStats(n_nodes=cluster.n_nodes)
+        self.events: List[CommEvent] = []
+        self._record = record_events
+        self._net = cluster.config.network
+
+    def _log(self, kind: str, source: int, destination: int, nbytes: int,
+             detail: str = "") -> None:
+        if self._record and len(self.events) < MAX_RECORDED_EVENTS:
+            self.events.append(
+                CommEvent(kind, source, destination, nbytes, detail)
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return self.cluster.n_nodes
+
+    @property
+    def network(self):
+        """The interconnect cost model (for lane-level accounting)."""
+        return self._net
+
+    # ------------------------------------------------------------------
+    # Collectives (synchronising)
+    # ------------------------------------------------------------------
+    def allgather(
+        self,
+        blocks: Sequence[np.ndarray],
+        label: str,
+        charge_memory: bool = True,
+    ) -> List[np.ndarray]:
+        """MPI_Allgather of one dense block per rank.
+
+        Every rank ends up holding every block.  Each rank's ledger is
+        charged for the ``n - 1`` foreign blocks it received (its own
+        block is already resident).
+
+        Args:
+            blocks: one array per rank, rank order.
+            label: ledger/debug label for the received replicas.
+            charge_memory: set False when the caller accounts for the
+                received data itself.
+
+        Returns:
+            The list of blocks (shared views), as seen by every rank.
+        """
+        if len(blocks) != self.n_nodes:
+            raise CommunicationError(
+                f"allgather needs {self.n_nodes} blocks, got {len(blocks)}"
+            )
+        sizes = [int(b.nbytes) for b in blocks]
+        total_foreign = sum(sizes)
+        self.cluster.barrier()
+        for rank, node in enumerate(self.cluster.nodes):
+            foreign = total_foreign - sizes[rank]
+            if charge_memory:
+                node.memory.allocate(label, foreign)
+            # Ring allgather moves the max block size each step.
+            node.advance(
+                self._net.allgather_time(max(sizes, default=0), self.n_nodes)
+            )
+            self.traffic._recv(rank, foreign)
+            self._log("allgather", -1, rank, foreign, label)
+        self.traffic.collective_bytes += total_foreign
+        self.traffic.collective_ops += 1
+        self.cluster.barrier()
+        return list(blocks)
+
+    def sendrecv_shift(
+        self,
+        blocks: Sequence[np.ndarray],
+        shift: int,
+        label: str,
+    ) -> List[np.ndarray]:
+        """Cyclic MPI_Sendrecv: rank ``r`` receives the block of
+        ``(r + shift) % n``.
+
+        Used by the dense-shifting baseline between computation steps.
+        Memory is not re-charged: shifting replaces a same-sized buffer
+        in place (the caller keeps a standing allocation).
+
+        Returns:
+            The post-shift assignment, indexed by receiving rank.
+        """
+        if len(blocks) != self.n_nodes:
+            raise CommunicationError(
+                f"shift needs {self.n_nodes} blocks, got {len(blocks)}"
+            )
+        self.cluster.barrier()
+        shifted: List[np.ndarray] = []
+        for rank, node in enumerate(self.cluster.nodes):
+            incoming = blocks[(rank + shift) % self.n_nodes]
+            nbytes = int(incoming.nbytes)
+            node.advance(self._net.p2p_time(nbytes))
+            self.traffic.p2p_bytes += nbytes
+            self.traffic.p2p_messages += 1
+            self.traffic._recv(rank, nbytes)
+            self._log(
+                "shift", (rank + shift) % self.n_nodes, rank, nbytes, label
+            )
+            shifted.append(incoming)
+        self.cluster.barrier()
+        return shifted
+
+    # ------------------------------------------------------------------
+    # Multicast (participant-local time; no global barrier)
+    # ------------------------------------------------------------------
+    def multicast(
+        self,
+        root: int,
+        data: np.ndarray,
+        destinations: Sequence[int],
+        label: str,
+        charge_memory: bool = True,
+        charge_time: bool = True,
+    ) -> np.ndarray:
+        """MPI_Ibcast of ``data`` from ``root`` to ``destinations``.
+
+        Only the participants' clocks advance (the Two-Face sync-comm
+        lane is a series of these, overlapped with async work on the
+        non-participating nodes).
+
+        Returns:
+            A read-only view of the payload for the destinations.
+        """
+        dests = [d for d in destinations if d != root]
+        nbytes = int(data.nbytes)
+        cost = self._net.bcast_time(nbytes, len(dests))
+        if dests and charge_time:
+            self.cluster.node(root).advance(cost)
+        for dest in dests:
+            node = self.cluster.node(dest)
+            if charge_time:
+                node.advance(cost)
+            if charge_memory:
+                node.memory.allocate(label, nbytes)
+            self.traffic._recv(dest, nbytes)
+            self._log("multicast", root, dest, nbytes, label)
+        if dests:
+            self.traffic.collective_bytes += nbytes
+            self.traffic.collective_ops += 1
+        return data
+
+    # ------------------------------------------------------------------
+    # One-sided
+    # ------------------------------------------------------------------
+    def rget_rows(
+        self,
+        origin: int,
+        target: int,
+        source: np.ndarray,
+        chunks: Sequence[tuple],
+        label: str,
+        charge_memory: bool = True,
+        charge_time: bool = True,
+    ) -> np.ndarray:
+        """MPI_Rget of row chunks from ``target``'s window.
+
+        ``chunks`` is a list of ``(first_row, n_rows)`` pairs relative to
+        ``source`` (a dense block owned by ``target``), the product of
+        the coalescing optimisation.  One request moves all chunks via an
+        ``MPI_Type_indexed`` datatype; only the *origin* clock advances —
+        that is what makes the access one-sided.
+
+        Returns:
+            The fetched rows, stacked in chunk order.
+        """
+        if origin == target:
+            raise CommunicationError("rget to self is always a local access")
+        if not chunks:
+            return source[0:0]
+        parts = []
+        total_rows = 0
+        for first, count in chunks:
+            if first < 0 or count <= 0 or first + count > source.shape[0]:
+                raise CommunicationError(
+                    f"chunk ({first}, {count}) outside block of "
+                    f"{source.shape[0]} rows"
+                )
+            parts.append(source[first : first + count])
+            total_rows += count
+        fetched = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        nbytes = int(total_rows * source.shape[1] * source.itemsize)
+        node = self.cluster.node(origin)
+        if charge_time:
+            node.advance(self._net.rget_time(nbytes, n_chunks=len(chunks)))
+        if charge_memory:
+            node.memory.allocate(label, nbytes)
+        self.traffic.onesided_bytes += nbytes
+        self.traffic.onesided_requests += 1
+        self.traffic._recv(origin, nbytes)
+        self._log(
+            "rget", target, origin, nbytes, f"{label}:{len(chunks)}chunks"
+        )
+        return fetched
+
+    def get_block(
+        self,
+        origin: int,
+        target: int,
+        block: np.ndarray,
+        label: str,
+        charge_memory: bool = True,
+        charge_time: bool = True,
+    ) -> np.ndarray:
+        """Whole-block MPI_Get (the Async Coarse-Grained baseline)."""
+        if origin == target:
+            return block
+        nbytes = int(block.nbytes)
+        node = self.cluster.node(origin)
+        if charge_time:
+            node.advance(self._net.rget_time(nbytes, n_chunks=1))
+        if charge_memory:
+            node.memory.allocate(label, nbytes)
+        self.traffic.onesided_bytes += nbytes
+        self.traffic.onesided_requests += 1
+        self.traffic._recv(origin, nbytes)
+        self._log("rget", target, origin, nbytes, f"{label}:block")
+        return block
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def barrier(self) -> float:
+        """Global barrier; returns the synchronised time."""
+        return self.cluster.barrier()
+
+    def advance_all(self, seconds: float) -> None:
+        """Charge identical local time on every rank (e.g. setup)."""
+        for node in self.cluster.nodes:
+            node.advance(seconds)

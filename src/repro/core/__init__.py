@@ -1,0 +1,74 @@
+"""Two-Face core: stripes, cost model, classification, plan, executor."""
+
+from .calibration import (
+    CalibrationObservation,
+    calibrate,
+    collect_observations,
+    density_threshold_override,
+    fit_coefficients,
+)
+from .classifier import RankClassification, classify_rank_stripes
+from .executor import execute_plan
+from .formats import (
+    AsyncStripe,
+    AsyncStripeMatrix,
+    SyncLocalMatrix,
+    build_async_stripe_matrix,
+    build_sync_local_matrix,
+)
+from .model import PAPER_TABLE3, SIM_CALIBRATED, CostCoefficients
+from .plan import RankPlan, TwoFacePlan
+from .sampling_mask import SampleMask, bernoulli_mask, full_mask, masked_matrix
+from .serialize import PLAN_FORMAT_VERSION, load_plan, save_plan
+from .validate import (
+    assert_valid_plan,
+    validate_plan,
+    validate_plan_against_matrix,
+)
+from .preprocess import (
+    PreprocessCostModel,
+    PreprocessReport,
+    preprocess,
+)
+from .stripes import (
+    RankStripeStats,
+    StripeGeometry,
+    compute_rank_stripe_stats,
+)
+
+__all__ = [
+    "AsyncStripe",
+    "AsyncStripeMatrix",
+    "CalibrationObservation",
+    "CostCoefficients",
+    "PAPER_TABLE3",
+    "SIM_CALIBRATED",
+    "PreprocessCostModel",
+    "PreprocessReport",
+    "RankClassification",
+    "RankPlan",
+    "RankStripeStats",
+    "StripeGeometry",
+    "SyncLocalMatrix",
+    "TwoFacePlan",
+    "build_async_stripe_matrix",
+    "build_sync_local_matrix",
+    "calibrate",
+    "classify_rank_stripes",
+    "collect_observations",
+    "compute_rank_stripe_stats",
+    "density_threshold_override",
+    "execute_plan",
+    "fit_coefficients",
+    "SampleMask",
+    "bernoulli_mask",
+    "full_mask",
+    "load_plan",
+    "PLAN_FORMAT_VERSION",
+    "masked_matrix",
+    "preprocess",
+    "save_plan",
+    "assert_valid_plan",
+    "validate_plan",
+    "validate_plan_against_matrix",
+]

@@ -1,0 +1,188 @@
+"""The Two-Face runtime (paper §5.2, Algorithms 1-3).
+
+Executes a :class:`~repro.core.plan.TwoFacePlan` on the simulated
+cluster.  Per node, two lanes run in parallel:
+
+* **Synchronous lane** — thread 0 drives the series of MPI_Ibcast
+  multicasts described by the dense-stripe metadata; once all dense
+  stripes have arrived (the ``sync_transfer_done`` flag), the sync
+  threads sweep the row panels of the sync/local-input matrix.
+* **Asynchronous lane** — the async threads pop stripes from a work
+  queue, fetch the needed dense rows with coalesced MPI_Rget, and
+  compute column-major with per-nonzero accumulation.
+
+A node finishes at ``max(sync lane, async lane) + other``; the cluster
+finishes with its slowest node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..algorithms.base import RunContext
+from ..errors import PartitionError
+from ..runtime.threads import max_coalescing_gap
+from ..sparse.ops import scatter_add
+from .plan import TwoFacePlan
+from .sampling_mask import SampleMask
+
+#: Extra per-node setup of Two-Face (window creation, queues, metadata
+#: replication) on top of the shared base setup — the "Other" bar of
+#: Fig. 10 is visibly larger for Two-Face than for dense shifting.
+TWOFACE_SETUP_SECONDS = 3.0e-5
+
+
+def execute_plan(
+    plan: TwoFacePlan,
+    ctx: RunContext,
+    mask: Optional[SampleMask] = None,
+) -> None:
+    """Run distributed SpMM following ``plan`` (DistSPMM, Algorithm 1).
+
+    Fills ``ctx.C`` with correct values and ``ctx.breakdown`` with the
+    simulated lane times.
+
+    Args:
+        plan: the preprocessed plan.
+        ctx: the distributed run context.
+        mask: optional per-nonzero sampling mask (paper §5.4's sketch
+            for GNN sampling: the graph stays stored as in Fig. 6, and
+            a per-iteration mask filters eliminated nonzeros).  The
+            communication schedule is unchanged — classification was
+            decided offline on expected densities — while compute work
+            and results cover only surviving nonzeros.
+
+    Raises:
+        PartitionError: if the plan does not match the run's partition.
+        OutOfMemoryError: if received dense stripes or fetched rows
+            exceed a node's simulated memory.
+    """
+    if plan.n_nodes != ctx.n_nodes:
+        raise PartitionError(
+            f"plan built for {plan.n_nodes} nodes, run has {ctx.n_nodes}"
+        )
+    if plan.k != ctx.k:
+        raise PartitionError(
+            f"plan built for K={plan.k}, run has K={ctx.k}"
+        )
+    if mask is not None:
+        mask.validate_against(plan)
+    for node in ctx.breakdown.nodes:
+        node.other += TWOFACE_SETUP_SECONDS
+
+    _sync_transfers(plan, ctx)
+    _async_lane(plan, ctx, mask)
+    _sync_compute(plan, ctx, mask)
+
+
+# ----------------------------------------------------------------------
+# Phase 1: collective transfers of dense stripes (Algorithm 1, lines 5-8)
+# ----------------------------------------------------------------------
+def _sync_transfers(plan: TwoFacePlan, ctx: RunContext) -> None:
+    net = ctx.machine.network
+    geometry = plan.geometry
+    for gid, dests in sorted(plan.stripe_destinations.items()):
+        if not dests:
+            continue
+        owner = geometry.owner_of_stripe(gid)
+        lo, hi = geometry.col_bounds(gid)
+        payload = ctx.B.data[lo:hi]
+        receivers = [d for d in dests if d != owner]
+        if not receivers:
+            continue
+        ctx.mpi.multicast(
+            owner, payload, receivers, label="dense_stripe_recv",
+            charge_time=False,
+        )
+        cost = net.bcast_time(int(payload.nbytes), len(receivers))
+        ctx.breakdown.node(owner).sync_comm += cost
+        for dest in receivers:
+            ctx.breakdown.node(dest).sync_comm += cost
+
+
+# ----------------------------------------------------------------------
+# Phase 2: asynchronous stripes (Algorithm 1 lines 9-14, Algorithm 3)
+# ----------------------------------------------------------------------
+def _async_lane(
+    plan: TwoFacePlan, ctx: RunContext, mask: Optional[SampleMask] = None
+) -> None:
+    net = ctx.machine.network
+    compute = ctx.machine.compute
+    k = ctx.k
+    max_gap = max_coalescing_gap(k)
+    for rank in range(ctx.n_nodes):
+        rank_plan = plan.rank_plan(rank)
+        node_breakdown = ctx.breakdown.node(rank)
+        ledger = ctx.cluster.node(rank).memory
+        c_block = ctx.C.block(rank)
+        comm_seconds = 0.0
+        for stripe_idx, stripe in enumerate(
+            rank_plan.async_matrix.stripes
+        ):
+            if stripe.owner == rank:
+                raise PartitionError(
+                    f"stripe {stripe.gid} is local to rank {rank} but was "
+                    "classified asynchronous"
+                )
+            block_start, _ = ctx.B.partition.bounds(stripe.owner)
+            chunks = stripe.transfer_chunks(block_start, max_gap)
+            fetched = ctx.mpi.rget_rows(
+                rank, stripe.owner, ctx.B.block(stripe.owner), chunks,
+                label="async_rows", charge_time=False,
+            )
+            comm_seconds += net.rget_time(
+                int(fetched.nbytes), n_chunks=len(chunks)
+            )
+            # Map each nonzero's global c_id onto the fetched row set.
+            fetched_ids = np.concatenate(
+                [np.arange(s, s + size) for s, size in chunks]
+            ) + block_start
+            packed = np.searchsorted(fetched_ids, stripe.nonzeros.cols)
+            if np.any(fetched_ids[packed] != stripe.nonzeros.cols):
+                raise PartitionError(
+                    f"stripe {stripe.gid}: fetched rows do not cover the "
+                    "stripe's c_ids"
+                )
+            vals = stripe.nonzeros.vals
+            nnz_live = stripe.nnz
+            if mask is not None:
+                keep = mask.async_masks[rank][stripe_idx]
+                vals = vals * keep
+                nnz_live = int(np.count_nonzero(keep))
+            scatter_add(
+                c_block, stripe.nonzeros.rows, vals, fetched[packed],
+            )
+            node_breakdown.async_comp += compute.async_stripe_time(
+                nnz_live, k, ctx.threads.async_comp, n_stripes=1
+            )
+            ledger.free("async_rows")
+        node_breakdown.async_comm += comm_seconds / ctx.threads.async_comm
+
+
+# ----------------------------------------------------------------------
+# Phase 3: synchronous row panels (Algorithm 1 lines 15-19, Algorithm 2)
+# ----------------------------------------------------------------------
+def _sync_compute(
+    plan: TwoFacePlan, ctx: RunContext, mask: Optional[SampleMask] = None
+) -> None:
+    compute = ctx.machine.compute
+    k = ctx.k
+    for rank in range(ctx.n_nodes):
+        rank_plan = plan.rank_plan(rank)
+        sync_local = rank_plan.sync_local
+        node_breakdown = ctx.breakdown.node(rank)
+        nnz_live = sync_local.nnz
+        if sync_local.nnz:
+            csr = sync_local.csr.to_scipy()
+            if mask is not None:
+                keep = mask.sync_masks[rank]
+                csr = csr.copy()
+                csr.data = csr.data * keep
+                nnz_live = int(np.count_nonzero(keep))
+            ctx.C.block(rank)[:] += csr @ ctx.B.data
+        node_breakdown.sync_comp += compute.sync_panel_time(
+            nnz_live, k, sync_local.nonempty_rows(),
+            ctx.threads.sync_comp,
+        ) + sync_local.n_panels * compute.panel_overhead

@@ -1,0 +1,207 @@
+"""Two-Face sparse matrix representation (paper §5.1, Fig. 6).
+
+After classification, each rank's slab of ``A`` is split into two
+structures:
+
+* :class:`SyncLocalMatrix` — the synchronous + local-input nonzeros in
+  row-major order, divided into *row panels* (the unit of work of the
+  synchronous compute threads).  Backed by CSR, whose ``indptr`` provides
+  the panel pointers.
+* :class:`AsyncStripeMatrix` — the asynchronous nonzeros grouped by
+  stripe, column-major within each stripe so the unique ``c_id``s (the
+  dense rows to fetch) fall out of a linear scan.  An array of stripe
+  pointers delimits the stripes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import FormatError
+from ..sparse.coo import COOMatrix
+from ..sparse.csr import CSRMatrix
+from ..sparse.ops import coalesce_row_ids
+
+
+@dataclass
+class SyncLocalMatrix:
+    """Row-major sync/local-input nonzeros of one rank (Fig. 6b).
+
+    Attributes:
+        rank: owning node.
+        csr: the nonzeros in CSR over the rank's local row slab; column
+            indices are *global* (they index the full ``B``).
+        panel_height: rows per panel.
+        panel_bounds: row offsets of the panels (the panel pointers).
+    """
+
+    rank: int
+    csr: CSRMatrix
+    panel_height: int
+
+    def __post_init__(self) -> None:
+        if self.panel_height <= 0:
+            raise FormatError(
+                f"panel height must be positive: {self.panel_height}"
+            )
+        self.panel_bounds = self.csr.panel_bounds(self.panel_height)
+
+    @property
+    def nnz(self) -> int:
+        return self.csr.nnz
+
+    @property
+    def n_panels(self) -> int:
+        return len(self.panel_bounds) - 1
+
+    def nonempty_rows(self) -> int:
+        """Rows with at least one nonzero (modelled flush count)."""
+        return int(np.count_nonzero(np.diff(self.csr.indptr)))
+
+    def nbytes(self) -> int:
+        return self.csr.nbytes() + int(self.panel_bounds.nbytes)
+
+
+@dataclass
+class AsyncStripe:
+    """One asynchronous sparse stripe (a row of Fig. 6c).
+
+    Attributes:
+        gid: global stripe id.
+        owner: rank owning the dense stripe (rget target).
+        nonzeros: column-major COO; rows are slab-local, cols global.
+        row_ids: sorted unique global ``B`` rows the stripe needs.
+    """
+
+    gid: int
+    owner: int
+    nonzeros: COOMatrix
+    row_ids: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return self.nonzeros.nnz
+
+    @property
+    def rows_needed(self) -> int:
+        return int(len(self.row_ids))
+
+    def transfer_chunks(
+        self, block_start: int, max_gap: int
+    ) -> List[Tuple[int, int]]:
+        """Coalesced ``(offset, size)`` chunks relative to the owner block.
+
+        Args:
+            block_start: first global ``B`` row of the owner's block.
+            max_gap: coalescing distance (the paper uses ``127/K + 1``).
+        """
+        local_ids = self.row_ids - block_start
+        if len(local_ids) and local_ids.min() < 0:
+            raise FormatError(
+                f"stripe {self.gid} requests rows below the owner block"
+            )
+        return coalesce_row_ids(local_ids, max_gap=max_gap)
+
+
+@dataclass
+class AsyncStripeMatrix:
+    """All asynchronous stripes of one rank (Fig. 6c).
+
+    Stripes are kept in ascending gid (row-major stripe order, matching
+    the paper's layout choice for easy runtime distribution).
+    """
+
+    rank: int
+    stripes: List[AsyncStripe]
+
+    def __post_init__(self) -> None:
+        gids = [s.gid for s in self.stripes]
+        if gids != sorted(gids):
+            raise FormatError("async stripes must be in ascending gid order")
+        if len(set(gids)) != len(gids):
+            raise FormatError("duplicate async stripe gid")
+
+    @property
+    def n_stripes(self) -> int:
+        return len(self.stripes)
+
+    @property
+    def nnz(self) -> int:
+        return sum(s.nnz for s in self.stripes)
+
+    @property
+    def total_rows_needed(self) -> int:
+        """The model's ``L_A`` for this rank."""
+        return sum(s.rows_needed for s in self.stripes)
+
+    def stripe_pointers(self) -> np.ndarray:
+        """Offsets of each stripe in the concatenated nonzero arrays.
+
+        This is the *Asynchronous Stripe Pointers* array of Fig. 6c.
+        """
+        ptrs = np.zeros(self.n_stripes + 1, dtype=np.int64)
+        for i, stripe in enumerate(self.stripes):
+            ptrs[i + 1] = ptrs[i] + stripe.nnz
+        return ptrs
+
+    def nbytes(self) -> int:
+        return sum(s.nonzeros.nbytes() + s.row_ids.nbytes for s in self.stripes)
+
+
+def build_sync_local_matrix(
+    rank: int,
+    slab: COOMatrix,
+    selection: np.ndarray,
+    panel_height: int,
+) -> SyncLocalMatrix:
+    """Assemble the sync/local-input matrix from selected nonzeros.
+
+    Args:
+        rank: owning node.
+        slab: the rank's full slab (local rows, global cols).
+        selection: indices into the slab's nonzero arrays.
+        panel_height: row-panel height.
+    """
+    picked = COOMatrix(
+        slab.rows[selection],
+        slab.cols[selection],
+        slab.vals[selection],
+        slab.shape,
+        _validated=True,
+    )
+    return SyncLocalMatrix(
+        rank=rank, csr=CSRMatrix.from_coo(picked), panel_height=panel_height
+    )
+
+
+def build_async_stripe_matrix(
+    rank: int,
+    slab: COOMatrix,
+    stripe_selections: Dict[int, Tuple[int, np.ndarray]],
+) -> AsyncStripeMatrix:
+    """Assemble the async matrix from per-stripe nonzero selections.
+
+    Args:
+        rank: owning node.
+        slab: the rank's full slab.
+        stripe_selections: gid -> (owner, indices into the slab arrays).
+    """
+    stripes: List[AsyncStripe] = []
+    for gid in sorted(stripe_selections):
+        owner, sel = stripe_selections[gid]
+        coo = COOMatrix(
+            slab.rows[sel], slab.cols[sel], slab.vals[sel], slab.shape,
+            _validated=True,
+        ).sorted_col_major()
+        stripes.append(
+            AsyncStripe(
+                gid=int(gid),
+                owner=int(owner),
+                nonzeros=coo,
+                row_ids=np.unique(coo.cols),
+            )
+        )
+    return AsyncStripeMatrix(rank=rank, stripes=stripes)

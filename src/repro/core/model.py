@@ -1,0 +1,150 @@
+"""The Two-Face preprocessing cost model (paper §4.2).
+
+The model predicts, per node, the cost of synchronous communication,
+asynchronous communication, and asynchronous computation:
+
+.. math::
+
+    Comm_S &= S_S (\\beta_S W K + \\alpha_S) \\\\
+    Comm_A &= \\beta_A K L_A + \\alpha_A S_A \\\\
+    Comp_A &= \\gamma_A K N_A + \\kappa_A S_A
+
+Classifying stripe *i* as asynchronous contributes
+``z_i = v_i + u`` to the async side, where
+``v_i = K (beta_A * l_i + gamma_A * n_i)`` and
+``u = alpha_A + kappa_A + beta_S W K + alpha_S`` is stripe-independent.
+
+Coefficients are machine properties determined by a one-time linear
+regression (``repro.core.calibration``).  The defaults are the values
+calibrated against this library's simulated machine; the paper's Table 3
+values for Delta are kept in :data:`PAPER_TABLE3`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Dict
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: The paper's Table 3 coefficients (calibrated on Delta via regression).
+#: Kept for reference and for the Table 3 bench; they describe Delta, not
+#: the simulated machine, so they are NOT the library defaults.
+PAPER_TABLE3 = {
+    "beta_s": 1.95e-10,
+    "alpha_s": 1.36e-6,
+    "beta_a": 3.61e-9,
+    "alpha_a": 1.02e-5,
+    "gamma_a": 2.07e-8,
+    "kappa_a": 8.72e-9,
+}
+
+#: Coefficients calibrated against the default simulated machine
+#: (``repro.core.calibration.calibrate`` on the twitter analogue at K=32,
+#: p=32 — the paper's §6.2 recipe).  These are the library defaults; run
+#: the calibration again after changing the machine models.
+SIM_CALIBRATED = {
+    "beta_s": 3.336e-7,
+    "alpha_s": 2.420e-5,
+    "beta_a": 2.161e-6,
+    "alpha_a": 2.989e-5,
+    "gamma_a": 7.273e-7,
+    "kappa_a": 4.000e-6,
+}
+
+
+@dataclass(frozen=True)
+class CostCoefficients:
+    """Calibrated coefficients of the preprocessing model.
+
+    Attributes:
+        beta_s: synchronous transfer cost per element of ``B`` (s).
+        alpha_s: other per-stripe overhead of synchronous transfers (s).
+        beta_a: asynchronous transfer cost per element of ``B`` (s).
+        alpha_a: per-stripe overhead of asynchronous transfers (s).
+        gamma_a: asynchronous computational cost per operation (s).
+        kappa_a: per-stripe software overhead of async computation (s).
+    """
+
+    beta_s: float = SIM_CALIBRATED["beta_s"]
+    alpha_s: float = SIM_CALIBRATED["alpha_s"]
+    beta_a: float = SIM_CALIBRATED["beta_a"]
+    alpha_a: float = SIM_CALIBRATED["alpha_a"]
+    gamma_a: float = SIM_CALIBRATED["gamma_a"]
+    kappa_a: float = SIM_CALIBRATED["kappa_a"]
+
+    @classmethod
+    def paper_values(cls) -> "CostCoefficients":
+        """The paper's Table 3 coefficients (Delta, not the simulator)."""
+        return cls(**PAPER_TABLE3)
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ConfigurationError(f"{f.name} must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Model terms
+    # ------------------------------------------------------------------
+    def comm_sync(self, n_sync_stripes: int, stripe_width: int, k: int) -> float:
+        """Predicted synchronous communication time ``Comm_S``."""
+        return n_sync_stripes * (self.beta_s * stripe_width * k + self.alpha_s)
+
+    def comm_async(self, rows_transferred: int, n_async_stripes: int, k: int) -> float:
+        """Predicted asynchronous communication time ``Comm_A``."""
+        return self.beta_a * k * rows_transferred + self.alpha_a * n_async_stripes
+
+    def comp_async(self, nnz_async: int, n_async_stripes: int, k: int) -> float:
+        """Predicted asynchronous computation time ``Comp_A``."""
+        return self.gamma_a * k * nnz_async + self.kappa_a * n_async_stripes
+
+    # ------------------------------------------------------------------
+    # Stripe scoring
+    # ------------------------------------------------------------------
+    def stripe_constant(self, stripe_width: int, k: int) -> float:
+        """The stripe-independent term ``u`` of ``z_i``."""
+        return (
+            self.alpha_a + self.kappa_a
+            + self.beta_s * stripe_width * k + self.alpha_s
+        )
+
+    def stripe_scores(
+        self, rows_needed: np.ndarray, nnz: np.ndarray, stripe_width: int, k: int
+    ) -> np.ndarray:
+        """Vectorised ``z_i = K (beta_A l_i + gamma_A n_i) + u``."""
+        rows_needed = np.asarray(rows_needed, dtype=np.float64)
+        nnz = np.asarray(nnz, dtype=np.float64)
+        if rows_needed.shape != nnz.shape:
+            raise ConfigurationError(
+                "rows_needed and nnz must have matching shapes"
+            )
+        v = k * (self.beta_a * rows_needed + self.gamma_a * nnz)
+        return v + self.stripe_constant(stripe_width, k)
+
+    def sync_budget(self, n_total_stripes: int, stripe_width: int, k: int) -> float:
+        """The classification budget ``S_T (beta_S W K + alpha_S)``.
+
+        Stripes are flipped to async, cheapest ``z_i`` first, while the
+        cumulative ``z`` stays below this budget (§4.2).
+        """
+        return n_total_stripes * (self.beta_s * stripe_width * k + self.alpha_s)
+
+    # ------------------------------------------------------------------
+    def scaled(self, **factors: float) -> "CostCoefficients":
+        """Copy with named coefficients multiplied by factors.
+
+        Used by the Fig. 12 sensitivity study, e.g.
+        ``coeffs.scaled(alpha_a=0.8, beta_a=1.25)``.
+        """
+        updates: Dict[str, float] = {}
+        for name, factor in factors.items():
+            if not hasattr(self, name):
+                raise ConfigurationError(f"unknown coefficient {name!r}")
+            updates[name] = getattr(self, name) * factor
+        return replace(self, **updates)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Coefficient name -> value mapping (Table 3 rows)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

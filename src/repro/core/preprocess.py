@@ -1,0 +1,289 @@
+"""Two-Face preprocessing: classification + matrix construction.
+
+Builds a :class:`~repro.core.plan.TwoFacePlan` from a distributed sparse
+matrix, and models the preprocessing cost the paper reports in Table 6
+(``t_norm`` with and without I/O).
+
+The paper's preprocessing is single-node and unoptimised ("a pessimistic
+bound", §7.3); the cost model here mirrors that: a per-nonzero pass to
+bucket nonzeros into stripes, a per-stripe scoring/sorting term, a
+per-nonzero construction pass, and — for the I/O-inclusive number — a
+textual Matrix Market read plus a binary write of the preprocessed
+structures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.machine import MachineConfig
+from ..dist.matrices import DistSparseMatrix
+from ..errors import ConfigurationError
+from .classifier import RankClassification, classify_rank_stripes
+from .formats import (
+    build_async_stripe_matrix,
+    build_sync_local_matrix,
+)
+from .model import CostCoefficients
+from .plan import RankPlan, TwoFacePlan
+from .stripes import StripeGeometry, compute_rank_stripe_stats
+
+#: Fraction of node memory the sync-side dense-stripe buffers may use
+#: before the memory fallback starts flipping stripes to async.
+SYNC_MEMORY_FRACTION = 0.85
+
+
+@dataclass(frozen=True)
+class PreprocessCostModel:
+    """Analytic cost of the (single-node, unparallelised) preprocessing.
+
+    The constants carry the same ~100-400x workload scale factor as the
+    network/compute models (see ``repro.cluster.network``): the analogue
+    matrices are that much smaller than the paper's inputs, so per-unit
+    costs are inflated to keep the Table 6 ratios (preprocessing time
+    over one SpMM) in the paper's range.
+
+    Attributes:
+        per_nnz_classify: bucketing + scoring cost per nonzero (s).
+        per_nnz_build: construction cost per nonzero (s).
+        per_stripe: scoring/sort cost per stripe (s).
+        mtx_read_rate: textual Matrix Market parse rate (B/s).
+        binary_write_rate: preprocessed binary write rate (B/s).
+        mtx_bytes_per_nnz: average text bytes per nonzero entry.
+    """
+
+    per_nnz_classify: float = 5.0e-6
+    per_nnz_build: float = 6.0e-6
+    per_stripe: float = 2.0e-4
+    mtx_read_rate: float = 8.0e5
+    binary_write_rate: float = 4.0e6
+    mtx_bytes_per_nnz: float = 25.0
+
+    def classify_build_time(self, nnz: int, n_stripes: int) -> float:
+        """Modelled preprocessing time excluding file I/O."""
+        return (
+            nnz * (self.per_nnz_classify + self.per_nnz_build)
+            + n_stripes * self.per_stripe
+        )
+
+    def io_time(self, nnz: int, preprocessed_bytes: int) -> float:
+        """Modelled text-read + binary-write time."""
+        read = nnz * self.mtx_bytes_per_nnz / self.mtx_read_rate
+        write = preprocessed_bytes / self.binary_write_rate
+        return read + write
+
+
+@dataclass
+class PreprocessReport:
+    """Timing record of one preprocessing run.
+
+    Attributes:
+        modeled_seconds: modelled single-node preprocessing time,
+            excluding I/O (Table 6's numerator for ``t_norm``).
+        modeled_seconds_with_io: including Matrix Market read and binary
+            write (numerator for ``t_norm_I/O``).
+        wall_seconds: actual Python wall-clock spent building the plan
+            (informational; not comparable to simulated SpMM time).
+        n_stripes_scored: stripes considered across all ranks.
+        memory_flips: stripes flipped async by the memory fallback.
+    """
+
+    modeled_seconds: float
+    modeled_seconds_with_io: float
+    wall_seconds: float
+    n_stripes_scored: int
+    memory_flips: int
+
+
+def preprocess(
+    A: DistSparseMatrix,
+    k: int,
+    stripe_width: int,
+    coeffs: Optional[CostCoefficients] = None,
+    machine: Optional[MachineConfig] = None,
+    panel_height: int = 32,
+    cost_model: Optional[PreprocessCostModel] = None,
+    force_all_async: bool = False,
+    force_all_sync: bool = False,
+    classify_override: Optional[Callable] = None,
+) -> Tuple[TwoFacePlan, PreprocessReport]:
+    """Classify stripes and build the Two-Face representation.
+
+    Args:
+        A: 1D-partitioned sparse matrix.
+        k: dense column count the plan targets.
+        stripe_width: sparse-stripe width ``W``.
+        coeffs: model coefficients; Table 3 defaults if omitted.
+        machine: machine description; enables the memory fallback and
+            must match ``A``'s partition width when given.
+        panel_height: sync row-panel height (Table 2 default 32).
+        cost_model: preprocessing cost model for Table 6 numbers.
+        force_all_async: classify every remote stripe async (builds the
+            Async Fine-Grained baseline's plan).
+        force_all_sync: classify every remote stripe sync.
+        classify_override: ``f(stats, geometry, k) -> async_mask`` hook
+            replacing the model-based classifier (used by calibration
+            and ablations); local-input stripes are never async
+            regardless of the mask.
+
+    Returns:
+        ``(plan, report)``.
+    """
+    if force_all_async and force_all_sync:
+        raise ConfigurationError(
+            "force_all_async and force_all_sync are mutually exclusive"
+        )
+    if k <= 0:
+        raise ConfigurationError(f"K must be positive: {k}")
+    coeffs = coeffs if coeffs is not None else CostCoefficients()
+    cost_model = cost_model if cost_model is not None else PreprocessCostModel()
+    n, m = A.shape
+    p = A.partition.n_parts
+    if machine is not None and machine.n_nodes != p:
+        raise ConfigurationError(
+            f"machine has {machine.n_nodes} nodes but A is partitioned "
+            f"into {p}"
+        )
+    geometry = StripeGeometry(n, m, p, stripe_width)
+
+    started = time.perf_counter()
+    rank_plans = []
+    destinations: Dict[int, list] = {}
+    total_stripes = 0
+    total_flips = 0
+    for rank in range(p):
+        slab = A.slab(rank)
+        stats = compute_rank_stripe_stats(rank, slab, geometry)
+        total_stripes += stats.n_stripes
+
+        budget = None
+        if machine is not None:
+            budget = _sync_memory_budget(machine, A, rank, k)
+        classification = classify_rank_stripes(
+            stats, geometry, coeffs, k, sync_memory_budget=budget
+        )
+        if force_all_async:
+            classification = _force_mask(stats, classification, all_async=True)
+        elif force_all_sync:
+            classification = _force_mask(stats, classification, all_async=False)
+        elif classify_override is not None:
+            mask = np.asarray(classify_override(stats, geometry, k), dtype=bool)
+            classification = _masked_classification(stats, classification, mask)
+        total_flips += classification.memory_flips
+
+        # Selection arrays into the slab's nonzero storage.
+        sync_sel, async_sels, sync_gids = _split_selections(
+            stats, classification
+        )
+        sync_local = build_sync_local_matrix(
+            rank, slab, sync_sel, panel_height
+        )
+        async_matrix = build_async_stripe_matrix(rank, slab, async_sels)
+        rank_plans.append(
+            RankPlan(
+                rank=rank,
+                sync_local=sync_local,
+                async_matrix=async_matrix,
+                classification=classification,
+                sync_stripe_gids=sync_gids,
+            )
+        )
+        for gid in sync_gids:
+            destinations.setdefault(int(gid), []).append(rank)
+
+    for gid in destinations:
+        destinations[gid].sort()
+
+    plan = TwoFacePlan(
+        geometry=geometry,
+        coeffs=coeffs,
+        k=k,
+        panel_height=panel_height,
+        ranks=rank_plans,
+        stripe_destinations=destinations,
+    )
+    wall = time.perf_counter() - started
+    modeled = cost_model.classify_build_time(A.nnz, total_stripes)
+    modeled_io = modeled + cost_model.io_time(A.nnz, plan.plan_nbytes())
+    report = PreprocessReport(
+        modeled_seconds=modeled,
+        modeled_seconds_with_io=modeled_io,
+        wall_seconds=wall,
+        n_stripes_scored=total_stripes,
+        memory_flips=total_flips,
+    )
+    return plan, report
+
+
+def _sync_memory_budget(
+    machine: MachineConfig, A: DistSparseMatrix, rank: int, k: int
+) -> int:
+    """Bytes available for synchronously received dense stripes."""
+    slab_bytes = A.slab(rank).nbytes()
+    rows = A.partition.size(rank)
+    dense_blocks = 2 * rows * k * 8  # resident B block + C block
+    free = machine.memory_capacity - slab_bytes - dense_blocks
+    return max(0, int(free * SYNC_MEMORY_FRACTION))
+
+
+def _force_mask(stats, classification: RankClassification, all_async: bool):
+    """Override a classification to all-async or all-sync."""
+    mask = classification.remote_mask.copy() if all_async else np.zeros(
+        len(classification.remote_mask), dtype=bool
+    )
+    return _masked_classification(stats, classification, mask)
+
+
+def _masked_classification(
+    stats, classification: RankClassification, mask: np.ndarray
+):
+    """Rebuild a classification from an explicit async mask."""
+    mask = mask & classification.remote_mask
+    rows_async = int(stats.rows_needed[mask].sum())
+    nnz_async = int(stats.nnz[mask].sum())
+    n_async = int(np.count_nonzero(mask))
+    n_remote = int(np.count_nonzero(classification.remote_mask))
+    return RankClassification(
+        rank=classification.rank,
+        async_mask=mask,
+        remote_mask=classification.remote_mask,
+        n_sync=n_remote - n_async,
+        n_async=n_async,
+        n_local=len(mask) - n_remote,
+        rows_async=rows_async,
+        nnz_async=nnz_async,
+        memory_flips=0,
+    )
+
+
+def _split_selections(stats, classification: RankClassification):
+    """Derive nonzero selections for the two output matrices.
+
+    Returns:
+        ``(sync_local_selection, async_selections, sync_gids)`` where
+        ``async_selections`` maps gid -> (owner, indices) and
+        ``sync_gids`` lists the remote gids needing collective receipt.
+    """
+    sync_parts = []
+    async_sels: Dict[int, tuple] = {}
+    sync_gids = []
+    for idx in range(stats.n_stripes):
+        lo = int(stats.nnz_group_starts[idx])
+        hi = int(stats.nnz_group_starts[idx + 1])
+        sel = stats.nnz_order[lo:hi]
+        if classification.async_mask[idx]:
+            async_sels[int(stats.gids[idx])] = (int(stats.owners[idx]), sel)
+        else:
+            sync_parts.append(sel)
+            if classification.remote_mask[idx]:
+                sync_gids.append(int(stats.gids[idx]))
+    sync_sel = (
+        np.concatenate(sync_parts)
+        if sync_parts
+        else np.zeros(0, dtype=np.int64)
+    )
+    return sync_sel, async_sels, np.asarray(sync_gids, dtype=np.int64)

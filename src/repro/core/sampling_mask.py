@@ -1,0 +1,177 @@
+"""Per-nonzero sampling masks over a Two-Face plan (paper §5.4).
+
+The paper's sketch for making Two-Face compatible with sampled GNN
+training: make classification decisions offline once, keep the graph
+stored as in Fig. 6, and filter the nonzeros eliminated by each
+iteration's sampling with masks.  :class:`SampleMask` is that mask —
+boolean vectors aligned with the plan's internal nonzero storage (the
+sync/local-input CSR of each rank, and each async stripe's column-major
+array) — plus helpers to draw Bernoulli edge samples and to materialise
+the sampled matrix for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import PartitionError, ShapeError
+from ..sparse.coo import COOMatrix
+
+
+@dataclass
+class SampleMask:
+    """Boolean keep-masks aligned with a plan's nonzero storage.
+
+    Attributes:
+        sync_masks: per rank, a mask over the sync/local-input CSR's
+            ``data`` order.
+        async_masks: per rank, one mask per async stripe over that
+            stripe's column-major nonzero order.
+    """
+
+    sync_masks: List[np.ndarray]
+    async_masks: List[List[np.ndarray]]
+
+    def validate_against(self, plan) -> None:
+        """Check alignment with ``plan``'s storage.
+
+        Raises:
+            PartitionError: on any rank/stripe/shape mismatch.
+        """
+        if len(self.sync_masks) != plan.n_nodes or len(
+            self.async_masks
+        ) != plan.n_nodes:
+            raise PartitionError(
+                f"mask covers {len(self.sync_masks)} ranks, plan has "
+                f"{plan.n_nodes}"
+            )
+        for rank in range(plan.n_nodes):
+            rank_plan = plan.rank_plan(rank)
+            if len(self.sync_masks[rank]) != rank_plan.sync_local.nnz:
+                raise PartitionError(
+                    f"rank {rank}: sync mask length "
+                    f"{len(self.sync_masks[rank])} != "
+                    f"{rank_plan.sync_local.nnz} nonzeros"
+                )
+            stripes = rank_plan.async_matrix.stripes
+            if len(self.async_masks[rank]) != len(stripes):
+                raise PartitionError(
+                    f"rank {rank}: {len(self.async_masks[rank])} stripe "
+                    f"masks for {len(stripes)} stripes"
+                )
+            for mask, stripe in zip(self.async_masks[rank], stripes):
+                if len(mask) != stripe.nnz:
+                    raise PartitionError(
+                        f"rank {rank} stripe {stripe.gid}: mask length "
+                        f"{len(mask)} != {stripe.nnz} nonzeros"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def kept_nnz(self) -> int:
+        """Total surviving nonzeros."""
+        total = sum(int(m.sum()) for m in self.sync_masks)
+        total += sum(
+            int(m.sum()) for rank in self.async_masks for m in rank
+        )
+        return total
+
+    @property
+    def total_nnz(self) -> int:
+        total = sum(len(m) for m in self.sync_masks)
+        total += sum(len(m) for rank in self.async_masks for m in rank)
+        return total
+
+
+def bernoulli_mask(
+    plan, keep_probability: float, seed: Optional[int] = None
+) -> SampleMask:
+    """Draw an independent keep/drop decision per stored nonzero.
+
+    Args:
+        plan: the Two-Face plan whose storage the mask aligns with.
+        keep_probability: probability each nonzero survives.
+        seed: RNG seed (per-iteration seeds give per-iteration samples).
+
+    Returns:
+        The mask.
+    """
+    if not 0.0 <= keep_probability <= 1.0:
+        raise ShapeError(
+            f"keep_probability must be in [0, 1]: {keep_probability}"
+        )
+    rng = np.random.default_rng(seed)
+    sync_masks = []
+    async_masks = []
+    for rank in range(plan.n_nodes):
+        rank_plan = plan.rank_plan(rank)
+        sync_masks.append(
+            rng.random(rank_plan.sync_local.nnz) < keep_probability
+        )
+        async_masks.append(
+            [
+                rng.random(stripe.nnz) < keep_probability
+                for stripe in rank_plan.async_matrix.stripes
+            ]
+        )
+    return SampleMask(sync_masks=sync_masks, async_masks=async_masks)
+
+
+def full_mask(plan) -> SampleMask:
+    """A mask keeping every nonzero (sampling disabled)."""
+    return SampleMask(
+        sync_masks=[
+            np.ones(plan.rank_plan(r).sync_local.nnz, dtype=bool)
+            for r in range(plan.n_nodes)
+        ],
+        async_masks=[
+            [
+                np.ones(stripe.nnz, dtype=bool)
+                for stripe in plan.rank_plan(r).async_matrix.stripes
+            ]
+            for r in range(plan.n_nodes)
+        ],
+    )
+
+
+def masked_matrix(plan, mask: SampleMask, row_partition) -> COOMatrix:
+    """Materialise the sampled global matrix (for verification).
+
+    Args:
+        plan: the plan.
+        mask: the sampling mask.
+        row_partition: the 1D partition used when the plan was built
+            (to restore global row ids).
+
+    Returns:
+        The global COO matrix containing exactly the surviving
+        nonzeros.
+    """
+    mask.validate_against(plan)
+    rows, cols, vals = [], [], []
+    n = plan.geometry.n_rows
+    m = plan.geometry.n_cols
+    for rank in range(plan.n_nodes):
+        rank_plan = plan.rank_plan(rank)
+        row_lo, _ = row_partition.bounds(rank)
+        sync_coo = rank_plan.sync_local.csr.to_coo()
+        keep = mask.sync_masks[rank]
+        rows.append(sync_coo.rows[keep] + row_lo)
+        cols.append(sync_coo.cols[keep])
+        vals.append(sync_coo.vals[keep])
+        for stripe, smask in zip(
+            rank_plan.async_matrix.stripes, mask.async_masks[rank]
+        ):
+            rows.append(stripe.nonzeros.rows[smask] + row_lo)
+            cols.append(stripe.nonzeros.cols[smask])
+            vals.append(stripe.nonzeros.vals[smask])
+    cat = lambda parts, dtype: (  # noqa: E731
+        np.concatenate(parts) if parts else np.zeros(0, dtype=dtype)
+    )
+    return COOMatrix(
+        cat(rows, np.int64), cat(cols, np.int64), cat(vals, np.float64),
+        (n, m),
+    )

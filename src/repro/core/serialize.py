@@ -1,0 +1,220 @@
+"""Persistence of Two-Face plans in the bespoke binary format.
+
+The paper's preprocessing step writes "the final asynchronous and
+synchronous/local-input sparse matrices ... to the file system in a
+bespoke binary format" (§7.3) so later runs — or the inference phase of
+a GNN trained earlier — skip classification entirely.  This module
+serialises a complete :class:`~repro.core.plan.TwoFacePlan` into the
+container of :mod:`repro.sparse.binary_io` and restores it bit-exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Dict, List, Union
+
+import numpy as np
+
+from ..errors import FormatError
+from ..sparse.binary_io import read_arrays, write_arrays
+from ..sparse.coo import COOMatrix
+from ..sparse.csr import CSRMatrix
+from .classifier import RankClassification
+from .formats import AsyncStripe, AsyncStripeMatrix, SyncLocalMatrix
+from .model import CostCoefficients
+from .plan import RankPlan, TwoFacePlan
+from .stripes import StripeGeometry
+
+_PathLike = Union[str, os.PathLike]
+
+#: Format version; bump when the layout changes.
+PLAN_FORMAT_VERSION = 1
+
+
+def save_plan(plan: TwoFacePlan, path_or_file: Union[_PathLike, IO[bytes]]) -> int:
+    """Serialise a plan; returns bytes written."""
+    arrays: Dict[str, np.ndarray] = {
+        "meta": np.array(
+            [
+                PLAN_FORMAT_VERSION,
+                plan.geometry.n_rows,
+                plan.geometry.n_cols,
+                plan.geometry.n_parts,
+                plan.geometry.stripe_width,
+                plan.k,
+                plan.panel_height,
+            ],
+            dtype=np.int64,
+        ),
+        "coeffs": np.array(
+            [
+                plan.coeffs.beta_s, plan.coeffs.alpha_s,
+                plan.coeffs.beta_a, plan.coeffs.alpha_a,
+                plan.coeffs.gamma_a, plan.coeffs.kappa_a,
+            ],
+            dtype=np.float64,
+        ),
+    }
+    dest_gids: List[int] = []
+    dest_ptrs = [0]
+    dest_ranks: List[int] = []
+    for gid in sorted(plan.stripe_destinations):
+        dest_gids.append(gid)
+        dest_ranks.extend(plan.stripe_destinations[gid])
+        dest_ptrs.append(len(dest_ranks))
+    arrays["dest_gids"] = np.array(dest_gids, dtype=np.int64)
+    arrays["dest_ptrs"] = np.array(dest_ptrs, dtype=np.int64)
+    arrays["dest_ranks"] = np.array(dest_ranks, dtype=np.int64)
+
+    for rank_plan in plan.ranks:
+        prefix = f"r{rank_plan.rank}"
+        _pack_rank(arrays, prefix, rank_plan)
+    return write_arrays(arrays, path_or_file)
+
+
+def _pack_rank(arrays: Dict[str, np.ndarray], prefix: str, rp: RankPlan) -> None:
+    csr = rp.sync_local.csr
+    arrays[f"{prefix}.sync.indptr"] = csr.indptr
+    arrays[f"{prefix}.sync.indices"] = csr.indices
+    arrays[f"{prefix}.sync.data"] = csr.data
+    arrays[f"{prefix}.sync.shape"] = np.array(csr.shape, dtype=np.int64)
+    arrays[f"{prefix}.sync.gids"] = rp.sync_stripe_gids
+
+    stripes = rp.async_matrix.stripes
+    arrays[f"{prefix}.async.gids"] = np.array(
+        [s.gid for s in stripes], dtype=np.int64
+    )
+    arrays[f"{prefix}.async.owners"] = np.array(
+        [s.owner for s in stripes], dtype=np.int64
+    )
+    ptrs = [0]
+    rows, cols, vals = [], [], []
+    for stripe in stripes:
+        rows.append(stripe.nonzeros.rows)
+        cols.append(stripe.nonzeros.cols)
+        vals.append(stripe.nonzeros.vals)
+        ptrs.append(ptrs[-1] + stripe.nnz)
+    cat = lambda parts, dtype: (  # noqa: E731
+        np.concatenate(parts) if parts else np.zeros(0, dtype=dtype)
+    )
+    arrays[f"{prefix}.async.ptrs"] = np.array(ptrs, dtype=np.int64)
+    arrays[f"{prefix}.async.rows"] = cat(rows, np.int64)
+    arrays[f"{prefix}.async.cols"] = cat(cols, np.int64)
+    arrays[f"{prefix}.async.vals"] = cat(vals, np.float64)
+
+    cls = rp.classification
+    arrays[f"{prefix}.cls.masks"] = np.concatenate(
+        [cls.async_mask.astype(np.int64), cls.remote_mask.astype(np.int64)]
+    )
+    arrays[f"{prefix}.cls.scalars"] = np.array(
+        [
+            cls.n_sync, cls.n_async, cls.n_local,
+            cls.rows_async, cls.nnz_async, cls.memory_flips,
+        ],
+        dtype=np.int64,
+    )
+
+
+def load_plan(path_or_file: Union[_PathLike, IO[bytes]]) -> TwoFacePlan:
+    """Restore a plan written by :func:`save_plan`."""
+    arrays = read_arrays(path_or_file)
+    try:
+        meta = arrays["meta"]
+    except KeyError:
+        raise FormatError("container does not hold a Two-Face plan") from None
+    version = int(meta[0])
+    if version != PLAN_FORMAT_VERSION:
+        raise FormatError(
+            f"unsupported plan format version {version} "
+            f"(expected {PLAN_FORMAT_VERSION})"
+        )
+    n_rows, n_cols, n_parts, width, k, panel_height = (
+        int(v) for v in meta[1:7]
+    )
+    geometry = StripeGeometry(n_rows, n_cols, n_parts, width)
+    c = arrays["coeffs"]
+    coeffs = CostCoefficients(
+        beta_s=float(c[0]), alpha_s=float(c[1]), beta_a=float(c[2]),
+        alpha_a=float(c[3]), gamma_a=float(c[4]), kappa_a=float(c[5]),
+    )
+
+    destinations: Dict[int, List[int]] = {}
+    dest_gids = arrays["dest_gids"]
+    dest_ptrs = arrays["dest_ptrs"]
+    dest_ranks = arrays["dest_ranks"]
+    for i, gid in enumerate(dest_gids):
+        lo, hi = int(dest_ptrs[i]), int(dest_ptrs[i + 1])
+        destinations[int(gid)] = [int(r) for r in dest_ranks[lo:hi]]
+
+    ranks = [
+        _unpack_rank(arrays, f"r{rank}", rank, panel_height)
+        for rank in range(n_parts)
+    ]
+    return TwoFacePlan(
+        geometry=geometry,
+        coeffs=coeffs,
+        k=k,
+        panel_height=panel_height,
+        ranks=ranks,
+        stripe_destinations=destinations,
+    )
+
+
+def _unpack_rank(
+    arrays: Dict[str, np.ndarray], prefix: str, rank: int, panel_height: int
+) -> RankPlan:
+    try:
+        shape = tuple(int(v) for v in arrays[f"{prefix}.sync.shape"])
+    except KeyError:
+        raise FormatError(f"plan container missing rank {rank}") from None
+    csr = CSRMatrix(
+        arrays[f"{prefix}.sync.indptr"],
+        arrays[f"{prefix}.sync.indices"],
+        arrays[f"{prefix}.sync.data"],
+        shape,
+    )
+    sync_local = SyncLocalMatrix(rank, csr, panel_height)
+
+    gids = arrays[f"{prefix}.async.gids"]
+    owners = arrays[f"{prefix}.async.owners"]
+    ptrs = arrays[f"{prefix}.async.ptrs"]
+    rows = arrays[f"{prefix}.async.rows"]
+    cols = arrays[f"{prefix}.async.cols"]
+    vals = arrays[f"{prefix}.async.vals"]
+    stripes = []
+    for i, gid in enumerate(gids):
+        lo, hi = int(ptrs[i]), int(ptrs[i + 1])
+        nonzeros = COOMatrix(
+            rows[lo:hi], cols[lo:hi], vals[lo:hi], shape, _validated=True
+        )
+        stripes.append(
+            AsyncStripe(
+                gid=int(gid),
+                owner=int(owners[i]),
+                nonzeros=nonzeros,
+                row_ids=np.unique(nonzeros.cols),
+            )
+        )
+    async_matrix = AsyncStripeMatrix(rank, stripes)
+
+    masks = arrays[f"{prefix}.cls.masks"]
+    half = len(masks) // 2
+    scalars = arrays[f"{prefix}.cls.scalars"]
+    classification = RankClassification(
+        rank=rank,
+        async_mask=masks[:half].astype(bool),
+        remote_mask=masks[half:].astype(bool),
+        n_sync=int(scalars[0]),
+        n_async=int(scalars[1]),
+        n_local=int(scalars[2]),
+        rows_async=int(scalars[3]),
+        nnz_async=int(scalars[4]),
+        memory_flips=int(scalars[5]),
+    )
+    return RankPlan(
+        rank=rank,
+        sync_local=sync_local,
+        async_matrix=async_matrix,
+        classification=classification,
+        sync_stripe_gids=arrays[f"{prefix}.sync.gids"],
+    )

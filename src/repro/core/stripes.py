@@ -1,0 +1,218 @@
+"""Megatile and sparse/dense stripe geometry (paper §4.1, Fig. 5).
+
+The sparse matrix ``A`` (N rows, M columns, p nodes) is logically split
+into *megatiles* of ``N/p`` consecutive rows by ``M/p`` consecutive
+columns.  Each megatile is subdivided column-wise into *sparse stripes*
+of width ``W``.  All sparse stripes covering the same column range share
+one *dense stripe*: the corresponding group of rows of the dense input
+``B``, owned by exactly one node.
+
+Stripes are indexed globally: stripe ``g`` covers one column range and is
+owned by the node hosting those ``B`` rows.  The pair ``(rank, g)``
+identifies one sparse stripe (rank's megatile-row restricted to that
+column range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..dist.oned import RowPartition
+from ..errors import ConfigurationError, PartitionError
+from ..sparse.coo import COOMatrix
+
+
+class StripeGeometry:
+    """Maps columns of ``A`` to stripes and stripes to owners.
+
+    Args:
+        n_rows: rows of ``A``.
+        n_cols: columns of ``A`` (= rows of ``B``).
+        n_parts: number of nodes ``p``.
+        stripe_width: sparse-stripe width ``W`` in columns.
+    """
+
+    def __init__(
+        self, n_rows: int, n_cols: int, n_parts: int, stripe_width: int
+    ):
+        if stripe_width <= 0:
+            raise ConfigurationError(
+                f"stripe width must be positive: {stripe_width}"
+            )
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.n_parts = int(n_parts)
+        self.stripe_width = int(stripe_width)
+        self.row_partition = RowPartition(n_rows, n_parts)
+        self.col_partition = RowPartition(n_cols, n_parts)
+
+        counts = np.empty(n_parts, dtype=np.int64)
+        starts = np.empty(n_parts, dtype=np.int64)
+        for part in range(n_parts):
+            lo, hi = self.col_partition.bounds(part)
+            starts[part] = lo
+            width = hi - lo
+            counts[part] = -(-width // stripe_width) if width else 0
+        self._part_col_start = starts
+        self._stripes_per_part = counts
+        self._stripe_offset = np.concatenate(
+            [[0], np.cumsum(counts)]
+        ).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_stripes(self) -> int:
+        """Total stripes across all megatile columns."""
+        return int(self._stripe_offset[-1])
+
+    def stripes_of_part(self, part: int) -> range:
+        """Global stripe ids whose dense stripe lives on ``part``."""
+        if not 0 <= part < self.n_parts:
+            raise PartitionError(f"part {part} out of range")
+        return range(
+            int(self._stripe_offset[part]),
+            int(self._stripe_offset[part + 1]),
+        )
+
+    def owner_of_stripe(self, gid: int) -> int:
+        """Node owning the dense stripe of global stripe ``gid``."""
+        self._check_gid(gid)
+        return int(
+            np.searchsorted(self._stripe_offset, gid, side="right") - 1
+        )
+
+    def col_bounds(self, gid: int) -> Tuple[int, int]:
+        """Half-open global column range ``[start, stop)`` of ``gid``."""
+        self._check_gid(gid)
+        owner = self.owner_of_stripe(gid)
+        local = gid - int(self._stripe_offset[owner])
+        part_lo, part_hi = self.col_partition.bounds(owner)
+        start = part_lo + local * self.stripe_width
+        return start, min(start + self.stripe_width, part_hi)
+
+    def width_of(self, gid: int) -> int:
+        """Column count of stripe ``gid`` (≤ ``stripe_width`` at edges)."""
+        lo, hi = self.col_bounds(gid)
+        return hi - lo
+
+    def stripes_of_cols(self, cols: np.ndarray) -> np.ndarray:
+        """Vectorised column -> global stripe id."""
+        cols = np.asarray(cols, dtype=np.int64)
+        owners = self.col_partition.owners_of(cols)
+        local = (cols - self._part_col_start[owners]) // self.stripe_width
+        return self._stripe_offset[owners] + local
+
+    def _check_gid(self, gid: int) -> None:
+        if not 0 <= gid < self.n_stripes:
+            raise PartitionError(
+                f"stripe {gid} out of range 0..{self.n_stripes - 1}"
+            )
+
+
+@dataclass
+class RankStripeStats:
+    """Per-stripe statistics of one rank's slab of ``A``.
+
+    Arrays are aligned: entry ``i`` describes the rank's sparse stripe
+    with global id ``gids[i]`` (only stripes holding at least one of the
+    rank's nonzeros appear).
+
+    Attributes:
+        rank: the owning node of these sparse stripes.
+        gids: global stripe ids present in the slab, ascending.
+        owners: dense-stripe owner node per stripe.
+        nnz: nonzeros per stripe (the model's ``n_i``).
+        rows_needed: unique dense-input rows per stripe (``l_i``).
+        is_local: True where the dense stripe is rank-local (no
+            communication; the *local-input* category).
+        nnz_order: permutation of the slab's nonzeros grouping them by
+            stripe (stable within stripe).
+        nnz_group_starts: start offsets of each stripe's group within
+            ``nnz_order`` (length ``len(gids) + 1``).
+    """
+
+    rank: int
+    gids: np.ndarray
+    owners: np.ndarray
+    nnz: np.ndarray
+    rows_needed: np.ndarray
+    is_local: np.ndarray
+    nnz_order: np.ndarray
+    nnz_group_starts: np.ndarray
+
+    @property
+    def n_stripes(self) -> int:
+        return int(len(self.gids))
+
+    def stripe_nonzeros(self, idx: int, slab: COOMatrix) -> COOMatrix:
+        """Extract stripe ``idx``'s nonzeros from the rank's slab."""
+        lo = int(self.nnz_group_starts[idx])
+        hi = int(self.nnz_group_starts[idx + 1])
+        sel = self.nnz_order[lo:hi]
+        return COOMatrix(
+            slab.rows[sel], slab.cols[sel], slab.vals[sel], slab.shape,
+            _validated=True,
+        )
+
+
+def compute_rank_stripe_stats(
+    rank: int, slab: COOMatrix, geometry: StripeGeometry
+) -> RankStripeStats:
+    """Group one rank's nonzeros by stripe and measure each stripe.
+
+    Args:
+        rank: slab owner (determines which stripes are local-input).
+        slab: the rank's row-rebased slab; columns are global.
+        geometry: stripe geometry of the full matrix.
+
+    Returns:
+        Per-stripe statistics (empty arrays for an empty slab).
+    """
+    if slab.nnz == 0:
+        empty_i = np.zeros(0, dtype=np.int64)
+        return RankStripeStats(
+            rank=rank,
+            gids=empty_i,
+            owners=empty_i.copy(),
+            nnz=empty_i.copy(),
+            rows_needed=empty_i.copy(),
+            is_local=np.zeros(0, dtype=bool),
+            nnz_order=empty_i.copy(),
+            nnz_group_starts=np.zeros(1, dtype=np.int64),
+        )
+    gids_per_nnz = geometry.stripes_of_cols(slab.cols)
+    order = np.argsort(gids_per_nnz, kind="stable")
+    sorted_gids = gids_per_nnz[order]
+    gids, group_starts = np.unique(sorted_gids, return_index=True)
+    group_starts = np.append(group_starts, len(sorted_gids)).astype(np.int64)
+    nnz_counts = np.diff(group_starts)
+
+    # Unique dense rows per stripe: sort nonzeros by (stripe, col) and
+    # count the first occurrence of each (stripe, col) pair.
+    pair_order = np.lexsort((slab.cols, gids_per_nnz))
+    pg = gids_per_nnz[pair_order]
+    pc = slab.cols[pair_order]
+    first = np.empty(len(pg), dtype=bool)
+    first[0] = True
+    first[1:] = (pg[1:] != pg[:-1]) | (pc[1:] != pc[:-1])
+    group_ids = np.searchsorted(gids, pg)
+    rows_needed = np.bincount(
+        group_ids, weights=first.astype(np.float64), minlength=len(gids)
+    ).astype(np.int64)
+
+    owners = np.searchsorted(
+        geometry._stripe_offset, gids, side="right"
+    ) - 1
+    return RankStripeStats(
+        rank=rank,
+        gids=gids.astype(np.int64),
+        owners=owners.astype(np.int64),
+        nnz=nnz_counts.astype(np.int64),
+        rows_needed=rows_needed,
+        is_local=(owners == rank),
+        nnz_order=order.astype(np.int64),
+        nnz_group_starts=group_starts,
+    )

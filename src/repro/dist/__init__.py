@@ -1,0 +1,6 @@
+"""Distributed data structures under 1D row partitioning."""
+
+from .matrices import DistDenseMatrix, DistSparseMatrix
+from .oned import RowPartition
+
+__all__ = ["DistDenseMatrix", "DistSparseMatrix", "RowPartition"]

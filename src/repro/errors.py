@@ -1,0 +1,53 @@
+"""Exception hierarchy for the Two-Face reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An operand's shape is incompatible with the requested operation."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse-matrix payload violates its format invariants."""
+
+
+class PartitionError(ReproError, ValueError):
+    """A distributed partition is malformed or incompatible."""
+
+
+class OutOfMemoryError(ReproError, MemoryError):
+    """A simulated node exceeded its memory capacity.
+
+    This reproduces the paper's missing data points: AllGather on *kmer* at
+    K=128 and the high-replication dense-shifting runs (DS4/DS8) at large K
+    exceed single-node capacity on Delta and therefore report no result.
+    """
+
+    def __init__(self, node: int, needed_bytes: int, capacity_bytes: int):
+        self.node = node
+        self.needed_bytes = needed_bytes
+        self.capacity_bytes = capacity_bytes
+        super().__init__(
+            f"simulated node {node} needs {needed_bytes} B "
+            f"but has capacity {capacity_bytes} B"
+        )
+
+
+class CommunicationError(ReproError, RuntimeError):
+    """The simulated communication layer was used incorrectly."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """Cost-model calibration failed (e.g. singular regression system)."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An algorithm or machine configuration is invalid."""

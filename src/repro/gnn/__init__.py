@@ -1,0 +1,25 @@
+"""Full-graph GNN training on distributed SpMM (paper §5.4, §7.3)."""
+
+from .attention import DistAttentionLayer, sparse_row_softmax
+from .data import GraphDataset, gcn_normalize, planted_partition
+from .engine import DistSpMMEngine
+from .model import GCN, GCNLayer, cross_entropy, relu, softmax
+from .sampling import SampledSpMMEngine
+from .train import TrainReport, train_gcn
+
+__all__ = [
+    "DistAttentionLayer",
+    "DistSpMMEngine",
+    "GCN",
+    "GCNLayer",
+    "GraphDataset",
+    "SampledSpMMEngine",
+    "TrainReport",
+    "cross_entropy",
+    "gcn_normalize",
+    "planted_partition",
+    "relu",
+    "softmax",
+    "sparse_row_softmax",
+    "train_gcn",
+]

@@ -1,0 +1,211 @@
+"""Sparse attention (GAT-style) on shared Two-Face plans.
+
+Graph attention computes, per edge ``(i, j)``, a score from the
+endpoint features, normalises scores row-wise, and aggregates neighbour
+features with the normalised weights.  On a distributed 1D layout that
+is exactly one **SDDMM** (scores = ``A (*) (Q @ K^T)``) followed by one
+**SpMM** (aggregation) — and because both kernels share Two-Face's
+communication structure, a single preprocessed plan drives the pair.
+This module implements that layer as a working demonstration of the
+paper's §9 claim at the application level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.sddmm import TwoFaceSDDMM
+from ..algorithms.twoface import TwoFace
+from ..cluster.machine import MachineConfig
+from ..core.model import CostCoefficients
+from ..core.plan import TwoFacePlan
+from ..errors import ReproError, ShapeError
+from ..sparse.coo import COOMatrix
+from ..sparse.suite import stripe_width_for
+
+
+def sparse_row_softmax(scores: COOMatrix) -> COOMatrix:
+    """Row-wise softmax over a sparse score matrix.
+
+    Entries of each row are exponentiated (max-shifted for stability)
+    and normalised to sum to one; empty rows stay empty.
+    """
+    if scores.nnz == 0:
+        return scores
+    n = scores.shape[0]
+    row_max = np.full(n, -np.inf)
+    np.maximum.at(row_max, scores.rows, scores.vals)
+    shifted = np.exp(scores.vals - row_max[scores.rows])
+    row_sum = np.zeros(n)
+    np.add.at(row_sum, scores.rows, shifted)
+    normalised = shifted / row_sum[scores.rows]
+    return COOMatrix(
+        scores.rows, scores.cols, normalised, scores.shape,
+        _validated=True,
+    )
+
+
+class DistAttentionLayer:
+    """One distributed sparse-attention layer.
+
+    ``H' = softmax_rows(A (*) (H Wq)(H Wk)^T) @ (H Wv)``
+
+    Args:
+        adjacency: square sparse connectivity (values scale scores).
+        machine: simulated machine.
+        dim: feature width of queries/keys/values (the SpMM/SDDMM K).
+        stripe_width / coeffs: Two-Face knobs.
+        seed: weight-init seed.
+    """
+
+    def __init__(
+        self,
+        adjacency: COOMatrix,
+        machine: MachineConfig,
+        dim: int,
+        stripe_width: Optional[int] = None,
+        coeffs: Optional[CostCoefficients] = None,
+        seed: int = 0,
+    ):
+        if adjacency.shape[0] != adjacency.shape[1]:
+            raise ShapeError(
+                f"attention needs a square adjacency, got {adjacency.shape}"
+            )
+        self.adjacency = adjacency.sum_duplicates()
+        self.machine = machine
+        self.dim = dim
+        self.coeffs = coeffs
+        width = stripe_width or stripe_width_for(adjacency.shape[0])
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(dim)
+        self.w_query = scale * rng.standard_normal((dim, dim))
+        self.w_key = scale * rng.standard_normal((dim, dim))
+        self.w_value = scale * rng.standard_normal((dim, dim))
+
+        # One plan for both kernels: bootstrap it with a probe SpMM.
+        bootstrap = TwoFace(stripe_width=width, coeffs=coeffs)
+        probe = rng.standard_normal((adjacency.shape[1], dim))
+        result = bootstrap.run(self.adjacency, probe, machine)
+        if result.failed:
+            raise ReproError(f"plan bootstrap failed: {result.failure}")
+        self.plan: TwoFacePlan = bootstrap.last_plan
+        self.simulated_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def forward(
+        self, features: np.ndarray
+    ) -> Tuple[np.ndarray, COOMatrix]:
+        """Apply the layer.
+
+        Args:
+            features: node features ``H``, shape ``(n, dim)``.
+
+        Returns:
+            ``(H', attention)`` — new features and the normalised sparse
+            attention matrix.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape != (self.adjacency.shape[0], self.dim):
+            raise ShapeError(
+                f"features must be {(self.adjacency.shape[0], self.dim)}, "
+                f"got {features.shape}"
+            )
+        queries = features @ self.w_query
+        keys = features @ self.w_key
+        values = features @ self.w_value
+
+        # SDDMM: one score per edge, on the shared plan.
+        sddmm = TwoFaceSDDMM(plan=self.plan, coeffs=self.coeffs)
+        score_result = sddmm.run(
+            self.adjacency, queries, keys, self.machine
+        )
+        if score_result.failed:
+            raise ReproError(
+                f"attention SDDMM failed: {score_result.failure}"
+            )
+        self.simulated_seconds += score_result.seconds
+        attention = sparse_row_softmax(score_result.S)
+
+        # SpMM: aggregate values with attention weights.  The attention
+        # matrix has the adjacency's pattern, so the same plan holds,
+        # with the plan's stored values remapped per iteration (the
+        # §5.4 trick of masks, generalised to value updates).
+        spmm = TwoFace(
+            plan=_plan_with_values(self.plan, attention),
+            coeffs=self.coeffs,
+        )
+        agg_result = spmm.run(attention, values, self.machine)
+        if agg_result.failed:
+            raise ReproError(
+                f"attention SpMM failed: {agg_result.failure}"
+            )
+        self.simulated_seconds += agg_result.seconds
+        return agg_result.C, attention
+
+
+def _plan_with_values(plan: TwoFacePlan, matrix: COOMatrix) -> TwoFacePlan:
+    """Clone a plan with its stored values replaced by ``matrix``'s.
+
+    The pattern must match the plan's (same coordinates); only values
+    differ — the attention case, where normalised scores change every
+    forward pass but the structure never does.
+    """
+    import copy
+
+    n_cols = matrix.shape[1]
+    lookup_keys = matrix.rows * n_cols + matrix.cols
+    order = np.argsort(lookup_keys, kind="stable")
+    sorted_keys = lookup_keys[order]
+    sorted_vals = matrix.vals[order]
+
+    new_plan = copy.copy(plan)
+    new_ranks = []
+    for rank_plan in plan.ranks:
+        row_lo, _ = _rank_row_bounds(plan, rank_plan.rank)
+        new_rank = copy.copy(rank_plan)
+        sync = rank_plan.sync_local
+        new_sync = copy.copy(sync)
+        new_csr = copy.copy(sync.csr)
+        coo = sync.csr.to_coo()
+        keys = (coo.rows + row_lo) * n_cols + coo.cols
+        new_csr.data = _lookup(sorted_keys, sorted_vals, keys)
+        new_sync.csr = new_csr
+        new_rank.sync_local = new_sync
+
+        new_async = copy.copy(rank_plan.async_matrix)
+        new_stripes = []
+        for stripe in rank_plan.async_matrix.stripes:
+            new_stripe = copy.copy(stripe)
+            nz = stripe.nonzeros
+            keys = (nz.rows + row_lo) * n_cols + nz.cols
+            new_stripe.nonzeros = COOMatrix(
+                nz.rows, nz.cols,
+                _lookup(sorted_keys, sorted_vals, keys),
+                nz.shape, _validated=True,
+            )
+            new_stripes.append(new_stripe)
+        new_async.stripes = new_stripes
+        new_rank.async_matrix = new_async
+        new_ranks.append(new_rank)
+    new_plan.ranks = new_ranks
+    return new_plan
+
+
+def _rank_row_bounds(plan: TwoFacePlan, rank: int):
+    return plan.geometry.row_partition.bounds(rank)
+
+
+def _lookup(
+    sorted_keys: np.ndarray, sorted_vals: np.ndarray, keys: np.ndarray
+) -> np.ndarray:
+    pos = np.searchsorted(sorted_keys, keys)
+    if len(keys) and (
+        pos.max(initial=0) >= len(sorted_keys)
+        or np.any(sorted_keys[np.minimum(pos, len(sorted_keys) - 1)] != keys)
+    ):
+        raise ShapeError(
+            "matrix pattern does not match the plan's stored nonzeros"
+        )
+    return sorted_vals[pos]

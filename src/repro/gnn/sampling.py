@@ -1,0 +1,121 @@
+"""Sampled full-graph GNN training support (paper §5.4's sketch).
+
+The paper notes Two-Face is incompatible with sampling *as is*, because
+each iteration uses a different reduced matrix and reclassification
+would be needed every time — then sketches the fix implemented here:
+classify once, offline, on the full matrix (a proxy for the expected
+stripe densities), keep the Fig. 6 storage, and apply a per-iteration
+mask that filters the nonzeros sampling eliminated.  Communication is
+unchanged (conservative); compute and results cover only survivors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.twoface import TwoFace
+from ..cluster.machine import MachineConfig
+from ..core.model import CostCoefficients
+from ..core.sampling_mask import SampleMask, bernoulli_mask
+from ..errors import ConfigurationError, ReproError, ShapeError
+from ..sparse.coo import COOMatrix
+from ..sparse.suite import stripe_width_for
+
+
+class SampledSpMMEngine:
+    """Repeated SpMMs against per-iteration edge samples of one matrix.
+
+    Args:
+        A: the full sparse matrix (e.g. normalised adjacency).
+        machine: simulated machine.
+        keep_probability: Bernoulli edge-survival probability per
+            iteration.
+        k: dense width the one-time plan is built for.
+        stripe_width / coeffs: Two-Face knobs.
+        seed: base seed; iteration ``i`` samples with ``seed + i``.
+    """
+
+    def __init__(
+        self,
+        A: COOMatrix,
+        machine: MachineConfig,
+        keep_probability: float,
+        k: int,
+        stripe_width: Optional[int] = None,
+        coeffs: Optional[CostCoefficients] = None,
+        seed: int = 0,
+    ):
+        if not 0.0 < keep_probability <= 1.0:
+            raise ConfigurationError(
+                f"keep_probability must be in (0, 1]: {keep_probability}"
+            )
+        self.A = A
+        self.machine = machine
+        self.keep_probability = keep_probability
+        self.k = k
+        self.seed = seed
+        self.iteration = 0
+        self.spmm_seconds = 0.0
+
+        # One-time, offline classification on the full matrix.
+        bootstrap = TwoFace(
+            stripe_width=stripe_width or stripe_width_for(A.shape[0]),
+            coeffs=coeffs,
+        )
+        rng = np.random.default_rng(seed)
+        probe = rng.standard_normal((A.shape[1], k))
+        result = bootstrap.run(A, probe, machine)
+        if result.failed:
+            raise ReproError(
+                f"plan bootstrap failed: {result.failure}"
+            )
+        self.plan = bootstrap.last_plan
+        self.preprocess_seconds = (
+            bootstrap.last_report.modeled_seconds
+            if bootstrap.last_report
+            else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    def next_mask(self) -> SampleMask:
+        """Draw the next iteration's edge sample."""
+        mask = bernoulli_mask(
+            self.plan, self.keep_probability, seed=self.seed + self.iteration
+        )
+        self.iteration += 1
+        return mask
+
+    def multiply(
+        self, B: np.ndarray, mask: Optional[SampleMask] = None
+    ) -> Tuple[np.ndarray, SampleMask, float]:
+        """One sampled SpMM: ``(A (*) mask) @ B``.
+
+        Args:
+            B: dense input of width ``k``.
+            mask: reuse an existing sample (e.g. the same sample for the
+                forward and backward pass of one iteration); a fresh one
+                is drawn when omitted.
+
+        Returns:
+            ``(C, mask, simulated_seconds)``.
+        """
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim != 2 or B.shape[0] != self.A.shape[1]:
+            raise ShapeError(
+                f"B shape {B.shape} incompatible with A {self.A.shape}"
+            )
+        if B.shape[1] != self.k:
+            raise ShapeError(
+                f"engine plan is for K={self.k}, got K={B.shape[1]}"
+            )
+        if mask is None:
+            mask = self.next_mask()
+        result = TwoFace(plan=self.plan, mask=mask).run(
+            self.A, B, self.machine
+        )
+        if result.failed:
+            raise ReproError(f"sampled SpMM failed: {result.failure}")
+        self.spmm_seconds += result.seconds
+        return result.C, mask, result.seconds

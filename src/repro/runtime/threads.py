@@ -1,0 +1,94 @@
+"""Runtime thread allocation (paper Table 2).
+
+Two-Face splits each node's threads into a synchronous group (collective
+transfers + row-panel compute) and an asynchronous group (a few
+communication threads, each forking into a small team for column-major
+compute).  One-sided transfers contend on NIC resources, so the comm
+thread count is kept very low (2 of 128 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThreadConfig:
+    """Per-node thread allocation.
+
+    Attributes:
+        total: threads per node (128 on Delta).
+        async_comm: threads issuing one-sided transfers (Table 2: 2).
+        async_comp: threads computing on async stripes (Table 2: 8;
+            includes the comm threads' forked teams).
+        panel_height: row-panel height of the sync/local-input matrix
+            (Table 2: 32 rows).
+    """
+
+    total: int = 128
+    async_comm: int = 2
+    async_comp: int = 8
+    panel_height: int = 32
+
+    def __post_init__(self) -> None:
+        if self.total <= 0:
+            raise ConfigurationError(f"total threads must be positive: {self.total}")
+        if self.async_comm <= 0 or self.async_comp <= 0:
+            raise ConfigurationError("async thread counts must be positive")
+        if self.panel_height <= 0:
+            raise ConfigurationError("panel_height must be positive")
+        if self.async_comm > self.async_comp:
+            raise ConfigurationError(
+                "async_comm threads fork into the async_comp team, so "
+                f"async_comm ({self.async_comm}) cannot exceed async_comp "
+                f"({self.async_comp})"
+            )
+        if self.async_comp > self.total:
+            raise ConfigurationError(
+                f"async threads ({self.async_comp}) exceed total "
+                f"({self.total})"
+            )
+
+    @property
+    def sync_comp(self) -> int:
+        """Threads dedicated to sync/local-input computation.
+
+        The async communication threads fork into the async compute team
+        (paper §6.2), so only ``async_comp`` threads are withheld from
+        the sync pool: 128 - 8 = 120 on the paper's nodes (Table 2).
+        """
+        return self.total - self.async_comp
+
+    @classmethod
+    def for_machine(cls, threads_per_node: int) -> "ThreadConfig":
+        """Scale the Table 2 split to a machine's thread count.
+
+        Keeps the paper's defaults when the node has 128 threads;
+        otherwise preserves the proportions with sane floors.
+        """
+        if threads_per_node >= 12:
+            async_comm = max(1, round(threads_per_node * 2 / 128))
+            async_comp = max(2, round(threads_per_node * 8 / 128))
+        else:
+            async_comm, async_comp = 1, 1
+        if async_comp >= threads_per_node:
+            async_comp = max(1, threads_per_node - 1)
+            async_comm = min(async_comm, async_comp)
+        return cls(
+            total=threads_per_node,
+            async_comm=async_comm,
+            async_comp=async_comp,
+        )
+
+
+def max_coalescing_gap(k: int) -> int:
+    """The paper's Max Async Coalescing Distance, ``(127 / K) + 1``.
+
+    Fetching a useless dense row costs ``K`` elements, so the distance
+    shrinks as ``K`` grows: 4 at K=32, 1 (adjacent-only) at K=128+.
+    """
+    if k <= 0:
+        raise ConfigurationError(f"K must be positive: {k}")
+    return 127 // k + 1

@@ -1,0 +1,108 @@
+"""Execution-time breakdowns (paper Fig. 10).
+
+Two-Face's time on a node is the maximum of its synchronous lane
+(collective transfers, then row-panel compute) and its asynchronous lane
+(one-sided transfers overlapped with column-major compute), plus shared
+setup ("Other").  Baselines only populate the synchronous components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class NodeBreakdown:
+    """Per-node lane components, in seconds of simulated time.
+
+    Attributes:
+        sync_comm: collective / point-to-point transfer time.
+        sync_comp: row-panel (or baseline local kernel) compute time.
+        async_comm: one-sided transfer time.
+        async_comp: column-major atomic compute time.
+        other: setup costs shared by both lanes (MPI structures etc.).
+    """
+
+    sync_comm: float = 0.0
+    sync_comp: float = 0.0
+    async_comm: float = 0.0
+    async_comp: float = 0.0
+    other: float = 0.0
+
+    @property
+    def sync_lane(self) -> float:
+        return self.sync_comm + self.sync_comp
+
+    @property
+    def async_lane(self) -> float:
+        return self.async_comm + self.async_comp
+
+    @property
+    def total(self) -> float:
+        """Node completion time: parallel lanes plus shared setup."""
+        return max(self.sync_lane, self.async_lane) + self.other
+
+
+@dataclass
+class TimeBreakdown:
+    """Breakdown across all nodes of one SpMM execution."""
+
+    nodes: List[NodeBreakdown] = field(default_factory=list)
+
+    @classmethod
+    def zeros(cls, n_nodes: int) -> "TimeBreakdown":
+        if n_nodes <= 0:
+            raise ConfigurationError(f"n_nodes must be positive: {n_nodes}")
+        return cls(nodes=[NodeBreakdown() for _ in range(n_nodes)])
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, rank: int) -> NodeBreakdown:
+        return self.nodes[rank]
+
+    @property
+    def makespan(self) -> float:
+        """Execution time: the slowest node decides."""
+        return max((n.total for n in self.nodes), default=0.0)
+
+    def critical_node(self) -> int:
+        """Rank of the slowest node."""
+        totals = [n.total for n in self.nodes]
+        return int(np.argmax(totals)) if totals else 0
+
+    def component_means(self) -> NodeBreakdown:
+        """Per-component mean across nodes (Fig. 10 bar heights)."""
+        if not self.nodes:
+            return NodeBreakdown()
+        return NodeBreakdown(
+            sync_comm=float(np.mean([n.sync_comm for n in self.nodes])),
+            sync_comp=float(np.mean([n.sync_comp for n in self.nodes])),
+            async_comm=float(np.mean([n.async_comm for n in self.nodes])),
+            async_comp=float(np.mean([n.async_comp for n in self.nodes])),
+            other=float(np.mean([n.other for n in self.nodes])),
+        )
+
+    def component_maxima(self) -> NodeBreakdown:
+        """Per-component maximum across nodes."""
+        if not self.nodes:
+            return NodeBreakdown()
+        return NodeBreakdown(
+            sync_comm=float(np.max([n.sync_comm for n in self.nodes])),
+            sync_comp=float(np.max([n.sync_comp for n in self.nodes])),
+            async_comm=float(np.max([n.async_comm for n in self.nodes])),
+            async_comp=float(np.max([n.async_comp for n in self.nodes])),
+            other=float(np.max([n.other for n in self.nodes])),
+        )
+
+    def load_imbalance(self) -> float:
+        """Max node total over mean node total (1.0 = perfectly even)."""
+        totals = [n.total for n in self.nodes]
+        mean = float(np.mean(totals)) if totals else 0.0
+        return (max(totals) / mean) if mean > 0 else 1.0

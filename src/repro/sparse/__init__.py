@@ -1,0 +1,75 @@
+"""Sparse-matrix substrate: formats, kernels, I/O, and generators."""
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .generators import (
+    banded,
+    block_local_power_law,
+    diagonal,
+    erdos_renyi,
+    hub_skewed,
+    rmat,
+    uniform_random,
+)
+from .matrix_market import read_matrix_market, write_matrix_market
+from .binary_io import read_arrays, read_coo, write_arrays, write_coo
+from .ops import (
+    KernelStats,
+    coalesce_row_ids,
+    coalesced_transfer_rows,
+    scatter_add,
+    sddmm_reference,
+    spmm_column_major,
+    spmm_reference,
+    spmm_row_panels,
+    unique_col_ids,
+)
+from .stats import MatrixStats, compute_stats, gini
+from .suite import (
+    FIGURE_ORDER,
+    SIZE_CLASSES,
+    SUITE,
+    MatrixSpec,
+    load,
+    matrix_names,
+    rows_for,
+    stripe_width_for,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "KernelStats",
+    "MatrixSpec",
+    "MatrixStats",
+    "FIGURE_ORDER",
+    "SIZE_CLASSES",
+    "SUITE",
+    "banded",
+    "block_local_power_law",
+    "coalesce_row_ids",
+    "coalesced_transfer_rows",
+    "compute_stats",
+    "diagonal",
+    "erdos_renyi",
+    "gini",
+    "hub_skewed",
+    "load",
+    "matrix_names",
+    "read_arrays",
+    "read_coo",
+    "read_matrix_market",
+    "rmat",
+    "rows_for",
+    "scatter_add",
+    "sddmm_reference",
+    "spmm_column_major",
+    "spmm_reference",
+    "spmm_row_panels",
+    "stripe_width_for",
+    "uniform_random",
+    "unique_col_ids",
+    "write_arrays",
+    "write_coo",
+    "write_matrix_market",
+]

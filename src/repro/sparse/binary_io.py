@@ -1,0 +1,135 @@
+"""Bespoke binary format for preprocessed sparse matrices.
+
+After Two-Face's preprocessing step, the synchronous/local-input and
+asynchronous sparse matrices are written to the file system in a binary
+format (paper §7.3) so later runs can skip both text parsing and
+re-classification.  The format here is a small, versioned container:
+
+``TWOFACE1`` magic, little-endian ``uint64`` header fields, then raw
+``int64``/``float64`` array sections for each stored component.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import IO, Dict, Union
+
+import numpy as np
+
+from ..errors import FormatError
+from .coo import COOMatrix
+
+_PathLike = Union[str, os.PathLike]
+
+_MAGIC = b"TWOFACE1"
+_ARRAY_DTYPES = {"i8": np.int64, "f8": np.float64}
+
+
+def write_arrays(
+    arrays: Dict[str, np.ndarray], path_or_file: Union[_PathLike, IO[bytes]]
+) -> int:
+    """Write named 1-D arrays to the binary container.
+
+    Args:
+        arrays: name -> array; arrays must be int64 or float64, 1-D.
+        path_or_file: destination path or binary handle.
+
+    Returns:
+        Number of bytes written.
+    """
+    if hasattr(path_or_file, "write"):
+        return _write_stream(arrays, path_or_file)  # type: ignore[arg-type]
+    with open(path_or_file, "wb") as handle:
+        return _write_stream(arrays, handle)
+
+
+def _dtype_tag(arr: np.ndarray) -> str:
+    if arr.dtype == np.int64:
+        return "i8"
+    if arr.dtype == np.float64:
+        return "f8"
+    raise FormatError(f"unsupported dtype {arr.dtype} (need int64/float64)")
+
+
+def _write_stream(arrays: Dict[str, np.ndarray], handle: IO[bytes]) -> int:
+    written = 0
+    handle.write(_MAGIC)
+    written += len(_MAGIC)
+    handle.write(struct.pack("<Q", len(arrays)))
+    written += 8
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        if arr.ndim != 1:
+            raise FormatError(f"array {name!r} must be 1-D, got {arr.ndim}-D")
+        tag = _dtype_tag(arr)
+        name_bytes = name.encode("utf-8")
+        handle.write(struct.pack("<Q", len(name_bytes)))
+        handle.write(name_bytes)
+        handle.write(tag.encode("ascii"))
+        handle.write(struct.pack("<Q", len(arr)))
+        payload = arr.tobytes()
+        handle.write(payload)
+        written += 8 + len(name_bytes) + 2 + 8 + len(payload)
+    return written
+
+
+def read_arrays(
+    path_or_file: Union[_PathLike, IO[bytes]]
+) -> Dict[str, np.ndarray]:
+    """Read a binary container written by :func:`write_arrays`."""
+    if hasattr(path_or_file, "read"):
+        return _read_stream(path_or_file)  # type: ignore[arg-type]
+    with open(path_or_file, "rb") as handle:
+        return _read_stream(handle)
+
+
+def _read_exact(handle: IO[bytes], n: int) -> bytes:
+    data = handle.read(n)
+    if len(data) != n:
+        raise FormatError(f"truncated container: wanted {n} B, got {len(data)}")
+    return data
+
+
+def _read_stream(handle: IO[bytes]) -> Dict[str, np.ndarray]:
+    magic = _read_exact(handle, len(_MAGIC))
+    if magic != _MAGIC:
+        raise FormatError(f"bad magic {magic!r}")
+    (n_arrays,) = struct.unpack("<Q", _read_exact(handle, 8))
+    out: Dict[str, np.ndarray] = {}
+    for _ in range(n_arrays):
+        (name_len,) = struct.unpack("<Q", _read_exact(handle, 8))
+        name = _read_exact(handle, name_len).decode("utf-8")
+        tag = _read_exact(handle, 2).decode("ascii")
+        if tag not in _ARRAY_DTYPES:
+            raise FormatError(f"unknown dtype tag {tag!r}")
+        dtype = _ARRAY_DTYPES[tag]
+        (length,) = struct.unpack("<Q", _read_exact(handle, 8))
+        payload = _read_exact(handle, length * np.dtype(dtype).itemsize)
+        out[name] = np.frombuffer(payload, dtype=dtype).copy()
+    return out
+
+
+def write_coo(matrix: COOMatrix, path: _PathLike) -> int:
+    """Persist a COO matrix; shape travels in a small int64 array."""
+    return write_arrays(
+        {
+            "shape": np.asarray(matrix.shape, dtype=np.int64),
+            "rows": matrix.rows,
+            "cols": matrix.cols,
+            "vals": matrix.vals,
+        },
+        path,
+    )
+
+
+def read_coo(path: _PathLike) -> COOMatrix:
+    """Load a COO matrix written by :func:`write_coo`."""
+    arrays = read_arrays(path)
+    for key in ("shape", "rows", "cols", "vals"):
+        if key not in arrays:
+            raise FormatError(f"container missing array {key!r}")
+    shape = tuple(int(v) for v in arrays["shape"])
+    if len(shape) != 2:
+        raise FormatError(f"shape array has {len(shape)} entries, need 2")
+    return COOMatrix(arrays["rows"], arrays["cols"], arrays["vals"], shape)

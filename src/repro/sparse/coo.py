@@ -1,0 +1,264 @@
+"""Coordinate (COO) sparse matrix format.
+
+Two-Face stores the sparse input matrix ``A`` in a modified COO format
+(paper §5.1): nonzeros in synchronous / local-input stripes live in a
+row-major structure, nonzeros in asynchronous stripes in a column-major
+structure.  This module provides the plain COO container both structures
+are derived from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+
+
+@dataclass
+class COOMatrix:
+    """A sparse matrix in coordinate format.
+
+    Attributes:
+        rows: ``int64`` array of row indices, one per nonzero.
+        cols: ``int64`` array of column indices, one per nonzero.
+        vals: ``float64`` array of values, one per nonzero.
+        shape: ``(n_rows, n_cols)`` of the logical matrix.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    shape: Tuple[int, int]
+    _validated: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.rows = np.ascontiguousarray(self.rows, dtype=np.int64)
+        self.cols = np.ascontiguousarray(self.cols, dtype=np.int64)
+        self.vals = np.ascontiguousarray(self.vals, dtype=np.float64)
+        if not (len(self.rows) == len(self.cols) == len(self.vals)):
+            raise FormatError(
+                f"coordinate arrays disagree on length: "
+                f"{len(self.rows)}, {len(self.cols)}, {len(self.vals)}"
+            )
+        n, m = self.shape
+        if n < 0 or m < 0:
+            raise ShapeError(f"negative dimension in shape {self.shape}")
+        self.shape = (int(n), int(m))
+        if not self._validated:
+            self.validate()
+            self._validated = True
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: Tuple[int, int]) -> "COOMatrix":
+        """Return a matrix of the given shape with no nonzeros."""
+        zero = np.zeros(0, dtype=np.int64)
+        return cls(zero, zero.copy(), np.zeros(0, dtype=np.float64), shape)
+
+    @classmethod
+    def from_scipy(cls, mat) -> "COOMatrix":
+        """Build from any scipy.sparse matrix."""
+        coo = mat.tocoo()
+        return cls(
+            coo.row.astype(np.int64),
+            coo.col.astype(np.int64),
+            coo.data.astype(np.float64),
+            (int(coo.shape[0]), int(coo.shape[1])),
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Build from a dense 2-D array, keeping only nonzero entries."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ShapeError(f"expected 2-D array, got ndim={dense.ndim}")
+        rows, cols = np.nonzero(dense)
+        return cls(rows, cols, dense[rows, cols], dense.shape)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(len(self.vals))
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        """Fraction of cells that hold a nonzero (0 for empty shapes)."""
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def validate(self) -> None:
+        """Check all coordinates lie inside ``shape``.
+
+        Raises:
+            FormatError: if any coordinate is out of bounds.
+        """
+        if self.nnz == 0:
+            return
+        if self.rows.min(initial=0) < 0 or self.cols.min(initial=0) < 0:
+            raise FormatError("negative coordinate")
+        if self.rows.max(initial=-1) >= self.shape[0]:
+            raise FormatError(
+                f"row index {self.rows.max()} out of bounds for "
+                f"{self.shape[0]} rows"
+            )
+        if self.cols.max(initial=-1) >= self.shape[1]:
+            raise FormatError(
+                f"column index {self.cols.max()} out of bounds for "
+                f"{self.shape[1]} columns"
+            )
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+    def sorted_row_major(self) -> "COOMatrix":
+        """Return a copy with nonzeros sorted by (row, col).
+
+        This is the ordering the synchronous/local-input matrix uses
+        (paper §4.1): it lets a thread buffer a whole output row before a
+        single accumulation into ``C``.
+        """
+        order = np.lexsort((self.cols, self.rows))
+        return self._permuted(order)
+
+    def sorted_col_major(self) -> "COOMatrix":
+        """Return a copy with nonzeros sorted by (col, row).
+
+        This is the ordering asynchronous stripes use: it makes the unique
+        ``c_id``s (hence the remote dense rows to fetch) cheap to extract.
+        """
+        order = np.lexsort((self.rows, self.cols))
+        return self._permuted(order)
+
+    def _permuted(self, order: np.ndarray) -> "COOMatrix":
+        return COOMatrix(
+            self.rows[order],
+            self.cols[order],
+            self.vals[order],
+            self.shape,
+            _validated=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Slicing
+    # ------------------------------------------------------------------
+    def select(self, mask: np.ndarray) -> "COOMatrix":
+        """Return the sub-matrix of nonzeros where ``mask`` is True.
+
+        The shape is unchanged; only the stored entries shrink.
+        """
+        return COOMatrix(
+            self.rows[mask],
+            self.cols[mask],
+            self.vals[mask],
+            self.shape,
+            _validated=True,
+        )
+
+    def row_slab(self, row_start: int, row_stop: int) -> "COOMatrix":
+        """Return nonzeros with ``row_start <= row < row_stop``.
+
+        Row indices are *rebased* to the slab so the result is a standalone
+        matrix of shape ``(row_stop - row_start, n_cols)``.  This is how a
+        node's local partition of ``A`` is carved out under 1D partitioning.
+        """
+        if not 0 <= row_start <= row_stop <= self.shape[0]:
+            raise ShapeError(
+                f"row slab [{row_start}, {row_stop}) outside "
+                f"0..{self.shape[0]}"
+            )
+        mask = (self.rows >= row_start) & (self.rows < row_stop)
+        return COOMatrix(
+            self.rows[mask] - row_start,
+            self.cols[mask],
+            self.vals[mask],
+            (row_stop - row_start, self.shape[1]),
+            _validated=True,
+        )
+
+    def col_slab(self, col_start: int, col_stop: int) -> "COOMatrix":
+        """Return nonzeros with ``col_start <= col < col_stop``, rebased."""
+        if not 0 <= col_start <= col_stop <= self.shape[1]:
+            raise ShapeError(
+                f"column slab [{col_start}, {col_stop}) outside "
+                f"0..{self.shape[1]}"
+            )
+        mask = (self.cols >= col_start) & (self.cols < col_stop)
+        return COOMatrix(
+            self.rows[mask],
+            self.cols[mask] - col_start,
+            self.vals[mask],
+            (self.shape[0], col_stop - col_start),
+            _validated=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Conversion / arithmetic
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array (duplicates are summed)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.vals)
+        return dense
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.coo_matrix``."""
+        import scipy.sparse as sp
+
+        return sp.coo_matrix(
+            (self.vals, (self.rows, self.cols)), shape=self.shape
+        )
+
+    def sum_duplicates(self) -> "COOMatrix":
+        """Return a copy with duplicate coordinates summed."""
+        if self.nnz == 0:
+            return self
+        order = np.lexsort((self.cols, self.rows))
+        r, c, v = self.rows[order], self.cols[order], self.vals[order]
+        new_group = np.empty(len(r), dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+        group_ids = np.cumsum(new_group) - 1
+        sums = np.zeros(group_ids[-1] + 1, dtype=np.float64)
+        np.add.at(sums, group_ids, v)
+        return COOMatrix(
+            r[new_group], c[new_group], sums, self.shape, _validated=True
+        )
+
+    def nonzeros(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate stored entries as ``(row, col, value)`` tuples."""
+        for i in range(self.nnz):
+            yield int(self.rows[i]), int(self.cols[i]), float(self.vals[i])
+
+    def nbytes(self) -> int:
+        """Memory footprint of the stored arrays in bytes."""
+        return int(
+            self.rows.nbytes + self.cols.nbytes + self.vals.nbytes
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, COOMatrix):
+            return NotImplemented
+        a = self.sum_duplicates().sorted_row_major()
+        b = other.sum_duplicates().sorted_row_major()
+        return (
+            a.shape == b.shape
+            and np.array_equal(a.rows, b.rows)
+            and np.array_equal(a.cols, b.cols)
+            and np.allclose(a.vals, b.vals)
+        )

@@ -1,0 +1,132 @@
+"""Matrix Market (``.mtx``) text I/O.
+
+The paper's preprocessing step reads the original sparse matrix from the
+file system in textual Matrix Market format (§7.3); this module provides
+that reader/writer so the Table 6 ``t_norm_I/O`` measurement has a real
+I/O path to time.  Only what SuiteSparse matrices need is supported:
+``coordinate`` matrices with ``real``, ``integer``, or ``pattern`` fields
+and ``general`` or ``symmetric`` symmetry.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Tuple, Union
+
+import numpy as np
+
+from ..errors import FormatError
+from .coo import COOMatrix
+
+_PathLike = Union[str, os.PathLike]
+
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRY = {"general", "symmetric"}
+
+
+def _parse_header(line: str) -> Tuple[str, str]:
+    parts = line.strip().lower().split()
+    if len(parts) != 5 or parts[0] != "%%matrixmarket" or parts[1] != "matrix":
+        raise FormatError(f"not a Matrix Market header: {line!r}")
+    _, _, layout, field, symmetry = parts
+    if layout != "coordinate":
+        raise FormatError(f"unsupported layout {layout!r} (need coordinate)")
+    if field not in _SUPPORTED_FIELDS:
+        raise FormatError(f"unsupported field {field!r}")
+    if symmetry not in _SUPPORTED_SYMMETRY:
+        raise FormatError(f"unsupported symmetry {symmetry!r}")
+    return field, symmetry
+
+
+def read_matrix_market(path_or_file: Union[_PathLike, IO[str]]) -> COOMatrix:
+    """Read a coordinate Matrix Market file into COO.
+
+    Symmetric inputs are expanded to general form (mirrored off-diagonal
+    entries), matching how SpMM consumers treat SuiteSparse matrices.
+
+    Args:
+        path_or_file: file path or open text handle.
+
+    Returns:
+        The matrix with 0-based indices.
+
+    Raises:
+        FormatError: on malformed or unsupported content.
+    """
+    if hasattr(path_or_file, "read"):
+        return _read_stream(path_or_file)  # type: ignore[arg-type]
+    with open(path_or_file, "r", encoding="ascii") as handle:
+        return _read_stream(handle)
+
+
+def _read_stream(handle: IO[str]) -> COOMatrix:
+    header = handle.readline()
+    if not header:
+        raise FormatError("empty Matrix Market stream")
+    field, symmetry = _parse_header(header)
+
+    size_line = handle.readline()
+    while size_line and size_line.lstrip().startswith("%"):
+        size_line = handle.readline()
+    if not size_line:
+        raise FormatError("missing size line")
+    try:
+        n_rows, n_cols, nnz = (int(tok) for tok in size_line.split())
+    except ValueError as exc:
+        raise FormatError(f"bad size line: {size_line!r}") from exc
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    count = 0
+    for line in handle:
+        line = line.strip()
+        if not line or line.startswith("%"):
+            continue
+        if count >= nnz:
+            raise FormatError("more entries than the size line declares")
+        tokens = line.split()
+        if field == "pattern":
+            if len(tokens) != 2:
+                raise FormatError(f"bad pattern entry: {line!r}")
+            value = 1.0
+        else:
+            if len(tokens) != 3:
+                raise FormatError(f"bad entry: {line!r}")
+            value = float(tokens[2])
+        rows[count] = int(tokens[0]) - 1
+        cols[count] = int(tokens[1]) - 1
+        vals[count] = value
+        count += 1
+    if count != nnz:
+        raise FormatError(f"size line declares {nnz} entries, found {count}")
+
+    if symmetry == "symmetric":
+        off_diag = rows != cols
+        mirror_rows = cols[off_diag]
+        mirror_cols = rows[off_diag]
+        mirror_vals = vals[off_diag]
+        rows = np.concatenate([rows, mirror_rows])
+        cols = np.concatenate([cols, mirror_cols])
+        vals = np.concatenate([vals, mirror_vals])
+    return COOMatrix(rows, cols, vals, (n_rows, n_cols))
+
+
+def write_matrix_market(
+    matrix: COOMatrix, path_or_file: Union[_PathLike, IO[str]]
+) -> None:
+    """Write a COO matrix as a general real coordinate ``.mtx`` file."""
+    if hasattr(path_or_file, "write"):
+        _write_stream(matrix, path_or_file)  # type: ignore[arg-type]
+        return
+    with open(path_or_file, "w", encoding="ascii") as handle:
+        _write_stream(matrix, handle)
+
+
+def _write_stream(matrix: COOMatrix, handle: IO[str]) -> None:
+    handle.write("%%MatrixMarket matrix coordinate real general\n")
+    handle.write(
+        f"{matrix.shape[0]} {matrix.shape[1]} {matrix.nnz}\n"
+    )
+    for r, c, v in zip(matrix.rows, matrix.cols, matrix.vals):
+        handle.write(f"{r + 1} {c + 1} {v:.17g}\n")

@@ -1,0 +1,201 @@
+"""Scaled-down analogues of the paper's evaluation matrices (Table 1).
+
+The paper evaluates eight of the largest SuiteSparse matrices.  Those
+files (143M–3.6B nonzeros) are not available offline, so this module
+generates structural analogues at laptop scale.  Each analogue preserves
+the property that determines which communication flavour wins for its
+namesake: diagonal locality (queen, stokes), web-crawl block locality
+(web, arabic), hub skew (mawi), near-uniform ultra-sparsity (kmer), or
+globally-spread power-law structure (twitter, friendster).
+
+Three size classes are provided: ``tiny`` (unit tests), ``small``
+(integration tests / quick examples), and ``default`` (benchmarks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from . import generators
+from .coo import COOMatrix
+
+SIZE_CLASSES = ("tiny", "small", "default")
+
+#: Rows used per size class, as a fraction of the ``default`` row count.
+_SIZE_SCALE = {"tiny": 1 / 16, "small": 1 / 4, "default": 1.0}
+
+
+def stripe_width_for(n_rows: int) -> int:
+    """Default sparse-stripe width for an ``n_rows`` matrix.
+
+    The paper scales stripe width with matrix dimension, rounding to a
+    power of two (Table 1).  The analogues here are ~400x smaller in
+    rows but keep realistic per-message latencies, so the width is
+    scaled as ``n_rows / 100`` — wide enough that per-stripe payloads,
+    not per-message latencies, dominate, matching the paper's regime.
+    Widths below 8 inflate per-stripe overhead, so 8 is the floor.
+    """
+    if n_rows <= 0:
+        raise ConfigurationError(f"n_rows must be positive: {n_rows}")
+    target = max(8.0, n_rows / 100.0)
+    return 1 << round(math.log2(target))
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """One evaluation matrix: paper metadata plus a synthetic builder.
+
+    Attributes:
+        short_name: the paper's short name (Table 1 column 2).
+        long_name: the SuiteSparse name the analogue stands in for.
+        structural_class: generator family used for the analogue.
+        paper_rows_millions: row count of the real matrix, in millions.
+        paper_nnz_millions: nonzero count of the real matrix, in millions.
+        paper_stripe_width: stripe width the paper chose (Table 1).
+        default_rows: analogue row count at size class ``default``.
+        build: ``build(n_rows, seed) -> COOMatrix``.
+    """
+
+    short_name: str
+    long_name: str
+    structural_class: str
+    paper_rows_millions: float
+    paper_nnz_millions: float
+    paper_stripe_width: int
+    default_rows: int
+    build: Callable[[int, int], COOMatrix]
+
+
+def _build_mawi(n: int, seed: int) -> COOMatrix:
+    return generators.hub_skewed(
+        n, avg_degree=8.4, n_hubs=max(4, n // 1024), hub_fraction=0.15,
+        warm_fraction=0.55, seed=seed,
+    )
+
+
+def _build_queen(n: int, seed: int) -> COOMatrix:
+    return generators.banded(
+        n, bandwidth=max(8, n // 256), avg_degree=28.0, seed=seed
+    )
+
+
+def _build_stokes(n: int, seed: int) -> COOMatrix:
+    return generators.banded(
+        n, bandwidth=max(12, n // 192), avg_degree=20.0, seed=seed
+    )
+
+
+def _build_kmer(n: int, seed: int) -> COOMatrix:
+    return generators.uniform_random(n, avg_degree=2.2, seed=seed)
+
+
+def _build_arabic(n: int, seed: int) -> COOMatrix:
+    return generators.block_local_power_law(
+        n, avg_degree=24.0, block_size=max(8, n // 128),
+        local_fraction=0.92, alpha=1.7, seed=seed,
+    )
+
+
+def _build_web(n: int, seed: int) -> COOMatrix:
+    return generators.block_local_power_law(
+        n, avg_degree=30.0, block_size=max(8, n // 96),
+        local_fraction=0.88, alpha=1.6, seed=seed,
+    )
+
+
+def _build_twitter(n: int, seed: int) -> COOMatrix:
+    scale = max(1, round(math.log2(n)))
+    return generators.rmat(scale, avg_degree=28.0, seed=seed)
+
+
+def _build_friendster(n: int, seed: int) -> COOMatrix:
+    scale = max(1, round(math.log2(n)))
+    return generators.rmat(
+        scale, avg_degree=80.0, a=0.45, b=0.22, c=0.22, seed=seed
+    )
+
+
+#: The eight evaluation matrices, in the paper's Table 1 order.
+SUITE: Dict[str, MatrixSpec] = {
+    "mawi": MatrixSpec(
+        "mawi", "mawi_201512020030", "hub_skewed",
+        68.86, 143.41, 128 * 1024, 8192, _build_mawi,
+    ),
+    "queen": MatrixSpec(
+        "queen", "Queen_4147", "banded",
+        4.15, 316.55, 8 * 1024, 4096, _build_queen,
+    ),
+    "stokes": MatrixSpec(
+        "stokes", "stokes", "banded",
+        11.45, 349.32, 32 * 1024, 6144, _build_stokes,
+    ),
+    "kmer": MatrixSpec(
+        "kmer", "kmer_V1r", "uniform_random",
+        214.01, 465.41, 512 * 1024, 65536, _build_kmer,
+    ),
+    "arabic": MatrixSpec(
+        "arabic", "arabic-2005", "block_local_power_law",
+        22.74, 640.00, 64 * 1024, 8192, _build_arabic,
+    ),
+    "twitter": MatrixSpec(
+        "twitter", "twitter7", "rmat",
+        41.65, 1468.37, 128 * 1024, 8192, _build_twitter,
+    ),
+    "web": MatrixSpec(
+        "web", "GAP-web", "block_local_power_law",
+        50.64, 1930.29, 128 * 1024, 12288, _build_web,
+    ),
+    "friendster": MatrixSpec(
+        "friendster", "com-Friendster", "rmat",
+        65.61, 3612.13, 128 * 1024, 8192, _build_friendster,
+    ),
+}
+
+#: Presentation order used by the paper's speedup figures (Figs. 7-9).
+FIGURE_ORDER: Tuple[str, ...] = (
+    "web", "queen", "stokes", "arabic", "mawi", "kmer", "twitter",
+    "friendster",
+)
+
+
+def matrix_names() -> List[str]:
+    """Suite matrix names in figure order."""
+    return list(FIGURE_ORDER)
+
+
+def rows_for(name: str, size: str = "default") -> int:
+    """Analogue row count for a matrix at a size class."""
+    spec = _spec(name)
+    if size not in _SIZE_SCALE:
+        raise ConfigurationError(
+            f"unknown size class {size!r}; pick one of {SIZE_CLASSES}"
+        )
+    return max(64, int(spec.default_rows * _SIZE_SCALE[size]))
+
+
+def load(name: str, size: str = "default", seed: int = 7) -> COOMatrix:
+    """Generate the analogue of a Table 1 matrix.
+
+    Args:
+        name: short matrix name (e.g. ``"twitter"``).
+        size: one of :data:`SIZE_CLASSES`.
+        seed: RNG seed; the same (name, size, seed) always yields the
+            same matrix.
+
+    Returns:
+        The synthetic matrix.
+    """
+    spec = _spec(name)
+    return spec.build(rows_for(name, size), seed)
+
+
+def _spec(name: str) -> MatrixSpec:
+    try:
+        return SUITE[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown matrix {name!r}; known: {sorted(SUITE)}"
+        ) from None

@@ -1,0 +1,92 @@
+"""Unit tests for the algorithm base plumbing and result type."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import AllGather, SpMMResult, make_algorithm
+from repro.algorithms.base import BASE_SETUP_SECONDS, DistSpMMAlgorithm
+from repro.errors import ConfigurationError, ShapeError
+from repro.sparse import erdos_renyi
+
+
+class TestRunPlumbing:
+    def test_b_shape_validated(self, small_machine, rng):
+        A = erdos_renyi(32, 32, 100, seed=1)
+        with pytest.raises(ShapeError):
+            AllGather().run(A, rng.standard_normal((31, 4)), small_machine)
+        with pytest.raises(ShapeError):
+            AllGather().run(A, rng.standard_normal(32), small_machine)
+
+    def test_setup_cost_in_other(self, small_machine, rng):
+        A = erdos_renyi(32, 32, 100, seed=1)
+        result = AllGather().run(
+            A, rng.standard_normal((32, 4)), small_machine
+        )
+        for node in result.breakdown.nodes:
+            assert node.other >= BASE_SETUP_SECONDS
+
+    def test_oom_returns_failed_result(self, rng):
+        machine = MachineConfig(n_nodes=4, memory_capacity=50_000)
+        A = erdos_renyi(128, 128, 600, seed=1)
+        result = AllGather().run(
+            A, rng.standard_normal((128, 64)), machine
+        )
+        assert result.failed
+        assert result.C is None
+        assert result.seconds != result.seconds  # NaN
+        assert "capacity" in result.failure
+
+    def test_b_cast_to_float64(self, small_machine, rng):
+        A = erdos_renyi(32, 32, 100, seed=1)
+        B = rng.standard_normal((32, 4)).astype(np.float32)
+        result = AllGather().run(A, B, small_machine)
+        assert result.C.dtype == np.float64
+
+    def test_speedup_over(self, small_machine, rng):
+        A = erdos_renyi(64, 64, 400, seed=1)
+        B = rng.standard_normal((64, 8))
+        r1 = make_algorithm("DS2").run(A, B, small_machine)
+        r2 = make_algorithm("Allgather").run(A, B, small_machine)
+        assert r2.speedup_over(r1) == pytest.approx(r1.seconds / r2.seconds)
+
+    def test_speedup_over_failed_rejected(self, small_machine, rng):
+        A = erdos_renyi(32, 32, 100, seed=1)
+        B = rng.standard_normal((32, 4))
+        ok = AllGather().run(A, B, small_machine)
+        failed = SpMMResult(
+            algorithm="x", C=None, seconds=float("nan"),
+            breakdown=ok.breakdown, traffic=ok.traffic, failed=True,
+        )
+        with pytest.raises(ValueError):
+            ok.speedup_over(failed)
+        with pytest.raises(ValueError):
+            failed.speedup_over(ok)
+
+    def test_abstract_class_cannot_run(self):
+        with pytest.raises(TypeError):
+            DistSpMMAlgorithm()  # abstract
+
+
+class TestRegistry:
+    def test_known_algorithms(self):
+        from repro.algorithms import algorithm_names
+
+        names = algorithm_names()
+        for expected in ("TwoFace", "AsyncFine", "DS1", "DS2", "DS4",
+                         "DS8", "Allgather", "AsyncCoarse"):
+            assert expected in names
+
+    def test_make_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("FourFace")
+
+    def test_ds_names(self):
+        assert make_algorithm("DS4").name == "DS4"
+        assert make_algorithm("TwoFace").name == "TwoFace"
+
+    def test_figure_algorithms_order(self):
+        from repro.algorithms import FIGURE_ALGORITHMS
+
+        assert FIGURE_ALGORITHMS[-1] == "TwoFace"
+        assert len(FIGURE_ALGORITHMS) == 7

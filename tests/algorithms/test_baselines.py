@@ -1,0 +1,119 @@
+"""Unit tests for AllGather, AsyncCoarse, and AsyncFine baselines."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import AllGather, AsyncCoarse, AsyncFine, TwoFace
+from repro.sparse import (
+    banded,
+    erdos_renyi,
+    spmm_reference,
+    uniform_random,
+)
+
+
+@pytest.fixture
+def inputs(rng):
+    A = erdos_renyi(64, 64, 400, seed=4)
+    B = rng.standard_normal((64, 8))
+    return A, B
+
+
+class TestAllGather:
+    def test_replicates_full_b(self, inputs, small_machine):
+        A, B = inputs
+        result = AllGather().run(A, B, small_machine)
+        # Collective bytes = every foreign block once.
+        assert result.traffic.collective_bytes == B.nbytes * 1  # one op
+        assert result.traffic.collective_ops == 1
+
+    def test_oom_on_tight_memory(self, rng):
+        A = erdos_renyi(128, 128, 800, seed=4)
+        B = rng.standard_normal((128, 32))  # full B = 32 KiB
+        tight = MachineConfig(n_nodes=4, memory_capacity=30_000)
+        result = AllGather().run(A, B, tight)
+        assert result.failed
+
+    def test_comm_time_identical_across_nodes(self, inputs, small_machine):
+        A, B = inputs
+        result = AllGather().run(A, B, small_machine)
+        comms = {n.sync_comm for n in result.breakdown.nodes}
+        assert len(comms) == 1
+
+
+class TestAsyncCoarse:
+    def test_skips_unneeded_blocks(self, small_machine, rng):
+        """A banded matrix needs only neighbouring blocks, so each node
+        receives less than under full replication."""
+        A = banded(64, bandwidth=2, avg_degree=3, seed=4)
+        B = rng.standard_normal((64, 8))
+        coarse = AsyncCoarse().run(A, B, small_machine)
+        gather = AllGather().run(A, B, small_machine)
+        assert sum(coarse.traffic.per_node_recv_bytes) < sum(
+            gather.traffic.per_node_recv_bytes
+        )
+
+    def test_fetches_whole_blocks(self, small_machine, rng):
+        A = uniform_random(64, avg_degree=0.5, seed=4)
+        B = rng.standard_normal((64, 8))
+        result = AsyncCoarse().run(A, B, small_machine)
+        block_bytes = 16 * 8 * 8
+        assert result.traffic.onesided_bytes % block_bytes == 0
+
+    def test_uses_async_comm_lane(self, inputs, small_machine):
+        A, B = inputs
+        result = AsyncCoarse().run(A, B, small_machine)
+        assert result.breakdown.component_means().async_comm > 0
+
+
+class TestAsyncFine:
+    def test_everything_async(self, inputs, small_machine):
+        A, B = inputs
+        algo = AsyncFine(stripe_width=4)
+        result = algo.run(A, B, small_machine)
+        assert not result.failed
+        assert result.extras["sync_stripes"] == 0
+        assert result.traffic.collective_bytes == 0
+
+    def test_fetches_only_needed_rows_at_high_k(self, small_machine, rng):
+        """At K >= 128 the coalescing distance is 1: only useful rows."""
+        A = uniform_random(64, avg_degree=1.0, seed=4)
+        B = rng.standard_normal((64, 128))
+        algo = AsyncFine(stripe_width=8)
+        result = algo.run(A, B, small_machine)
+        useful = algo.last_plan.total_async_rows() * 128 * 8
+        assert result.traffic.onesided_bytes == useful
+
+    def test_name(self):
+        assert AsyncFine().name == "AsyncFine"
+
+    def test_moves_less_data_than_allgather_on_sparse(
+        self, small_machine, rng
+    ):
+        A = uniform_random(128, avg_degree=1.0, seed=4)
+        B = rng.standard_normal((128, 128))
+        fine = AsyncFine(stripe_width=8).run(A, B, small_machine)
+        gather = AllGather().run(A, B, small_machine)
+        assert (
+            fine.traffic.onesided_bytes
+            < gather.traffic.collective_bytes
+        )
+
+
+class TestTwoFaceVsExtremes:
+    def test_twoface_between_extremes_in_onesided_traffic(
+        self, small_machine, rng
+    ):
+        A = erdos_renyi(128, 128, 800, seed=4)
+        B = rng.standard_normal((128, 32))
+        fine = AsyncFine(stripe_width=8).run(A, B, small_machine)
+        face = TwoFace(stripe_width=8).run(A, B, small_machine)
+        sync_only = TwoFace(stripe_width=8, force_all_sync=True).run(
+            A, B, small_machine
+        )
+        assert (
+            sync_only.traffic.onesided_bytes
+            <= face.traffic.onesided_bytes
+            <= fine.traffic.onesided_bytes
+        )

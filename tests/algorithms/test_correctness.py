@@ -1,0 +1,81 @@
+"""Cross-algorithm numerical correctness: every algorithm, several
+matrix structures, several K values, all against the scatter-add oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import FIGURE_ALGORITHMS, make_algorithm
+from repro.sparse import (
+    banded,
+    block_local_power_law,
+    erdos_renyi,
+    hub_skewed,
+    rmat,
+    spmm_reference,
+    uniform_random,
+)
+
+MATRICES = {
+    "uniform": lambda: erdos_renyi(96, 96, 600, seed=1),
+    "banded": lambda: banded(96, bandwidth=5, avg_degree=6, seed=1),
+    "weblike": lambda: block_local_power_law(
+        96, 8, block_size=12, seed=1
+    ),
+    "hub": lambda: hub_skewed(96, 6, n_hubs=3, seed=1),
+    "rmat": lambda: rmat(7, avg_degree=8, seed=1),  # 128x128
+    "ultrasparse": lambda: uniform_random(96, avg_degree=1.0, seed=1),
+}
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+
+
+@pytest.mark.parametrize("matrix_name", sorted(MATRICES))
+@pytest.mark.parametrize("algorithm", FIGURE_ALGORITHMS)
+def test_algorithm_correct(matrix_name, algorithm, machine):
+    A = MATRICES[matrix_name]()
+    rng = np.random.default_rng(42)
+    B = rng.standard_normal((A.shape[1], 16))
+    result = make_algorithm(algorithm).run(A, B, machine)
+    assert not result.failed, result.failure
+    np.testing.assert_allclose(
+        result.C, spmm_reference(A, B), rtol=1e-9, atol=1e-9
+    )
+
+
+@pytest.mark.parametrize("algorithm", FIGURE_ALGORITHMS)
+@pytest.mark.parametrize("k", [1, 7, 64])
+def test_algorithm_correct_across_k(algorithm, k, machine):
+    A = erdos_renyi(80, 80, 500, seed=3)
+    rng = np.random.default_rng(5)
+    B = rng.standard_normal((80, k))
+    result = make_algorithm(algorithm).run(A, B, machine)
+    assert not result.failed
+    np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+
+@pytest.mark.parametrize("algorithm", FIGURE_ALGORITHMS)
+def test_algorithm_correct_odd_node_count(algorithm):
+    """Node counts that do not divide the matrix dimension."""
+    machine = MachineConfig(n_nodes=5, memory_capacity=1 << 30)
+    A = erdos_renyi(93, 93, 500, seed=3)
+    rng = np.random.default_rng(5)
+    B = rng.standard_normal((93, 8))
+    result = make_algorithm(algorithm).run(A, B, machine)
+    assert not result.failed
+    np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+
+@pytest.mark.parametrize("algorithm", ["DS1", "TwoFace", "AsyncFine"])
+def test_rectangular_matrices(algorithm):
+    machine = MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+    A = erdos_renyi(60, 100, 400, seed=2)
+    rng = np.random.default_rng(2)
+    B = rng.standard_normal((100, 8))
+    result = make_algorithm(algorithm).run(A, B, machine)
+    assert not result.failed
+    np.testing.assert_allclose(result.C, spmm_reference(A, B))

@@ -1,0 +1,100 @@
+"""Unit tests for the dense-shifting baseline."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import DenseShifting
+from repro.errors import ConfigurationError
+from repro.sparse import erdos_renyi, spmm_reference
+
+
+@pytest.fixture
+def inputs(rng):
+    A = erdos_renyi(64, 64, 400, seed=4)
+    B = rng.standard_normal((64, 8))
+    return A, B
+
+
+class TestConfiguration:
+    def test_name_includes_replication(self):
+        assert DenseShifting(4).name == "DS4"
+
+    def test_invalid_replication(self):
+        with pytest.raises(ConfigurationError):
+            DenseShifting(0)
+
+    def test_replication_clamped_to_nodes(self, inputs):
+        """c > p behaves like full replication, not an error."""
+        A, B = inputs
+        machine = MachineConfig(n_nodes=2, memory_capacity=1 << 30)
+        result = DenseShifting(8).run(A, B, machine)
+        assert not result.failed
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("c", [1, 2, 4])
+    def test_correct_for_all_replications(self, inputs, small_machine, c):
+        A, B = inputs
+        result = DenseShifting(c).run(A, B, small_machine)
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+    def test_higher_replication_fewer_messages(self, inputs, small_machine):
+        A, B = inputs
+        r1 = DenseShifting(1).run(A, B, small_machine)
+        r4 = DenseShifting(4).run(A, B, small_machine)
+        assert r4.traffic.p2p_messages < r1.traffic.p2p_messages
+
+    def test_communication_volume_nearly_constant_in_c(
+        self, inputs, small_machine
+    ):
+        """Every node still sees all of B regardless of c (§6.3)."""
+        A, B = inputs
+        r1 = DenseShifting(1).run(A, B, small_machine)
+        r2 = DenseShifting(2).run(A, B, small_machine)
+        vol1 = r1.traffic.p2p_bytes + r1.traffic.collective_bytes
+        vol2 = r2.traffic.p2p_bytes + r2.traffic.collective_bytes
+        assert vol2 == pytest.approx(vol1, rel=0.35)
+
+    def test_memory_grows_with_replication(self, rng):
+        A = erdos_renyi(128, 128, 600, seed=4)
+        B = rng.standard_normal((128, 32))  # 8 KiB blocks
+        tight = MachineConfig(n_nodes=4, memory_capacity=35_000)
+        ok = DenseShifting(1).run(A, B, tight)
+        big = DenseShifting(4).run(A, B, tight)
+        assert not ok.failed
+        assert big.failed  # c = p: three extra replica blocks won't fit
+
+    def test_full_replication_no_shifts(self, inputs):
+        A, B = inputs
+        machine = MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+        result = DenseShifting(4).run(A, B, machine)  # c == p
+        assert result.traffic.p2p_messages == 0
+
+    def test_breakdown_only_sync_components(self, inputs, small_machine):
+        A, B = inputs
+        result = DenseShifting(2).run(A, B, small_machine)
+        means = result.breakdown.component_means()
+        assert means.sync_comm > 0
+        assert means.sync_comp > 0
+        assert means.async_comm == 0
+        assert means.async_comp == 0
+
+    def test_extras_report_replication(self, inputs, small_machine):
+        A, B = inputs
+        result = DenseShifting(2).run(A, B, small_machine)
+        assert result.extras["replication"] == 2
+
+    def test_empty_rank_slab_ok(self, rng):
+        """A rank with no nonzeros must still participate in shifts."""
+        from repro.sparse import COOMatrix
+
+        # All nonzeros in the first quarter of rows.
+        A = COOMatrix(
+            np.arange(16), np.arange(16), np.ones(16), (64, 64)
+        )
+        B = rng.standard_normal((64, 4))
+        machine = MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+        result = DenseShifting(2).run(A, B, machine)
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))

@@ -1,0 +1,70 @@
+"""Unit tests for distributed SpMV (the §9 special case)."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import DenseShifting, distributed_spmv
+from repro.errors import ReproError, ShapeError
+from repro.sparse import erdos_renyi
+
+
+@pytest.fixture
+def system(rng):
+    A = erdos_renyi(96, 96, 500, seed=1)
+    x = rng.standard_normal(96)
+    return A, x
+
+
+class TestSpMV:
+    def test_matches_dense_product(self, system, small_machine):
+        A, x = system
+        y, result = distributed_spmv(A, x, small_machine)
+        np.testing.assert_allclose(y, A.to_dense() @ x)
+        assert not result.failed
+        assert result.C.shape == (96, 1)
+
+    def test_vector_shape_out(self, system, small_machine):
+        A, x = system
+        y, _ = distributed_spmv(A, x, small_machine)
+        assert y.shape == (96,)
+
+    def test_custom_algorithm(self, system, small_machine):
+        A, x = system
+        y, result = distributed_spmv(
+            A, x, small_machine, algorithm=DenseShifting(2)
+        )
+        np.testing.assert_allclose(y, A.to_dense() @ x)
+        assert result.algorithm == "DS2"
+
+    def test_rectangular(self, small_machine, rng):
+        A = erdos_renyi(50, 80, 200, seed=2)
+        x = rng.standard_normal(80)
+        y, _ = distributed_spmv(A, x, small_machine)
+        np.testing.assert_allclose(y, A.to_dense() @ x)
+
+    def test_matrix_rejected(self, system, small_machine, rng):
+        A, _ = system
+        with pytest.raises(ShapeError):
+            distributed_spmv(A, rng.standard_normal((96, 2)), small_machine)
+
+    def test_wrong_length_rejected(self, system, small_machine, rng):
+        A, _ = system
+        with pytest.raises(ShapeError):
+            distributed_spmv(A, rng.standard_normal(95), small_machine)
+
+    def test_oom_raises(self, rng):
+        from repro.algorithms import AllGather
+
+        tight = MachineConfig(n_nodes=4, memory_capacity=6_000)
+        A = erdos_renyi(256, 256, 600, seed=1)
+        with pytest.raises(ReproError):
+            distributed_spmv(
+                A, rng.standard_normal(256), tight, algorithm=AllGather()
+            )
+
+    def test_k1_maximises_coalescing_distance(self):
+        from repro.runtime import max_coalescing_gap
+
+        assert max_coalescing_gap(1) == 128
+        assert max_coalescing_gap(1) > max_coalescing_gap(32)

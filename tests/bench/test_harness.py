@@ -1,0 +1,152 @@
+"""Unit tests for the experiment harness and reporting."""
+
+import math
+
+import pytest
+
+from repro import MachineConfig
+from repro.bench import (
+    ExperimentHarness,
+    format_cell,
+    format_table,
+    print_table,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return ExperimentHarness(size="tiny")
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+
+
+class TestHarness:
+    def test_matrix_cached(self, harness):
+        a = harness.matrix("web")
+        b = harness.matrix("web")
+        assert a is b
+
+    def test_dense_input_cached_per_k(self, harness):
+        a = harness.dense_input("web", 8)
+        b = harness.dense_input("web", 8)
+        c = harness.dense_input("web", 16)
+        assert a is b
+        assert c.shape[1] == 16
+
+    def test_make_wires_coefficients(self, harness):
+        tf = harness.make("TwoFace")
+        assert tf.coeffs is harness.coeffs
+        fine = harness.make("AsyncFine")
+        assert fine.coeffs is harness.coeffs
+
+    def test_run_one(self, harness, machine):
+        result = harness.run_one("queen", "DS2", 8, machine)
+        assert not result.failed
+        assert result.algorithm == "DS2"
+
+    def test_sweep_structure(self, harness, machine):
+        sweep = harness.sweep(["web", "queen"], ["DS2", "TwoFace"], 8,
+                              machine)
+        assert set(sweep.results) == {"web", "queen"}
+        assert set(sweep.results["web"]) == {"DS2", "TwoFace"}
+
+    def test_sweep_speedups(self, harness, machine):
+        sweep = harness.sweep(["queen"], ["DS2", "TwoFace"], 8, machine)
+        speedup = sweep.speedup_over("queen", "TwoFace", "DS2")
+        assert speedup == pytest.approx(
+            sweep.seconds("queen", "DS2") / sweep.seconds("queen", "TwoFace")
+        )
+        assert sweep.speedup_over("queen", "DS2", "DS2") == pytest.approx(1.0)
+
+    def test_speedup_rows(self, harness, machine):
+        sweep = harness.sweep(["queen"], ["DS2", "TwoFace"], 8, machine)
+        rows = sweep.speedup_rows(["TwoFace"], baseline="DS2")
+        assert rows[0][0] == "queen"
+        assert isinstance(rows[0][1], float)
+
+    def test_failed_run_nan_speedup(self, harness):
+        tight = MachineConfig(n_nodes=4, memory_capacity=60_000)
+        sweep = harness.sweep(["friendster"], ["Allgather", "DS2"], 64,
+                              tight)
+        if sweep.results["friendster"]["Allgather"].failed:
+            assert math.isnan(
+                sweep.speedup_over("friendster", "Allgather", "DS2")
+            )
+
+    def test_empty_sweep_rejected(self, harness, machine):
+        with pytest.raises(ConfigurationError):
+            harness.sweep([], ["DS2"], 8, machine)
+
+
+class TestReporting:
+    def test_format_cell_float(self):
+        assert format_cell(1.5) == "1.500"
+        assert format_cell(0.0001) == "1.000e-04"
+        assert format_cell(12345.0) == "1.234e+04"
+        assert format_cell(0.0) == "0"
+
+    def test_format_cell_nan_is_oom(self):
+        assert format_cell(float("nan")) == "OOM"
+
+    def test_format_cell_none(self):
+        assert format_cell(None) == "-"
+
+    def test_format_cell_str(self):
+        assert format_cell("web") == "web"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["matrix", "speedup"],
+            [["web", 2.0], ["friendster", 0.5]],
+            title="Fig 7",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Fig 7"
+        assert "matrix" in lines[1]
+        assert all(
+            len(line) >= len("friendster") for line in lines[3:]
+        )
+
+    def test_print_table(self, capsys):
+        print_table(["a"], [[1.0]])
+        out = capsys.readouterr().out
+        assert "1.000" in out
+
+
+class TestSweepJSON:
+    def test_records_one_per_run(self, harness, machine):
+        from repro.bench import sweep_records
+
+        sweep = harness.sweep(["queen", "web"], ["DS2", "TwoFace"], 8,
+                              machine)
+        records = sweep_records(sweep)
+        assert len(records) == 4
+        keys = {(r["matrix"], r["algorithm"]) for r in records}
+        assert ("queen", "TwoFace") in keys
+
+    def test_json_roundtrip(self, harness, machine, tmp_path):
+        from repro.bench import load_sweep_json, save_sweep_json
+
+        sweep = harness.sweep(["queen"], ["DS2"], 8, machine)
+        path = tmp_path / "sweep.json"
+        save_sweep_json(sweep, path)
+        records = load_sweep_json(path)
+        assert records[0]["matrix"] == "queen"
+        assert records[0]["seconds"] == pytest.approx(
+            sweep.seconds("queen", "DS2")
+        )
+
+    def test_failed_runs_recorded_as_null(self, harness):
+        from repro import MachineConfig
+        from repro.bench import sweep_records
+
+        tight = MachineConfig(n_nodes=4, memory_capacity=120_000)
+        sweep = harness.sweep(["friendster"], ["Allgather"], 128, tight)
+        record = sweep_records(sweep)[0]
+        if sweep.results["friendster"]["Allgather"].failed:
+            assert record["failed"] is True
+            assert record["seconds"] is None

@@ -1,0 +1,121 @@
+"""Unit tests for the simulated machine: nodes, clocks, memory."""
+
+import pytest
+
+from repro.cluster import Cluster, MachineConfig, MemoryLedger
+from repro.errors import ConfigurationError, OutOfMemoryError
+
+
+class TestMachineConfig:
+    def test_defaults_match_paper_platform(self):
+        cfg = MachineConfig()
+        assert cfg.n_nodes == 32
+        assert cfg.threads_per_node == 128
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(n_nodes=0)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(threads_per_node=-1)
+
+    def test_invalid_memory(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(memory_capacity=0)
+
+
+class TestMemoryLedger:
+    def test_allocate_and_free(self):
+        ledger = MemoryLedger(0, 1000)
+        ledger.allocate("a", 400)
+        ledger.allocate("b", 300)
+        assert ledger.current == 700
+        assert ledger.free("a") == 400
+        assert ledger.current == 300
+
+    def test_additive_same_name(self):
+        ledger = MemoryLedger(0, 1000)
+        ledger.allocate("a", 100)
+        ledger.allocate("a", 200)
+        assert ledger.allocations() == {"a": 300}
+        assert ledger.free("a") == 300
+
+    def test_peak_tracks_high_water(self):
+        ledger = MemoryLedger(0, 1000)
+        ledger.allocate("a", 800)
+        ledger.free("a")
+        ledger.allocate("b", 100)
+        assert ledger.peak == 800
+
+    def test_oom_raises_with_details(self):
+        ledger = MemoryLedger(3, 100)
+        with pytest.raises(OutOfMemoryError) as err:
+            ledger.allocate("big", 101)
+        assert err.value.node == 3
+        assert err.value.needed_bytes == 101
+        assert err.value.capacity_bytes == 100
+
+    def test_oom_leaves_ledger_unchanged(self):
+        ledger = MemoryLedger(0, 100)
+        ledger.allocate("a", 50)
+        with pytest.raises(OutOfMemoryError):
+            ledger.allocate("b", 60)
+        assert ledger.current == 50
+        assert "b" not in ledger.allocations()
+
+    def test_exact_fit_ok(self):
+        ledger = MemoryLedger(0, 100)
+        ledger.allocate("a", 100)  # no raise
+        assert ledger.current == 100
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLedger(0, 100).allocate("a", -1)
+
+    def test_free_unknown_is_zero(self):
+        assert MemoryLedger(0, 100).free("nope") == 0
+
+
+class TestCluster:
+    def test_node_count(self, small_machine):
+        cluster = Cluster(small_machine)
+        assert cluster.n_nodes == 4
+        assert len(cluster.nodes) == 4
+
+    def test_node_access_bounds(self, small_machine):
+        cluster = Cluster(small_machine)
+        with pytest.raises(ConfigurationError):
+            cluster.node(4)
+        with pytest.raises(ConfigurationError):
+            cluster.node(-1)
+
+    def test_advance_and_makespan(self, small_machine):
+        cluster = Cluster(small_machine)
+        cluster.node(1).advance(2.5)
+        cluster.node(3).advance(1.0)
+        assert cluster.makespan() == 2.5
+
+    def test_advance_negative_rejected(self, small_machine):
+        cluster = Cluster(small_machine)
+        with pytest.raises(ConfigurationError):
+            cluster.node(0).advance(-0.1)
+
+    def test_barrier_syncs_all_clocks(self, small_machine):
+        cluster = Cluster(small_machine)
+        cluster.node(2).advance(5.0)
+        latest = cluster.barrier()
+        assert latest == 5.0
+        assert all(node.time == 5.0 for node in cluster.nodes)
+
+    def test_sync_to_never_goes_back(self, small_machine):
+        cluster = Cluster(small_machine)
+        cluster.node(0).advance(10.0)
+        cluster.node(0).sync_to(3.0)
+        assert cluster.node(0).time == 10.0
+
+    def test_reset_clocks(self, small_machine):
+        cluster = Cluster(small_machine)
+        cluster.node(0).advance(1.0)
+        cluster.reset_clocks()
+        assert cluster.makespan() == 0.0

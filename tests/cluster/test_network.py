@@ -1,0 +1,128 @@
+"""Unit tests for the network and compute cost models."""
+
+import pytest
+
+from repro.cluster import ComputeModel, NetworkModel
+from repro.errors import ConfigurationError
+
+
+class TestNetworkModel:
+    def test_p2p_affine_in_bytes(self):
+        net = NetworkModel()
+        t1 = net.p2p_time(1000)
+        t2 = net.p2p_time(2000)
+        assert t2 - t1 == pytest.approx(1000 * net.beta_p2p)
+
+    def test_p2p_latency_floor(self):
+        net = NetworkModel()
+        assert net.p2p_time(0) == pytest.approx(net.alpha_p2p)
+
+    def test_allgather_single_rank_free(self):
+        assert NetworkModel().allgather_time(1 << 20, 1) == 0.0
+
+    def test_allgather_scales_with_ranks(self):
+        net = NetworkModel()
+        assert net.allgather_time(1000, 8) > net.allgather_time(1000, 4)
+
+    def test_allgather_ring_steps(self):
+        net = NetworkModel()
+        expected = 7 * (net.alpha_coll + net.beta_coll * 500)
+        assert net.allgather_time(500, 8) == pytest.approx(expected)
+
+    def test_bcast_no_destinations_free(self):
+        assert NetworkModel().bcast_time(1000, 0) == 0.0
+
+    def test_bcast_log_depth_latency(self):
+        net = NetworkModel()
+        # Depth grows logarithmically: 1 dest -> 1, 3 dests -> 2, ...
+        t1 = net.bcast_time(0, 1)
+        t3 = net.bcast_time(0, 3)
+        t31 = net.bcast_time(0, 31)
+        assert t1 == pytest.approx(net.alpha_coll)
+        assert t3 == pytest.approx(2 * net.alpha_coll)
+        assert t31 == pytest.approx(5 * net.alpha_coll)
+
+    def test_bcast_bandwidth_term(self):
+        net = NetworkModel()
+        delta = net.bcast_time(2000, 1) - net.bcast_time(1000, 1)
+        assert delta == pytest.approx(2.0 * net.beta_coll * 1000)
+
+    def test_rget_more_expensive_per_byte_than_collective(self):
+        net = NetworkModel()
+        assert net.beta_rget > 10 * net.beta_coll  # the paper's ~18.5x
+
+    def test_rget_chunk_overhead(self):
+        net = NetworkModel()
+        assert net.rget_time(1000, n_chunks=4) > net.rget_time(1000, n_chunks=1)
+
+    def test_rget_invalid_chunks(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel().rget_time(100, n_chunks=0)
+
+    def test_scaled_returns_modified_copy(self):
+        net = NetworkModel()
+        slow = net.scaled(beta_rget=2.0)
+        assert slow.beta_rget == pytest.approx(2 * net.beta_rget)
+        assert slow.beta_coll == net.beta_coll
+        assert net.beta_rget == NetworkModel().beta_rget  # original intact
+
+    def test_scaled_unknown_parameter(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel().scaled(nonsense=2.0)
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(alpha_p2p=-1.0)
+
+
+class TestComputeModel:
+    def test_sync_panel_time_scales_with_work(self):
+        comp = ComputeModel()
+        assert comp.sync_panel_time(2000, 32, 10, 8) > comp.sync_panel_time(
+            1000, 32, 10, 8
+        )
+
+    def test_sync_panel_time_scales_inverse_threads(self):
+        comp = ComputeModel()
+        t1 = comp.sync_panel_time(1000, 32, 0, 1)
+        t8 = comp.sync_panel_time(1000, 32, 0, 8)
+        assert t1 == pytest.approx(8 * t8)
+
+    def test_sync_panel_atomic_term(self):
+        comp = ComputeModel()
+        with_flush = comp.sync_panel_time(1000, 32, 100, 4)
+        without = comp.sync_panel_time(1000, 32, 0, 4)
+        assert with_flush > without
+
+    def test_async_stripe_more_expensive_per_nnz(self):
+        comp = ComputeModel()
+        sync = comp.sync_panel_time(1000, 32, 0, 8)
+        async_ = comp.async_stripe_time(1000, 32, 8, n_stripes=0)
+        assert async_ > sync  # atomics + efficiency loss
+
+    def test_async_stripe_overhead_per_stripe(self):
+        comp = ComputeModel()
+        assert comp.async_stripe_time(0, 32, 4, n_stripes=10) == pytest.approx(
+            10 * comp.stripe_overhead
+        )
+
+    def test_invalid_threads(self):
+        comp = ComputeModel()
+        with pytest.raises(ConfigurationError):
+            comp.sync_panel_time(10, 4, 0, 0)
+        with pytest.raises(ConfigurationError):
+            comp.async_stripe_time(10, 4, 0)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            ComputeModel(async_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            ComputeModel(sync_efficiency=1.5)
+
+    def test_scaled(self):
+        comp = ComputeModel().scaled(fma_time=2.0)
+        assert comp.fma_time == pytest.approx(2 * ComputeModel().fma_time)
+
+    def test_scaled_unknown(self):
+        with pytest.raises(ConfigurationError):
+            ComputeModel().scaled(bogus=1.0)

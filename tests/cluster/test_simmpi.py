@@ -1,0 +1,197 @@
+"""Unit tests for the simulated MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, MachineConfig, SimMPI
+from repro.errors import CommunicationError, OutOfMemoryError
+
+
+@pytest.fixture
+def mpi(small_machine):
+    return SimMPI(Cluster(small_machine))
+
+
+def blocks_for(mpi, rows=8, k=4):
+    rng = np.random.default_rng(0)
+    return [rng.standard_normal((rows, k)) for _ in range(mpi.n_nodes)]
+
+
+class TestAllgather:
+    def test_returns_all_blocks(self, mpi):
+        blocks = blocks_for(mpi)
+        gathered = mpi.allgather(blocks, label="B")
+        assert len(gathered) == 4
+        for got, want in zip(gathered, blocks):
+            np.testing.assert_array_equal(got, want)
+
+    def test_charges_memory_for_foreign_blocks(self, mpi):
+        blocks = blocks_for(mpi)
+        mpi.allgather(blocks, label="B")
+        for rank, node in enumerate(mpi.cluster.nodes):
+            expected = sum(
+                b.nbytes for i, b in enumerate(blocks) if i != rank
+            )
+            assert node.memory.allocations()["B"] == expected
+
+    def test_charge_memory_opt_out(self, mpi):
+        mpi.allgather(blocks_for(mpi), label="B", charge_memory=False)
+        assert all(
+            "B" not in n.memory.allocations() for n in mpi.cluster.nodes
+        )
+
+    def test_advances_all_clocks_equally(self, mpi):
+        mpi.allgather(blocks_for(mpi), label="B")
+        times = {node.time for node in mpi.cluster.nodes}
+        assert len(times) == 1
+        assert times.pop() > 0
+
+    def test_traffic_recorded(self, mpi):
+        blocks = blocks_for(mpi)
+        mpi.allgather(blocks, label="B")
+        total = sum(b.nbytes for b in blocks)
+        assert mpi.traffic.collective_bytes == total
+        assert mpi.traffic.collective_ops == 1
+
+    def test_wrong_block_count(self, mpi):
+        with pytest.raises(CommunicationError):
+            mpi.allgather([np.zeros((2, 2))], label="B")
+
+    def test_oom_propagates(self):
+        machine = MachineConfig(n_nodes=4, memory_capacity=100)
+        mpi = SimMPI(Cluster(machine))
+        with pytest.raises(OutOfMemoryError):
+            mpi.allgather(blocks_for(mpi), label="B")
+
+
+class TestSendrecvShift:
+    def test_shift_assignment(self, mpi):
+        blocks = blocks_for(mpi)
+        shifted = mpi.sendrecv_shift(blocks, shift=1, label="s")
+        for rank in range(4):
+            np.testing.assert_array_equal(shifted[rank], blocks[(rank + 1) % 4])
+
+    def test_shift_by_zero_identity(self, mpi):
+        blocks = blocks_for(mpi)
+        shifted = mpi.sendrecv_shift(blocks, shift=0, label="s")
+        for rank in range(4):
+            np.testing.assert_array_equal(shifted[rank], blocks[rank])
+
+    def test_traffic_counts_messages(self, mpi):
+        mpi.sendrecv_shift(blocks_for(mpi), shift=1, label="s")
+        assert mpi.traffic.p2p_messages == 4
+
+    def test_clock_advance(self, mpi):
+        mpi.sendrecv_shift(blocks_for(mpi), shift=2, label="s")
+        assert all(node.time > 0 for node in mpi.cluster.nodes)
+
+    def test_wrong_count(self, mpi):
+        with pytest.raises(CommunicationError):
+            mpi.sendrecv_shift([np.zeros((1, 1))] * 3, shift=1, label="s")
+
+
+class TestMulticast:
+    def test_payload_shared(self, mpi):
+        data = np.arange(12.0).reshape(3, 4)
+        out = mpi.multicast(0, data, [1, 2], label="d")
+        np.testing.assert_array_equal(out, data)
+
+    def test_only_participants_advance(self, mpi):
+        data = np.ones((4, 4))
+        mpi.multicast(0, data, [2], label="d")
+        assert mpi.cluster.node(0).time > 0
+        assert mpi.cluster.node(2).time > 0
+        assert mpi.cluster.node(1).time == 0
+        assert mpi.cluster.node(3).time == 0
+
+    def test_root_excluded_from_destinations(self, mpi):
+        data = np.ones((2, 2))
+        mpi.multicast(0, data, [0], label="d")  # only self: no-op
+        assert mpi.cluster.node(0).time == 0
+        assert mpi.traffic.collective_ops == 0
+
+    def test_memory_charged_to_destinations_only(self, mpi):
+        data = np.ones((2, 2))
+        mpi.multicast(1, data, [3], label="d")
+        assert "d" in mpi.cluster.node(3).memory.allocations()
+        assert "d" not in mpi.cluster.node(1).memory.allocations()
+
+    def test_charge_time_opt_out(self, mpi):
+        mpi.multicast(0, np.ones((2, 2)), [1], label="d", charge_time=False)
+        assert mpi.cluster.node(0).time == 0
+        assert mpi.cluster.node(1).time == 0
+        # Traffic is still recorded.
+        assert mpi.traffic.collective_ops == 1
+
+
+class TestRgetRows:
+    def test_fetches_requested_chunks(self, mpi):
+        source = np.arange(40.0).reshape(10, 4)
+        fetched = mpi.rget_rows(0, 1, source, [(2, 2), (6, 1)], label="r")
+        np.testing.assert_array_equal(fetched, source[[2, 3, 6]])
+
+    def test_single_chunk_is_view(self, mpi):
+        source = np.arange(20.0).reshape(5, 4)
+        fetched = mpi.rget_rows(0, 1, source, [(1, 3)], label="r")
+        np.testing.assert_array_equal(fetched, source[1:4])
+
+    def test_only_origin_clock_advances(self, mpi):
+        source = np.ones((5, 4))
+        mpi.rget_rows(2, 0, source, [(0, 1)], label="r")
+        assert mpi.cluster.node(2).time > 0
+        assert mpi.cluster.node(0).time == 0  # one-sided!
+
+    def test_self_get_rejected(self, mpi):
+        with pytest.raises(CommunicationError):
+            mpi.rget_rows(1, 1, np.ones((2, 2)), [(0, 1)], label="r")
+
+    def test_chunk_bounds_checked(self, mpi):
+        source = np.ones((5, 4))
+        with pytest.raises(CommunicationError):
+            mpi.rget_rows(0, 1, source, [(4, 3)], label="r")
+        with pytest.raises(CommunicationError):
+            mpi.rget_rows(0, 1, source, [(-1, 1)], label="r")
+        with pytest.raises(CommunicationError):
+            mpi.rget_rows(0, 1, source, [(0, 0)], label="r")
+
+    def test_empty_chunk_list(self, mpi):
+        fetched = mpi.rget_rows(0, 1, np.ones((5, 4)), [], label="r")
+        assert fetched.shape[0] == 0
+
+    def test_traffic_counts_requests(self, mpi):
+        source = np.ones((5, 4))
+        mpi.rget_rows(0, 1, source, [(0, 2)], label="r")
+        mpi.rget_rows(0, 2, source, [(1, 1)], label="r")
+        assert mpi.traffic.onesided_requests == 2
+        assert mpi.traffic.onesided_bytes == 3 * 4 * 8
+
+
+class TestGetBlock:
+    def test_self_block_free(self, mpi):
+        block = np.ones((3, 3))
+        out = mpi.get_block(1, 1, block, label="g")
+        assert out is block
+        assert mpi.traffic.onesided_requests == 0
+
+    def test_remote_block_charged(self, mpi):
+        block = np.ones((3, 3))
+        mpi.get_block(0, 1, block, label="g")
+        assert mpi.traffic.onesided_bytes == block.nbytes
+        assert mpi.cluster.node(0).time > 0
+
+
+class TestTrafficStats:
+    def test_total_bytes(self, mpi):
+        mpi.sendrecv_shift(blocks_for(mpi), shift=1, label="s")
+        mpi.multicast(0, np.ones((2, 2)), [1], label="d")
+        t = mpi.traffic
+        assert t.total_bytes == t.p2p_bytes + t.collective_bytes + t.onesided_bytes
+
+    def test_per_node_recv(self, mpi):
+        mpi.multicast(0, np.ones((2, 2)), [1, 2], label="d")
+        assert mpi.traffic.per_node_recv_bytes[1] == 32
+        assert mpi.traffic.per_node_recv_bytes[0] == 0
+
+    def test_advance_all(self, mpi):
+        mpi.advance_all(0.5)
+        assert all(n.time == 0.5 for n in mpi.cluster.nodes)

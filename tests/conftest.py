@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.sparse import COOMatrix, erdos_renyi
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_machine():
+    """A 4-node machine, large memory (no incidental OOM in unit tests)."""
+    return MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+
+
+@pytest.fixture
+def machine8():
+    """An 8-node machine with default (finite) memory."""
+    return MachineConfig(n_nodes=8)
+
+
+@pytest.fixture
+def tiny_matrix():
+    """A deterministic 64x64 random matrix with ~320 nonzeros."""
+    return erdos_renyi(64, 64, 320, seed=7)
+
+
+@pytest.fixture
+def tiny_rect_matrix():
+    """A deterministic 48x80 rectangular matrix."""
+    return erdos_renyi(48, 80, 200, seed=11)
+
+
+@pytest.fixture
+def fixed_coo():
+    """The small hand-written matrix used in format tests.
+
+    Layout (8x8)::
+
+        row 0: (0,0)=1  (0,5)=2
+        row 2: (2,4)=3
+        row 3: (3,3)=4
+        row 5: (5,1)=5  (5,5)=6
+        row 7: (7,6)=7
+    """
+    rows = np.array([0, 0, 2, 3, 5, 5, 7])
+    cols = np.array([0, 5, 4, 3, 1, 5, 6])
+    vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+    return COOMatrix(rows, cols, vals, (8, 8))

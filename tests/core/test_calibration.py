@@ -1,0 +1,160 @@
+"""Unit tests for cost-model calibration (§6.2)."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.core import (
+    CostCoefficients,
+    calibrate,
+    collect_observations,
+    density_threshold_override,
+    fit_coefficients,
+)
+from repro.core.calibration import CalibrationObservation
+from repro.core.stripes import StripeGeometry, compute_rank_stripe_stats
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.errors import CalibrationError
+from repro.sparse import erdos_renyi
+
+
+@pytest.fixture
+def cal_matrix():
+    return erdos_renyi(256, 256, 4000, seed=9)
+
+
+@pytest.fixture
+def cal_machine():
+    return MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+
+
+class TestOverride:
+    def test_zero_fraction_all_sync(self, cal_matrix):
+        geo = StripeGeometry(256, 256, 4, 8)
+        dist = DistSparseMatrix(cal_matrix, RowPartition(256, 4))
+        stats = compute_rank_stripe_stats(0, dist.slab(0), geo)
+        mask = density_threshold_override(0.0)(stats, geo, 32)
+        assert not mask.any()
+
+    def test_full_fraction_all_remote(self, cal_matrix):
+        geo = StripeGeometry(256, 256, 4, 8)
+        dist = DistSparseMatrix(cal_matrix, RowPartition(256, 4))
+        stats = compute_rank_stripe_stats(0, dist.slab(0), geo)
+        mask = density_threshold_override(1.0)(stats, geo, 32)
+        assert mask.sum() == (~stats.is_local).sum()
+
+    def test_picks_sparsest_first(self, cal_matrix):
+        geo = StripeGeometry(256, 256, 4, 8)
+        dist = DistSparseMatrix(cal_matrix, RowPartition(256, 4))
+        stats = compute_rank_stripe_stats(0, dist.slab(0), geo)
+        mask = density_threshold_override(0.3)(stats, geo, 32)
+        flipped = stats.rows_needed[mask]
+        kept = stats.rows_needed[~mask & ~stats.is_local]
+        if len(flipped) and len(kept):
+            assert flipped.max() <= kept.max()
+
+
+class TestCollect:
+    def test_observations_cover_sweep(self, cal_matrix, cal_machine):
+        obs = collect_observations(
+            cal_matrix, cal_machine, k=8,
+            stripe_widths=(8, 16), async_fractions=(0.3, 0.9),
+        )
+        # 2 widths x 2 fractions x up to 4 nodes.
+        assert len(obs) >= 8
+        widths = {o.stripe_width for o in obs}
+        assert widths == {8, 16}
+
+    def test_observation_fields_consistent(self, cal_matrix, cal_machine):
+        obs = collect_observations(
+            cal_matrix, cal_machine, k=8,
+            stripe_widths=(8,), async_fractions=(0.5,),
+        )
+        for o in obs:
+            assert o.k == 8
+            assert o.n_sync_stripes + o.n_async_stripes > 0
+            assert o.sync_comm >= 0
+            assert o.async_comm >= 0
+
+
+class TestFit:
+    def test_fit_recovers_synthetic_coefficients(self):
+        """Observations generated from exact model terms must be
+        recovered (up to least-squares noise-free exactness)."""
+        true = CostCoefficients(
+            beta_s=2e-9, alpha_s=3e-6, beta_a=4e-8, alpha_a=5e-5,
+            gamma_a=6e-8, kappa_a=7e-7,
+        )
+        rng = np.random.default_rng(0)
+        obs = []
+        for i in range(50):
+            s_sync = int(rng.integers(1, 50))
+            s_async = int(rng.integers(1, 50))
+            rows = int(rng.integers(10, 1000))
+            nnz = int(rng.integers(10, 5000))
+            # Vary W across observations: with a single width the sync
+            # regressors are collinear (the reason the paper's sweep
+            # includes multiple stripe widths).
+            w, k = (32, 64, 128)[i % 3], 32
+            obs.append(
+                CalibrationObservation(
+                    n_sync_stripes=s_sync,
+                    n_async_stripes=s_async,
+                    rows_async=rows,
+                    nnz_async=nnz,
+                    stripe_width=w,
+                    k=k,
+                    sync_comm=true.comm_sync(s_sync, w, k),
+                    async_comm=true.comm_async(rows, s_async, k),
+                    async_comp=true.comp_async(nnz, s_async, k),
+                )
+            )
+        fitted = fit_coefficients(obs)
+        assert fitted.beta_s == pytest.approx(true.beta_s, rel=1e-6)
+        assert fitted.alpha_s == pytest.approx(true.alpha_s, rel=1e-6)
+        assert fitted.beta_a == pytest.approx(true.beta_a, rel=1e-6)
+        assert fitted.alpha_a == pytest.approx(true.alpha_a, rel=1e-6)
+        assert fitted.gamma_a == pytest.approx(true.gamma_a, rel=1e-6)
+        assert fitted.kappa_a == pytest.approx(true.kappa_a, rel=1e-6)
+
+    def test_fit_clips_negative_to_zero(self):
+        obs = [
+            CalibrationObservation(1, 1, 10, 10, 8, 8, 1.0, -5.0, 1.0),
+            CalibrationObservation(2, 2, 20, 20, 8, 8, 2.0, -10.0, 2.0),
+            CalibrationObservation(3, 1, 5, 30, 8, 8, 3.0, -2.0, 3.0),
+        ]
+        fitted = fit_coefficients(obs)
+        assert fitted.beta_a >= 0 and fitted.alpha_a >= 0
+
+    def test_empty_observations_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_coefficients([])
+
+
+class TestEndToEnd:
+    def test_calibrate_returns_usable_coefficients(
+        self, cal_matrix, cal_machine
+    ):
+        coeffs = calibrate(
+            cal_matrix, cal_machine, k=8, stripe_widths=(8, 16)
+        )
+        assert coeffs.beta_s > 0
+        assert coeffs.beta_a > coeffs.beta_s  # one-sided costs more
+
+    def test_calibrated_classification_improves_on_misfit(
+        self, cal_matrix, cal_machine, rng
+    ):
+        """Classifying with calibrated coefficients must not be worse
+        than classifying with wildly wrong ones."""
+        from repro.algorithms import TwoFace
+
+        B = rng.standard_normal((256, 8))
+        good = calibrate(cal_matrix, cal_machine, k=8, stripe_widths=(8,))
+        bad = good.scaled(beta_a=100.0, gamma_a=100.0)
+        t_good = TwoFace(stripe_width=8, coeffs=good).run(
+            cal_matrix, B, cal_machine
+        ).seconds
+        t_bad = TwoFace(stripe_width=8, coeffs=bad).run(
+            cal_matrix, B, cal_machine
+        ).seconds
+        assert t_good <= t_bad * 1.05

@@ -1,0 +1,194 @@
+"""Unit tests for stripe classification (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CostCoefficients,
+    StripeGeometry,
+    classify_rank_stripes,
+    compute_rank_stripe_stats,
+)
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.errors import ConfigurationError
+from repro.sparse import erdos_renyi
+
+
+def make_stats(matrix, rank=0, p=4, width=4):
+    geo = StripeGeometry(*matrix.shape, p, width)
+    dist = DistSparseMatrix(matrix, RowPartition(matrix.shape[0], p))
+    return compute_rank_stripe_stats(rank, dist.slab(rank), geo), geo
+
+
+@pytest.fixture
+def stats_and_geo(tiny_matrix):
+    return make_stats(tiny_matrix)
+
+
+class TestBasicInvariants:
+    def test_local_never_async(self, stats_and_geo):
+        stats, geo = stats_and_geo
+        cls = classify_rank_stripes(stats, geo, CostCoefficients(), k=32)
+        assert not np.any(cls.async_mask & ~cls.remote_mask)
+
+    def test_counts_consistent(self, stats_and_geo):
+        stats, geo = stats_and_geo
+        cls = classify_rank_stripes(stats, geo, CostCoefficients(), k=32)
+        assert cls.n_sync + cls.n_async + cls.n_local == stats.n_stripes
+        assert cls.n_async == int(cls.async_mask.sum())
+        assert cls.n_sync == int(cls.sync_mask.sum())
+
+    def test_aggregates_match_mask(self, stats_and_geo):
+        stats, geo = stats_and_geo
+        cls = classify_rank_stripes(stats, geo, CostCoefficients(), k=32)
+        assert cls.rows_async == stats.rows_needed[cls.async_mask].sum()
+        assert cls.nnz_async == stats.nnz[cls.async_mask].sum()
+
+    def test_invalid_k(self, stats_and_geo):
+        stats, geo = stats_and_geo
+        with pytest.raises(ConfigurationError):
+            classify_rank_stripes(stats, geo, CostCoefficients(), k=0)
+
+    def test_empty_stats(self):
+        from repro.sparse import COOMatrix
+
+        geo = StripeGeometry(8, 8, 2, 2)
+        stats = compute_rank_stripe_stats(0, COOMatrix.empty((4, 8)), geo)
+        cls = classify_rank_stripes(stats, geo, CostCoefficients(), k=8)
+        assert cls.n_sync == cls.n_async == cls.n_local == 0
+
+
+class TestBudgetRule:
+    """The paper's rule: flip cheapest z_i while sum stays within
+    S_T (beta_S W K + alpha_S)."""
+
+    def test_flipped_prefix_is_cheapest(self, stats_and_geo):
+        stats, geo = stats_and_geo
+        coeffs = CostCoefficients()
+        cls = classify_rank_stripes(stats, geo, coeffs, k=32)
+        scores = coeffs.stripe_scores(
+            stats.rows_needed, stats.nnz, geo.stripe_width, 32
+        )
+        remote = np.flatnonzero(cls.remote_mask)
+        if cls.n_async and cls.n_sync:
+            max_async = scores[remote][cls.async_mask[remote]].max()
+            min_sync = scores[remote][cls.sync_mask[remote]].min()
+            assert max_async <= min_sync + 1e-15
+
+    def test_budget_respected(self, stats_and_geo):
+        stats, geo = stats_and_geo
+        coeffs = CostCoefficients()
+        cls = classify_rank_stripes(stats, geo, coeffs, k=32)
+        scores = coeffs.stripe_scores(
+            stats.rows_needed, stats.nnz, geo.stripe_width, 32
+        )
+        n_remote = int(cls.remote_mask.sum())
+        budget = coeffs.sync_budget(n_remote, geo.stripe_width, 32)
+        assert scores[cls.async_mask].sum() <= budget + 1e-12
+
+    def test_maximal_flip_count(self, stats_and_geo):
+        """One more async stripe would blow the budget."""
+        stats, geo = stats_and_geo
+        coeffs = CostCoefficients()
+        cls = classify_rank_stripes(stats, geo, coeffs, k=32)
+        if cls.n_sync == 0:
+            return
+        scores = coeffs.stripe_scores(
+            stats.rows_needed, stats.nnz, geo.stripe_width, 32
+        )
+        n_remote = int(cls.remote_mask.sum())
+        budget = coeffs.sync_budget(n_remote, geo.stripe_width, 32)
+        next_cheapest = scores[cls.sync_mask].min()
+        assert scores[cls.async_mask].sum() + next_cheapest > budget
+
+    def test_cheap_async_expensive_sync_coeffs(self, stats_and_geo):
+        """When async is nearly free, (almost) everything remote flips.
+
+        With v_i ~ 0 every z_i equals the stripe constant u, which itself
+        contains the per-stripe sync budget, so the lane-equalising rule
+        can leave at most one stripe synchronous (a boundary artefact of
+        ``sum z_i <= budget`` at equality).
+        """
+        stats, geo = stats_and_geo
+        cheap_async = CostCoefficients(
+            beta_s=1e-3, alpha_s=1e-3, beta_a=1e-15, alpha_a=1e-15,
+            gamma_a=1e-15, kappa_a=1e-15,
+        )
+        cls = classify_rank_stripes(stats, geo, cheap_async, k=32)
+        assert cls.n_sync <= 1
+
+    def test_k_shifts_balance(self, tiny_matrix):
+        """Larger K raises async compute cost relative to the budget for
+        nnz-dense stripes, but the fraction classified async should
+        remain a valid classification at any K."""
+        stats, geo = make_stats(tiny_matrix)
+        for k in (8, 64, 512):
+            cls = classify_rank_stripes(stats, geo, CostCoefficients(), k=k)
+            assert cls.n_sync + cls.n_async == int(cls.remote_mask.sum())
+
+
+class TestMemoryFallback:
+    def test_no_budget_no_flips(self, stats_and_geo):
+        stats, geo = stats_and_geo
+        cls = classify_rank_stripes(
+            stats, geo, CostCoefficients(), k=32, sync_memory_budget=None
+        )
+        assert cls.memory_flips == 0
+
+    def test_zero_budget_flips_everything(self, stats_and_geo):
+        stats, geo = stats_and_geo
+        cls = classify_rank_stripes(
+            stats, geo, CostCoefficients(), k=32, sync_memory_budget=0
+        )
+        assert cls.n_sync == 0
+        assert cls.memory_flips >= 0
+
+    def test_large_budget_no_extra_flips(self, stats_and_geo):
+        stats, geo = stats_and_geo
+        free = classify_rank_stripes(stats, geo, CostCoefficients(), k=32)
+        capped = classify_rank_stripes(
+            stats, geo, CostCoefficients(), k=32,
+            sync_memory_budget=1 << 40,
+        )
+        assert capped.n_async == free.n_async
+        assert capped.memory_flips == 0
+
+    def test_sync_bytes_fit_budget(self, tiny_matrix):
+        stats, geo = make_stats(tiny_matrix)
+        budget = 2 * geo.stripe_width * 32 * 8  # room for ~2 stripes
+        cls = classify_rank_stripes(
+            stats, geo, CostCoefficients(), k=32, sync_memory_budget=budget
+        )
+        sync_bytes = sum(
+            geo.width_of(int(stats.gids[i])) * 32 * 8
+            for i in np.flatnonzero(cls.sync_mask)
+        )
+        assert sync_bytes <= budget
+
+    def test_flips_counted(self, tiny_matrix):
+        stats, geo = make_stats(tiny_matrix)
+        unconstrained = classify_rank_stripes(
+            stats, geo, CostCoefficients(), k=32
+        )
+        constrained = classify_rank_stripes(
+            stats, geo, CostCoefficients(), k=32, sync_memory_budget=0
+        )
+        assert constrained.memory_flips == (
+            constrained.n_async - unconstrained.n_async
+        )
+
+
+class TestDenseVsSparseMatrix:
+    def test_dense_matrix_mostly_sync(self):
+        """A near-dense matrix needs whole dense stripes: sync wins."""
+        dense = erdos_renyi(32, 32, 800, seed=0)
+        stats, geo = make_stats(dense, p=2, width=4)
+        cls = classify_rank_stripes(stats, geo, CostCoefficients(), k=128)
+        assert cls.n_sync >= cls.n_async
+
+    def test_ultra_sparse_mostly_async(self):
+        """Stripes needing only ~5% of their dense rows flip async."""
+        sparse = erdos_renyi(512, 512, 100, seed=0)
+        stats, geo = make_stats(sparse, p=4, width=128)
+        cls = classify_rank_stripes(stats, geo, CostCoefficients(), k=32)
+        assert cls.n_async > cls.n_sync

@@ -1,0 +1,138 @@
+"""Unit tests for the column-based (fan-out) classification heuristic."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import TwoFace
+from repro.core import StripeGeometry, preprocess
+from repro.core.column_classifier import (
+    auto_min_fanout,
+    column_fanout_override,
+    stripe_fanouts,
+)
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.errors import ConfigurationError
+from repro.sparse import COOMatrix, erdos_renyi, spmm_reference
+
+
+@pytest.fixture
+def dist_matrix(tiny_matrix):
+    return DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+
+
+@pytest.fixture
+def geometry(tiny_matrix):
+    return StripeGeometry(64, 64, 4, 4)
+
+
+class TestFanouts:
+    def test_fanout_bounds(self, dist_matrix, geometry):
+        fanout = stripe_fanouts(dist_matrix, geometry)
+        assert len(fanout) == geometry.n_stripes
+        assert fanout.min() >= 0
+        assert fanout.max() <= 4
+
+    def test_dense_column_full_fanout(self, geometry):
+        """A column hit by every rank's rows has fan-out p."""
+        rows = np.arange(64)
+        cols = np.zeros(64, dtype=np.int64)
+        m = COOMatrix(rows, cols, np.ones(64), (64, 64))
+        dist = DistSparseMatrix(m, RowPartition(64, 4))
+        fanout = stripe_fanouts(dist, geometry)
+        assert fanout[0] == 4
+        assert fanout[1:].sum() == 0
+
+    def test_empty_matrix(self, geometry):
+        dist = DistSparseMatrix(COOMatrix.empty((64, 64)),
+                                RowPartition(64, 4))
+        assert stripe_fanouts(dist, geometry).sum() == 0
+
+
+class TestOverride:
+    def test_sync_iff_fanout_reaches_threshold(self, dist_matrix, geometry):
+        fanout = stripe_fanouts(dist_matrix, geometry)
+        override = column_fanout_override(dist_matrix, geometry,
+                                          min_fanout=3)
+        plan, _ = preprocess(
+            dist_matrix, k=16, stripe_width=4, classify_override=override
+        )
+        for rank in range(4):
+            rp = plan.rank_plan(rank)
+            for stripe in rp.async_matrix.stripes:
+                assert fanout[stripe.gid] < 3
+            for gid in rp.sync_stripe_gids:
+                assert fanout[gid] >= 3
+
+    def test_threshold_one_means_all_sync(self, dist_matrix, geometry):
+        override = column_fanout_override(dist_matrix, geometry,
+                                          min_fanout=1)
+        plan, _ = preprocess(
+            dist_matrix, k=16, stripe_width=4, classify_override=override
+        )
+        assert plan.total_async_stripes() == 0
+
+    def test_huge_threshold_means_all_async(self, dist_matrix, geometry):
+        override = column_fanout_override(dist_matrix, geometry,
+                                          min_fanout=100)
+        plan, _ = preprocess(
+            dist_matrix, k=16, stripe_width=4, classify_override=override
+        )
+        assert plan.total_sync_stripes() == 0
+
+    def test_invalid_threshold(self, dist_matrix, geometry):
+        with pytest.raises(ConfigurationError):
+            column_fanout_override(dist_matrix, geometry, min_fanout=0)
+
+    def test_geometry_mismatch_detected(self, dist_matrix, geometry):
+        override = column_fanout_override(dist_matrix, geometry,
+                                          min_fanout=2)
+        with pytest.raises(ConfigurationError):
+            preprocess(
+                dist_matrix, k=16, stripe_width=8,  # different W
+                classify_override=override,
+            )
+
+    def test_execution_correct(self, tiny_matrix, dist_matrix, geometry,
+                               rng):
+        machine = MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+        B = rng.standard_normal((64, 16))
+        override = column_fanout_override(dist_matrix, geometry,
+                                          min_fanout=2)
+        result = TwoFace(
+            stripe_width=4, classify_override=override
+        ).run(tiny_matrix, B, machine)
+        np.testing.assert_allclose(
+            result.C, spmm_reference(tiny_matrix, B)
+        )
+
+
+class TestAutoThreshold:
+    def test_fraction_one_keeps_everything_sync(self, dist_matrix,
+                                                geometry):
+        tau = auto_min_fanout(dist_matrix, geometry,
+                              target_sync_fraction=1.0)
+        override = column_fanout_override(dist_matrix, geometry,
+                                          min_fanout=tau)
+        plan, _ = preprocess(
+            dist_matrix, k=16, stripe_width=4, classify_override=override
+        )
+        assert plan.total_async_stripes() == 0
+
+    def test_threshold_monotone_in_fraction(self, geometry):
+        m = erdos_renyi(64, 64, 600, seed=2)
+        dist = DistSparseMatrix(m, RowPartition(64, 4))
+        tau_half = auto_min_fanout(dist, geometry,
+                                   target_sync_fraction=0.5)
+        tau_tight = auto_min_fanout(dist, geometry,
+                                    target_sync_fraction=0.1)
+        assert tau_tight >= tau_half
+
+    def test_invalid_fraction(self, dist_matrix, geometry):
+        with pytest.raises(ConfigurationError):
+            auto_min_fanout(dist_matrix, geometry, target_sync_fraction=0)
+
+    def test_empty_matrix(self, geometry):
+        dist = DistSparseMatrix(COOMatrix.empty((64, 64)),
+                                RowPartition(64, 4))
+        assert auto_min_fanout(dist, geometry) == 1

@@ -1,0 +1,186 @@
+"""Unit tests for the Two-Face executor (Algorithms 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import TwoFace
+from repro.errors import PartitionError
+from repro.sparse import (
+    banded,
+    erdos_renyi,
+    spmm_reference,
+    uniform_random,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 3, 32])
+    def test_matches_reference_random(self, small_machine, rng, k):
+        A = erdos_renyi(64, 64, 400, seed=3)
+        B = rng.standard_normal((64, k))
+        result = TwoFace(stripe_width=4).run(A, B, small_machine)
+        assert not result.failed
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+    def test_matches_reference_banded(self, small_machine, rng):
+        A = banded(96, bandwidth=6, avg_degree=5, seed=3)
+        B = rng.standard_normal((96, 8))
+        result = TwoFace(stripe_width=8).run(A, B, small_machine)
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+    def test_matches_reference_sparse(self, small_machine, rng):
+        A = uniform_random(128, avg_degree=1.5, seed=3)
+        B = rng.standard_normal((128, 16))
+        result = TwoFace(stripe_width=16).run(A, B, small_machine)
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+    def test_all_async_plan_correct(self, small_machine, rng):
+        A = erdos_renyi(64, 64, 300, seed=5)
+        B = rng.standard_normal((64, 8))
+        result = TwoFace(stripe_width=4, force_all_async=True).run(
+            A, B, small_machine
+        )
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+    def test_all_sync_plan_correct(self, small_machine, rng):
+        A = erdos_renyi(64, 64, 300, seed=5)
+        B = rng.standard_normal((64, 8))
+        result = TwoFace(stripe_width=4, force_all_sync=True).run(
+            A, B, small_machine
+        )
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+    def test_empty_matrix(self, small_machine, rng):
+        from repro.sparse import COOMatrix
+
+        A = COOMatrix.empty((32, 32))
+        B = rng.standard_normal((32, 4))
+        result = TwoFace(stripe_width=4).run(A, B, small_machine)
+        np.testing.assert_array_equal(result.C, np.zeros((32, 4)))
+
+    def test_single_node(self, rng):
+        machine = MachineConfig(n_nodes=1, memory_capacity=1 << 30)
+        A = erdos_renyi(32, 32, 200, seed=1)
+        B = rng.standard_normal((32, 4))
+        result = TwoFace(stripe_width=8).run(A, B, machine)
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+        # Everything local: no communication at all.
+        assert result.traffic.total_bytes == 0
+
+
+class TestLaneAccounting:
+    def test_breakdown_components_populated(self, small_machine, rng):
+        A = erdos_renyi(64, 64, 500, seed=2)
+        B = rng.standard_normal((64, 16))
+        result = TwoFace(stripe_width=4).run(A, B, small_machine)
+        means = result.breakdown.component_means()
+        assert means.sync_comp > 0
+        assert means.other > 0
+
+    def test_makespan_is_max_node_total(self, small_machine, rng):
+        A = erdos_renyi(64, 64, 500, seed=2)
+        B = rng.standard_normal((64, 16))
+        result = TwoFace(stripe_width=4).run(A, B, small_machine)
+        totals = [n.total for n in result.breakdown.nodes]
+        assert result.seconds == pytest.approx(max(totals))
+
+    def test_async_lane_time_present_for_async_plan(
+        self, small_machine, rng
+    ):
+        A = uniform_random(128, avg_degree=1.0, seed=2)
+        B = rng.standard_normal((128, 8))
+        algo = TwoFace(stripe_width=16, force_all_async=True)
+        result = algo.run(A, B, small_machine)
+        means = result.breakdown.component_means()
+        assert means.async_comm > 0
+        assert means.async_comp > 0
+        assert means.sync_comm == 0  # no multicasts in all-async mode
+
+    def test_all_sync_has_no_async_time(self, small_machine, rng):
+        A = erdos_renyi(64, 64, 300, seed=2)
+        B = rng.standard_normal((64, 8))
+        result = TwoFace(stripe_width=4, force_all_sync=True).run(
+            A, B, small_machine
+        )
+        means = result.breakdown.component_means()
+        assert means.async_comm == 0
+        assert means.async_comp == 0
+
+
+class TestTrafficAccounting:
+    def test_async_bytes_match_rows_fetched(self, small_machine, rng):
+        A = uniform_random(128, avg_degree=1.0, seed=4)
+        B = rng.standard_normal((128, 8))
+        algo = TwoFace(stripe_width=16, force_all_async=True)
+        result = algo.run(A, B, small_machine)
+        # At K=8 the coalescing gap is ~16, so some useless rows may be
+        # fetched; bytes must be at least the useful rows.
+        useful = algo.last_plan.total_async_rows() * 8 * 8
+        assert result.traffic.onesided_bytes >= useful
+        assert result.traffic.collective_bytes == 0
+
+    def test_sync_bytes_match_multicast_payloads(self, small_machine, rng):
+        A = erdos_renyi(64, 64, 600, seed=4)
+        B = rng.standard_normal((64, 8))
+        algo = TwoFace(stripe_width=4, force_all_sync=True)
+        result = algo.run(A, B, small_machine)
+        plan = algo.last_plan
+        expected = sum(
+            plan.geometry.width_of(gid) * 8 * 8
+            for gid, dests in plan.stripe_destinations.items()
+            if dests
+        )
+        assert result.traffic.collective_bytes == expected
+        assert result.traffic.onesided_bytes == 0
+
+
+class TestPlanReuse:
+    def test_precomputed_plan_reused(self, small_machine, rng):
+        A = erdos_renyi(64, 64, 400, seed=6)
+        B = rng.standard_normal((64, 8))
+        first = TwoFace(stripe_width=4)
+        r1 = first.run(A, B, small_machine)
+        second = TwoFace(plan=first.last_plan)
+        r2 = second.run(A, B, small_machine)
+        np.testing.assert_allclose(r1.C, r2.C)
+        assert r2.seconds == pytest.approx(r1.seconds)
+        assert second.last_report is None  # no preprocessing happened
+
+    def test_plan_wrong_k_rejected(self, small_machine, rng):
+        A = erdos_renyi(64, 64, 400, seed=6)
+        first = TwoFace(stripe_width=4)
+        first.run(A, rng.standard_normal((64, 8)), small_machine)
+        second = TwoFace(plan=first.last_plan)
+        with pytest.raises(PartitionError):
+            second.run(A, rng.standard_normal((64, 16)), small_machine)
+
+    def test_plan_wrong_nodes_rejected(self, small_machine, rng):
+        A = erdos_renyi(64, 64, 400, seed=6)
+        B = rng.standard_normal((64, 8))
+        first = TwoFace(stripe_width=4)
+        first.run(A, B, small_machine)
+        other_machine = MachineConfig(n_nodes=8, memory_capacity=1 << 30)
+        with pytest.raises(PartitionError):
+            TwoFace(plan=first.last_plan).run(A, B, other_machine)
+
+
+class TestExtras:
+    def test_extras_report_classification(self, small_machine, rng):
+        A = erdos_renyi(64, 64, 400, seed=8)
+        B = rng.standard_normal((64, 8))
+        result = TwoFace(stripe_width=4).run(A, B, small_machine)
+        extras = result.extras
+        assert extras["sync_stripes"] >= 0
+        assert extras["async_stripes"] >= 0
+        assert extras["local_stripes"] > 0
+        assert extras["preprocess_report"] is not None
+
+    def test_mean_multicast_fanout_bounded(self, small_machine, rng):
+        A = erdos_renyi(64, 64, 2000, seed=8)  # dense-ish
+        B = rng.standard_normal((64, 8))
+        result = TwoFace(stripe_width=4, force_all_sync=True).run(
+            A, B, small_machine
+        )
+        fanout = result.extras["mean_multicast_fanout"]
+        assert 0 < fanout <= small_machine.n_nodes - 1

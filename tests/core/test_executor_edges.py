@@ -1,0 +1,101 @@
+"""Edge-case tests for the Two-Face executor and plan execution."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import TwoFace
+from repro.core import preprocess
+from repro.core.executor import TWOFACE_SETUP_SECONDS, execute_plan
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.errors import PartitionError
+from repro.sparse import COOMatrix, erdos_renyi, spmm_reference
+
+
+class TestDegenerateInputs:
+    def test_one_column_matrix(self, small_machine, rng):
+        A = COOMatrix(
+            np.arange(16), np.zeros(16, dtype=np.int64),
+            np.ones(16), (16, 16),
+        )
+        B = rng.standard_normal((16, 4))
+        result = TwoFace(stripe_width=2).run(A, B, small_machine)
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+    def test_single_nonzero(self, small_machine, rng):
+        A = COOMatrix(
+            np.array([10]), np.array([50]), np.array([3.0]), (64, 64)
+        )
+        B = rng.standard_normal((64, 4))
+        result = TwoFace(stripe_width=4).run(A, B, small_machine)
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+    def test_fully_dense_matrix(self, small_machine, rng):
+        dense = rng.standard_normal((24, 24))
+        A = COOMatrix.from_dense(dense + 10)  # no zeros
+        B = rng.standard_normal((24, 4))
+        result = TwoFace(stripe_width=2).run(A, B, small_machine)
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+    def test_more_nodes_than_stripes(self, rng):
+        machine = MachineConfig(n_nodes=16, memory_capacity=1 << 30)
+        A = erdos_renyi(32, 32, 100, seed=3)
+        B = rng.standard_normal((32, 4))
+        result = TwoFace(stripe_width=32).run(A, B, machine)
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+    def test_wide_k(self, small_machine, rng):
+        A = erdos_renyi(32, 32, 120, seed=3)
+        B = rng.standard_normal((32, 300))
+        result = TwoFace(stripe_width=4).run(A, B, small_machine)
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+    def test_nonzero_values_with_zeros(self, small_machine, rng):
+        """Explicitly stored zeros are legal COO content."""
+        A = COOMatrix(
+            np.array([0, 1, 2]), np.array([5, 6, 7]),
+            np.array([0.0, 2.0, 0.0]), (16, 16),
+        )
+        B = rng.standard_normal((16, 4))
+        result = TwoFace(stripe_width=4).run(A, B, small_machine)
+        np.testing.assert_allclose(result.C, spmm_reference(A, B))
+
+
+class TestSetupAccounting:
+    def test_twoface_setup_in_other(self, small_machine, rng):
+        A = erdos_renyi(32, 32, 100, seed=4)
+        B = rng.standard_normal((32, 4))
+        result = TwoFace(stripe_width=4).run(A, B, small_machine)
+        for node in result.breakdown.nodes:
+            assert node.other >= TWOFACE_SETUP_SECONDS
+
+
+class TestExecutePlanValidation:
+    def test_node_count_mismatch(self, tiny_matrix, small_machine, rng):
+        dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 2))
+        plan, _ = preprocess(dist, k=4, stripe_width=4)
+        algo = TwoFace(plan=plan)
+        with pytest.raises(PartitionError):
+            algo.run(
+                tiny_matrix, rng.standard_normal((64, 4)), small_machine
+            )
+
+    def test_corrupted_async_owner_detected(
+        self, tiny_matrix, small_machine, rng
+    ):
+        """A stripe claiming to be async while local must be refused."""
+        dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+        plan, _ = preprocess(
+            dist, k=4, stripe_width=4, force_all_async=True
+        )
+        # Corrupt: point one async stripe's owner at its own rank.
+        for rank_plan in plan.ranks:
+            if rank_plan.async_matrix.stripes:
+                rank_plan.async_matrix.stripes[0].owner = rank_plan.rank
+                break
+        else:
+            pytest.skip("no async stripes to corrupt")
+        with pytest.raises(PartitionError):
+            TwoFace(plan=plan).run(
+                tiny_matrix, rng.standard_normal((64, 4)), small_machine
+            )

@@ -1,0 +1,150 @@
+"""Unit tests for the Two-Face sparse representations (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AsyncStripe,
+    AsyncStripeMatrix,
+    SyncLocalMatrix,
+    build_async_stripe_matrix,
+    build_sync_local_matrix,
+)
+from repro.errors import FormatError
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+@pytest.fixture
+def slab(fixed_coo):
+    """Treat the fixture as one rank's slab (local rows, global cols)."""
+    return fixed_coo
+
+
+class TestSyncLocalMatrix:
+    def test_build_from_selection(self, slab):
+        sel = np.array([0, 2, 4])  # entries (0,0), (2,4), (5,1)
+        m = build_sync_local_matrix(0, slab, sel, panel_height=4)
+        assert m.nnz == 3
+        assert m.csr.shape == slab.shape
+
+    def test_row_major_order(self, slab):
+        sel = np.arange(slab.nnz)
+        m = build_sync_local_matrix(0, slab, sel, panel_height=2)
+        coo = m.csr.to_coo()
+        keys = list(zip(coo.rows, coo.cols))
+        assert keys == sorted(keys)
+
+    def test_panel_pointers(self, slab):
+        m = build_sync_local_matrix(
+            0, slab, np.arange(slab.nnz), panel_height=3
+        )
+        assert list(m.panel_bounds) == [0, 3, 6, 8]
+        assert m.n_panels == 3
+
+    def test_nonempty_rows(self, slab):
+        m = build_sync_local_matrix(
+            0, slab, np.arange(slab.nnz), panel_height=4
+        )
+        assert m.nonempty_rows() == 5
+
+    def test_empty_selection(self, slab):
+        m = build_sync_local_matrix(
+            0, slab, np.zeros(0, dtype=np.int64), panel_height=4
+        )
+        assert m.nnz == 0
+        assert m.nonempty_rows() == 0
+
+    def test_invalid_panel_height(self, slab):
+        with pytest.raises(FormatError):
+            SyncLocalMatrix(0, CSRMatrix.empty((4, 4)), panel_height=0)
+
+    def test_nbytes(self, slab):
+        m = build_sync_local_matrix(
+            0, slab, np.arange(slab.nnz), panel_height=4
+        )
+        assert m.nbytes() > 0
+
+
+class TestAsyncStripe:
+    def _stripe(self, slab, gid=3, owner=1):
+        sel = np.array([1, 5])  # (0,5) and (5,5)
+        coo = COOMatrix(
+            slab.rows[sel], slab.cols[sel], slab.vals[sel], slab.shape
+        ).sorted_col_major()
+        return AsyncStripe(
+            gid=gid, owner=owner, nonzeros=coo, row_ids=np.unique(coo.cols)
+        )
+
+    def test_rows_needed(self, slab):
+        stripe = self._stripe(slab)
+        assert stripe.rows_needed == 1  # both nonzeros share col 5
+        assert stripe.nnz == 2
+
+    def test_transfer_chunks_relative_to_block(self, slab):
+        stripe = self._stripe(slab)
+        chunks = stripe.transfer_chunks(block_start=4, max_gap=1)
+        assert chunks == [(1, 1)]  # global row 5 = local 1 in block at 4
+
+    def test_transfer_chunks_below_block_rejected(self, slab):
+        stripe = self._stripe(slab)
+        with pytest.raises(FormatError):
+            stripe.transfer_chunks(block_start=6, max_gap=1)
+
+
+class TestAsyncStripeMatrix:
+    def test_build_groups_by_stripe(self, slab):
+        sels = {
+            2: (1, np.array([1, 5])),
+            0: (0, np.array([0])),
+        }
+        m = build_async_stripe_matrix(0, slab, sels)
+        assert m.n_stripes == 2
+        assert [s.gid for s in m.stripes] == [0, 2]  # ascending gid
+        assert m.nnz == 3
+
+    def test_column_major_within_stripe(self, slab):
+        sels = {1: (1, np.array([0, 1, 4, 5]))}
+        m = build_async_stripe_matrix(0, slab, sels)
+        coo = m.stripes[0].nonzeros
+        keys = list(zip(coo.cols, coo.rows))
+        assert keys == sorted(keys)
+
+    def test_row_ids_sorted_unique(self, slab):
+        sels = {0: (1, np.array([1, 5, 2]))}
+        m = build_async_stripe_matrix(0, slab, sels)
+        ids = m.stripes[0].row_ids
+        assert np.all(np.diff(ids) > 0)
+
+    def test_total_rows_needed(self, slab):
+        sels = {
+            0: (1, np.array([0])),       # col 0
+            1: (2, np.array([1, 5])),    # col 5 (shared)
+        }
+        m = build_async_stripe_matrix(0, slab, sels)
+        assert m.total_rows_needed == 2
+
+    def test_stripe_pointers(self, slab):
+        sels = {
+            0: (1, np.array([0])),
+            1: (2, np.array([1, 5, 2])),
+        }
+        m = build_async_stripe_matrix(0, slab, sels)
+        assert list(m.stripe_pointers()) == [0, 1, 4]
+
+    def test_unordered_gids_rejected(self, slab):
+        good = build_async_stripe_matrix(
+            0, slab, {0: (1, np.array([0])), 1: (2, np.array([1]))}
+        )
+        with pytest.raises(FormatError):
+            AsyncStripeMatrix(0, list(reversed(good.stripes)))
+
+    def test_duplicate_gids_rejected(self, slab):
+        good = build_async_stripe_matrix(0, slab, {0: (1, np.array([0]))})
+        with pytest.raises(FormatError):
+            AsyncStripeMatrix(0, [good.stripes[0], good.stripes[0]])
+
+    def test_empty(self, slab):
+        m = build_async_stripe_matrix(0, slab, {})
+        assert m.n_stripes == 0
+        assert m.nnz == 0
+        assert list(m.stripe_pointers()) == [0]

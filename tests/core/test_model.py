@@ -1,0 +1,115 @@
+"""Unit tests for the preprocessing cost model (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PAPER_TABLE3, SIM_CALIBRATED, CostCoefficients
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_defaults_are_sim_calibrated(self):
+        coeffs = CostCoefficients()
+        for name, value in SIM_CALIBRATED.items():
+            assert getattr(coeffs, name) == value
+
+    def test_paper_values_accessor(self):
+        paper = CostCoefficients.paper_values()
+        assert paper.beta_s == PAPER_TABLE3["beta_s"]
+        assert paper.kappa_a == PAPER_TABLE3["kappa_a"]
+
+    def test_paper_beta_ratio(self):
+        """Table 3: async transfers ~18.5x costlier per element."""
+        paper = CostCoefficients.paper_values()
+        assert paper.beta_a / paper.beta_s == pytest.approx(18.5, rel=0.01)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostCoefficients(beta_s=-1e-9)
+
+    def test_as_dict_roundtrip(self):
+        coeffs = CostCoefficients(beta_s=1.0, alpha_s=2.0, beta_a=3.0,
+                                  alpha_a=4.0, gamma_a=5.0, kappa_a=6.0)
+        assert CostCoefficients(**coeffs.as_dict()) == coeffs
+
+
+class TestModelTerms:
+    coeffs = CostCoefficients(
+        beta_s=1e-9, alpha_s=1e-6, beta_a=2e-8, alpha_a=1e-5,
+        gamma_a=3e-8, kappa_a=1e-8,
+    )
+
+    def test_comm_sync_formula(self):
+        # Comm_S = S_S (beta_S W K + alpha_S)
+        got = self.coeffs.comm_sync(10, 128, 32)
+        want = 10 * (1e-9 * 128 * 32 + 1e-6)
+        assert got == pytest.approx(want)
+
+    def test_comm_async_formula(self):
+        # Comm_A = beta_A K L_A + alpha_A S_A
+        got = self.coeffs.comm_async(500, 7, 32)
+        want = 2e-8 * 32 * 500 + 1e-5 * 7
+        assert got == pytest.approx(want)
+
+    def test_comp_async_formula(self):
+        # Comp_A = gamma_A K N_A + kappa_A S_A
+        got = self.coeffs.comp_async(1000, 7, 32)
+        want = 3e-8 * 32 * 1000 + 1e-8 * 7
+        assert got == pytest.approx(want)
+
+    def test_stripe_constant(self):
+        # u = alpha_A + kappa_A + beta_S W K + alpha_S
+        got = self.coeffs.stripe_constant(128, 32)
+        want = 1e-5 + 1e-8 + 1e-9 * 128 * 32 + 1e-6
+        assert got == pytest.approx(want)
+
+    def test_stripe_scores_vectorized(self):
+        l = np.array([10, 20])
+        n = np.array([100, 50])
+        scores = self.coeffs.stripe_scores(l, n, 128, 32)
+        u = self.coeffs.stripe_constant(128, 32)
+        want0 = 32 * (2e-8 * 10 + 3e-8 * 100) + u
+        want1 = 32 * (2e-8 * 20 + 3e-8 * 50) + u
+        np.testing.assert_allclose(scores, [want0, want1])
+
+    def test_stripe_scores_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            self.coeffs.stripe_scores(np.ones(2), np.ones(3), 8, 8)
+
+    def test_sync_budget_equals_all_sync_comm(self):
+        assert self.coeffs.sync_budget(50, 128, 32) == pytest.approx(
+            self.coeffs.comm_sync(50, 128, 32)
+        )
+
+    def test_score_monotone_in_rows_needed(self):
+        s1 = self.coeffs.stripe_scores(np.array([1]), np.array([5]), 64, 16)
+        s2 = self.coeffs.stripe_scores(np.array([9]), np.array([5]), 64, 16)
+        assert s2[0] > s1[0]
+
+    def test_score_monotone_in_nnz(self):
+        s1 = self.coeffs.stripe_scores(np.array([3]), np.array([5]), 64, 16)
+        s2 = self.coeffs.stripe_scores(np.array([3]), np.array([50]), 64, 16)
+        assert s2[0] > s1[0]
+
+
+class TestScaled:
+    def test_scaled_single(self):
+        base = CostCoefficients()
+        scaled = base.scaled(alpha_a=1.25)
+        assert scaled.alpha_a == pytest.approx(1.25 * base.alpha_a)
+        assert scaled.beta_a == base.beta_a
+
+    def test_scaled_multiple(self):
+        base = CostCoefficients()
+        scaled = base.scaled(alpha_s=0.8, beta_s=0.8)
+        assert scaled.alpha_s == pytest.approx(0.8 * base.alpha_s)
+        assert scaled.beta_s == pytest.approx(0.8 * base.beta_s)
+
+    def test_scaled_unknown(self):
+        with pytest.raises(ConfigurationError):
+            CostCoefficients().scaled(gamma_s=1.0)
+
+    def test_original_unchanged(self):
+        base = CostCoefficients()
+        base.scaled(beta_a=2.0)
+        assert base.beta_a == SIM_CALIBRATED["beta_a"]

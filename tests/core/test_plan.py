@@ -1,0 +1,116 @@
+"""Unit tests for TwoFacePlan aggregates and metadata."""
+
+import numpy as np
+import pytest
+
+from repro.core import preprocess
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.errors import PartitionError
+from repro.sparse import COOMatrix, erdos_renyi
+
+
+@pytest.fixture
+def plan(tiny_matrix):
+    dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+    plan, _ = preprocess(dist, k=16, stripe_width=4)
+    return plan
+
+
+class TestAggregates:
+    def test_rank_plan_bounds(self, plan):
+        with pytest.raises(PartitionError):
+            plan.rank_plan(4)
+        with pytest.raises(PartitionError):
+            plan.rank_plan(-1)
+
+    def test_n_nodes(self, plan):
+        assert plan.n_nodes == 4
+
+    def test_stripe_totals_nonnegative(self, plan):
+        assert plan.total_sync_stripes() >= 0
+        assert plan.total_async_stripes() >= 0
+        assert plan.total_local_stripes() > 0
+
+    def test_total_async_rows_matches_stripes(self, plan):
+        expected = sum(
+            stripe.rows_needed
+            for rank_plan in plan.ranks
+            for stripe in rank_plan.async_matrix.stripes
+        )
+        assert plan.total_async_rows() == expected
+
+    def test_fanouts_match_destinations(self, plan):
+        fanouts = plan.multicast_fanouts()
+        assert len(fanouts) == sum(
+            1 for d in plan.stripe_destinations.values() if d
+        )
+        if fanouts:
+            assert plan.mean_multicast_fanout() == pytest.approx(
+                np.mean(fanouts)
+            )
+
+    def test_mean_fanout_empty(self):
+        empty = COOMatrix.empty((32, 32))
+        dist = DistSparseMatrix(empty, RowPartition(32, 4))
+        plan, _ = preprocess(dist, k=8, stripe_width=4)
+        assert plan.mean_multicast_fanout() == 0.0
+
+    def test_sync_recv_rows(self, plan):
+        for rank in range(4):
+            expected = sum(
+                plan.geometry.width_of(int(g))
+                for g in plan.rank_plan(rank).sync_stripe_gids
+            )
+            assert plan.sync_recv_rows(rank) == expected
+
+    def test_plan_nbytes_positive(self, plan):
+        assert plan.plan_nbytes() > 0
+
+    def test_plan_nbytes_tracks_content(self, tiny_matrix):
+        """An all-async plan stores the same nonzeros, so footprints
+        are of the same magnitude."""
+        dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+        normal, _ = preprocess(dist, k=16, stripe_width=4)
+        all_async, _ = preprocess(
+            dist, k=16, stripe_width=4, force_all_async=True
+        )
+        ratio = all_async.plan_nbytes() / normal.plan_nbytes()
+        assert 0.3 < ratio < 3.0
+
+
+class TestMetadataConsistency:
+    def test_every_sync_gid_has_destination_entry(self, plan):
+        for rank_plan in plan.ranks:
+            for gid in rank_plan.sync_stripe_gids:
+                assert int(gid) in plan.stripe_destinations
+
+    def test_destinations_sorted(self, plan):
+        for dests in plan.stripe_destinations.values():
+            assert dests == sorted(dests)
+
+    def test_no_rank_both_sync_and_async_for_same_gid(self, plan):
+        for rank_plan in plan.ranks:
+            sync_gids = set(int(g) for g in rank_plan.sync_stripe_gids)
+            async_gids = {
+                stripe.gid for stripe in rank_plan.async_matrix.stripes
+            }
+            assert not (sync_gids & async_gids)
+
+    def test_nonzeros_partition_between_matrices(self, tiny_matrix):
+        dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+        plan, _ = preprocess(dist, k=16, stripe_width=4)
+        for rank in range(4):
+            rank_plan = plan.rank_plan(rank)
+            assert (
+                rank_plan.sync_local.nnz + rank_plan.async_matrix.nnz
+                == dist.slab(rank).nnz
+            )
+
+    def test_async_stripe_cols_within_bounds(self, plan):
+        for rank_plan in plan.ranks:
+            for stripe in rank_plan.async_matrix.stripes:
+                lo, hi = plan.geometry.col_bounds(stripe.gid)
+                assert np.all(
+                    (stripe.nonzeros.cols >= lo)
+                    & (stripe.nonzeros.cols < hi)
+                )

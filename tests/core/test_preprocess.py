@@ -1,0 +1,166 @@
+"""Unit tests for the Two-Face preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.core import CostCoefficients, preprocess
+from repro.core.preprocess import PreprocessCostModel
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.errors import ConfigurationError
+from repro.sparse import erdos_renyi
+
+
+@pytest.fixture
+def dist_matrix(tiny_matrix):
+    return DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+
+
+class TestPlanConstruction:
+    def test_nonzeros_conserved(self, dist_matrix):
+        plan, _ = preprocess(dist_matrix, k=16, stripe_width=4)
+        for rank in range(4):
+            rank_plan = plan.rank_plan(rank)
+            assert rank_plan.nnz == dist_matrix.slab(rank).nnz
+
+    def test_stripe_counts_conserved(self, dist_matrix):
+        plan, _ = preprocess(dist_matrix, k=16, stripe_width=4)
+        total = (
+            plan.total_sync_stripes()
+            + plan.total_async_stripes()
+            + plan.total_local_stripes()
+        )
+        per_rank = sum(
+            len(np.unique(plan.geometry.stripes_of_cols(
+                dist_matrix.slab(r).cols)))
+            for r in range(4) if dist_matrix.slab(r).nnz
+        )
+        assert total == per_rank
+
+    def test_destinations_match_sync_gids(self, dist_matrix):
+        plan, _ = preprocess(dist_matrix, k=16, stripe_width=4)
+        for rank in range(4):
+            for gid in plan.rank_plan(rank).sync_stripe_gids:
+                assert rank in plan.stripe_destinations[int(gid)]
+
+    def test_destinations_never_include_owner(self, dist_matrix):
+        plan, _ = preprocess(dist_matrix, k=16, stripe_width=4)
+        for gid, dests in plan.stripe_destinations.items():
+            owner = plan.geometry.owner_of_stripe(gid)
+            assert owner not in dests
+
+    def test_async_stripes_remote_only(self, dist_matrix):
+        plan, _ = preprocess(dist_matrix, k=16, stripe_width=4)
+        for rank in range(4):
+            for stripe in plan.rank_plan(rank).async_matrix.stripes:
+                assert stripe.owner != rank
+
+    def test_force_all_async(self, dist_matrix):
+        plan, _ = preprocess(
+            dist_matrix, k=16, stripe_width=4, force_all_async=True
+        )
+        assert plan.total_sync_stripes() == 0
+        assert not plan.stripe_destinations
+
+    def test_force_all_sync(self, dist_matrix):
+        plan, _ = preprocess(
+            dist_matrix, k=16, stripe_width=4, force_all_sync=True
+        )
+        assert plan.total_async_stripes() == 0
+
+    def test_force_flags_exclusive(self, dist_matrix):
+        with pytest.raises(ConfigurationError):
+            preprocess(
+                dist_matrix, k=16, stripe_width=4,
+                force_all_async=True, force_all_sync=True,
+            )
+
+    def test_classify_override(self, dist_matrix):
+        def all_async(stats, geometry, k):
+            return np.ones(stats.n_stripes, dtype=bool)
+
+        plan, _ = preprocess(
+            dist_matrix, k=16, stripe_width=4, classify_override=all_async
+        )
+        assert plan.total_sync_stripes() == 0
+        # Local stripes survive the override.
+        assert plan.total_local_stripes() > 0
+
+    def test_invalid_k(self, dist_matrix):
+        with pytest.raises(ConfigurationError):
+            preprocess(dist_matrix, k=0, stripe_width=4)
+
+    def test_machine_mismatch(self, dist_matrix):
+        with pytest.raises(ConfigurationError):
+            preprocess(
+                dist_matrix, k=16, stripe_width=4,
+                machine=MachineConfig(n_nodes=8),
+            )
+
+    def test_plan_k_recorded(self, dist_matrix):
+        plan, _ = preprocess(dist_matrix, k=16, stripe_width=4)
+        assert plan.k == 16
+        assert plan.panel_height == 32
+        assert plan.n_nodes == 4
+
+
+class TestMemoryFallback:
+    def test_tight_memory_forces_async(self, tiny_matrix):
+        dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+        roomy = MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+        tight = MachineConfig(n_nodes=4, memory_capacity=40_000)
+        plan_roomy, rep_roomy = preprocess(
+            dist, k=64, stripe_width=4, machine=roomy
+        )
+        plan_tight, rep_tight = preprocess(
+            dist, k=64, stripe_width=4, machine=tight
+        )
+        assert rep_tight.memory_flips > rep_roomy.memory_flips
+        assert (
+            plan_tight.total_async_stripes()
+            > plan_roomy.total_async_stripes()
+        )
+
+
+class TestCostModel:
+    def test_report_io_exceeds_no_io(self, dist_matrix):
+        _, report = preprocess(dist_matrix, k=16, stripe_width=4)
+        assert report.modeled_seconds_with_io > report.modeled_seconds
+        assert report.wall_seconds > 0
+
+    def test_cost_scales_with_nnz(self):
+        small = erdos_renyi(64, 64, 100, seed=1)
+        large = erdos_renyi(64, 64, 1000, seed=1)
+        model = PreprocessCostModel()
+        t_small = model.classify_build_time(small.nnz, 10)
+        t_large = model.classify_build_time(large.nnz, 10)
+        assert t_large > t_small
+
+    def test_io_time_components(self):
+        model = PreprocessCostModel()
+        assert model.io_time(1000, 0) > 0  # read term alone
+        assert model.io_time(0, 10_000) > 0  # write term alone
+
+    def test_custom_cost_model_used(self, dist_matrix):
+        slow = PreprocessCostModel(per_nnz_classify=1.0, per_nnz_build=1.0)
+        _, report = preprocess(
+            dist_matrix, k=16, stripe_width=4, cost_model=slow
+        )
+        assert report.modeled_seconds >= dist_matrix.nnz
+
+
+class TestCoefficientImpact:
+    def test_cheaper_async_means_more_async(self, dist_matrix):
+        base = CostCoefficients()
+        cheaper = base.scaled(beta_a=0.1, alpha_a=0.1, gamma_a=0.1,
+                              kappa_a=0.1)
+        plan_base, _ = preprocess(
+            dist_matrix, k=16, stripe_width=4, coeffs=base
+        )
+        plan_cheap, _ = preprocess(
+            dist_matrix, k=16, stripe_width=4, coeffs=cheaper
+        )
+        assert (
+            plan_cheap.total_async_stripes()
+            >= plan_base.total_async_stripes()
+        )

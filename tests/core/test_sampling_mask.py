@@ -1,0 +1,137 @@
+"""Unit tests for the §5.4 sampling masks."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import TwoFace
+from repro.core import (
+    bernoulli_mask,
+    full_mask,
+    masked_matrix,
+    preprocess,
+)
+from repro.core.sampling_mask import SampleMask
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.errors import PartitionError, ShapeError
+from repro.sparse import erdos_renyi, spmm_reference
+
+
+@pytest.fixture
+def plan_and_matrix(rng):
+    A = erdos_renyi(96, 96, 700, seed=2)
+    dist = DistSparseMatrix(A, RowPartition(96, 4))
+    plan, _ = preprocess(dist, k=8, stripe_width=8)
+    return plan, A
+
+
+class TestMaskConstruction:
+    def test_full_mask_keeps_everything(self, plan_and_matrix):
+        plan, A = plan_and_matrix
+        mask = full_mask(plan)
+        assert mask.kept_nnz == mask.total_nnz == A.nnz
+
+    def test_bernoulli_keep_rate(self, plan_and_matrix):
+        plan, A = plan_and_matrix
+        mask = bernoulli_mask(plan, 0.5, seed=1)
+        rate = mask.kept_nnz / mask.total_nnz
+        assert 0.35 < rate < 0.65
+
+    def test_bernoulli_zero_and_one(self, plan_and_matrix):
+        plan, _ = plan_and_matrix
+        assert bernoulli_mask(plan, 0.0, seed=1).kept_nnz == 0
+        full = bernoulli_mask(plan, 1.0, seed=1)
+        assert full.kept_nnz == full.total_nnz
+
+    def test_bernoulli_deterministic_per_seed(self, plan_and_matrix):
+        plan, _ = plan_and_matrix
+        a = bernoulli_mask(plan, 0.5, seed=3)
+        b = bernoulli_mask(plan, 0.5, seed=3)
+        c = bernoulli_mask(plan, 0.5, seed=4)
+        assert a.kept_nnz == b.kept_nnz
+        for ra, rb in zip(a.sync_masks, b.sync_masks):
+            np.testing.assert_array_equal(ra, rb)
+        assert any(
+            not np.array_equal(ra, rc)
+            for ra, rc in zip(a.sync_masks, c.sync_masks)
+        )
+
+    def test_invalid_probability(self, plan_and_matrix):
+        plan, _ = plan_and_matrix
+        with pytest.raises(ShapeError):
+            bernoulli_mask(plan, 1.5)
+
+    def test_validation_catches_misaligned_masks(self, plan_and_matrix):
+        plan, _ = plan_and_matrix
+        bad = SampleMask(
+            sync_masks=[np.ones(1, dtype=bool)] * plan.n_nodes,
+            async_masks=[[] for _ in range(plan.n_nodes)],
+        )
+        with pytest.raises(PartitionError):
+            bad.validate_against(plan)
+
+    def test_validation_catches_wrong_rank_count(self, plan_and_matrix):
+        plan, _ = plan_and_matrix
+        bad = SampleMask(sync_masks=[], async_masks=[])
+        with pytest.raises(PartitionError):
+            bad.validate_against(plan)
+
+
+class TestMaskedMatrix:
+    def test_full_mask_recovers_original(self, plan_and_matrix):
+        plan, A = plan_and_matrix
+        recovered = masked_matrix(plan, full_mask(plan), RowPartition(96, 4))
+        assert recovered == A
+
+    def test_partial_mask_subset(self, plan_and_matrix):
+        plan, A = plan_and_matrix
+        mask = bernoulli_mask(plan, 0.4, seed=7)
+        sub = masked_matrix(plan, mask, RowPartition(96, 4))
+        assert sub.nnz == mask.kept_nnz
+        # Every surviving entry exists in A with the same value.
+        dense_a = A.to_dense()
+        for r, c, v in zip(sub.rows, sub.cols, sub.vals):
+            assert dense_a[r, c] == v
+
+
+class TestSampledExecution:
+    machine = MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+
+    def test_sampled_result_matches_masked_reference(
+        self, plan_and_matrix, rng
+    ):
+        plan, A = plan_and_matrix
+        B = rng.standard_normal((96, 8))
+        mask = bernoulli_mask(plan, 0.55, seed=9)
+        result = TwoFace(plan=plan, mask=mask).run(A, B, self.machine)
+        A_masked = masked_matrix(plan, mask, RowPartition(96, 4))
+        np.testing.assert_allclose(
+            result.C, spmm_reference(A_masked, B)
+        )
+
+    def test_mask_requires_plan(self, plan_and_matrix):
+        plan, _ = plan_and_matrix
+        with pytest.raises(PartitionError):
+            TwoFace(mask=full_mask(plan))
+
+    def test_communication_unchanged_by_sampling(
+        self, plan_and_matrix, rng
+    ):
+        """The §5.4 design is conservative: the communication schedule
+        is fixed offline; only compute shrinks."""
+        plan, A = plan_and_matrix
+        B = rng.standard_normal((96, 8))
+        full = TwoFace(plan=plan).run(A, B, self.machine)
+        sampled = TwoFace(
+            plan=plan, mask=bernoulli_mask(plan, 0.3, seed=2)
+        ).run(A, B, self.machine)
+        assert (
+            sampled.traffic.onesided_bytes == full.traffic.onesided_bytes
+        )
+        assert (
+            sampled.traffic.collective_bytes
+            == full.traffic.collective_bytes
+        )
+        means_full = full.breakdown.component_means()
+        means_sampled = sampled.breakdown.component_means()
+        assert means_sampled.sync_comp < means_full.sync_comp

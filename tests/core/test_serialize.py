@@ -1,0 +1,163 @@
+"""Unit tests for plan persistence (§7.3's bespoke binary format)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import TwoFace
+from repro.core import preprocess
+from repro.core.serialize import PLAN_FORMAT_VERSION, load_plan, save_plan
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.errors import FormatError
+from repro.sparse import erdos_renyi, spmm_reference, write_arrays
+
+
+@pytest.fixture
+def plan(tiny_matrix):
+    dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+    plan, _ = preprocess(dist, k=16, stripe_width=4)
+    return plan
+
+
+def roundtrip(plan):
+    buf = io.BytesIO()
+    save_plan(plan, buf)
+    buf.seek(0)
+    return load_plan(buf)
+
+
+class TestRoundtrip:
+    def test_geometry_preserved(self, plan):
+        again = roundtrip(plan)
+        assert again.geometry.n_rows == plan.geometry.n_rows
+        assert again.geometry.n_cols == plan.geometry.n_cols
+        assert again.geometry.n_parts == plan.geometry.n_parts
+        assert again.geometry.stripe_width == plan.geometry.stripe_width
+        assert again.k == plan.k
+        assert again.panel_height == plan.panel_height
+
+    def test_coefficients_preserved(self, plan):
+        again = roundtrip(plan)
+        assert again.coeffs == plan.coeffs
+
+    def test_destinations_preserved(self, plan):
+        again = roundtrip(plan)
+        assert again.stripe_destinations == plan.stripe_destinations
+
+    def test_sync_matrices_preserved(self, plan):
+        again = roundtrip(plan)
+        for rank in range(plan.n_nodes):
+            a = plan.rank_plan(rank).sync_local
+            b = again.rank_plan(rank).sync_local
+            assert a.nnz == b.nnz
+            np.testing.assert_array_equal(a.csr.indptr, b.csr.indptr)
+            np.testing.assert_array_equal(a.csr.indices, b.csr.indices)
+            np.testing.assert_array_equal(a.csr.data, b.csr.data)
+            np.testing.assert_array_equal(
+                plan.rank_plan(rank).sync_stripe_gids,
+                again.rank_plan(rank).sync_stripe_gids,
+            )
+
+    def test_async_matrices_preserved(self, plan):
+        again = roundtrip(plan)
+        for rank in range(plan.n_nodes):
+            a = plan.rank_plan(rank).async_matrix
+            b = again.rank_plan(rank).async_matrix
+            assert a.n_stripes == b.n_stripes
+            for sa, sb in zip(a.stripes, b.stripes):
+                assert sa.gid == sb.gid
+                assert sa.owner == sb.owner
+                assert sa.nonzeros == sb.nonzeros
+                np.testing.assert_array_equal(sa.row_ids, sb.row_ids)
+
+    def test_classification_preserved(self, plan):
+        again = roundtrip(plan)
+        for rank in range(plan.n_nodes):
+            a = plan.rank_plan(rank).classification
+            b = again.rank_plan(rank).classification
+            np.testing.assert_array_equal(a.async_mask, b.async_mask)
+            np.testing.assert_array_equal(a.remote_mask, b.remote_mask)
+            assert (a.n_sync, a.n_async, a.n_local) == (
+                b.n_sync, b.n_async, b.n_local
+            )
+            assert a.rows_async == b.rows_async
+            assert a.nnz_async == b.nnz_async
+
+    def test_file_path_roundtrip(self, plan, tmp_path):
+        path = tmp_path / "plan.twoface"
+        written = save_plan(plan, path)
+        assert written == path.stat().st_size
+        again = load_plan(path)
+        assert again.total_async_stripes() == plan.total_async_stripes()
+
+
+class TestExecutability:
+    def test_loaded_plan_runs_identically(self, tiny_matrix, rng):
+        machine = MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+        B = rng.standard_normal((64, 16))
+        algo = TwoFace(stripe_width=4)
+        original = algo.run(tiny_matrix, B, machine)
+        loaded = roundtrip(algo.last_plan)
+        replay = TwoFace(plan=loaded).run(tiny_matrix, B, machine)
+        np.testing.assert_allclose(replay.C, original.C)
+        assert replay.seconds == pytest.approx(original.seconds)
+        np.testing.assert_allclose(
+            replay.C, spmm_reference(tiny_matrix, B)
+        )
+
+    def test_empty_rank_plans_roundtrip(self, rng):
+        """A matrix whose last rank has no nonzeros still round-trips."""
+        A = erdos_renyi(64, 64, 50, seed=1).row_slab(0, 64)
+        # Force all nonzeros into the top quarter.
+        import numpy as np
+
+        mask = A.rows < 16
+        from repro.sparse import COOMatrix
+
+        A = COOMatrix(A.rows[mask], A.cols[mask], A.vals[mask], (64, 64))
+        dist = DistSparseMatrix(A, RowPartition(64, 4))
+        plan, _ = preprocess(dist, k=8, stripe_width=8)
+        again = roundtrip(plan)
+        assert again.rank_plan(3).nnz == 0
+
+
+class TestErrors:
+    def test_not_a_plan_container(self, tmp_path):
+        path = tmp_path / "other.bin"
+        write_arrays({"something": np.zeros(3, dtype=np.int64)}, path)
+        with pytest.raises(FormatError):
+            load_plan(path)
+
+    def test_bad_version(self, plan):
+        buf = io.BytesIO()
+        save_plan(plan, buf)
+        buf.seek(0)
+        from repro.sparse import read_arrays
+
+        arrays = read_arrays(buf)
+        arrays["meta"] = arrays["meta"].copy()
+        arrays["meta"][0] = PLAN_FORMAT_VERSION + 1
+        buf2 = io.BytesIO()
+        write_arrays(arrays, buf2)
+        buf2.seek(0)
+        with pytest.raises(FormatError):
+            load_plan(buf2)
+
+    def test_missing_rank_detected(self, plan):
+        buf = io.BytesIO()
+        save_plan(plan, buf)
+        buf.seek(0)
+        from repro.sparse import read_arrays
+
+        arrays = read_arrays(buf)
+        arrays = {
+            key: val for key, val in arrays.items()
+            if not key.startswith("r3.")
+        }
+        buf2 = io.BytesIO()
+        write_arrays(arrays, buf2)
+        buf2.seek(0)
+        with pytest.raises(FormatError):
+            load_plan(buf2)

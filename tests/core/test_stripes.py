@@ -1,0 +1,153 @@
+"""Unit tests for megatile/stripe geometry and stripe statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import StripeGeometry, compute_rank_stripe_stats
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.errors import ConfigurationError, PartitionError
+from repro.sparse import COOMatrix, erdos_renyi
+
+
+class TestGeometry:
+    def test_stripe_count_even(self):
+        geo = StripeGeometry(64, 64, 4, 4)
+        # 4 parts x 16 cols each / width 4 = 4 stripes per part.
+        assert geo.n_stripes == 16
+
+    def test_stripe_count_ragged_width(self):
+        geo = StripeGeometry(64, 64, 4, 5)
+        # Each 16-col part holds ceil(16/5) = 4 stripes.
+        assert geo.n_stripes == 16
+
+    def test_stripe_count_ragged_partition(self):
+        geo = StripeGeometry(10, 10, 3, 2)
+        # Parts have 4, 3, 3 columns -> 2 + 2 + 2 stripes.
+        assert geo.n_stripes == 6
+
+    def test_owner_of_stripe(self):
+        geo = StripeGeometry(64, 64, 4, 4)
+        assert geo.owner_of_stripe(0) == 0
+        assert geo.owner_of_stripe(3) == 0
+        assert geo.owner_of_stripe(4) == 1
+        assert geo.owner_of_stripe(15) == 3
+
+    def test_col_bounds_within_owner_part(self):
+        geo = StripeGeometry(64, 64, 4, 4)
+        for gid in range(geo.n_stripes):
+            lo, hi = geo.col_bounds(gid)
+            owner = geo.owner_of_stripe(gid)
+            part_lo, part_hi = geo.col_partition.bounds(owner)
+            assert part_lo <= lo < hi <= part_hi
+
+    def test_col_bounds_cover_all_columns(self):
+        geo = StripeGeometry(30, 30, 4, 3)
+        covered = []
+        for gid in range(geo.n_stripes):
+            lo, hi = geo.col_bounds(gid)
+            covered.extend(range(lo, hi))
+        assert sorted(covered) == list(range(30))
+
+    def test_edge_stripe_narrower(self):
+        geo = StripeGeometry(10, 10, 2, 3)
+        widths = [geo.width_of(g) for g in range(geo.n_stripes)]
+        # 5-col parts with width 3 -> stripes of 3 and 2 columns.
+        assert widths == [3, 2, 3, 2]
+
+    def test_stripes_of_cols_matches_bounds(self):
+        geo = StripeGeometry(40, 40, 4, 3)
+        cols = np.arange(40)
+        gids = geo.stripes_of_cols(cols)
+        for col, gid in zip(cols, gids):
+            lo, hi = geo.col_bounds(int(gid))
+            assert lo <= col < hi
+
+    def test_stripes_of_part(self):
+        geo = StripeGeometry(64, 64, 4, 4)
+        assert list(geo.stripes_of_part(1)) == [4, 5, 6, 7]
+        with pytest.raises(PartitionError):
+            geo.stripes_of_part(4)
+
+    def test_gid_bounds_checked(self):
+        geo = StripeGeometry(16, 16, 2, 4)
+        with pytest.raises(PartitionError):
+            geo.col_bounds(geo.n_stripes)
+        with pytest.raises(PartitionError):
+            geo.owner_of_stripe(-1)
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            StripeGeometry(8, 8, 2, 0)
+
+    def test_rectangular_matrix(self):
+        geo = StripeGeometry(20, 40, 4, 5)
+        assert geo.n_stripes == 8  # 4 parts x 10 cols / 5
+
+
+class TestRankStripeStats:
+    def _stats(self, matrix, rank, p=4, width=4):
+        geo = StripeGeometry(*matrix.shape, p, width)
+        dist = DistSparseMatrix(matrix, RowPartition(matrix.shape[0], p))
+        return compute_rank_stripe_stats(rank, dist.slab(rank), geo), geo
+
+    def test_nnz_partitioned_across_stripes(self, tiny_matrix):
+        stats, _ = self._stats(tiny_matrix, 0)
+        slab_nnz = DistSparseMatrix(
+            tiny_matrix, RowPartition(64, 4)
+        ).slab(0).nnz
+        assert stats.nnz.sum() == slab_nnz
+
+    def test_gids_sorted_unique(self, tiny_matrix):
+        stats, _ = self._stats(tiny_matrix, 2)
+        assert np.all(np.diff(stats.gids) > 0)
+
+    def test_rows_needed_counts_unique_cols(self):
+        # Rank 0 slab of a 8x8 matrix, p=2, width 2.
+        m = COOMatrix(
+            np.array([0, 0, 1, 1]),
+            np.array([0, 1, 0, 5]),
+            np.ones(4),
+            (8, 8),
+        )
+        stats, geo = self._stats(m, 0, p=2, width=2)
+        # Stripe of cols {0,1}: 3 nnz but 2 unique cols.
+        idx0 = int(np.flatnonzero(stats.gids == geo.stripes_of_cols(
+            np.array([0]))[0])[0])
+        assert stats.nnz[idx0] == 3
+        assert stats.rows_needed[idx0] == 2
+
+    def test_is_local_flags(self, tiny_matrix):
+        stats, geo = self._stats(tiny_matrix, 1)
+        for i, gid in enumerate(stats.gids):
+            assert stats.is_local[i] == (geo.owner_of_stripe(int(gid)) == 1)
+
+    def test_stripe_nonzeros_extraction(self, tiny_matrix):
+        stats, geo = self._stats(tiny_matrix, 0)
+        dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+        slab = dist.slab(0)
+        total = 0
+        for i in range(stats.n_stripes):
+            sub = stats.stripe_nonzeros(i, slab)
+            total += sub.nnz
+            lo, hi = geo.col_bounds(int(stats.gids[i]))
+            assert np.all((sub.cols >= lo) & (sub.cols < hi))
+        assert total == slab.nnz
+
+    def test_empty_slab(self):
+        geo = StripeGeometry(8, 8, 2, 2)
+        empty = COOMatrix.empty((4, 8))
+        stats = compute_rank_stripe_stats(0, empty, geo)
+        assert stats.n_stripes == 0
+        assert stats.nnz_group_starts.tolist() == [0]
+
+    def test_owners_consistent_with_geometry(self, tiny_matrix):
+        stats, geo = self._stats(tiny_matrix, 3)
+        for gid, owner in zip(stats.gids, stats.owners):
+            assert geo.owner_of_stripe(int(gid)) == owner
+
+    def test_dense_matrix_every_stripe_present(self):
+        dense = erdos_renyi(16, 16, 256, seed=0)  # fully dense after dedup
+        geo = StripeGeometry(16, 16, 2, 2)
+        dist = DistSparseMatrix(dense, RowPartition(16, 2))
+        stats = compute_rank_stripe_stats(0, dist.slab(0), geo)
+        assert stats.n_stripes == geo.n_stripes

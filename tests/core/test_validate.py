@@ -1,0 +1,119 @@
+"""Unit tests for plan validation."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import preprocess
+from repro.core.serialize import load_plan, save_plan
+from repro.core.validate import (
+    assert_valid_plan,
+    validate_plan,
+    validate_plan_against_matrix,
+)
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.errors import PartitionError
+from repro.sparse import erdos_renyi
+
+
+@pytest.fixture
+def dist_matrix(tiny_matrix):
+    return DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+
+
+@pytest.fixture
+def plan(dist_matrix):
+    plan, _ = preprocess(dist_matrix, k=16, stripe_width=4)
+    return plan
+
+
+class TestValidPlans:
+    def test_fresh_plan_valid(self, plan):
+        assert validate_plan(plan) == []
+
+    def test_fresh_plan_matches_matrix(self, plan, dist_matrix):
+        assert validate_plan_against_matrix(plan, dist_matrix) == []
+
+    def test_deserialized_plan_valid(self, plan):
+        buf = io.BytesIO()
+        save_plan(plan, buf)
+        buf.seek(0)
+        assert validate_plan(load_plan(buf)) == []
+
+    def test_all_async_plan_valid(self, dist_matrix):
+        plan, _ = preprocess(
+            dist_matrix, k=16, stripe_width=4, force_all_async=True
+        )
+        assert validate_plan(plan) == []
+
+    def test_assert_passes_on_valid(self, plan, dist_matrix):
+        assert_valid_plan(plan)
+        assert_valid_plan(plan, dist_matrix)
+
+
+class TestCorruptionDetection:
+    def test_local_async_stripe_detected(self, plan):
+        for rank_plan in plan.ranks:
+            if rank_plan.async_matrix.stripes:
+                rank_plan.async_matrix.stripes[0].owner = rank_plan.rank
+                break
+        problems = validate_plan(plan)
+        assert any("classified async" in p or "owner" in p
+                   for p in problems)
+
+    def test_missing_destination_detected(self, plan):
+        for rank_plan in plan.ranks:
+            if len(rank_plan.sync_stripe_gids):
+                gid = int(rank_plan.sync_stripe_gids[0])
+                plan.stripe_destinations[gid].remove(rank_plan.rank)
+                break
+        else:
+            pytest.skip("no sync stripes")
+        assert any(
+            "destination" in p for p in validate_plan(plan)
+        )
+
+    def test_owner_as_destination_detected(self, plan):
+        if not plan.stripe_destinations:
+            pytest.skip("no multicasts")
+        gid = next(iter(plan.stripe_destinations))
+        owner = plan.geometry.owner_of_stripe(gid)
+        plan.stripe_destinations[gid].append(owner)
+        assert any(
+            "owner" in p for p in validate_plan(plan)
+        )
+
+    def test_corrupted_row_ids_detected(self, plan):
+        for rank_plan in plan.ranks:
+            if rank_plan.async_matrix.stripes:
+                stripe = rank_plan.async_matrix.stripes[0]
+                stripe.row_ids = stripe.row_ids[:-1]
+                break
+        else:
+            pytest.skip("no async stripes")
+        assert any("row_ids" in p for p in validate_plan(plan))
+
+    def test_value_mismatch_detected(self, plan, dist_matrix):
+        plan.rank_plan(0).sync_local.csr.data[:] += 1.0
+        problems = validate_plan_against_matrix(plan, dist_matrix)
+        assert any("value sum" in p for p in problems)
+
+    def test_wrong_matrix_detected(self, plan):
+        other = erdos_renyi(64, 64, 500, seed=99)
+        dist = DistSparseMatrix(other, RowPartition(64, 4))
+        problems = validate_plan_against_matrix(plan, dist)
+        assert problems
+
+    def test_wrong_partition_count_detected(self, plan, tiny_matrix):
+        dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 2))
+        problems = validate_plan_against_matrix(plan, dist)
+        assert any("partitioned" in p for p in problems)
+
+    def test_assert_raises_on_corruption(self, plan):
+        if plan.stripe_destinations:
+            gid = next(iter(plan.stripe_destinations))
+            owner = plan.geometry.owner_of_stripe(gid)
+            plan.stripe_destinations[gid].append(owner)
+            with pytest.raises(PartitionError):
+                assert_valid_plan(plan)

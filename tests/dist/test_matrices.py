@@ -1,0 +1,114 @@
+"""Unit tests for distributed dense/sparse matrices."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.dist import DistDenseMatrix, DistSparseMatrix, RowPartition
+from repro.errors import PartitionError, ShapeError
+
+
+class TestDistDense:
+    def test_blocks_are_views(self, rng):
+        data = rng.standard_normal((12, 4))
+        dist = DistDenseMatrix(data, RowPartition(12, 3))
+        dist.block(1)[0, 0] = 99.0
+        assert dist.data[4, 0] == 99.0
+
+    def test_blocks_partition_rows(self, rng):
+        data = rng.standard_normal((10, 2))
+        dist = DistDenseMatrix(data, RowPartition(10, 4))
+        stacked = np.vstack(dist.blocks())
+        np.testing.assert_array_equal(stacked, data)
+
+    def test_k_property(self, rng):
+        dist = DistDenseMatrix(
+            rng.standard_normal((8, 5)), RowPartition(8, 2)
+        )
+        assert dist.k == 5
+
+    def test_zeros_constructor(self):
+        dist = DistDenseMatrix.zeros(6, 3, RowPartition(6, 2))
+        assert dist.shape == (6, 3)
+        assert not dist.data.any()
+
+    def test_partition_mismatch(self, rng):
+        with pytest.raises(PartitionError):
+            DistDenseMatrix(
+                rng.standard_normal((8, 2)), RowPartition(9, 3)
+            )
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ShapeError):
+            DistDenseMatrix(np.zeros(8), RowPartition(8, 2))
+
+    def test_memory_charged_per_node(self, small_machine, rng):
+        cluster = Cluster(small_machine)
+        DistDenseMatrix(
+            rng.standard_normal((8, 4)), RowPartition(8, 4), cluster,
+            label="B",
+        )
+        for node in cluster.nodes:
+            assert node.memory.allocations()["B"] == 2 * 4 * 8
+
+    def test_cluster_partition_mismatch(self, small_machine, rng):
+        cluster = Cluster(small_machine)
+        with pytest.raises(PartitionError):
+            DistDenseMatrix(
+                rng.standard_normal((8, 4)), RowPartition(8, 2), cluster
+            )
+
+    def test_block_nbytes(self, rng):
+        dist = DistDenseMatrix(
+            rng.standard_normal((10, 4)), RowPartition(10, 4)
+        )
+        assert dist.block_nbytes(0) == 3 * 4 * 8
+        assert dist.block_nbytes(3) == 2 * 4 * 8
+
+    def test_copy_zeros_like(self, rng):
+        dist = DistDenseMatrix(
+            rng.standard_normal((8, 4)), RowPartition(8, 2)
+        )
+        zeros = dist.copy_zeros_like()
+        assert zeros.shape == dist.shape
+        assert not zeros.data.any()
+
+
+class TestDistSparse:
+    def test_slabs_rebase_and_cover(self, tiny_matrix):
+        part = RowPartition(64, 4)
+        dist = DistSparseMatrix(tiny_matrix, part)
+        assert sum(dist.slab_nnz()) == tiny_matrix.nnz
+        for rank in range(4):
+            slab = dist.slab(rank)
+            assert slab.shape == (16, 64)
+            if slab.nnz:
+                assert slab.rows.max() < 16
+
+    def test_slab_values_match_global(self, tiny_matrix):
+        part = RowPartition(64, 4)
+        dist = DistSparseMatrix(tiny_matrix, part)
+        rebuilt = np.vstack([dist.slab(r).to_dense() for r in range(4)])
+        np.testing.assert_allclose(rebuilt, tiny_matrix.to_dense())
+
+    def test_partition_mismatch(self, tiny_matrix):
+        with pytest.raises(PartitionError):
+            DistSparseMatrix(tiny_matrix, RowPartition(63, 4))
+
+    def test_slab_bounds(self, tiny_matrix):
+        dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+        with pytest.raises(PartitionError):
+            dist.slab(4)
+
+    def test_memory_charged(self, small_machine, tiny_matrix):
+        cluster = Cluster(small_machine)
+        dist = DistSparseMatrix(
+            tiny_matrix, RowPartition(64, 4), cluster, label="A"
+        )
+        for rank, node in enumerate(cluster.nodes):
+            assert node.memory.allocations()["A"] == dist.slab(rank).nbytes()
+
+    def test_nnz_property(self, tiny_matrix):
+        dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+        assert dist.nnz == tiny_matrix.nnz
+        assert dist.shape == tiny_matrix.shape

@@ -1,0 +1,91 @@
+"""Unit tests for 1D row partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.dist import RowPartition
+from repro.errors import PartitionError
+
+
+class TestBounds:
+    def test_even_split(self):
+        part = RowPartition(8, 4)
+        assert part.all_bounds() == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_ragged_split_front_loaded(self):
+        part = RowPartition(10, 4)
+        assert part.all_bounds() == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_bounds_cover_everything(self):
+        part = RowPartition(17, 5)
+        covered = []
+        for p in range(5):
+            lo, hi = part.bounds(p)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(17))
+
+    def test_more_parts_than_rows(self):
+        part = RowPartition(3, 5)
+        sizes = [part.size(p) for p in range(5)]
+        assert sizes == [1, 1, 1, 0, 0]
+
+    def test_single_part(self):
+        part = RowPartition(7, 1)
+        assert part.bounds(0) == (0, 7)
+
+    def test_empty_rows(self):
+        part = RowPartition(0, 3)
+        assert all(part.size(p) == 0 for p in range(3))
+
+    def test_out_of_range_part(self):
+        part = RowPartition(8, 4)
+        with pytest.raises(PartitionError):
+            part.bounds(4)
+        with pytest.raises(PartitionError):
+            part.bounds(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(PartitionError):
+            RowPartition(-1, 4)
+        with pytest.raises(PartitionError):
+            RowPartition(4, 0)
+
+    def test_max_size(self):
+        assert RowPartition(10, 4).max_size() == 3
+        assert RowPartition(8, 4).max_size() == 2
+
+
+class TestOwnership:
+    def test_owner_matches_bounds(self):
+        part = RowPartition(23, 6)
+        for row in range(23):
+            owner = part.owner_of(row)
+            lo, hi = part.bounds(owner)
+            assert lo <= row < hi
+
+    def test_owner_out_of_range(self):
+        part = RowPartition(8, 4)
+        with pytest.raises(PartitionError):
+            part.owner_of(8)
+        with pytest.raises(PartitionError):
+            part.owner_of(-1)
+
+    def test_owners_of_vectorized_matches_scalar(self):
+        part = RowPartition(37, 7)
+        rows = np.arange(37)
+        owners = part.owners_of(rows)
+        assert list(owners) == [part.owner_of(int(r)) for r in rows]
+
+    def test_owners_of_empty(self):
+        part = RowPartition(8, 4)
+        assert len(part.owners_of(np.array([], dtype=np.int64))) == 0
+
+    def test_owners_of_bounds_check(self):
+        part = RowPartition(8, 4)
+        with pytest.raises(PartitionError):
+            part.owners_of(np.array([8]))
+
+    def test_frozen(self):
+        part = RowPartition(8, 4)
+        with pytest.raises(AttributeError):
+            part.n_rows = 9

@@ -1,0 +1,133 @@
+"""Unit tests for the distributed sparse-attention layer."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.errors import ShapeError
+from repro.gnn import planted_partition
+from repro.gnn.attention import (
+    DistAttentionLayer,
+    _plan_with_values,
+    sparse_row_softmax,
+)
+from repro.sparse import (
+    COOMatrix,
+    erdos_renyi,
+    sddmm_reference,
+    spmm_reference,
+)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return planted_partition(256, n_classes=4, feature_dim=16, seed=1)
+
+
+@pytest.fixture(scope="module")
+def layer(dataset, machine):
+    return DistAttentionLayer(dataset.adjacency, machine, dim=16, seed=0)
+
+
+class TestRowSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        scores = erdos_renyi(32, 32, 200, seed=1)
+        out = sparse_row_softmax(scores)
+        sums = np.bincount(out.rows, weights=out.vals, minlength=32)
+        nonempty = np.bincount(out.rows, minlength=32) > 0
+        np.testing.assert_allclose(sums[nonempty], 1.0)
+
+    def test_pattern_unchanged(self):
+        scores = erdos_renyi(16, 16, 60, seed=2)
+        out = sparse_row_softmax(scores)
+        np.testing.assert_array_equal(out.rows, scores.rows)
+        np.testing.assert_array_equal(out.cols, scores.cols)
+
+    def test_stable_with_large_scores(self):
+        m = COOMatrix(
+            np.array([0, 0]), np.array([0, 1]),
+            np.array([1000.0, 1000.0]), (2, 2),
+        )
+        out = sparse_row_softmax(m)
+        np.testing.assert_allclose(out.vals, [0.5, 0.5])
+
+    def test_single_entry_row(self):
+        m = COOMatrix(np.array([1]), np.array([0]), np.array([-7.0]), (3, 3))
+        out = sparse_row_softmax(m)
+        assert out.vals[0] == pytest.approx(1.0)
+
+    def test_empty(self):
+        out = sparse_row_softmax(COOMatrix.empty((4, 4)))
+        assert out.nnz == 0
+
+
+class TestPlanValueRemap:
+    def test_values_replaced_pattern_kept(self, layer, dataset):
+        A = dataset.adjacency.sum_duplicates()
+        doubled = COOMatrix(A.rows, A.cols, 2 * A.vals, A.shape)
+        new_plan = _plan_with_values(layer.plan, doubled)
+        total = 0.0
+        for rank_plan in new_plan.ranks:
+            total += rank_plan.sync_local.csr.data.sum()
+            for stripe in rank_plan.async_matrix.stripes:
+                total += stripe.nonzeros.vals.sum()
+        assert total == pytest.approx(2 * A.vals.sum())
+
+    def test_original_plan_untouched(self, layer, dataset):
+        A = dataset.adjacency.sum_duplicates()
+        before = layer.plan.rank_plan(0).sync_local.csr.data.copy()
+        _plan_with_values(
+            layer.plan, COOMatrix(A.rows, A.cols, 0 * A.vals, A.shape)
+        )
+        np.testing.assert_array_equal(
+            layer.plan.rank_plan(0).sync_local.csr.data, before
+        )
+
+    def test_pattern_mismatch_detected(self, layer):
+        other = erdos_renyi(256, 256, 50, seed=9)
+        with pytest.raises(ShapeError):
+            _plan_with_values(layer.plan, other)
+
+
+class TestAttentionLayer:
+    def test_forward_matches_reference(self, layer, dataset):
+        H = dataset.features
+        out, att = layer.forward(H)
+        A = dataset.adjacency.sum_duplicates()
+        scores = sddmm_reference(
+            A, H @ layer.w_query, H @ layer.w_key
+        )
+        att_ref = sparse_row_softmax(scores)
+        out_ref = spmm_reference(att_ref, H @ layer.w_value)
+        np.testing.assert_allclose(out, out_ref)
+
+    def test_attention_rows_normalised(self, layer, dataset):
+        _, att = layer.forward(dataset.features)
+        n = dataset.n_nodes
+        sums = np.bincount(att.rows, weights=att.vals, minlength=n)
+        nonempty = np.bincount(att.rows, minlength=n) > 0
+        np.testing.assert_allclose(sums[nonempty], 1.0)
+
+    def test_simulated_time_accumulates(self, dataset, machine):
+        fresh = DistAttentionLayer(
+            dataset.adjacency, machine, dim=16, seed=0
+        )
+        fresh.forward(dataset.features)
+        t1 = fresh.simulated_seconds
+        fresh.forward(dataset.features)
+        assert fresh.simulated_seconds == pytest.approx(2 * t1)
+
+    def test_bad_feature_shape(self, layer, rng):
+        with pytest.raises(ShapeError):
+            layer.forward(rng.standard_normal((256, 8)))
+
+    def test_rectangular_adjacency_rejected(self, machine):
+        with pytest.raises(ShapeError):
+            DistAttentionLayer(
+                erdos_renyi(8, 9, 10, seed=1), machine, dim=4
+            )

@@ -1,0 +1,92 @@
+"""Unit tests for GNN datasets and normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gnn import gcn_normalize, planted_partition
+from repro.sparse import COOMatrix, erdos_renyi
+
+
+class TestPlantedPartition:
+    def test_shapes(self):
+        ds = planted_partition(200, n_classes=4, feature_dim=16, seed=0)
+        assert ds.adjacency.shape == (200, 200)
+        assert ds.features.shape == (200, 16)
+        assert ds.labels.shape == (200,)
+        assert ds.n_classes == 4
+        assert ds.n_nodes == 200
+        assert ds.feature_dim == 16
+
+    def test_labels_contiguous_blocks(self):
+        ds = planted_partition(300, n_classes=5, seed=0)
+        assert np.all(np.diff(ds.labels) >= 0)
+
+    def test_no_self_loops(self):
+        ds = planted_partition(100, seed=0)
+        assert np.all(ds.adjacency.rows != ds.adjacency.cols)
+
+    def test_symmetric_adjacency(self):
+        ds = planted_partition(100, seed=0)
+        dense = ds.adjacency.to_dense()
+        np.testing.assert_array_equal(dense, dense.T)
+
+    def test_intra_community_dominates(self):
+        ds = planted_partition(400, n_classes=4, intra_fraction=0.9, seed=0)
+        same = ds.labels[ds.adjacency.rows] == ds.labels[ds.adjacency.cols]
+        assert np.mean(same) > 0.6
+
+    def test_train_mask_nonempty(self):
+        ds = planted_partition(50, train_fraction=0.01, seed=0)
+        assert ds.train_mask.any()
+
+    def test_invalid_classes(self):
+        with pytest.raises(ConfigurationError):
+            planted_partition(50, n_classes=1)
+
+    def test_invalid_train_fraction(self):
+        with pytest.raises(ConfigurationError):
+            planted_partition(50, train_fraction=0.0)
+
+    def test_deterministic(self):
+        a = planted_partition(100, seed=5)
+        b = planted_partition(100, seed=5)
+        assert a.adjacency == b.adjacency
+        np.testing.assert_array_equal(a.features, b.features)
+
+
+class TestGCNNormalize:
+    def test_adds_self_loops(self):
+        adj = erdos_renyi(20, 20, 40, seed=1)
+        ahat = gcn_normalize(adj)
+        diag = ahat.to_dense().diagonal()
+        assert np.all(diag > 0)
+
+    def test_symmetric_output(self):
+        ds = planted_partition(60, seed=2)
+        ahat = gcn_normalize(ds.adjacency).to_dense()
+        np.testing.assert_allclose(ahat, ahat.T)
+
+    def test_spectral_norm_bounded(self):
+        ds = planted_partition(60, seed=2)
+        ahat = gcn_normalize(ds.adjacency).to_dense()
+        eigvals = np.linalg.eigvalsh(ahat)
+        assert eigvals.max() <= 1.0 + 1e-9
+
+    def test_isolated_node_becomes_identity_row(self):
+        adj = COOMatrix(
+            np.array([0]), np.array([1]), np.array([1.0]), (3, 3)
+        )
+        ahat = gcn_normalize(adj).to_dense()
+        assert ahat[2, 2] == pytest.approx(1.0)
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gcn_normalize(erdos_renyi(5, 6, 3, seed=0))
+
+    def test_known_two_node_graph(self):
+        adj = COOMatrix(
+            np.array([0, 1]), np.array([1, 0]), np.ones(2), (2, 2)
+        )
+        ahat = gcn_normalize(adj).to_dense()
+        np.testing.assert_allclose(ahat, np.full((2, 2), 0.5))

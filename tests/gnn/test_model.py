@@ -1,0 +1,172 @@
+"""Unit tests for the GCN model and the SpMM engine behind it."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.errors import ConfigurationError, ReproError, ShapeError
+from repro.gnn import (
+    GCN,
+    DistSpMMEngine,
+    cross_entropy,
+    gcn_normalize,
+    planted_partition,
+    relu,
+    softmax,
+)
+from repro.sparse import spmm_reference
+
+
+@pytest.fixture
+def dataset():
+    return planted_partition(128, n_classes=4, feature_dim=8, seed=1)
+
+
+@pytest.fixture
+def engine(dataset, small_machine):
+    return DistSpMMEngine(gcn_normalize(dataset.adjacency), small_machine)
+
+
+class TestPrimitives:
+    def test_relu(self):
+        np.testing.assert_array_equal(
+            relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.standard_normal((5, 3)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_softmax_stable_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(probs, [[0.5, 0.5]])
+
+    def test_cross_entropy_perfect_prediction(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        labels = np.array([0, 1])
+        mask = np.array([True, True])
+        assert cross_entropy(probs, labels, mask) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cross_entropy_masked(self):
+        probs = np.array([[0.5, 0.5], [1e-12, 1.0]])
+        labels = np.array([0, 0])  # second is wrong but masked out
+        mask = np.array([True, False])
+        assert cross_entropy(probs, labels, mask) == pytest.approx(
+            -np.log(0.5)
+        )
+
+
+class TestEngine:
+    def test_multiply_correct(self, engine, dataset, rng):
+        B = rng.standard_normal((dataset.n_nodes, 8))
+        C, seconds = engine.multiply(B)
+        np.testing.assert_allclose(
+            C, spmm_reference(engine.A, B), rtol=1e-9
+        )
+        assert seconds > 0
+
+    def test_plan_cached_per_k(self, engine, dataset, rng):
+        B8 = rng.standard_normal((dataset.n_nodes, 8))
+        B4 = rng.standard_normal((dataset.n_nodes, 4))
+        engine.multiply(B8)
+        engine.multiply(B8)
+        engine.multiply(B4)
+        assert engine.n_preprocess == 2  # one plan per distinct K
+        assert engine.n_spmm == 3
+
+    def test_preprocess_counted_once(self, engine, dataset, rng):
+        B = rng.standard_normal((dataset.n_nodes, 8))
+        engine.multiply(B)
+        first = engine.preprocess_seconds
+        engine.multiply(B)
+        assert engine.preprocess_seconds == first
+
+    def test_total_seconds(self, engine, dataset, rng):
+        B = rng.standard_normal((dataset.n_nodes, 8))
+        engine.multiply(B)
+        assert engine.total_seconds == pytest.approx(
+            engine.spmm_seconds + engine.preprocess_seconds
+        )
+
+    def test_bad_shape(self, engine):
+        with pytest.raises(ShapeError):
+            engine.multiply(np.zeros((3, 3)))
+
+    def test_oom_surfaces_as_repro_error(self, dataset, rng):
+        tiny = MachineConfig(n_nodes=4, memory_capacity=30_000)
+        from repro.algorithms import AllGather
+
+        engine = DistSpMMEngine(
+            gcn_normalize(dataset.adjacency), tiny,
+            algorithm_factory=lambda plan: AllGather(),
+        )
+        with pytest.raises(ReproError):
+            engine.multiply(rng.standard_normal((dataset.n_nodes, 128)))
+
+
+class TestGCN:
+    def test_layer_dims_validated(self):
+        with pytest.raises(ConfigurationError):
+            GCN([16])
+
+    def test_spmm_per_epoch(self):
+        assert GCN([8, 16, 4]).spmm_per_epoch == 4
+        assert GCN([8, 16, 16, 4]).spmm_per_epoch == 6
+
+    def test_forward_shape(self, engine, dataset):
+        model = GCN([dataset.feature_dim, 16, dataset.n_classes])
+        logits = model.forward(engine, dataset.features)
+        assert logits.shape == (dataset.n_nodes, dataset.n_classes)
+
+    def test_train_step_reduces_loss(self, engine, dataset):
+        model = GCN([dataset.feature_dim, 16, dataset.n_classes], seed=0)
+        losses = [
+            model.train_step(
+                engine, dataset.features, dataset.labels,
+                dataset.train_mask, lr=0.5,
+            )
+            for _ in range(8)
+        ]
+        assert losses[-1] < losses[0]
+
+    def test_backward_before_forward_rejected(self, engine, dataset):
+        from repro.gnn.model import GCNLayer
+
+        layer = GCNLayer.init(4, 4, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            layer.backward(engine, np.zeros((dataset.n_nodes, 4)), lr=0.1)
+
+    def test_predict_labels_in_range(self, engine, dataset):
+        model = GCN([dataset.feature_dim, 8, dataset.n_classes])
+        preds = model.predict(engine, dataset.features)
+        assert preds.min() >= 0 and preds.max() < dataset.n_classes
+
+    def test_gradient_check_single_layer(self, small_machine):
+        """Numerical gradient check of the loss w.r.t. one weight."""
+        ds = planted_partition(32, n_classes=2, feature_dim=3, seed=2)
+        ahat = gcn_normalize(ds.adjacency)
+
+        def loss_for(model_seed, weight_perturb=None):
+            engine = DistSpMMEngine(ahat, small_machine)
+            model = GCN([3, ds.n_classes], seed=model_seed)
+            if weight_perturb is not None:
+                i, j, eps = weight_perturb
+                model.layers[0].weight[i, j] += eps
+            logits = model.forward(engine, ds.features)
+            probs = softmax(logits)
+            return cross_entropy(probs, ds.labels, ds.train_mask)
+
+        # Analytic gradient via one training step with tiny lr.
+        engine = DistSpMMEngine(ahat, small_machine)
+        model = GCN([3, ds.n_classes], seed=7)
+        w_before = model.layers[0].weight.copy()
+        model.train_step(
+            engine, ds.features, ds.labels, ds.train_mask, lr=1.0
+        )
+        analytic = w_before - model.layers[0].weight  # = grad (lr = 1)
+
+        eps = 1e-6
+        up = loss_for(7, (0, 0, eps))
+        down = loss_for(7, (0, 0, -eps))
+        numeric = (up - down) / (2 * eps)
+        assert analytic[0, 0] == pytest.approx(numeric, rel=1e-3, abs=1e-8)

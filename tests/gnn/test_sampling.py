@@ -1,0 +1,103 @@
+"""Unit tests for the sampled-GNN SpMM engine (§5.4 future work)."""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.core import masked_matrix
+from repro.dist import RowPartition
+from repro.errors import ConfigurationError, ShapeError
+from repro.gnn import SampledSpMMEngine, gcn_normalize, planted_partition
+from repro.sparse import spmm_reference
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+
+
+@pytest.fixture(scope="module")
+def ahat():
+    return gcn_normalize(
+        planted_partition(256, n_classes=4, seed=1).adjacency
+    )
+
+
+class TestSampledEngine:
+    def test_one_time_preprocessing(self, ahat, machine):
+        engine = SampledSpMMEngine(
+            ahat, machine, keep_probability=0.5, k=8
+        )
+        assert engine.preprocess_seconds > 0
+        rng = np.random.default_rng(0)
+        B = rng.standard_normal((256, 8))
+        engine.multiply(B)
+        engine.multiply(B)
+        # Still one plan; preprocessing not recharged.
+        first = engine.preprocess_seconds
+        engine.multiply(B)
+        assert engine.preprocess_seconds == first
+
+    def test_sampled_values_match_masked_matrix(self, ahat, machine):
+        engine = SampledSpMMEngine(
+            ahat, machine, keep_probability=0.6, k=8, seed=11
+        )
+        rng = np.random.default_rng(0)
+        B = rng.standard_normal((256, 8))
+        C, mask, seconds = engine.multiply(B)
+        A_masked = masked_matrix(
+            engine.plan, mask, RowPartition(256, 4)
+        )
+        np.testing.assert_allclose(C, spmm_reference(A_masked, B))
+        assert seconds > 0
+
+    def test_mask_reuse_same_result(self, ahat, machine):
+        """Forward and backward of one iteration share the sample."""
+        engine = SampledSpMMEngine(
+            ahat, machine, keep_probability=0.5, k=8, seed=3
+        )
+        rng = np.random.default_rng(0)
+        B = rng.standard_normal((256, 8))
+        C1, mask, _ = engine.multiply(B)
+        C2, mask2, _ = engine.multiply(B, mask=mask)
+        assert mask2 is mask
+        np.testing.assert_allclose(C1, C2)
+
+    def test_iterations_resample(self, ahat, machine):
+        engine = SampledSpMMEngine(
+            ahat, machine, keep_probability=0.5, k=8, seed=5
+        )
+        m1 = engine.next_mask()
+        m2 = engine.next_mask()
+        assert engine.iteration == 2
+        different = any(
+            not np.array_equal(a, b)
+            for a, b in zip(m1.sync_masks, m2.sync_masks)
+        )
+        assert different
+
+    def test_keep_probability_validated(self, ahat, machine):
+        with pytest.raises(ConfigurationError):
+            SampledSpMMEngine(ahat, machine, keep_probability=0.0, k=8)
+
+    def test_k_fixed_by_plan(self, ahat, machine):
+        engine = SampledSpMMEngine(
+            ahat, machine, keep_probability=0.5, k=8
+        )
+        rng = np.random.default_rng(0)
+        with pytest.raises(ShapeError):
+            engine.multiply(rng.standard_normal((256, 16)))
+
+    def test_sampling_reduces_compute_not_comm(self, ahat, machine):
+        """The conservative §5.4 design: fixed communication, less
+        compute as the keep probability falls."""
+        rng = np.random.default_rng(0)
+        B = rng.standard_normal((256, 8))
+        times = {}
+        for prob in (1.0, 0.2):
+            engine = SampledSpMMEngine(
+                ahat, machine, keep_probability=prob, k=8, seed=6
+            )
+            engine.multiply(B)
+            times[prob] = engine.spmm_seconds
+        assert times[0.2] <= times[1.0]

@@ -1,0 +1,78 @@
+"""Integration tests for the full-graph training loop (§5.4, §7.3)."""
+
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import DenseShifting
+from repro.errors import ConfigurationError
+from repro.gnn import planted_partition, train_gcn
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    # Scale matters: the paper's amortisation claim holds in the
+    # payload-dominated regime, so the test graph is community-local
+    # and large enough that communication, not latency, dominates.
+    return planted_partition(
+        4096, n_classes=16, intra_fraction=0.95, avg_degree=12,
+        feature_dim=32, seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig(n_nodes=16, memory_capacity=1 << 30)
+
+
+@pytest.fixture(scope="module")
+def report(dataset, machine):
+    return train_gcn(
+        dataset, machine, hidden_dim=32, epochs=4, lr=0.5,
+        baseline_factory=lambda: DenseShifting(2),
+    )
+
+
+class TestTraining:
+    def test_loss_decreases(self, report):
+        assert report.losses[-1] < report.losses[0]
+
+    def test_accuracy_beats_chance(self, report, dataset):
+        assert report.train_accuracy > 2.0 / dataset.n_classes
+
+    def test_spmm_count(self, report):
+        # 2 layers x (forward + backward) x 4 epochs + 1 prediction
+        # forward (2 more SpMMs).
+        assert report.spmm_ops == 4 * 4 + 2
+
+    def test_times_accumulated(self, report):
+        assert report.spmm_seconds > 0
+        assert report.preprocess_seconds > 0
+
+    def test_invalid_epochs(self, dataset, machine):
+        with pytest.raises(ConfigurationError):
+            train_gcn(dataset, machine, epochs=0)
+
+
+class TestAmortization:
+    def test_baseline_priced(self, report):
+        assert report.baseline_spmm_seconds is not None
+        assert report.baseline_spmm_seconds > 0
+
+    def test_amortization_within_one_training_run(self, report):
+        """The paper's §7.3 headline: preprocessing amortises within a
+        fraction of the hundreds-to-thousands of epochs (each 4+
+        SpMMs) of one full-graph training run."""
+        assert report.amortization_ops is not None
+        assert report.amortization_ops < 250 * 4
+
+    def test_twoface_beats_baseline_over_a_real_training_run(self, report):
+        """Projected over 250 epochs (the paper cites hundreds to
+        thousands), Two-Face's one-time preprocessing plus faster SpMMs
+        undercuts the baseline."""
+        epochs_projected = 250
+        scale = epochs_projected * 4 / report.spmm_ops
+        twoface_total = (
+            report.preprocess_seconds + report.spmm_seconds * scale
+        )
+        baseline_total = report.baseline_spmm_seconds * scale
+        assert twoface_total < baseline_total

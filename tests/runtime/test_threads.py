@@ -1,0 +1,66 @@
+"""Unit tests for thread allocation (Table 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import ThreadConfig, max_coalescing_gap
+
+
+class TestThreadConfig:
+    def test_paper_defaults(self):
+        cfg = ThreadConfig()
+        assert cfg.total == 128
+        assert cfg.async_comm == 2
+        assert cfg.async_comp == 8
+        assert cfg.sync_comp == 120
+        assert cfg.panel_height == 32
+
+    def test_for_machine_128(self):
+        cfg = ThreadConfig.for_machine(128)
+        assert (cfg.async_comm, cfg.async_comp) == (2, 8)
+
+    def test_for_machine_scales_down(self):
+        cfg = ThreadConfig.for_machine(64)
+        assert cfg.total == 64
+        assert cfg.async_comm >= 1
+        assert cfg.async_comp >= 2
+        assert cfg.sync_comp > cfg.async_comp
+
+    def test_for_machine_tiny(self):
+        cfg = ThreadConfig.for_machine(4)
+        assert cfg.async_comp < 4
+        assert cfg.sync_comp >= 1
+
+    def test_for_machine_two_threads(self):
+        cfg = ThreadConfig.for_machine(2)
+        assert cfg.total == 2
+        assert cfg.sync_comp >= 0
+
+    def test_invalid_totals(self):
+        with pytest.raises(ConfigurationError):
+            ThreadConfig(total=0)
+        with pytest.raises(ConfigurationError):
+            ThreadConfig(total=4, async_comm=0)
+        with pytest.raises(ConfigurationError):
+            ThreadConfig(total=4, async_comm=3, async_comp=2)
+        with pytest.raises(ConfigurationError):
+            ThreadConfig(total=4, async_comm=2, async_comp=5)
+        with pytest.raises(ConfigurationError):
+            ThreadConfig(panel_height=0)
+
+
+class TestCoalescingGap:
+    def test_paper_formula(self):
+        # (127 / K) + 1 with integer division.
+        assert max_coalescing_gap(32) == 4
+        assert max_coalescing_gap(128) == 1
+        assert max_coalescing_gap(512) == 1
+        assert max_coalescing_gap(1) == 128
+
+    def test_monotone_nonincreasing_in_k(self):
+        gaps = [max_coalescing_gap(k) for k in (1, 2, 8, 32, 64, 128, 512)]
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            max_coalescing_gap(0)

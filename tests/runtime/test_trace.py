@@ -1,0 +1,82 @@
+"""Unit tests for the time-breakdown structures."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import NodeBreakdown, TimeBreakdown
+
+
+class TestNodeBreakdown:
+    def test_lanes(self):
+        node = NodeBreakdown(
+            sync_comm=1.0, sync_comp=2.0, async_comm=0.5, async_comp=0.25,
+            other=0.1,
+        )
+        assert node.sync_lane == 3.0
+        assert node.async_lane == 0.75
+
+    def test_total_is_max_lane_plus_other(self):
+        node = NodeBreakdown(
+            sync_comm=1.0, sync_comp=2.0, async_comm=5.0, async_comp=0.0,
+            other=0.5,
+        )
+        assert node.total == 5.5  # async lane dominates
+
+    def test_total_sync_dominant(self):
+        node = NodeBreakdown(sync_comm=4.0, sync_comp=1.0, async_comm=2.0)
+        assert node.total == 5.0
+
+    def test_zero_default(self):
+        assert NodeBreakdown().total == 0.0
+
+
+class TestTimeBreakdown:
+    def test_zeros_constructor(self):
+        bd = TimeBreakdown.zeros(4)
+        assert bd.n_nodes == 4
+        assert bd.makespan == 0.0
+
+    def test_zeros_invalid(self):
+        with pytest.raises(ConfigurationError):
+            TimeBreakdown.zeros(0)
+
+    def test_makespan_is_slowest_node(self):
+        bd = TimeBreakdown.zeros(3)
+        bd.node(0).sync_comm = 1.0
+        bd.node(2).sync_comm = 5.0
+        assert bd.makespan == 5.0
+        assert bd.critical_node() == 2
+
+    def test_component_means(self):
+        bd = TimeBreakdown.zeros(2)
+        bd.node(0).sync_comm = 2.0
+        bd.node(1).sync_comm = 4.0
+        bd.node(1).async_comp = 1.0
+        means = bd.component_means()
+        assert means.sync_comm == 3.0
+        assert means.async_comp == 0.5
+
+    def test_component_maxima(self):
+        bd = TimeBreakdown.zeros(2)
+        bd.node(0).async_comm = 2.0
+        bd.node(1).async_comm = 7.0
+        assert bd.component_maxima().async_comm == 7.0
+
+    def test_load_imbalance_even(self):
+        bd = TimeBreakdown.zeros(3)
+        for node in bd.nodes:
+            node.sync_comp = 2.0
+        assert bd.load_imbalance() == pytest.approx(1.0)
+
+    def test_load_imbalance_skewed(self):
+        bd = TimeBreakdown.zeros(4)
+        bd.node(0).sync_comp = 10.0
+        for rank in (1, 2, 3):
+            bd.node(rank).sync_comp = 1.0
+        assert bd.load_imbalance() > 2.0
+
+    def test_load_imbalance_empty(self):
+        assert TimeBreakdown().load_imbalance() == 1.0
+
+    def test_empty_means(self):
+        assert TimeBreakdown().component_means().total == 0.0

@@ -1,0 +1,113 @@
+"""Unit tests for the binary preprocessed-matrix container."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse import (
+    read_arrays,
+    read_coo,
+    write_arrays,
+    write_coo,
+)
+
+
+class TestArrays:
+    def test_roundtrip_mixed_dtypes(self, tmp_path):
+        path = tmp_path / "c.bin"
+        arrays = {
+            "ints": np.arange(10, dtype=np.int64),
+            "floats": np.linspace(0, 1, 7),
+        }
+        write_arrays(arrays, path)
+        out = read_arrays(path)
+        assert set(out) == {"ints", "floats"}
+        np.testing.assert_array_equal(out["ints"], arrays["ints"])
+        np.testing.assert_allclose(out["floats"], arrays["floats"])
+
+    def test_roundtrip_stream(self):
+        buf = io.BytesIO()
+        write_arrays({"a": np.array([1, 2], dtype=np.int64)}, buf)
+        buf.seek(0)
+        out = read_arrays(buf)
+        np.testing.assert_array_equal(out["a"], [1, 2])
+
+    def test_empty_array(self, tmp_path):
+        path = tmp_path / "e.bin"
+        write_arrays({"empty": np.zeros(0, dtype=np.int64)}, path)
+        assert len(read_arrays(path)["empty"]) == 0
+
+    def test_no_arrays(self, tmp_path):
+        path = tmp_path / "n.bin"
+        write_arrays({}, path)
+        assert read_arrays(path) == {}
+
+    def test_returns_bytes_written(self, tmp_path):
+        path = tmp_path / "s.bin"
+        written = write_arrays({"a": np.arange(4, dtype=np.int64)}, path)
+        assert written == path.stat().st_size
+
+    def test_unicode_names(self, tmp_path):
+        path = tmp_path / "u.bin"
+        write_arrays({"stripé_ptrs": np.array([1], dtype=np.int64)}, path)
+        assert "stripé_ptrs" in read_arrays(path)
+
+    def test_rejects_2d(self, tmp_path):
+        with pytest.raises(FormatError):
+            write_arrays({"m": np.zeros((2, 2))}, tmp_path / "x.bin")
+
+    def test_rejects_unsupported_dtype(self, tmp_path):
+        with pytest.raises(FormatError):
+            write_arrays(
+                {"f32": np.zeros(3, dtype=np.float32)}, tmp_path / "x.bin"
+            )
+
+    def test_bad_magic(self):
+        buf = io.BytesIO(b"NOTMAGIC" + b"\x00" * 16)
+        with pytest.raises(FormatError):
+            read_arrays(buf)
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_arrays({"a": np.arange(100, dtype=np.int64)}, path)
+        data = path.read_bytes()[:-10]
+        with pytest.raises(FormatError):
+            read_arrays(io.BytesIO(data))
+
+    def test_read_copy_is_writable(self, tmp_path):
+        path = tmp_path / "w.bin"
+        write_arrays({"a": np.arange(4, dtype=np.int64)}, path)
+        out = read_arrays(path)["a"]
+        out[0] = 99  # must not raise (frombuffer would be read-only)
+
+
+class TestCOO:
+    def test_roundtrip(self, tmp_path, tiny_matrix):
+        path = tmp_path / "m.bin"
+        write_coo(tiny_matrix, path)
+        assert read_coo(path) == tiny_matrix
+
+    def test_roundtrip_rect(self, tmp_path, tiny_rect_matrix):
+        path = tmp_path / "r.bin"
+        write_coo(tiny_rect_matrix, path)
+        again = read_coo(path)
+        assert again.shape == tiny_rect_matrix.shape
+        assert again == tiny_rect_matrix
+
+    def test_missing_array(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        write_arrays({"rows": np.zeros(0, dtype=np.int64)}, path)
+        with pytest.raises(FormatError):
+            read_coo(path)
+
+    def test_binary_smaller_than_text(self, tmp_path, tiny_matrix):
+        from repro.sparse import write_matrix_market
+
+        bin_path = tmp_path / "m.bin"
+        txt_path = tmp_path / "m.mtx"
+        write_coo(tiny_matrix, bin_path)
+        write_matrix_market(tiny_matrix, txt_path)
+        # The bespoke binary format exists to beat text I/O (§7.3).
+        assert bin_path.stat().st_size < txt_path.stat().st_size * 2

@@ -1,0 +1,138 @@
+"""Unit tests for the CSR format and row panels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse import COOMatrix, CSRMatrix, erdos_renyi
+
+
+class TestConstruction:
+    def test_from_coo_roundtrip(self, fixed_coo):
+        csr = CSRMatrix.from_coo(fixed_coo)
+        assert csr.to_coo() == fixed_coo
+
+    def test_from_coo_sums_duplicates(self):
+        coo = COOMatrix(
+            np.array([0, 0]), np.array([2, 2]), np.array([1.0, 2.0]), (2, 4)
+        )
+        csr = CSRMatrix.from_coo(coo)
+        assert csr.nnz == 1
+        assert csr.to_dense()[0, 2] == 3.0
+
+    def test_from_dense(self, rng):
+        dense = rng.standard_normal((7, 5))
+        dense[np.abs(dense) < 0.8] = 0.0
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.to_dense(), dense)
+
+    def test_empty(self):
+        csr = CSRMatrix.empty((4, 6))
+        assert csr.nnz == 0
+        assert len(csr.indptr) == 5
+
+    def test_indptr_wrong_length_rejected(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(
+                np.array([0, 1]), np.array([0]), np.array([1.0]), (3, 3)
+            )
+
+    def test_indptr_not_monotone_rejected(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(
+                np.array([0, 2, 1, 2]),
+                np.array([0, 1]),
+                np.array([1.0, 2.0]),
+                (3, 3),
+            )
+
+    def test_indptr_span_mismatch_rejected(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(
+                np.array([0, 1, 1, 1]), np.zeros(3, dtype=np.int64),
+                np.ones(3), (3, 3),
+            )
+
+    def test_col_out_of_bounds_rejected(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(
+                np.array([0, 1]), np.array([5]), np.array([1.0]), (1, 3)
+            )
+
+    def test_indices_data_length_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(
+                np.array([0, 2]), np.array([0, 1]), np.array([1.0]), (1, 3)
+            )
+
+
+class TestAccess:
+    def test_row_access(self, fixed_coo):
+        csr = CSRMatrix.from_coo(fixed_coo)
+        cols, vals = csr.row(5)
+        assert list(cols) == [1, 5]
+        assert list(vals) == [5.0, 6.0]
+
+    def test_row_empty(self, fixed_coo):
+        csr = CSRMatrix.from_coo(fixed_coo)
+        cols, vals = csr.row(1)
+        assert len(cols) == 0 and len(vals) == 0
+
+    def test_row_out_of_bounds(self, fixed_coo):
+        csr = CSRMatrix.from_coo(fixed_coo)
+        with pytest.raises(ShapeError):
+            csr.row(8)
+
+    def test_row_nnz(self, fixed_coo):
+        csr = CSRMatrix.from_coo(fixed_coo)
+        assert list(csr.row_nnz()) == [2, 0, 1, 1, 0, 2, 0, 1]
+
+
+class TestPanels:
+    def test_panel_bounds_exact_division(self):
+        csr = CSRMatrix.empty((8, 4))
+        assert list(csr.panel_bounds(4)) == [0, 4, 8]
+
+    def test_panel_bounds_ragged(self):
+        csr = CSRMatrix.empty((10, 4))
+        assert list(csr.panel_bounds(4)) == [0, 4, 8, 10]
+
+    def test_panel_bounds_positive_height(self):
+        csr = CSRMatrix.empty((4, 4))
+        with pytest.raises(ShapeError):
+            csr.panel_bounds(0)
+
+    def test_iter_panels_cover_all_nonzeros(self, tiny_matrix):
+        csr = CSRMatrix.from_coo(tiny_matrix)
+        total = sum(panel.nnz for _, _, panel in csr.iter_panels(16))
+        assert total == csr.nnz
+
+    def test_iter_panels_values_match(self, tiny_matrix):
+        csr = CSRMatrix.from_coo(tiny_matrix)
+        dense = csr.to_dense()
+        for start, stop, panel in csr.iter_panels(16):
+            np.testing.assert_allclose(panel.to_dense(), dense[start:stop])
+
+    def test_iter_panels_yields_empty_panels(self):
+        coo = COOMatrix(
+            np.array([0]), np.array([0]), np.array([1.0]), (8, 8)
+        )
+        panels = list(CSRMatrix.from_coo(coo).iter_panels(2))
+        assert len(panels) == 4  # empty panels still yielded
+
+
+class TestConversion:
+    def test_to_scipy_matches(self, tiny_matrix):
+        csr = CSRMatrix.from_coo(tiny_matrix)
+        np.testing.assert_allclose(
+            csr.to_scipy().toarray(), tiny_matrix.to_dense()
+        )
+
+    def test_nbytes_positive(self, tiny_matrix):
+        assert CSRMatrix.from_coo(tiny_matrix).nbytes() > 0
+
+    def test_rectangular(self):
+        coo = erdos_renyi(10, 30, 40, seed=3)
+        csr = CSRMatrix.from_coo(coo)
+        assert csr.shape == (10, 30)
+        np.testing.assert_allclose(csr.to_dense(), coo.to_dense())

@@ -1,0 +1,176 @@
+"""Unit tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sparse import (
+    banded,
+    block_local_power_law,
+    compute_stats,
+    diagonal,
+    erdos_renyi,
+    hub_skewed,
+    rmat,
+    uniform_random,
+)
+
+
+class TestErdosRenyi:
+    def test_shape_and_rough_nnz(self):
+        m = erdos_renyi(100, 200, 500, seed=1)
+        assert m.shape == (100, 200)
+        # Dedup removes a few collisions but most survive.
+        assert 400 <= m.nnz <= 500
+
+    def test_deterministic(self):
+        assert erdos_renyi(50, 50, 100, seed=9) == erdos_renyi(50, 50, 100, seed=9)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi(50, 50, 100, seed=1) != erdos_renyi(50, 50, 100, seed=2)
+
+    def test_zero_nnz(self):
+        assert erdos_renyi(10, 10, 0, seed=1).nnz == 0
+
+    def test_negative_nnz_rejected(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(10, 10, -1)
+
+    def test_too_many_nnz_rejected(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(3, 3, 10)
+
+    def test_values_in_range(self):
+        m = erdos_renyi(30, 30, 100, seed=4)
+        assert m.vals.min() >= 0.1 and m.vals.max() <= 1.0
+
+
+class TestBanded:
+    def test_band_respected(self):
+        m = banded(128, bandwidth=8, avg_degree=6, seed=2)
+        assert np.all(np.abs(m.rows - m.cols) <= 8)
+
+    def test_full_diagonal(self):
+        m = banded(64, bandwidth=4, avg_degree=3, seed=2)
+        diag_present = set(m.rows[m.rows == m.cols])
+        assert diag_present == set(range(64))
+
+    def test_no_empty_rows(self):
+        m = banded(64, bandwidth=4, avg_degree=3, seed=2)
+        assert len(np.unique(m.rows)) == 64
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            banded(16, bandwidth=0, avg_degree=2)
+
+    def test_locality_stat(self):
+        stats = compute_stats(banded(512, bandwidth=8, avg_degree=6, seed=1),
+                              blocks=8)
+        assert stats.diag_block_fraction > 0.9
+
+
+class TestBlockLocalPowerLaw:
+    def test_shape(self):
+        m = block_local_power_law(256, 8, block_size=32, seed=3)
+        assert m.shape == (256, 256)
+
+    def test_mostly_local(self):
+        m = block_local_power_law(
+            512, 10, block_size=64, local_fraction=0.9, seed=3
+        )
+        same_block = (m.rows // 64) == (m.cols // 64)
+        assert np.mean(same_block) > 0.7
+
+    def test_zero_local_fraction(self):
+        m = block_local_power_law(
+            128, 6, block_size=16, local_fraction=0.0, seed=3
+        )
+        assert m.nnz > 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            block_local_power_law(64, 4, block_size=8, local_fraction=1.5)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ConfigurationError):
+            block_local_power_law(64, 4, block_size=0)
+
+    def test_column_skew_exists(self):
+        m = block_local_power_law(
+            512, 10, block_size=64, local_fraction=0.5, alpha=1.8, seed=3
+        )
+        stats = compute_stats(m)
+        assert stats.col_gini > 0.2
+
+
+class TestHubSkewed:
+    def test_shape_and_diag(self):
+        m = hub_skewed(256, 4, n_hubs=4, seed=5)
+        assert m.shape == (256, 256)
+        assert len(np.unique(m.rows)) == 256  # diagonal guarantees coverage
+
+    def test_column_skew(self):
+        m = hub_skewed(512, 6, n_hubs=4, hub_fraction=0.3, seed=5)
+        stats = compute_stats(m)
+        assert stats.col_gini > 0.3
+        assert stats.max_col_nnz > 10 * stats.avg_degree
+
+    def test_hot_row_region(self):
+        m = hub_skewed(512, 6, n_hubs=4, warm_fraction=0.6, seed=5)
+        row_counts = np.bincount(m.rows, minlength=512)
+        hot = row_counts[64:128].mean()
+        cold = row_counts[256:].mean()
+        assert hot > 2 * cold
+
+    def test_invalid_hubs(self):
+        with pytest.raises(ConfigurationError):
+            hub_skewed(64, 4, n_hubs=0)
+        with pytest.raises(ConfigurationError):
+            hub_skewed(64, 4, n_hubs=100)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ConfigurationError):
+            hub_skewed(64, 4, n_hubs=2, hub_fraction=0.6, warm_fraction=0.6)
+
+
+class TestRmat:
+    def test_shape_power_of_two(self):
+        m = rmat(7, avg_degree=6, seed=6)
+        assert m.shape == (128, 128)
+
+    def test_degree_skew(self):
+        m = rmat(9, avg_degree=8, seed=6)
+        stats = compute_stats(m)
+        assert stats.row_gini > 0.2  # heavy-tailed
+
+    def test_spread_globally(self):
+        m = rmat(9, avg_degree=8, seed=6)
+        stats = compute_stats(m, blocks=8)
+        assert stats.diag_block_fraction < 0.5
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            rmat(4, 2, a=0.5, b=0.4, c=0.2)
+
+    def test_deterministic(self):
+        assert rmat(6, 4, seed=1) == rmat(6, 4, seed=1)
+
+
+class TestDiagonal:
+    def test_identity(self):
+        m = diagonal(5)
+        np.testing.assert_array_equal(m.to_dense(), np.eye(5))
+
+    def test_scaled(self):
+        m = diagonal(3, value=2.5)
+        np.testing.assert_array_equal(m.to_dense(), 2.5 * np.eye(3))
+
+
+class TestUniformRandom:
+    def test_degree(self):
+        m = uniform_random(1000, avg_degree=3.0, seed=2)
+        assert 2.0 <= m.nnz / 1000 <= 3.0  # dedup shaves a little
+
+    def test_low_skew(self):
+        stats = compute_stats(uniform_random(1000, 4.0, seed=2))
+        assert stats.col_gini < 0.5

@@ -1,0 +1,163 @@
+"""Unit tests for Matrix Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse import (
+    COOMatrix,
+    erdos_renyi,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+def roundtrip(matrix: COOMatrix) -> COOMatrix:
+    buf = io.StringIO()
+    write_matrix_market(matrix, buf)
+    buf.seek(0)
+    return read_matrix_market(buf)
+
+
+class TestRoundtrip:
+    def test_small(self, fixed_coo):
+        assert roundtrip(fixed_coo) == fixed_coo
+
+    def test_random(self, tiny_matrix):
+        assert roundtrip(tiny_matrix) == tiny_matrix
+
+    def test_rectangular(self, tiny_rect_matrix):
+        assert roundtrip(tiny_rect_matrix) == tiny_rect_matrix
+
+    def test_empty(self):
+        empty = COOMatrix.empty((4, 7))
+        again = roundtrip(empty)
+        assert again.shape == (4, 7)
+        assert again.nnz == 0
+
+    def test_file_paths(self, tmp_path, tiny_matrix):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(tiny_matrix, path)
+        assert read_matrix_market(path) == tiny_matrix
+
+    def test_values_preserved_exactly(self):
+        m = COOMatrix(
+            np.array([0]), np.array([0]),
+            np.array([1.2345678901234567e-8]), (1, 1),
+        )
+        assert roundtrip(m).vals[0] == m.vals[0]
+
+
+class TestParsing:
+    def test_pattern_field(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+        m = read_matrix_market(io.StringIO(text))
+        assert m.nnz == 2
+        assert set(m.vals) == {1.0}
+
+    def test_integer_field(self):
+        text = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 7\n"
+        m = read_matrix_market(io.StringIO(text))
+        assert m.to_dense()[0, 1] == 7.0
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n1 1 1.0\n2 1 2.0\n3 2 3.0\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        dense = m.to_dense()
+        assert dense[0, 1] == 2.0 and dense[1, 0] == 2.0
+        assert dense[1, 2] == 3.0 and dense[2, 1] == 3.0
+        assert m.nnz == 5  # diagonal entry not mirrored
+
+    def test_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n2 2 1\n% inline comment\n1 1 4.5\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.to_dense()[0, 0] == 4.5
+
+    def test_one_based_indices(self):
+        text = "%%MatrixMarket matrix coordinate real general\n3 3 1\n3 3 1.0\n"
+        m = read_matrix_market(io.StringIO(text))
+        assert m.rows[0] == 2 and m.cols[0] == 2
+
+
+class TestErrors:
+    def test_bad_header(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO("not a header\n1 1 0\n"))
+
+    def test_unsupported_layout(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix array real general\n")
+            )
+
+    def test_unsupported_field(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(
+                io.StringIO(
+                    "%%MatrixMarket matrix coordinate complex general\n"
+                )
+            )
+
+    def test_unsupported_symmetry(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(
+                io.StringIO(
+                    "%%MatrixMarket matrix coordinate real hermitian\n"
+                )
+            )
+
+    def test_empty_stream(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO(""))
+
+    def test_missing_size_line(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate real general\n")
+            )
+
+    def test_bad_size_line(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(
+                io.StringIO(
+                    "%%MatrixMarket matrix coordinate real general\nx y z\n"
+                )
+            )
+
+    def test_too_few_entries(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_too_many_entries(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n1 1 1.0\n2 2 2.0\n"
+        )
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_malformed_entry(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n"
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_entry_out_of_bounds(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n"
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_deterministic_file_size(self, tmp_path):
+        m = erdos_renyi(16, 16, 40, seed=1)
+        p1, p2 = tmp_path / "a.mtx", tmp_path / "b.mtx"
+        write_matrix_market(m, p1)
+        write_matrix_market(m, p2)
+        assert p1.read_text() == p2.read_text()

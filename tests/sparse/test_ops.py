@@ -1,0 +1,220 @@
+"""Unit tests for local SpMM kernels and coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    coalesce_row_ids,
+    coalesced_transfer_rows,
+    erdos_renyi,
+    spmm_column_major,
+    spmm_reference,
+    spmm_row_panels,
+    unique_col_ids,
+)
+from repro.sparse.ops import scatter_add
+
+
+def dense_oracle(A: COOMatrix, B: np.ndarray) -> np.ndarray:
+    return A.to_dense() @ B
+
+
+class TestReference:
+    def test_matches_dense_product(self, tiny_matrix, rng):
+        B = rng.standard_normal((64, 5))
+        np.testing.assert_allclose(
+            spmm_reference(tiny_matrix, B), dense_oracle(tiny_matrix, B)
+        )
+
+    def test_rectangular(self, tiny_rect_matrix, rng):
+        B = rng.standard_normal((80, 3))
+        np.testing.assert_allclose(
+            spmm_reference(tiny_rect_matrix, B),
+            dense_oracle(tiny_rect_matrix, B),
+        )
+
+    def test_shape_mismatch(self, tiny_matrix, rng):
+        with pytest.raises(ShapeError):
+            spmm_reference(tiny_matrix, rng.standard_normal((63, 4)))
+
+    def test_empty_matrix(self, rng):
+        A = COOMatrix.empty((5, 5))
+        B = rng.standard_normal((5, 4))
+        np.testing.assert_array_equal(spmm_reference(A, B), np.zeros((5, 4)))
+
+
+class TestScatterAdd:
+    def test_chunked_equals_unchunked(self, rng):
+        rows = rng.integers(0, 10, size=100)
+        vals = rng.standard_normal(100)
+        B_rows = rng.standard_normal((100, 3))
+        C1 = np.zeros((10, 3))
+        scatter_add(C1, rows, vals, B_rows)
+        C2 = np.zeros((10, 3))
+        np.add.at(C2, rows, vals[:, None] * B_rows)
+        np.testing.assert_allclose(C1, C2)
+
+    def test_accumulates_into_existing(self, rng):
+        C = np.ones((4, 2))
+        scatter_add(C, np.array([1]), np.array([2.0]), np.array([[3.0, 4.0]]))
+        np.testing.assert_allclose(C[1], [7.0, 9.0])
+
+
+class TestRowPanelKernel:
+    def test_matches_reference(self, tiny_matrix, rng):
+        B = rng.standard_normal((64, 8))
+        csr = CSRMatrix.from_coo(tiny_matrix)
+        C = np.zeros((64, 8))
+        spmm_row_panels(csr, B, C, panel_height=16)
+        np.testing.assert_allclose(C, dense_oracle(tiny_matrix, B))
+
+    def test_accumulates(self, fixed_coo, rng):
+        B = rng.standard_normal((8, 4))
+        csr = CSRMatrix.from_coo(fixed_coo)
+        C = np.ones((8, 4))
+        spmm_row_panels(csr, B, C)
+        np.testing.assert_allclose(C, 1.0 + dense_oracle(fixed_coo, B))
+
+    def test_stats_atomic_ops_count_nonempty_rows(self, fixed_coo, rng):
+        B = rng.standard_normal((8, 2))
+        csr = CSRMatrix.from_coo(fixed_coo)
+        stats = spmm_row_panels(csr, B, np.zeros((8, 2)))
+        assert stats.nnz_processed == 7
+        assert stats.atomic_ops == 5  # rows 0, 2, 3, 5, 7
+
+    def test_empty_returns_zero_stats(self, rng):
+        csr = CSRMatrix.empty((4, 4))
+        stats = spmm_row_panels(csr, rng.standard_normal((4, 2)), np.zeros((4, 2)))
+        assert stats.nnz_processed == 0
+        assert stats.atomic_ops == 0
+
+    def test_panel_height_validation(self, fixed_coo, rng):
+        csr = CSRMatrix.from_coo(fixed_coo)
+        with pytest.raises(ShapeError):
+            spmm_row_panels(csr, rng.standard_normal((8, 2)), np.zeros((8, 2)),
+                            panel_height=0)
+
+    def test_panel_height_does_not_change_values(self, tiny_matrix, rng):
+        B = rng.standard_normal((64, 4))
+        csr = CSRMatrix.from_coo(tiny_matrix)
+        results = []
+        for h in (1, 7, 64):
+            C = np.zeros((64, 4))
+            spmm_row_panels(csr, B, C, panel_height=h)
+            results.append(C)
+        np.testing.assert_allclose(results[0], results[1])
+        np.testing.assert_allclose(results[0], results[2])
+
+
+class TestColumnMajorKernel:
+    def _packed(self, A: COOMatrix, B: np.ndarray):
+        ids = unique_col_ids(A)
+        row_map = -np.ones(B.shape[0], dtype=np.int64)
+        row_map[ids] = np.arange(len(ids))
+        return B[ids], row_map
+
+    def test_matches_reference(self, tiny_matrix, rng):
+        B = rng.standard_normal((64, 6))
+        B_rows, row_map = self._packed(tiny_matrix, B)
+        C = np.zeros((64, 6))
+        stats = spmm_column_major(tiny_matrix, B_rows, row_map, C)
+        np.testing.assert_allclose(C, dense_oracle(tiny_matrix, B))
+        assert stats.atomic_ops == tiny_matrix.nnz
+
+    def test_missing_rows_raise(self, fixed_coo, rng):
+        B = rng.standard_normal((8, 2))
+        row_map = -np.ones(8, dtype=np.int64)  # nothing fetched
+        with pytest.raises(ShapeError):
+            spmm_column_major(fixed_coo, B[:0], row_map, np.zeros((8, 2)))
+
+    def test_empty_stripe(self, rng):
+        A = COOMatrix.empty((4, 4))
+        stats = spmm_column_major(
+            A, np.zeros((0, 2)), -np.ones(4, dtype=np.int64), np.zeros((4, 2))
+        )
+        assert stats.nnz_processed == 0
+
+    def test_shape_mismatch(self, fixed_coo, rng):
+        B = rng.standard_normal((8, 2))
+        B_rows, row_map = self._packed(fixed_coo, B)
+        with pytest.raises(ShapeError):
+            spmm_column_major(fixed_coo, B_rows, row_map, np.zeros((8, 3)))
+
+    def test_rows_written(self, fixed_coo, rng):
+        B = rng.standard_normal((8, 2))
+        B_rows, row_map = self._packed(fixed_coo, B)
+        stats = spmm_column_major(fixed_coo, B_rows, row_map, np.zeros((8, 2)))
+        assert stats.rows_written == 5
+
+
+class TestUniqueColIds:
+    def test_sorted_unique(self, fixed_coo):
+        ids = unique_col_ids(fixed_coo)
+        assert list(ids) == [0, 1, 3, 4, 5, 6]
+
+    def test_empty(self):
+        assert len(unique_col_ids(COOMatrix.empty((3, 3)))) == 0
+
+
+class TestCoalescing:
+    def test_paper_example_adjacent_only(self):
+        chunks = coalesce_row_ids(np.array([2, 3, 6, 8]), max_gap=1)
+        assert chunks == [(2, 2), (6, 1), (8, 1)]
+
+    def test_paper_example_gap_two(self):
+        chunks = coalesce_row_ids(np.array([2, 3, 6, 8]), max_gap=2)
+        assert chunks == [(2, 2), (6, 3)]
+
+    def test_single_row(self):
+        assert coalesce_row_ids(np.array([5])) == [(5, 1)]
+
+    def test_empty(self):
+        assert coalesce_row_ids(np.array([], dtype=np.int64)) == []
+
+    def test_all_adjacent(self):
+        assert coalesce_row_ids(np.arange(10)) == [(0, 10)]
+
+    def test_huge_gap_merges_everything(self):
+        chunks = coalesce_row_ids(np.array([0, 100]), max_gap=1000)
+        assert chunks == [(0, 101)]
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ShapeError):
+            coalesce_row_ids(np.array([3, 1]))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ShapeError):
+            coalesce_row_ids(np.array([1, 1]))
+
+    def test_invalid_gap(self):
+        with pytest.raises(ShapeError):
+            coalesce_row_ids(np.array([1]), max_gap=0)
+
+    def test_chunks_cover_all_ids(self, rng):
+        ids = np.unique(rng.integers(0, 1000, size=200))
+        for gap in (1, 2, 5):
+            chunks = coalesce_row_ids(ids, max_gap=gap)
+            covered = set()
+            for start, size in chunks:
+                covered.update(range(start, start + size))
+            assert set(ids) <= covered
+
+    def test_transfer_rows_at_least_ids(self, rng):
+        ids = np.unique(rng.integers(0, 500, size=80))
+        chunks = coalesce_row_ids(ids, max_gap=3)
+        assert coalesced_transfer_rows(chunks) >= len(ids)
+
+    def test_gap1_transfers_exactly_ids(self, rng):
+        ids = np.unique(rng.integers(0, 500, size=80))
+        chunks = coalesce_row_ids(ids, max_gap=1)
+        assert coalesced_transfer_rows(chunks) == len(ids)
+
+    def test_kernel_stats_merge(self):
+        from repro.sparse import KernelStats
+
+        merged = KernelStats(1, 2, 3).merge(KernelStats(10, 20, 30))
+        assert (merged.nnz_processed, merged.atomic_ops, merged.rows_written) \
+            == (11, 22, 33)

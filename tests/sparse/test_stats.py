@@ -1,0 +1,64 @@
+"""Unit tests for matrix statistics."""
+
+import numpy as np
+
+from repro.sparse import COOMatrix, compute_stats, diagonal, gini
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(100, 5.0)) == 0.0
+
+    def test_single_owner_near_one(self):
+        counts = np.zeros(100)
+        counts[0] = 1000
+        assert gini(counts) > 0.95
+
+    def test_empty(self):
+        assert gini(np.zeros(0)) == 0.0
+
+    def test_all_zero(self):
+        assert gini(np.zeros(10)) == 0.0
+
+    def test_monotone_in_skew(self):
+        even = np.full(10, 10.0)
+        skew = np.array([91, 1, 1, 1, 1, 1, 1, 1, 1, 1], dtype=float)
+        assert gini(skew) > gini(even)
+
+    def test_order_invariant(self, rng):
+        counts = rng.integers(0, 100, size=50).astype(float)
+        assert gini(counts) == gini(counts[::-1])
+
+
+class TestComputeStats:
+    def test_diagonal_matrix(self):
+        stats = compute_stats(diagonal(64), blocks=8)
+        assert stats.nnz == 64
+        assert stats.avg_degree == 1.0
+        assert stats.bandwidth_p95 == 0.0
+        assert stats.diag_block_fraction == 1.0
+        assert stats.row_gini == 0.0
+
+    def test_empty_matrix(self):
+        stats = compute_stats(COOMatrix.empty((10, 10)))
+        assert stats.nnz == 0
+        assert stats.density == 0.0
+        assert stats.max_row_nnz == 0
+
+    def test_max_counts(self, fixed_coo):
+        stats = compute_stats(fixed_coo)
+        assert stats.max_row_nnz == 2
+        assert stats.max_col_nnz == 2
+
+    def test_off_diagonal_band(self):
+        n = 32
+        rows = np.arange(n - 4)
+        cols = rows + 4
+        m = COOMatrix(rows, cols, np.ones(n - 4), (n, n))
+        stats = compute_stats(m)
+        assert stats.bandwidth_p95 == 4.0
+
+    def test_density(self, tiny_matrix):
+        stats = compute_stats(tiny_matrix)
+        assert stats.density == tiny_matrix.nnz / (64 * 64)
+        assert stats.n_rows == 64 and stats.n_cols == 64

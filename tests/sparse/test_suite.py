@@ -1,0 +1,116 @@
+"""Unit tests for the evaluation-matrix suite."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sparse import (
+    FIGURE_ORDER,
+    SUITE,
+    compute_stats,
+    load,
+    matrix_names,
+    rows_for,
+    stripe_width_for,
+)
+
+
+class TestStripeWidth:
+    def test_power_of_two(self):
+        for n in (100, 1000, 8192, 65536):
+            w = stripe_width_for(n)
+            assert w & (w - 1) == 0
+
+    def test_floor(self):
+        assert stripe_width_for(10) == 8
+
+    def test_scales_with_dimension(self):
+        assert stripe_width_for(65536) > stripe_width_for(4096)
+
+    def test_roughly_n_over_100(self):
+        w = stripe_width_for(12800)
+        assert 64 <= w <= 256
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            stripe_width_for(0)
+
+
+class TestRegistry:
+    def test_eight_matrices(self):
+        assert len(SUITE) == 8
+        assert len(FIGURE_ORDER) == 8
+        assert set(FIGURE_ORDER) == set(SUITE)
+
+    def test_matrix_names_order(self):
+        assert matrix_names()[0] == "web"
+        assert matrix_names()[-1] == "friendster"
+
+    def test_paper_metadata_present(self):
+        for spec in SUITE.values():
+            assert spec.paper_rows_millions > 0
+            assert spec.paper_nnz_millions > spec.paper_rows_millions
+            assert spec.paper_stripe_width % 1024 == 0
+
+    def test_unknown_matrix(self):
+        with pytest.raises(ConfigurationError):
+            load("nonexistent")
+
+    def test_unknown_size(self):
+        with pytest.raises(ConfigurationError):
+            rows_for("web", size="huge")
+
+    def test_size_classes_ordered(self):
+        for name in matrix_names():
+            assert rows_for(name, "tiny") < rows_for(name, "small")
+            assert rows_for(name, "small") < rows_for(name, "default")
+
+
+class TestStructuralClasses:
+    """Each analogue must land in its namesake's structural regime."""
+
+    def test_deterministic(self):
+        assert load("web", size="tiny") == load("web", size="tiny")
+
+    def test_seed_changes_matrix(self):
+        assert load("web", size="tiny", seed=1) != load(
+            "web", size="tiny", seed=2
+        )
+
+    @pytest.mark.parametrize("name", ["queen", "stokes"])
+    def test_banded_locality(self, name):
+        stats = compute_stats(load(name, size="small"), blocks=8)
+        assert stats.diag_block_fraction > 0.9
+
+    @pytest.mark.parametrize("name", ["web", "arabic"])
+    def test_web_crawl_locality_with_tail(self, name):
+        stats = compute_stats(load(name, size="small"), blocks=8)
+        assert stats.diag_block_fraction > 0.5
+        assert stats.col_gini > 0.1  # hot-page tail
+
+    @pytest.mark.parametrize("name", ["twitter", "friendster"])
+    def test_social_spread(self, name):
+        stats = compute_stats(load(name, size="small"), blocks=8)
+        assert stats.diag_block_fraction < 0.5
+        assert stats.row_gini > 0.2
+
+    def test_mawi_skew(self):
+        stats = compute_stats(load("mawi", size="small"))
+        assert stats.col_gini > 0.4
+        assert stats.max_col_nnz > 20 * stats.avg_degree
+
+    def test_kmer_uniform_ultra_sparse(self):
+        stats = compute_stats(load("kmer", size="small"))
+        assert stats.avg_degree < 5
+        assert stats.col_gini < 0.5
+
+    def test_kmer_is_largest(self):
+        assert rows_for("kmer") == max(
+            rows_for(name) for name in matrix_names()
+        )
+
+    def test_square(self):
+        for name in matrix_names():
+            m = load(name, size="tiny")
+            assert m.shape[0] == m.shape[1]

@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--matrix", "nope"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "FourFace"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.matrix == "web"
+        assert args.algorithm == "TwoFace"
+        assert args.k == 128
+
+
+class TestCommands:
+    def test_run_prints_result(self, capsys):
+        code = main(
+            ["run", "--matrix", "queen", "--algorithm", "DS2",
+             "--k", "8", "--nodes", "4", "--size", "tiny"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "simulated seconds" in out
+        assert "DS2" in out
+
+    def test_run_oom_exit_code(self, capsys):
+        code = main(
+            ["run", "--matrix", "kmer", "--algorithm", "Allgather",
+             "--k", "128", "--nodes", "32", "--size", "default"]
+        )
+        assert code == 1
+        assert "OOM" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main(
+            ["sweep", "--matrices", "queen", "web", "--k", "8",
+             "--nodes", "4", "--size", "tiny"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "TwoFace" in out
+        assert "queen" in out and "web" in out
+
+    def test_calibrate(self, capsys):
+        code = main(
+            ["calibrate", "--matrix", "twitter", "--k", "8",
+             "--nodes", "4", "--size", "tiny"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "beta_a" in out
+
+    def test_stats(self, capsys):
+        code = main(["stats", "--matrix", "mawi", "--size", "tiny"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hub_skewed" in out
+
+    def test_gnn(self, capsys):
+        code = main(
+            ["gnn", "--nodes", "4", "--graph-size", "256", "--epochs", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "train accuracy" in out

@@ -1,0 +1,52 @@
+"""Tests for the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    CommunicationError,
+    ConfigurationError,
+    FormatError,
+    OutOfMemoryError,
+    PartitionError,
+    ReproError,
+    ShapeError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            CalibrationError,
+            CommunicationError,
+            ConfigurationError,
+            FormatError,
+            OutOfMemoryError,
+            PartitionError,
+            ShapeError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_catchable_as_value_error(self):
+        for exc in (ShapeError, FormatError, PartitionError,
+                    ConfigurationError):
+            assert issubclass(exc, ValueError)
+
+    def test_oom_is_memory_error(self):
+        assert issubclass(OutOfMemoryError, MemoryError)
+
+    def test_oom_message(self):
+        err = OutOfMemoryError(5, 2000, 1000)
+        assert "node 5" in str(err)
+        assert "2000" in str(err)
+        assert err.node == 5
+
+    def test_catch_all_pattern(self):
+        """API consumers can catch ReproError at the boundary."""
+        try:
+            raise ShapeError("bad shape")
+        except ReproError as caught:
+            assert "bad shape" in str(caught)

@@ -1,0 +1,62 @@
+"""Smoke tests for the runnable examples.
+
+The quick examples are executed outright; the heavyweight ones are
+imported and checked for a ``main`` entry point (their full runs are
+exercised by the benchmark suite's equivalent workloads).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "algorithm_comparison.py",
+    "gnn_training.py",
+    "preprocessing_and_reuse.py",
+    "scaling_study.py",
+    "sparse_attention.py",
+    "sampled_training.py",
+]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_has_main(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None)), name
+
+    def test_at_least_three_examples(self):
+        scripts = list(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 3
+
+
+class TestQuickExamplesRun:
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "numerics: C == A @ B" in out
+        assert "stripe classification" in out
+
+    def test_preprocessing_and_reuse_runs(self, capsys):
+        module = load_example("preprocessing_and_reuse.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "classification:" in out
+        assert "plan reused" in out

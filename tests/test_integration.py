@@ -1,0 +1,185 @@
+"""End-to-end integration tests across subsystems.
+
+These exercise the flows the paper's evaluation depends on: the
+qualitative algorithm ordering per matrix class, lane equalisation, the
+OOM patterns, plan reuse across repeated SpMMs, and the sensitivity of
+Two-Face to the model coefficients.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import (
+    AllGather,
+    AsyncFine,
+    DenseShifting,
+    TwoFace,
+)
+from repro.bench import ExperimentHarness
+from repro.core import CostCoefficients
+from repro.sparse import suite
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig(n_nodes=32)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return ExperimentHarness(size="small")
+
+
+def run(harness, matrix, algorithm, k, machine):
+    return harness.run_one(matrix, algorithm, k, machine)
+
+
+class TestQualitativeOrdering:
+    """The paper's headline pattern at p=32, K=128 (small analogues)."""
+
+    @pytest.mark.parametrize("name", ["web", "queen", "stokes", "arabic"])
+    def test_twoface_beats_ds2_on_local_matrices(
+        self, harness, machine, name
+    ):
+        tf = run(harness, name, "TwoFace", 128, machine)
+        ds = run(harness, name, "DS2", 128, machine)
+        assert tf.seconds < ds.seconds
+
+    @pytest.mark.parametrize("name", ["web", "queen", "stokes", "arabic"])
+    def test_async_fine_beats_allgather_on_local_matrices(
+        self, harness, machine, name
+    ):
+        fine = run(harness, name, "AsyncFine", 32, machine)
+        gather = run(harness, name, "Allgather", 32, machine)
+        assert fine.seconds < gather.seconds
+
+    @pytest.mark.parametrize("name", ["twitter", "friendster", "mawi"])
+    def test_allgather_beats_async_fine_on_global_matrices(
+        self, harness, machine, name
+    ):
+        fine = run(harness, name, "AsyncFine", 32, machine)
+        gather = run(harness, name, "Allgather", 32, machine)
+        assert gather.seconds < fine.seconds
+
+    @pytest.mark.parametrize("name", ["twitter", "friendster"])
+    def test_twoface_never_catastrophic_on_social(
+        self, harness, machine, name
+    ):
+        """Two-Face loses to DS on social graphs, but mildly (unlike
+        Async Fine, which loses by an order of magnitude)."""
+        tf = run(harness, name, "TwoFace", 128, machine)
+        ds = run(harness, name, "DS2", 128, machine)
+        fine = run(harness, name, "AsyncFine", 128, machine)
+        assert tf.seconds < fine.seconds
+        assert tf.seconds < 3 * ds.seconds
+
+    def test_twoface_tracks_better_flavor(self, harness, machine):
+        """On every matrix Two-Face is within a small factor of the
+        better of the two pure flavours."""
+        for name in suite.matrix_names():
+            tf = run(harness, name, "TwoFace", 32, machine)
+            fine = run(harness, name, "AsyncFine", 32, machine)
+            gather = run(harness, name, "Allgather", 32, machine)
+            candidates = [
+                r.seconds for r in (fine, gather) if not r.failed
+            ]
+            assert tf.seconds <= 2.5 * min(candidates)
+
+
+class TestLaneEqualisation:
+    def test_lanes_roughly_balanced_when_mixed(self, harness, machine):
+        """The preprocessing model aims at Comm_S ~ Comm_A + Comp_A.
+
+        For matrices with a genuine mix (web), the slower lane should
+        not exceed the faster one by a large factor on most nodes.
+        """
+        algo = TwoFace()
+        A = harness.matrix("web")
+        B = harness.dense_input("web", 128)
+        result = algo.run(A, B, machine)
+        plan = algo.last_plan
+        assert plan.total_sync_stripes() > 0
+        assert plan.total_async_stripes() > 0
+        means = result.breakdown.component_means()
+        sync_lane = means.sync_comm + means.sync_comp
+        async_lane = means.async_comm + means.async_comp
+        ratio = max(sync_lane, async_lane) / max(
+            min(sync_lane, async_lane), 1e-12
+        )
+        assert ratio < 6.0
+
+
+class TestMemoryPatterns:
+    def test_allgather_oom_on_kmer_k128(self, harness, machine):
+        """Fig. 2's missing data point, at our scale (default size)."""
+        default_harness = ExperimentHarness(size="default")
+        result = default_harness.run_one("kmer", "Allgather", 128, machine)
+        assert result.failed
+
+    def test_ds2_never_ooms(self, machine):
+        default_harness = ExperimentHarness(size="default")
+        for name in ("kmer", "friendster", "mawi"):
+            result = default_harness.run_one(name, "DS2", 512, machine)
+            assert not result.failed, name
+
+    def test_ds4_oom_pattern_k512(self, machine):
+        default_harness = ExperimentHarness(size="default")
+        assert default_harness.run_one("kmer", "DS4", 512, machine).failed
+        assert not default_harness.run_one(
+            "queen", "DS4", 512, machine
+        ).failed
+
+    def test_twoface_survives_where_ds8_fails(self, machine):
+        """Graceful degradation: the memory fallback keeps Two-Face
+        running on kmer at K=512 while DS8 OOMs."""
+        default_harness = ExperimentHarness(size="default")
+        ds8 = default_harness.run_one("kmer", "DS8", 512, machine)
+        tf = default_harness.run_one("kmer", "TwoFace", 512, machine)
+        assert ds8.failed
+        assert not tf.failed
+
+
+class TestPlanReuseFlow:
+    def test_repeated_spmm_same_plan_same_time(self, machine, rng):
+        A = suite.load("web", size="small")
+        B = rng.standard_normal((A.shape[1], 64))
+        algo = TwoFace()
+        r1 = algo.run(A, B, machine)
+        reuse = TwoFace(plan=algo.last_plan)
+        r2 = reuse.run(A, B, machine)
+        r3 = reuse.run(A, 2 * B, machine)
+        assert r2.seconds == pytest.approx(r1.seconds)
+        np.testing.assert_allclose(r3.C, 2 * r1.C)
+
+
+class TestCoefficientSensitivity:
+    def test_default_coefficients_not_worse_than_perturbed(
+        self, harness, machine
+    ):
+        """Fig. 12's conclusion: regression-calibrated defaults are a
+        good choice; scaling coefficient pairs rarely helps."""
+        base = CostCoefficients()
+        A = harness.matrix("web")
+        B = harness.dense_input("web", 128)
+        t_base = TwoFace(coeffs=base).run(A, B, machine).seconds
+        worse_count = 0
+        for factor in (0.8, 1.25):
+            perturbed = base.scaled(beta_a=factor, alpha_a=factor)
+            t = TwoFace(coeffs=perturbed).run(A, B, machine).seconds
+            if t >= t_base * 0.98:
+                worse_count += 1
+        assert worse_count >= 1
+
+
+class TestK_Trend:
+    def test_twoface_advantage_does_not_shrink_with_k(
+        self, harness, machine
+    ):
+        """§7.1: the advantage over dense shifting grows with K (web)."""
+        speedups = []
+        for k in (32, 512):
+            tf = run(harness, "web", "TwoFace", k, machine)
+            ds = run(harness, "web", "DS2", k, machine)
+            speedups.append(ds.seconds / tf.seconds)
+        assert speedups[1] >= 0.9 * speedups[0]

@@ -1,0 +1,305 @@
+"""Property-based tests (hypothesis) for core data structures and
+invariants: formats, partitioning, coalescing, classification, and
+distributed-SpMM correctness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MachineConfig
+from repro.algorithms import TwoFace, make_algorithm
+from repro.core import (
+    CostCoefficients,
+    StripeGeometry,
+    classify_rank_stripes,
+    compute_rank_stripe_stats,
+)
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    coalesce_row_ids,
+    coalesced_transfer_rows,
+    spmm_reference,
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def coo_matrices(draw, max_dim=48, max_nnz=120):
+    """Random small COO matrices (duplicates allowed by construction,
+    then summed so formats see canonical input)."""
+    n = draw(st.integers(1, max_dim))
+    m = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, m - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(
+                min_value=-100, max_value=100,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=nnz, max_size=nnz,
+        )
+    )
+    return COOMatrix(
+        np.array(rows, dtype=np.int64),
+        np.array(cols, dtype=np.int64),
+        np.array(vals),
+        (n, m),
+    ).sum_duplicates()
+
+
+class TestFormatProperties:
+    @SETTINGS
+    @given(coo_matrices())
+    def test_coo_csr_roundtrip(self, matrix):
+        assert CSRMatrix.from_coo(matrix).to_coo() == matrix
+
+    @SETTINGS
+    @given(coo_matrices())
+    def test_dense_roundtrip(self, matrix):
+        again = COOMatrix.from_dense(matrix.to_dense())
+        # Zero-valued stored entries vanish; compare dense forms.
+        np.testing.assert_allclose(again.to_dense(), matrix.to_dense())
+
+    @SETTINGS
+    @given(coo_matrices())
+    def test_sort_orders_preserve_matrix(self, matrix):
+        assert matrix.sorted_row_major() == matrix
+        assert matrix.sorted_col_major() == matrix
+
+    @SETTINGS
+    @given(coo_matrices(), st.integers(1, 6))
+    def test_row_slabs_partition_nnz(self, matrix, parts):
+        part = RowPartition(matrix.shape[0], parts)
+        total = sum(
+            matrix.row_slab(*part.bounds(p)).nnz for p in range(parts)
+        )
+        assert total == matrix.nnz
+
+    @SETTINGS
+    @given(coo_matrices())
+    def test_binary_io_roundtrip(self, tmp_path_factory, matrix):
+        from repro.sparse import read_coo, write_coo
+
+        path = tmp_path_factory.mktemp("bin") / "m.bin"
+        write_coo(matrix, path)
+        assert read_coo(path) == matrix
+
+
+class TestPartitionProperties:
+    @SETTINGS
+    @given(st.integers(0, 1000), st.integers(1, 64))
+    def test_partition_covers_and_is_balanced(self, n_rows, n_parts):
+        part = RowPartition(n_rows, n_parts)
+        sizes = [part.size(p) for p in range(n_parts)]
+        assert sum(sizes) == n_rows
+        assert max(sizes) - min(sizes) <= 1
+        # Contiguity.
+        position = 0
+        for p in range(n_parts):
+            lo, hi = part.bounds(p)
+            assert lo == position
+            position = hi
+
+    @SETTINGS
+    @given(st.integers(1, 500), st.integers(1, 32))
+    def test_owner_consistent_with_bounds(self, n_rows, n_parts):
+        part = RowPartition(n_rows, n_parts)
+        rows = np.arange(n_rows)
+        owners = part.owners_of(rows)
+        for row, owner in zip(rows, owners):
+            lo, hi = part.bounds(int(owner))
+            assert lo <= row < hi
+
+
+class TestCoalescingProperties:
+    @SETTINGS
+    @given(
+        st.lists(st.integers(0, 500), min_size=1, max_size=60, unique=True),
+        st.integers(1, 20),
+    )
+    def test_chunks_cover_exactly_requested_plus_gaps(self, ids, gap):
+        ids = np.array(sorted(ids), dtype=np.int64)
+        chunks = coalesce_row_ids(ids, max_gap=gap)
+        covered = set()
+        for start, size in chunks:
+            assert size >= 1
+            covered.update(range(start, start + size))
+        assert set(ids) <= covered
+        # Never transfers rows outside [min, max].
+        assert min(covered) == ids[0]
+        assert max(covered) == ids[-1]
+
+    @SETTINGS
+    @given(
+        st.lists(st.integers(0, 500), min_size=1, max_size=60, unique=True),
+        st.integers(1, 20),
+    )
+    def test_chunks_disjoint_and_sorted(self, ids, gap):
+        ids = np.array(sorted(ids), dtype=np.int64)
+        chunks = coalesce_row_ids(ids, max_gap=gap)
+        for (s1, z1), (s2, _) in zip(chunks, chunks[1:]):
+            assert s1 + z1 < s2  # disjoint with a real gap between
+
+    @SETTINGS
+    @given(
+        st.lists(st.integers(0, 500), min_size=1, max_size=60, unique=True)
+    )
+    def test_larger_gap_fewer_chunks_more_rows(self, ids):
+        ids = np.array(sorted(ids), dtype=np.int64)
+        c1 = coalesce_row_ids(ids, max_gap=1)
+        c5 = coalesce_row_ids(ids, max_gap=5)
+        assert len(c5) <= len(c1)
+        assert coalesced_transfer_rows(c5) >= coalesced_transfer_rows(c1)
+
+
+class TestClassifierProperties:
+    @SETTINGS
+    @given(coo_matrices(max_dim=40, max_nnz=100), st.integers(1, 4),
+           st.integers(1, 8), st.sampled_from([8, 32, 128]))
+    def test_classification_well_formed(self, matrix, parts, width, k):
+        geo = StripeGeometry(*matrix.shape, parts, width)
+        dist = DistSparseMatrix(matrix, RowPartition(matrix.shape[0], parts))
+        for rank in range(parts):
+            stats = compute_rank_stripe_stats(rank, dist.slab(rank), geo)
+            cls = classify_rank_stripes(stats, geo, CostCoefficients(), k=k)
+            # Partition of stripes into the three categories.
+            assert cls.n_sync + cls.n_async + cls.n_local == stats.n_stripes
+            # Async implies remote.
+            assert not np.any(cls.async_mask & ~cls.remote_mask)
+            # Aggregates non-negative and bounded.
+            assert 0 <= cls.rows_async <= stats.rows_needed.sum()
+            assert 0 <= cls.nnz_async <= stats.nnz.sum()
+
+
+class TestDistributedSpMMProperties:
+    @SETTINGS
+    @given(
+        coo_matrices(max_dim=40, max_nnz=100),
+        st.integers(1, 5),
+        st.sampled_from([1, 4, 16]),
+        st.sampled_from(["TwoFace", "DS2", "Allgather", "AsyncFine"]),
+    )
+    def test_distributed_matches_reference(self, matrix, parts, k, name):
+        machine = MachineConfig(n_nodes=parts, memory_capacity=1 << 30)
+        rng = np.random.default_rng(0)
+        B = rng.standard_normal((matrix.shape[1], k))
+        algo = (
+            make_algorithm(name)
+            if name != "TwoFace"
+            else TwoFace(stripe_width=4)
+        )
+        result = algo.run(matrix, B, machine)
+        assert not result.failed
+        np.testing.assert_allclose(
+            result.C, spmm_reference(matrix, B), rtol=1e-8, atol=1e-8
+        )
+
+    @SETTINGS
+    @given(coo_matrices(max_dim=40, max_nnz=80), st.integers(2, 4))
+    def test_twoface_time_positive_and_finite(self, matrix, parts):
+        machine = MachineConfig(n_nodes=parts, memory_capacity=1 << 30)
+        rng = np.random.default_rng(0)
+        B = rng.standard_normal((matrix.shape[1], 4))
+        result = TwoFace(stripe_width=4).run(matrix, B, machine)
+        assert np.isfinite(result.seconds)
+        assert result.seconds > 0
+
+
+class TestExtensionProperties:
+    @SETTINGS
+    @given(coo_matrices(max_dim=40, max_nnz=80), st.integers(1, 4),
+           st.sampled_from([2, 8]))
+    def test_sddmm_matches_reference(self, matrix, parts, k):
+        from repro.algorithms import TwoFaceSDDMM
+        from repro.sparse import sddmm_reference
+
+        machine = MachineConfig(n_nodes=parts, memory_capacity=1 << 30)
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((matrix.shape[0], k))
+        Y = rng.standard_normal((matrix.shape[1], k))
+        result = TwoFaceSDDMM(stripe_width=4).run(matrix, X, Y, machine)
+        assert not result.failed
+        assert result.S == sddmm_reference(matrix, X, Y)
+
+    @SETTINGS
+    @given(coo_matrices(max_dim=40, max_nnz=80), st.integers(2, 4))
+    def test_plan_serialization_roundtrip(
+        self, tmp_path_factory, matrix, parts
+    ):
+        from repro.core import load_plan, preprocess, save_plan
+        from repro.dist import DistSparseMatrix, RowPartition
+
+        dist = DistSparseMatrix(
+            matrix, RowPartition(matrix.shape[0], parts)
+        )
+        plan, _ = preprocess(dist, k=4, stripe_width=4)
+        path = tmp_path_factory.mktemp("plans") / "p.bin"
+        save_plan(plan, path)
+        again = load_plan(path)
+        assert again.total_sync_stripes() == plan.total_sync_stripes()
+        assert again.total_async_stripes() == plan.total_async_stripes()
+        assert again.stripe_destinations == plan.stripe_destinations
+        for rank in range(parts):
+            assert (
+                again.rank_plan(rank).nnz == plan.rank_plan(rank).nnz
+            )
+
+    @SETTINGS
+    @given(
+        coo_matrices(max_dim=40, max_nnz=80),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(0, 100),
+    )
+    def test_sampled_spmm_equals_masked_reference(
+        self, matrix, keep, seed
+    ):
+        from repro.algorithms import TwoFace
+        from repro.core import bernoulli_mask, masked_matrix, preprocess
+        from repro.dist import DistSparseMatrix, RowPartition
+
+        parts = 2
+        machine = MachineConfig(n_nodes=parts, memory_capacity=1 << 30)
+        part = RowPartition(matrix.shape[0], parts)
+        plan, _ = preprocess(
+            DistSparseMatrix(matrix, part), k=4, stripe_width=4
+        )
+        mask = bernoulli_mask(plan, keep, seed=seed)
+        rng = np.random.default_rng(1)
+        B = rng.standard_normal((matrix.shape[1], 4))
+        result = TwoFace(plan=plan, mask=mask).run(matrix, B, machine)
+        sub = masked_matrix(plan, mask, part)
+        np.testing.assert_allclose(
+            result.C, spmm_reference(sub, B), rtol=1e-8, atol=1e-10
+        )
+
+    @SETTINGS
+    @given(st.lists(st.floats(-50, 50, allow_nan=False), min_size=1,
+                    max_size=30))
+    def test_sparse_row_softmax_normalises(self, vals):
+        from repro.gnn import sparse_row_softmax
+
+        n = len(vals)
+        m = COOMatrix(
+            np.zeros(n, dtype=np.int64),
+            np.arange(n, dtype=np.int64),
+            np.array(vals),
+            (1, n),
+        )
+        out = sparse_row_softmax(m)
+        assert out.vals.sum() == pytest.approx(1.0)
+        assert np.all(out.vals > 0)

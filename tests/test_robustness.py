@@ -1,0 +1,170 @@
+"""Robustness and cross-cutting invariant tests.
+
+Failure injection (OOM at different points of a run), determinism of
+the whole pipeline, and consistency between a plan's metadata and the
+traffic the executor actually generates.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import (
+    AllGather,
+    DenseShifting,
+    TwoFace,
+    make_algorithm,
+)
+from repro.core import CostCoefficients
+from repro.runtime import max_coalescing_gap
+from repro.sparse import erdos_renyi, spmm_reference, suite, uniform_random
+
+
+class TestOOMInjection:
+    """OOM can strike while loading data, replicating, or receiving
+    stripes; every path must surface a failed result, not an exception,
+    and never a wrong answer."""
+
+    def _run_at_capacity(self, algorithm, capacity, n=128, k=32):
+        machine = MachineConfig(n_nodes=4, memory_capacity=capacity)
+        A = erdos_renyi(n, n, 800, seed=3)
+        rng = np.random.default_rng(0)
+        B = rng.standard_normal((n, k))
+        result = algorithm.run(A, B, machine)
+        if not result.failed:
+            np.testing.assert_allclose(result.C, spmm_reference(A, B))
+        return result
+
+    def test_capacity_ladder_allgather(self):
+        """Walk capacity down: success turns into failure, never into a
+        wrong answer."""
+        statuses = []
+        for capacity in (1 << 30, 60_000, 30_000, 10_000, 2_000):
+            result = self._run_at_capacity(AllGather(), capacity)
+            statuses.append(result.failed)
+        assert statuses[0] is False
+        assert statuses[-1] is True
+        # Monotone: once it fails, smaller capacity keeps failing.
+        first_failure = statuses.index(True)
+        assert all(statuses[first_failure:])
+
+    def test_capacity_ladder_twoface(self):
+        statuses = []
+        for capacity in (1 << 30, 60_000, 25_000, 5_000):
+            result = self._run_at_capacity(
+                TwoFace(stripe_width=8), capacity
+            )
+            statuses.append(result.failed)
+        assert statuses[0] is False
+        assert statuses[-1] is True
+
+    def test_oom_too_small_for_inputs(self):
+        """Even the persistent inputs don't fit: fail cleanly."""
+        result = self._run_at_capacity(DenseShifting(1), 500)
+        assert result.failed
+        assert "capacity" in result.failure
+
+    def test_failed_result_has_traffic_history(self):
+        """Whatever was transferred before OOM remains visible."""
+        result = self._run_at_capacity(AllGather(), 30_000)
+        assert result.failed
+        assert result.traffic is not None
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["TwoFace", "DS4", "AsyncFine"])
+    def test_identical_runs_identical_results(self, name, small_machine):
+        A = erdos_renyi(96, 96, 500, seed=4)
+        rng = np.random.default_rng(1)
+        B = rng.standard_normal((96, 16))
+        r1 = make_algorithm(name).run(A, B, small_machine)
+        r2 = make_algorithm(name).run(A, B, small_machine)
+        assert r1.seconds == r2.seconds
+        np.testing.assert_array_equal(r1.C, r2.C)
+        assert r1.traffic.total_bytes == r2.traffic.total_bytes
+
+    def test_suite_matrices_reproducible(self):
+        a = suite.load("twitter", size="tiny", seed=3)
+        b = suite.load("twitter", size="tiny", seed=3)
+        assert a == b
+
+
+class TestPlanTrafficConsistency:
+    """The executor's traffic must match the plan's metadata exactly."""
+
+    def _plan_and_result(self, A, k, machine):
+        rng = np.random.default_rng(0)
+        B = rng.standard_normal((A.shape[1], k))
+        algo = TwoFace(stripe_width=8)
+        result = algo.run(A, B, machine)
+        return algo.last_plan, result
+
+    def test_collective_bytes_match_metadata(self, small_machine):
+        A = erdos_renyi(96, 96, 900, seed=5)
+        plan, result = self._plan_and_result(A, 128, small_machine)
+        expected = sum(
+            plan.geometry.width_of(gid) * 128 * 8
+            for gid, dests in plan.stripe_destinations.items()
+            if [d for d in dests
+                if d != plan.geometry.owner_of_stripe(gid)]
+        )
+        assert result.traffic.collective_bytes == expected
+
+    def test_onesided_requests_match_stripe_chunks(self, small_machine):
+        A = uniform_random(128, avg_degree=1.0, seed=5)
+        plan, result = self._plan_and_result(A, 128, small_machine)
+        expected_requests = sum(
+            1
+            for rank_plan in plan.ranks
+            for _ in rank_plan.async_matrix.stripes
+        )
+        assert result.traffic.onesided_requests == expected_requests
+
+    def test_onesided_bytes_exact_at_gap_one(self, small_machine):
+        """At K>=128 (gap 1) exactly L_A rows are moved."""
+        assert max_coalescing_gap(128) == 1
+        A = uniform_random(128, avg_degree=1.0, seed=5)
+        plan, result = self._plan_and_result(A, 128, small_machine)
+        assert (
+            result.traffic.onesided_bytes
+            == plan.total_async_rows() * 128 * 8
+        )
+
+    def test_makespan_at_least_every_component(self, small_machine):
+        A = erdos_renyi(96, 96, 500, seed=6)
+        _, result = self._plan_and_result(A, 32, small_machine)
+        for node in result.breakdown.nodes:
+            assert result.seconds >= node.sync_lane - 1e-15
+            assert result.seconds >= node.async_lane - 1e-15
+
+
+class TestCoefficientRobustness:
+    def test_extreme_coefficients_still_correct(self, small_machine):
+        """Terrible coefficients produce terrible plans, never wrong
+        numerics."""
+        A = erdos_renyi(96, 96, 600, seed=7)
+        rng = np.random.default_rng(0)
+        B = rng.standard_normal((96, 16))
+        ref = spmm_reference(A, B)
+        for coeffs in (
+            CostCoefficients(beta_s=1.0, alpha_s=1.0, beta_a=1e-15,
+                             alpha_a=1e-15, gamma_a=1e-15, kappa_a=1e-15),
+            CostCoefficients(beta_s=1e-15, alpha_s=1e-15, beta_a=1.0,
+                             alpha_a=1.0, gamma_a=1.0, kappa_a=1.0),
+            CostCoefficients(beta_s=0, alpha_s=0, beta_a=0, alpha_a=0,
+                             gamma_a=0, kappa_a=0),
+        ):
+            result = TwoFace(stripe_width=8, coeffs=coeffs).run(
+                A, B, small_machine
+            )
+            assert not result.failed
+            np.testing.assert_allclose(result.C, ref)
+
+    def test_stripe_width_extremes_correct(self, small_machine):
+        A = erdos_renyi(96, 96, 600, seed=8)
+        rng = np.random.default_rng(0)
+        B = rng.standard_normal((96, 8))
+        ref = spmm_reference(A, B)
+        for width in (1, 96, 1000):
+            result = TwoFace(stripe_width=width).run(A, B, small_machine)
+            np.testing.assert_allclose(result.C, ref)
