@@ -1,0 +1,196 @@
+"""Perf telemetry for the cached-plan async fast path (``BENCH_PR1.json``).
+
+Two measurements, both host-side (simulated seconds must not move):
+
+* A small (matrix x algorithm) sweep recording per-cell wall seconds,
+  simulated seconds, and transfer-schedule cache counters.
+* A repeated-execution experiment — the GNN/inference pattern of many
+  SpMMs against one finalised plan — comparing the cached fast path
+  (precomputed transfer schedules, vectorised coalescing, one-gather
+  rget) against a faithful re-enactment of the seed code path (scalar
+  coalescing loop, per-chunk ``np.arange`` concatenation, per-chunk
+  rget slicing, schedules rebuilt every execution).  The cached path
+  must be at least 2x faster per execution, with bit-identical ``C``
+  and simulated seconds equal to 1e-9 relative tolerance.
+
+Everything lands in ``BENCH_PR1.json`` at the repository root (schema:
+see ``repro.bench.telemetry``).
+"""
+
+import pathlib
+import time
+from unittest import mock
+
+import numpy as np
+
+from repro.algorithms.twoface import TwoFace
+from repro.bench import PerfLog
+from repro.cluster.simmpi import SimMPI
+from repro.core import formats
+from repro.core.formats import transfer_cache_stats
+from repro.sparse.ops import _coalesce_row_ids_reference
+
+from conftest import bench_size, emit
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+SWEEP_MATRICES = ["kmer", "mawi", "web"]
+SWEEP_ALGORITHMS = ["TwoFace", "AsyncFine"]
+K = 32
+REPEATS = 5
+
+
+# ----------------------------------------------------------------------
+# Seed-equivalent implementations (the pre-caching per-execution work)
+# ----------------------------------------------------------------------
+def _seed_coalesce_arrays(row_ids, max_gap=1):
+    chunks = _coalesce_row_ids_reference(row_ids, max_gap=max_gap)
+    if not chunks:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    offsets, sizes = zip(*chunks)
+    return (
+        np.asarray(offsets, dtype=np.int64),
+        np.asarray(sizes, dtype=np.int64),
+    )
+
+
+def _seed_expand(offsets, sizes):
+    parts = [
+        np.arange(first, first + count)
+        for first, count in zip(offsets.tolist(), sizes.tolist())
+    ]
+    return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+
+
+def _seed_rget_row_chunks(self, origin, target, source, offsets, sizes,
+                          label, rows=None, charge_memory=True,
+                          charge_time=True):
+    chunks = list(zip(offsets.tolist(), sizes.tolist()))
+    return SimMPI.rget_rows(
+        self, origin, target, source, chunks, label,
+        charge_memory=charge_memory, charge_time=charge_time,
+    )
+
+
+def _clear_schedules(plan):
+    for rank_plan in plan.ranks:
+        for stripe in rank_plan.async_matrix.stripes:
+            stripe.schedule = None
+
+
+def _seed_equivalent():
+    """Patch the fast paths back to seed behaviour (context manager)."""
+    patches = [
+        mock.patch.object(
+            formats, "coalesce_row_id_arrays", _seed_coalesce_arrays
+        ),
+        mock.patch.object(formats, "expand_chunks", _seed_expand),
+        mock.patch.object(SimMPI, "rget_row_chunks", _seed_rget_row_chunks),
+    ]
+
+    class _All:
+        def __enter__(self):
+            for p in patches:
+                p.start()
+
+        def __exit__(self, *exc):
+            for p in patches:
+                p.stop()
+
+    return _All()
+
+
+# ----------------------------------------------------------------------
+def run_repeat_experiment(harness, machine):
+    """Repeated executions of one finalised plan: cached vs seed."""
+    A = harness.matrix("kmer")
+    B = harness.dense_input("kmer", K)
+    first = TwoFace(coeffs=harness.coeffs, force_all_async=True)
+    first.run(A, B, machine)
+    plan = first.last_plan
+
+    snap = transfer_cache_stats().snapshot()
+    started = time.perf_counter()
+    for _ in range(REPEATS):
+        cached_result = TwoFace(coeffs=harness.coeffs, plan=plan).run(
+            A, B, machine
+        )
+    cached_seconds = (time.perf_counter() - started) / REPEATS
+    stats = transfer_cache_stats()
+    cache_hits = stats.hits - snap[0]
+    cache_recomputes = stats.recomputes - snap[1]
+
+    with _seed_equivalent():
+        started = time.perf_counter()
+        for _ in range(REPEATS):
+            _clear_schedules(plan)
+            seed_result = TwoFace(coeffs=harness.coeffs, plan=plan).run(
+                A, B, machine
+            )
+        seed_seconds = (time.perf_counter() - started) / REPEATS
+    plan.ensure_finalized()
+
+    sim_rel_diff = abs(cached_result.seconds - seed_result.seconds) / max(
+        abs(seed_result.seconds), 1e-300
+    )
+    return {
+        "matrix": "kmer",
+        "algorithm": "TwoFace(force_all_async)",
+        "k": K,
+        "n_nodes": machine.n_nodes,
+        "repeats": REPEATS,
+        "cached_wall_seconds_per_execution": cached_seconds,
+        "seed_wall_seconds_per_execution": seed_seconds,
+        "speedup": seed_seconds / cached_seconds,
+        "simulated_seconds": cached_result.seconds,
+        "simulated_rel_diff_vs_seed": sim_rel_diff,
+        "bit_identical_C": bool(
+            np.array_equal(cached_result.C, seed_result.C)
+        ),
+        "cache_hits": cache_hits,
+        "cache_recomputes": cache_recomputes,
+    }
+
+
+def test_pr1_perf_telemetry(benchmark, harness, machine32, results_dir):
+    log = PerfLog(label="BENCH_PR1")
+
+    for matrix in SWEEP_MATRICES:
+        for algorithm in SWEEP_ALGORITHMS:
+            snap = transfer_cache_stats().snapshot()
+            result = harness.run_one(matrix, algorithm, K, machine32)
+            log.record_cell(
+                name=f"{matrix}/{algorithm}/k{K}",
+                matrix=matrix,
+                algorithm=algorithm,
+                k=K,
+                n_nodes=machine32.n_nodes,
+                wall_seconds=result.extras.get("wall_seconds"),
+                simulated_seconds=None if result.failed else result.seconds,
+                cache_snapshot=snap,
+            )
+
+    repeat = benchmark.pedantic(
+        run_repeat_experiment, args=(harness, machine32), rounds=1,
+        iterations=1,
+    )
+    log.record_experiment("repeated_execution", repeat)
+    log.write(REPO_ROOT / "BENCH_PR1.json")
+
+    emit(
+        results_dir,
+        "pr1_perf",
+        ["metric", "value"],
+        [[key, repeat[key]] for key in sorted(repeat)],
+        "Cached-plan fast path vs seed-equivalent per-execution cost",
+    )
+
+    # Simulated behaviour is untouched; only host time moved.
+    assert repeat["simulated_rel_diff_vs_seed"] <= 1e-9
+    assert repeat["bit_identical_C"]
+    # Cached rounds never rebuild a schedule.
+    assert repeat["cache_recomputes"] == 0
+    assert repeat["cache_hits"] > 0
+    # The headline: second-and-later executions of a finalised plan.
+    floor = 2.0 if bench_size() == "default" else 1.0
+    assert repeat["speedup"] >= floor

@@ -263,19 +263,26 @@ class TwoFaceSDDMM(_SDDMMBase):
             comm_seconds = 0.0
             for stripe in rank_plan.async_matrix.stripes:
                 block_start, _ = Y_dist.partition.bounds(stripe.owner)
-                chunks = stripe.transfer_chunks(block_start, max_gap)
-                fetched = mpi.rget_rows(
+                schedule = stripe.ensure_schedule(block_start, max_gap)
+                packed = schedule.packed
+                if (len(schedule.fetched_ids) == 0 and stripe.nnz) or (
+                    np.any(
+                        schedule.fetched_ids[packed]
+                        != stripe.nonzeros.cols
+                    )
+                ):
+                    raise PartitionError(
+                        f"stripe {stripe.gid}: fetched rows do not cover "
+                        "the stripe's c_ids"
+                    )
+                fetched = mpi.rget_row_chunks(
                     rank, stripe.owner, Y_dist.block(stripe.owner),
-                    chunks, label="async_rows", charge_time=False,
+                    schedule.chunk_offsets, schedule.chunk_sizes,
+                    label="async_rows", rows=schedule.local_rows(),
+                    charge_time=False,
                 )
                 comm_seconds += net.rget_time(
-                    int(fetched.nbytes), n_chunks=len(chunks)
-                )
-                fetched_ids = np.concatenate(
-                    [np.arange(s, s + size) for s, size in chunks]
-                ) + block_start
-                packed = np.searchsorted(
-                    fetched_ids, stripe.nonzeros.cols
+                    int(fetched.nbytes), n_chunks=schedule.n_chunks
                 )
                 vals = stripe.nonzeros.vals * _dot_rows(
                     X_dist.data[stripe.nonzeros.rows + row_lo],

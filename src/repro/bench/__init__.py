@@ -3,17 +3,26 @@
 from .harness import (
     ExperimentHarness,
     SweepResult,
+    WORKERS_ENV,
+    bench_workers_from_env,
     load_sweep_json,
     save_sweep_json,
     sweep_records,
 )
 from .reporting import format_cell, format_table, print_table
+from .telemetry import PERF_SCHEMA, PerfCell, PerfLog, load_perf_json
 
 __all__ = [
     "ExperimentHarness",
+    "PERF_SCHEMA",
+    "PerfCell",
+    "PerfLog",
     "SweepResult",
+    "WORKERS_ENV",
+    "bench_workers_from_env",
     "format_cell",
     "format_table",
+    "load_perf_json",
     "load_sweep_json",
     "print_table",
     "save_sweep_json",

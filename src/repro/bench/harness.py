@@ -3,10 +3,19 @@
 Used by every file in ``benchmarks/`` to regenerate the paper's tables
 and figures.  Matrices and dense inputs are cached per (name, size, K)
 so a benchmark session does not regenerate them per algorithm.
+
+Sweeps run serially by default (deterministic, CI-friendly).  Set
+``REPRO_BENCH_WORKERS=N`` (or pass ``workers=N``) to fan the
+(matrix x algorithm) cells of a sweep across a ``concurrent.futures``
+process pool; results are identical because every cell is an
+independent simulation, and they are reassembled in deterministic cell
+order regardless of completion order.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -21,6 +30,27 @@ from ..errors import ConfigurationError
 from ..sparse import suite
 from ..sparse.coo import COOMatrix
 
+#: Environment variable selecting the sweep process-pool width.
+WORKERS_ENV = "REPRO_BENCH_WORKERS"
+
+
+def bench_workers_from_env() -> int:
+    """Worker count requested via ``REPRO_BENCH_WORKERS`` (default 1)."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{WORKERS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ConfigurationError(
+            f"{WORKERS_ENV} must be >= 1, got {workers}"
+        )
+    return workers
+
 
 @dataclass
 class SweepResult:
@@ -34,6 +64,10 @@ class SweepResult:
     def seconds(self, matrix: str, algorithm: str) -> float:
         """Simulated seconds; NaN when the run failed (OOM)."""
         return self.results[matrix][algorithm].seconds
+
+    def wall_seconds(self, matrix: str, algorithm: str) -> Optional[float]:
+        """Host wall-clock seconds the cell took (perf telemetry)."""
+        return self.results[matrix][algorithm].extras.get("wall_seconds")
 
     def speedup_over(
         self, matrix: str, algorithm: str, baseline: str
@@ -112,10 +146,18 @@ class ExperimentHarness:
         k: int,
         machine: MachineConfig,
     ) -> SpMMResult:
-        """Run one (matrix, algorithm, K) cell."""
+        """Run one (matrix, algorithm, K) cell.
+
+        The host wall-clock time of the cell is recorded in
+        ``result.extras["wall_seconds"]`` for perf telemetry; it never
+        affects the simulated seconds.
+        """
         A = self.matrix(matrix)
         B = self.dense_input(matrix, k)
-        return self.make(algorithm).run(A, B, machine)
+        started = time.perf_counter()
+        result = self.make(algorithm).run(A, B, machine)
+        result.extras["wall_seconds"] = time.perf_counter() - started
+        return result
 
     def sweep(
         self,
@@ -123,19 +165,78 @@ class ExperimentHarness:
         algorithms: Sequence[str],
         k: int,
         machine: Optional[MachineConfig] = None,
+        workers: Optional[int] = None,
     ) -> SweepResult:
-        """Run a full matrices x algorithms sweep at one K."""
+        """Run a full matrices x algorithms sweep at one K.
+
+        Args:
+            matrices / algorithms / k / machine: the sweep grid.
+            workers: process-pool width; defaults to
+                ``REPRO_BENCH_WORKERS`` (1 = serial).
+        """
         if not matrices or not algorithms:
             raise ConfigurationError("need at least one matrix and algorithm")
         machine = machine or MachineConfig(n_nodes=32)
+        workers = workers if workers is not None else bench_workers_from_env()
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
         sweep = SweepResult(k=k, machine=machine)
-        for matrix in matrices:
-            sweep.results[matrix] = {}
-            for algorithm in algorithms:
-                sweep.results[matrix][algorithm] = self.run_one(
-                    matrix, algorithm, k, machine
-                )
+        cells = [(m, a) for m in matrices for a in algorithms]
+        if workers == 1 or len(cells) == 1:
+            outcomes = [
+                self.run_one(m, a, k, machine) for m, a in cells
+            ]
+        else:
+            outcomes = self._sweep_parallel(cells, k, machine, workers)
+        for (matrix, algorithm), result in zip(cells, outcomes):
+            sweep.results.setdefault(matrix, {})[algorithm] = result
         return sweep
+
+    def _sweep_parallel(
+        self,
+        cells: Sequence[Tuple[str, str]],
+        k: int,
+        machine: MachineConfig,
+        workers: int,
+    ) -> List[SpMMResult]:
+        """Fan cells across a process pool; results in cell order.
+
+        Each worker process builds one harness (same size/coeffs/seed,
+        so identical matrices and dense inputs) and keeps it for all
+        cells it serves — the matrix cache amortises across cells as in
+        the serial path.
+        """
+        import concurrent.futures
+
+        workers = min(workers, len(cells))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_worker_init,
+            initargs=(self.size, self.coeffs, self.seed),
+        ) as pool:
+            futures = [
+                pool.submit(_pool_worker_run, matrix, algorithm, k, machine)
+                for matrix, algorithm in cells
+            ]
+            return [f.result() for f in futures]
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing (module level so it pickles cleanly)
+# ----------------------------------------------------------------------
+_POOL_HARNESS: Optional["ExperimentHarness"] = None
+
+
+def _pool_worker_init(size: str, coeffs, seed: int) -> None:
+    global _POOL_HARNESS
+    _POOL_HARNESS = ExperimentHarness(size=size, coeffs=coeffs, seed=seed)
+
+
+def _pool_worker_run(
+    matrix: str, algorithm: str, k: int, machine: MachineConfig
+) -> SpMMResult:
+    assert _POOL_HARNESS is not None, "pool worker not initialised"
+    return _POOL_HARNESS.run_one(matrix, algorithm, k, machine)
 
 
 def sweep_records(sweep: SweepResult) -> List[Dict]:
@@ -157,6 +258,7 @@ def sweep_records(sweep: SweepResult) -> List[Dict]:
                     "n_nodes": sweep.machine.n_nodes,
                     "failed": result.failed,
                     "seconds": None if result.failed else result.seconds,
+                    "wall_seconds": result.extras.get("wall_seconds"),
                     "sync_comm": means.sync_comm,
                     "sync_comp": means.sync_comp,
                     "async_comm": means.async_comm,

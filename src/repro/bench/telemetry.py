@@ -1,0 +1,121 @@
+"""Machine-readable performance telemetry (``BENCH_PR1.json`` et al.).
+
+Benchmarks that want a perf trajectory future PRs can regress against
+record per-cell host wall seconds, simulated seconds, and transfer-cache
+counters into a :class:`PerfLog` and write one JSON document.  The
+schema (see the README's "Benchmark telemetry" section):
+
+```
+{
+  "schema": "repro-perf/1",
+  "label": "<free-form document label, e.g. BENCH_PR1>",
+  "cells": [
+    {"name": ..., "matrix": ..., "algorithm": ..., "k": ...,
+     "n_nodes": ..., "wall_seconds": ..., "simulated_seconds": ...,
+     "cache_hits": ..., "cache_recomputes": ...},
+    ...
+  ],
+  "experiments": {"<name>": {...free-form...}, ...}
+}
+```
+
+Simulated seconds are the paper-fidelity numbers and must not move when
+host-side performance work lands; wall seconds are the quantity being
+optimised.  Cache counters come from
+:func:`repro.core.formats.transfer_cache_stats`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.formats import transfer_cache_stats
+
+PERF_SCHEMA = "repro-perf/1"
+
+
+@dataclass
+class PerfCell:
+    """One measured (matrix, algorithm, K) cell."""
+
+    name: str
+    matrix: str
+    algorithm: str
+    k: int
+    n_nodes: int
+    wall_seconds: Optional[float]
+    simulated_seconds: Optional[float]
+    cache_hits: int = 0
+    cache_recomputes: int = 0
+
+
+@dataclass
+class PerfLog:
+    """Accumulates perf cells and free-form experiment records."""
+
+    label: str
+    cells: List[PerfCell] = field(default_factory=list)
+    experiments: Dict[str, Any] = field(default_factory=dict)
+
+    def record_cell(
+        self,
+        name: str,
+        matrix: str,
+        algorithm: str,
+        k: int,
+        n_nodes: int,
+        wall_seconds: Optional[float],
+        simulated_seconds: Optional[float],
+        cache_snapshot: Optional[tuple] = None,
+    ) -> PerfCell:
+        """Append one cell record.
+
+        Args:
+            cache_snapshot: ``(hits, recomputes)`` taken *before* the
+                cell ran; the deltas against the current global counters
+                are stored.  Omit to record zeros.
+        """
+        hits = recomputes = 0
+        if cache_snapshot is not None:
+            stats = transfer_cache_stats()
+            hits = stats.hits - cache_snapshot[0]
+            recomputes = stats.recomputes - cache_snapshot[1]
+        cell = PerfCell(
+            name=name,
+            matrix=matrix,
+            algorithm=algorithm,
+            k=k,
+            n_nodes=n_nodes,
+            wall_seconds=wall_seconds,
+            simulated_seconds=simulated_seconds,
+            cache_hits=hits,
+            cache_recomputes=recomputes,
+        )
+        self.cells.append(cell)
+        return cell
+
+    def record_experiment(self, name: str, payload: Dict[str, Any]) -> None:
+        """Attach a free-form experiment record (e.g. a repeat bench)."""
+        self.experiments[name] = payload
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "schema": PERF_SCHEMA,
+            "label": self.label,
+            "cells": [asdict(cell) for cell in self.cells],
+            "experiments": self.experiments,
+        }
+
+    def write(self, path) -> None:
+        """Write the JSON document (sorted keys, ASCII) to ``path``."""
+        with open(path, "w", encoding="ascii") as handle:
+            json.dump(self.to_document(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def load_perf_json(path) -> Dict[str, Any]:
+    """Load a document written by :meth:`PerfLog.write`."""
+    with open(path, "r", encoding="ascii") as handle:
+        return json.load(handle)

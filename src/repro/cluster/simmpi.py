@@ -23,6 +23,7 @@ from typing import List, Sequence
 import numpy as np
 
 from ..errors import CommunicationError
+from ..sparse.ops import expand_chunks
 from .machine import Cluster
 
 
@@ -283,6 +284,79 @@ class SimMPI:
         self.traffic._recv(origin, nbytes)
         self._log(
             "rget", target, origin, nbytes, f"{label}:{len(chunks)}chunks"
+        )
+        return fetched
+
+    def rget_row_chunks(
+        self,
+        origin: int,
+        target: int,
+        source: np.ndarray,
+        offsets: np.ndarray,
+        sizes: np.ndarray,
+        label: str,
+        rows: np.ndarray = None,
+        charge_memory: bool = True,
+        charge_time: bool = True,
+    ) -> np.ndarray:
+        """Vectorised :meth:`rget_rows` taking chunk *arrays*.
+
+        Identical semantics and accounting to :meth:`rget_rows`, but the
+        chunk list comes as the ``(offsets, sizes)`` arrays a cached
+        :class:`~repro.core.formats.TransferSchedule` stores, the bounds
+        check runs on whole arrays, and the rows are gathered with one
+        fancy index instead of a per-chunk slice/concatenate loop — the
+        hot path of the async lane.
+
+        Args:
+            offsets / sizes: coalesced chunk starts and row counts,
+                relative to ``source``.
+            rows: optional precomputed expansion of the chunks into row
+                indices (``expand_chunks(offsets, sizes)``); passed by
+                callers that cache it so repeated executions skip the
+                expansion too.
+        """
+        if origin == target:
+            raise CommunicationError("rget to self is always a local access")
+        n_chunks = int(len(offsets))
+        if n_chunks == 0:
+            return source[0:0]
+        if len(sizes) != n_chunks:
+            raise CommunicationError(
+                f"chunk arrays disagree: {n_chunks} offsets, "
+                f"{len(sizes)} sizes"
+            )
+        if (
+            int(offsets.min()) < 0
+            or int(sizes.min()) <= 0
+            or int((offsets + sizes).max()) > source.shape[0]
+        ):
+            for first, count in zip(offsets.tolist(), sizes.tolist()):
+                if first < 0 or count <= 0 or first + count > source.shape[0]:
+                    raise CommunicationError(
+                        f"chunk ({first}, {count}) outside block of "
+                        f"{source.shape[0]} rows"
+                    )
+        total_rows = int(sizes.sum())
+        if rows is None:
+            rows = expand_chunks(offsets, sizes)
+        elif len(rows) != total_rows:
+            raise CommunicationError(
+                f"precomputed row index has {len(rows)} rows, chunks "
+                f"cover {total_rows}"
+            )
+        fetched = source[rows]
+        nbytes = int(total_rows * source.shape[1] * source.itemsize)
+        node = self.cluster.node(origin)
+        if charge_time:
+            node.advance(self._net.rget_time(nbytes, n_chunks=n_chunks))
+        if charge_memory:
+            node.memory.allocate(label, nbytes)
+        self.traffic.onesided_bytes += nbytes
+        self.traffic.onesided_requests += 1
+        self.traffic._recv(origin, nbytes)
+        self._log(
+            "rget", target, origin, nbytes, f"{label}:{n_chunks}chunks"
         )
         return fetched
 

@@ -13,8 +13,13 @@ from .formats import (
     AsyncStripe,
     AsyncStripeMatrix,
     SyncLocalMatrix,
+    TransferCacheStats,
+    TransferSchedule,
     build_async_stripe_matrix,
     build_sync_local_matrix,
+    packed_row_indices,
+    reset_transfer_cache_stats,
+    transfer_cache_stats,
 )
 from .model import PAPER_TABLE3, SIM_CALIBRATED, CostCoefficients
 from .plan import RankPlan, TwoFacePlan
@@ -50,9 +55,14 @@ __all__ = [
     "RankStripeStats",
     "StripeGeometry",
     "SyncLocalMatrix",
+    "TransferCacheStats",
+    "TransferSchedule",
     "TwoFacePlan",
     "build_async_stripe_matrix",
     "build_sync_local_matrix",
+    "packed_row_indices",
+    "reset_transfer_cache_stats",
+    "transfer_cache_stats",
     "calibrate",
     "classify_rank_stripes",
     "collect_observations",

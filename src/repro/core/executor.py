@@ -127,24 +127,28 @@ def _async_lane(
                     "classified asynchronous"
                 )
             block_start, _ = ctx.B.partition.bounds(stripe.owner)
-            chunks = stripe.transfer_chunks(block_start, max_gap)
-            fetched = ctx.mpi.rget_rows(
-                rank, stripe.owner, ctx.B.block(stripe.owner), chunks,
-                label="async_rows", charge_time=False,
-            )
-            comm_seconds += net.rget_time(
-                int(fetched.nbytes), n_chunks=len(chunks)
-            )
-            # Map each nonzero's global c_id onto the fetched row set.
-            fetched_ids = np.concatenate(
-                [np.arange(s, s + size) for s, size in chunks]
-            ) + block_start
-            packed = np.searchsorted(fetched_ids, stripe.nonzeros.cols)
-            if np.any(fetched_ids[packed] != stripe.nonzeros.cols):
+            schedule = stripe.ensure_schedule(block_start, max_gap)
+            # The cached packed map lands each nonzero's global c_id on
+            # its fetched row; re-validate coverage cheaply (the map is
+            # clipped, so a non-covering plan surfaces here as a
+            # PartitionError rather than an IndexError).
+            packed = schedule.packed
+            if (len(schedule.fetched_ids) == 0 and stripe.nnz) or np.any(
+                schedule.fetched_ids[packed] != stripe.nonzeros.cols
+            ):
                 raise PartitionError(
                     f"stripe {stripe.gid}: fetched rows do not cover the "
                     "stripe's c_ids"
                 )
+            fetched = ctx.mpi.rget_row_chunks(
+                rank, stripe.owner, ctx.B.block(stripe.owner),
+                schedule.chunk_offsets, schedule.chunk_sizes,
+                label="async_rows", rows=schedule.local_rows(),
+                charge_time=False,
+            )
+            comm_seconds += net.rget_time(
+                int(fetched.nbytes), n_chunks=schedule.n_chunks
+            )
             vals = stripe.nonzeros.vals
             nnz_live = stripe.nnz
             if mask is not None:

@@ -15,15 +15,114 @@ structures:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..dist.oned import RowPartition
 from ..errors import FormatError
 from ..sparse.coo import COOMatrix
 from ..sparse.csr import CSRMatrix
-from ..sparse.ops import coalesce_row_ids
+from ..sparse.ops import (
+    coalesce_row_id_arrays,
+    coalesce_row_ids,
+    expand_chunks,
+)
+
+
+@dataclass
+class TransferCacheStats:
+    """Counters for cached-transfer-schedule usage in the async lane.
+
+    Attributes:
+        hits: stripe executions that reused a precomputed schedule.
+        recomputes: stripe executions that had to rebuild the schedule
+            (a plan that was never finalised, e.g. hand-assembled in a
+            test).
+    """
+
+    hits: int = 0
+    recomputes: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.recomputes = 0
+
+    def snapshot(self) -> Tuple[int, int]:
+        return self.hits, self.recomputes
+
+
+#: Process-global cache counters; executors increment, benchmarks and
+#: tests read/reset.  See :func:`transfer_cache_stats`.
+TRANSFER_CACHE = TransferCacheStats()
+
+
+def transfer_cache_stats() -> TransferCacheStats:
+    """The process-global transfer-schedule cache counters."""
+    return TRANSFER_CACHE
+
+
+def reset_transfer_cache_stats() -> None:
+    """Zero the process-global cache counters (test/bench hygiene)."""
+    TRANSFER_CACHE.reset()
+
+
+@dataclass
+class TransferSchedule:
+    """Precomputed one-sided transfer metadata of one async stripe.
+
+    Everything the async lane previously rebuilt per execution is
+    geometry-only — it depends on the stripe's ``row_ids``, the owner's
+    block offset, and the K-derived coalescing gap, all fixed at plan
+    time — so preprocessing computes it once and executions reuse it
+    (paper §5.4/§7.3: the plan is amortised over many SpMMs).
+
+    Attributes:
+        chunk_offsets: first row of each rget chunk, owner-block-local.
+        chunk_sizes: row count of each chunk (aligned with offsets).
+        fetched_ids: global ``B`` row ids the chunks deliver, in fetch
+            order (sorted ascending, may include coalescing filler).
+        packed: per-nonzero index into ``fetched_ids`` mapping each
+            nonzero's global ``c_id`` to its packed fetched row.
+    """
+
+    chunk_offsets: np.ndarray
+    chunk_sizes: np.ndarray
+    fetched_ids: np.ndarray
+    packed: np.ndarray
+    #: Lazily cached expansion of the chunks into block-local row
+    #: indices (what the owner-side gather uses); derived, not
+    #: serialised.
+    _local_rows: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def n_chunks(self) -> int:
+        return int(len(self.chunk_offsets))
+
+    def local_rows(self) -> np.ndarray:
+        """Block-local row indices the chunks fetch, in fetch order."""
+        if self._local_rows is None:
+            self._local_rows = expand_chunks(
+                self.chunk_offsets, self.chunk_sizes
+            )
+        return self._local_rows
+
+    def chunks(self) -> List[Tuple[int, int]]:
+        """The ``(offset, size)`` pair list :meth:`SimMPI.rget_rows` takes."""
+        return list(
+            zip(self.chunk_offsets.tolist(), self.chunk_sizes.tolist())
+        )
+
+    def nbytes(self) -> int:
+        return int(
+            self.chunk_offsets.nbytes
+            + self.chunk_sizes.nbytes
+            + self.fetched_ids.nbytes
+            + self.packed.nbytes
+        )
 
 
 @dataclass
@@ -80,6 +179,9 @@ class AsyncStripe:
     owner: int
     nonzeros: COOMatrix
     row_ids: np.ndarray
+    #: Cached transfer schedule; filled at preprocessing time (or on the
+    #: first execution of a never-finalised plan) and reused thereafter.
+    schedule: Optional[TransferSchedule] = field(default=None, repr=False)
 
     @property
     def nnz(self) -> int:
@@ -98,12 +200,59 @@ class AsyncStripe:
             block_start: first global ``B`` row of the owner's block.
             max_gap: coalescing distance (the paper uses ``127/K + 1``).
         """
+        local_ids = self._local_ids(block_start)
+        return coalesce_row_ids(local_ids, max_gap=max_gap)
+
+    def _local_ids(self, block_start: int) -> np.ndarray:
         local_ids = self.row_ids - block_start
         if len(local_ids) and local_ids.min() < 0:
             raise FormatError(
                 f"stripe {self.gid} requests rows below the owner block"
             )
-        return coalesce_row_ids(local_ids, max_gap=max_gap)
+        return local_ids
+
+    def build_schedule(
+        self, block_start: int, max_gap: int
+    ) -> TransferSchedule:
+        """Compute the transfer schedule (no caching side effects)."""
+        offsets, sizes = coalesce_row_id_arrays(
+            self._local_ids(block_start), max_gap=max_gap
+        )
+        fetched_ids = expand_chunks(offsets, sizes) + block_start
+        return TransferSchedule(
+            chunk_offsets=offsets,
+            chunk_sizes=sizes,
+            fetched_ids=fetched_ids,
+            packed=packed_row_indices(fetched_ids, self.nonzeros.cols),
+        )
+
+    def ensure_schedule(
+        self, block_start: int, max_gap: int
+    ) -> TransferSchedule:
+        """The cached schedule, computing and storing it when absent."""
+        if self.schedule is None:
+            TRANSFER_CACHE.recomputes += 1
+            self.schedule = self.build_schedule(block_start, max_gap)
+        else:
+            TRANSFER_CACHE.hits += 1
+        return self.schedule
+
+
+def packed_row_indices(
+    fetched_ids: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Map global ``c_id``s onto positions in the fetched row set.
+
+    The raw ``np.searchsorted`` result can be ``len(fetched_ids)`` when
+    a column exceeds every fetched id; that index is clipped so callers
+    can gather and *compare* (``fetched_ids[packed] != cols``) to detect
+    non-coverage as a :class:`~repro.errors.PartitionError` instead of
+    tripping an ``IndexError`` on the gather itself.
+    """
+    packed = np.searchsorted(fetched_ids, cols).astype(np.int64)
+    if len(fetched_ids):
+        np.minimum(packed, len(fetched_ids) - 1, out=packed)
+    return packed
 
 
 @dataclass
@@ -149,6 +298,56 @@ class AsyncStripeMatrix:
 
     def nbytes(self) -> int:
         return sum(s.nonzeros.nbytes() + s.row_ids.nbytes for s in self.stripes)
+
+    @property
+    def finalized(self) -> bool:
+        """True when every stripe carries a cached transfer schedule."""
+        return all(s.schedule is not None for s in self.stripes)
+
+    def finalize_schedules(
+        self, col_partition: RowPartition, max_gap: int
+    ) -> None:
+        """Precompute every stripe's transfer schedule (idempotent).
+
+        Stripes are grouped by owner so the fetched-row id construction
+        runs as one fused gather per (rank, owner) group rather than one
+        ``np.concatenate([np.arange(...)])`` per stripe.
+
+        Args:
+            col_partition: partition of ``B``'s rows over the owners.
+            max_gap: K-derived coalescing distance (``127 // K + 1``).
+        """
+        pending: Dict[int, List[AsyncStripe]] = {}
+        for stripe in self.stripes:
+            if stripe.schedule is None:
+                pending.setdefault(stripe.owner, []).append(stripe)
+        for owner, group in pending.items():
+            block_start, _ = col_partition.bounds(owner)
+            offsets_parts, sizes_parts = [], []
+            for stripe in group:
+                offsets, sizes = coalesce_row_id_arrays(
+                    stripe._local_ids(block_start), max_gap=max_gap
+                )
+                offsets_parts.append(offsets)
+                sizes_parts.append(sizes)
+            all_sizes = np.concatenate(sizes_parts)
+            fetched_all = (
+                expand_chunks(np.concatenate(offsets_parts), all_sizes)
+                + block_start
+            )
+            bounds = np.concatenate(
+                [[0], np.cumsum([p.sum() for p in sizes_parts])]
+            ).astype(np.int64)
+            for i, stripe in enumerate(group):
+                fetched_ids = fetched_all[bounds[i] : bounds[i + 1]]
+                stripe.schedule = TransferSchedule(
+                    chunk_offsets=offsets_parts[i],
+                    chunk_sizes=sizes_parts[i],
+                    fetched_ids=fetched_ids,
+                    packed=packed_row_indices(
+                        fetched_ids, stripe.nonzeros.cols
+                    ),
+                )
 
 
 def build_sync_local_matrix(

@@ -17,6 +17,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..errors import PartitionError
+from ..runtime.threads import max_coalescing_gap
 from .classifier import RankClassification
 from .formats import AsyncStripeMatrix, SyncLocalMatrix
 from .model import CostCoefficients
@@ -73,6 +74,28 @@ class TwoFacePlan:
         return self.ranks[rank]
 
     # ------------------------------------------------------------------
+    # Cached transfer schedules
+    # ------------------------------------------------------------------
+    @property
+    def finalized(self) -> bool:
+        """True when every async stripe carries its transfer schedule."""
+        return all(r.async_matrix.finalized for r in self.ranks)
+
+    def ensure_finalized(self) -> None:
+        """Precompute any missing transfer schedules (idempotent).
+
+        The schedules depend only on the plan's own geometry and K, so
+        they are part of the preprocessing product; :func:`preprocess`
+        builds them eagerly and this method exists for plans assembled
+        by other paths (hand-built tests, legacy deserialisation).
+        """
+        gap = max_coalescing_gap(self.k)
+        for rank_plan in self.ranks:
+            rank_plan.async_matrix.finalize_schedules(
+                self.geometry.col_partition, gap
+            )
+
+    # ------------------------------------------------------------------
     # Aggregates used by reporting and tests
     # ------------------------------------------------------------------
     def total_sync_stripes(self) -> int:
@@ -107,7 +130,13 @@ class TwoFacePlan:
         )
 
     def plan_nbytes(self) -> int:
-        """Memory footprint of the preprocessed representation."""
+        """Memory footprint of the preprocessed representation.
+
+        Counts the Fig. 6 matrices and multicast metadata only — the
+        cached transfer schedules are derivable accelerator state and
+        are excluded so the Table 6 I/O cost model matches the paper's
+        bespoke on-disk format.
+        """
         total = 0
         for r in self.ranks:
             total += r.sync_local.nbytes() + r.async_matrix.nbytes()

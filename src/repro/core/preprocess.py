@@ -23,6 +23,7 @@ import numpy as np
 from ..cluster.machine import MachineConfig
 from ..dist.matrices import DistSparseMatrix
 from ..errors import ConfigurationError
+from ..runtime.threads import max_coalescing_gap
 from .classifier import RankClassification, classify_rank_stripes
 from .formats import (
     build_async_stripe_matrix,
@@ -183,6 +184,12 @@ def preprocess(
             rank, slab, sync_sel, panel_height
         )
         async_matrix = build_async_stripe_matrix(rank, slab, async_sels)
+        # Finalise the one-sided transfer schedules now: they depend only
+        # on plan-time quantities (row ids, owner block offsets, K), so
+        # every later execution reuses them instead of rebuilding.
+        async_matrix.finalize_schedules(
+            geometry.col_partition, max_coalescing_gap(k)
+        )
         rank_plans.append(
             RankPlan(
                 rank=rank,
@@ -195,8 +202,8 @@ def preprocess(
         for gid in sync_gids:
             destinations.setdefault(int(gid), []).append(rank)
 
-    for gid in destinations:
-        destinations[gid].sort()
+    # Ranks are visited in ascending order, so every destination list is
+    # already sorted — no second pass needed.
 
     plan = TwoFacePlan(
         geometry=geometry,
@@ -268,22 +275,18 @@ def _split_selections(stats, classification: RankClassification):
         ``async_selections`` maps gid -> (owner, indices) and
         ``sync_gids`` lists the remote gids needing collective receipt.
     """
-    sync_parts = []
+    async_mask = classification.async_mask
+    starts = stats.nnz_group_starts
+    # One vectorised grouping pass: label every nonzero (in grouped
+    # order) with its stripe index, then take the sync ones in bulk.
+    group_lens = np.diff(starts)
+    stripe_of_nnz = np.repeat(np.arange(stats.n_stripes), group_lens)
+    sync_sel = stats.nnz_order[~async_mask[stripe_of_nnz]]
+
     async_sels: Dict[int, tuple] = {}
-    sync_gids = []
-    for idx in range(stats.n_stripes):
-        lo = int(stats.nnz_group_starts[idx])
-        hi = int(stats.nnz_group_starts[idx + 1])
-        sel = stats.nnz_order[lo:hi]
-        if classification.async_mask[idx]:
-            async_sels[int(stats.gids[idx])] = (int(stats.owners[idx]), sel)
-        else:
-            sync_parts.append(sel)
-            if classification.remote_mask[idx]:
-                sync_gids.append(int(stats.gids[idx]))
-    sync_sel = (
-        np.concatenate(sync_parts)
-        if sync_parts
-        else np.zeros(0, dtype=np.int64)
-    )
-    return sync_sel, async_sels, np.asarray(sync_gids, dtype=np.int64)
+    for idx in np.flatnonzero(async_mask):
+        sel = stats.nnz_order[int(starts[idx]) : int(starts[idx + 1])]
+        async_sels[int(stats.gids[idx])] = (int(stats.owners[idx]), sel)
+
+    sync_gids = stats.gids[~async_mask & classification.remote_mask]
+    return sync_sel, async_sels, sync_gids.astype(np.int64)

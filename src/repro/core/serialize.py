@@ -20,19 +20,33 @@ from ..sparse.binary_io import read_arrays, write_arrays
 from ..sparse.coo import COOMatrix
 from ..sparse.csr import CSRMatrix
 from .classifier import RankClassification
-from .formats import AsyncStripe, AsyncStripeMatrix, SyncLocalMatrix
+from .formats import (
+    AsyncStripe,
+    AsyncStripeMatrix,
+    SyncLocalMatrix,
+    TransferSchedule,
+)
 from .model import CostCoefficients
 from .plan import RankPlan, TwoFacePlan
 from .stripes import StripeGeometry
 
 _PathLike = Union[str, os.PathLike]
 
-#: Format version; bump when the layout changes.
-PLAN_FORMAT_VERSION = 1
+#: Format version; bump when the layout changes.  Version 2 adds the
+#: cached per-stripe transfer schedules (chunk lists, fetched-row ids,
+#: packed-row maps); version-1 containers still load, with schedules
+#: rebuilt once at load time.
+PLAN_FORMAT_VERSION = 2
 
 
 def save_plan(plan: TwoFacePlan, path_or_file: Union[_PathLike, IO[bytes]]) -> int:
-    """Serialise a plan; returns bytes written."""
+    """Serialise a plan; returns bytes written.
+
+    The plan is finalised first so the container always carries the
+    cached transfer schedules — a deserialised plan executes with zero
+    schedule recomputations.
+    """
+    plan.ensure_finalized()
     arrays: Dict[str, np.ndarray] = {
         "meta": np.array(
             [
@@ -89,11 +103,25 @@ def _pack_rank(arrays: Dict[str, np.ndarray], prefix: str, rp: RankPlan) -> None
     )
     ptrs = [0]
     rows, cols, vals = [], [], []
+    chunk_ptrs, fetched_ptrs = [0], [0]
+    chunk_offsets, chunk_sizes, fetched_ids, packed = [], [], [], []
     for stripe in stripes:
         rows.append(stripe.nonzeros.rows)
         cols.append(stripe.nonzeros.cols)
         vals.append(stripe.nonzeros.vals)
         ptrs.append(ptrs[-1] + stripe.nnz)
+        schedule = stripe.schedule
+        if schedule is None:
+            raise FormatError(
+                f"stripe {stripe.gid} has no transfer schedule; call "
+                "plan.ensure_finalized() before packing"
+            )
+        chunk_offsets.append(schedule.chunk_offsets)
+        chunk_sizes.append(schedule.chunk_sizes)
+        fetched_ids.append(schedule.fetched_ids)
+        packed.append(schedule.packed)
+        chunk_ptrs.append(chunk_ptrs[-1] + schedule.n_chunks)
+        fetched_ptrs.append(fetched_ptrs[-1] + len(schedule.fetched_ids))
     cat = lambda parts, dtype: (  # noqa: E731
         np.concatenate(parts) if parts else np.zeros(0, dtype=dtype)
     )
@@ -101,6 +129,16 @@ def _pack_rank(arrays: Dict[str, np.ndarray], prefix: str, rp: RankPlan) -> None
     arrays[f"{prefix}.async.rows"] = cat(rows, np.int64)
     arrays[f"{prefix}.async.cols"] = cat(cols, np.int64)
     arrays[f"{prefix}.async.vals"] = cat(vals, np.float64)
+    arrays[f"{prefix}.async.chunk_ptrs"] = np.array(
+        chunk_ptrs, dtype=np.int64
+    )
+    arrays[f"{prefix}.async.chunk_offsets"] = cat(chunk_offsets, np.int64)
+    arrays[f"{prefix}.async.chunk_sizes"] = cat(chunk_sizes, np.int64)
+    arrays[f"{prefix}.async.fetched_ptrs"] = np.array(
+        fetched_ptrs, dtype=np.int64
+    )
+    arrays[f"{prefix}.async.fetched_ids"] = cat(fetched_ids, np.int64)
+    arrays[f"{prefix}.async.packed"] = cat(packed, np.int64)
 
     cls = rp.classification
     arrays[f"{prefix}.cls.masks"] = np.concatenate(
@@ -123,10 +161,10 @@ def load_plan(path_or_file: Union[_PathLike, IO[bytes]]) -> TwoFacePlan:
     except KeyError:
         raise FormatError("container does not hold a Two-Face plan") from None
     version = int(meta[0])
-    if version != PLAN_FORMAT_VERSION:
+    if not 1 <= version <= PLAN_FORMAT_VERSION:
         raise FormatError(
             f"unsupported plan format version {version} "
-            f"(expected {PLAN_FORMAT_VERSION})"
+            f"(expected <= {PLAN_FORMAT_VERSION})"
         )
     n_rows, n_cols, n_parts, width, k, panel_height = (
         int(v) for v in meta[1:7]
@@ -147,10 +185,10 @@ def load_plan(path_or_file: Union[_PathLike, IO[bytes]]) -> TwoFacePlan:
         destinations[int(gid)] = [int(r) for r in dest_ranks[lo:hi]]
 
     ranks = [
-        _unpack_rank(arrays, f"r{rank}", rank, panel_height)
+        _unpack_rank(arrays, f"r{rank}", rank, panel_height, version)
         for rank in range(n_parts)
     ]
-    return TwoFacePlan(
+    plan = TwoFacePlan(
         geometry=geometry,
         coeffs=coeffs,
         k=k,
@@ -158,10 +196,19 @@ def load_plan(path_or_file: Union[_PathLike, IO[bytes]]) -> TwoFacePlan:
         ranks=ranks,
         stripe_destinations=destinations,
     )
+    if version < 2:
+        # Version-1 containers predate cached transfer schedules; build
+        # them once here so execution still runs fully cached.
+        plan.ensure_finalized()
+    return plan
 
 
 def _unpack_rank(
-    arrays: Dict[str, np.ndarray], prefix: str, rank: int, panel_height: int
+    arrays: Dict[str, np.ndarray],
+    prefix: str,
+    rank: int,
+    panel_height: int,
+    version: int = PLAN_FORMAT_VERSION,
 ) -> RankPlan:
     try:
         shape = tuple(int(v) for v in arrays[f"{prefix}.sync.shape"])
@@ -181,6 +228,27 @@ def _unpack_rank(
     rows = arrays[f"{prefix}.async.rows"]
     cols = arrays[f"{prefix}.async.cols"]
     vals = arrays[f"{prefix}.async.vals"]
+    schedules = None
+    if version >= 2:
+        chunk_ptrs = arrays[f"{prefix}.async.chunk_ptrs"]
+        chunk_offsets = arrays[f"{prefix}.async.chunk_offsets"]
+        chunk_sizes = arrays[f"{prefix}.async.chunk_sizes"]
+        fetched_ptrs = arrays[f"{prefix}.async.fetched_ptrs"]
+        fetched_ids = arrays[f"{prefix}.async.fetched_ids"]
+        packed = arrays[f"{prefix}.async.packed"]
+        schedules = []
+        for i in range(len(gids)):
+            c_lo, c_hi = int(chunk_ptrs[i]), int(chunk_ptrs[i + 1])
+            f_lo, f_hi = int(fetched_ptrs[i]), int(fetched_ptrs[i + 1])
+            n_lo, n_hi = int(ptrs[i]), int(ptrs[i + 1])
+            schedules.append(
+                TransferSchedule(
+                    chunk_offsets=chunk_offsets[c_lo:c_hi],
+                    chunk_sizes=chunk_sizes[c_lo:c_hi],
+                    fetched_ids=fetched_ids[f_lo:f_hi],
+                    packed=packed[n_lo:n_hi],
+                )
+            )
     stripes = []
     for i, gid in enumerate(gids):
         lo, hi = int(ptrs[i]), int(ptrs[i + 1])
@@ -193,6 +261,7 @@ def _unpack_rank(
                 owner=int(owners[i]),
                 nonzeros=nonzeros,
                 row_ids=np.unique(nonzeros.cols),
+                schedule=schedules[i] if schedules is not None else None,
             )
         )
     async_matrix = AsyncStripeMatrix(rank, stripes)

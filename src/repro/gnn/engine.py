@@ -16,6 +16,7 @@ import numpy as np
 from ..algorithms.base import DistSpMMAlgorithm
 from ..algorithms.twoface import TwoFace
 from ..cluster.machine import MachineConfig
+from ..core.formats import transfer_cache_stats
 from ..core.model import CostCoefficients
 from ..errors import ReproError, ShapeError
 from ..sparse.coo import COOMatrix
@@ -53,6 +54,7 @@ class DistSpMMEngine:
         self.preprocess_seconds = 0.0
         self.n_spmm = 0
         self.n_preprocess = 0
+        self._cache_baseline = transfer_cache_stats().snapshot()
 
     # ------------------------------------------------------------------
     def multiply(self, B: np.ndarray) -> Tuple[np.ndarray, float]:
@@ -107,3 +109,17 @@ class DistSpMMEngine:
     def total_seconds(self) -> float:
         """Simulated SpMM time plus one-time preprocessing."""
         return self.spmm_seconds + self.preprocess_seconds
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Transfer-schedule cache activity since engine construction.
+
+        ``recomputes`` should stay 0 across a whole training run: the
+        plan is finalised during preprocessing, so every epoch's SpMMs
+        reuse the cached chunks / fetched-row ids / packing maps —
+        the amortisation behaviour of paper §5.4/§7.3.
+        """
+        hits, recomputes = transfer_cache_stats().snapshot()
+        return {
+            "hits": hits - self._cache_baseline[0],
+            "recomputes": recomputes - self._cache_baseline[1],
+        }

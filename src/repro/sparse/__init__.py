@@ -15,8 +15,10 @@ from .matrix_market import read_matrix_market, write_matrix_market
 from .binary_io import read_arrays, read_coo, write_arrays, write_coo
 from .ops import (
     KernelStats,
+    coalesce_row_id_arrays,
     coalesce_row_ids,
     coalesced_transfer_rows,
+    expand_chunks,
     scatter_add,
     sddmm_reference,
     spmm_column_major,
@@ -47,11 +49,13 @@ __all__ = [
     "SUITE",
     "banded",
     "block_local_power_law",
+    "coalesce_row_id_arrays",
     "coalesce_row_ids",
     "coalesced_transfer_rows",
     "compute_stats",
     "diagonal",
     "erdos_renyi",
+    "expand_chunks",
     "gini",
     "hub_skewed",
     "load",

@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro import MachineConfig
@@ -80,6 +81,61 @@ class TestHarness:
     def test_empty_sweep_rejected(self, harness, machine):
         with pytest.raises(ConfigurationError):
             harness.sweep([], ["DS2"], 8, machine)
+
+
+class TestWorkersEnv:
+    def test_default_is_serial(self, monkeypatch):
+        from repro.bench import WORKERS_ENV, bench_workers_from_env
+
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert bench_workers_from_env() == 1
+        monkeypatch.setenv(WORKERS_ENV, "")
+        assert bench_workers_from_env() == 1
+
+    def test_explicit_count(self, monkeypatch):
+        from repro.bench import WORKERS_ENV, bench_workers_from_env
+
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert bench_workers_from_env() == 3
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        from repro.bench import WORKERS_ENV, bench_workers_from_env
+
+        monkeypatch.setenv(WORKERS_ENV, "two")
+        with pytest.raises(ConfigurationError):
+            bench_workers_from_env()
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        with pytest.raises(ConfigurationError):
+            bench_workers_from_env()
+
+    def test_sweep_reads_env(self, harness, machine, monkeypatch):
+        from repro.bench import WORKERS_ENV
+
+        monkeypatch.setenv(WORKERS_ENV, "-2")
+        with pytest.raises(ConfigurationError):
+            harness.sweep(["queen"], ["DS2", "TwoFace"], 8, machine)
+
+
+class TestParallelSweep:
+    def test_matches_serial(self, harness, machine):
+        """A process-pool sweep is simulation-identical to serial."""
+        serial = harness.sweep(
+            ["web", "queen"], ["DS2", "TwoFace"], 8, machine, workers=1
+        )
+        parallel = harness.sweep(
+            ["web", "queen"], ["DS2", "TwoFace"], 8, machine, workers=2
+        )
+        for matrix in ("web", "queen"):
+            for algorithm in ("DS2", "TwoFace"):
+                a = serial.results[matrix][algorithm]
+                b = parallel.results[matrix][algorithm]
+                assert a.seconds == b.seconds
+                np.testing.assert_array_equal(a.C, b.C)
+                assert b.extras.get("wall_seconds") is not None
+
+    def test_wall_seconds_recorded(self, harness, machine):
+        sweep = harness.sweep(["queen"], ["DS2"], 8, machine)
+        assert sweep.wall_seconds("queen", "DS2") > 0
 
 
 class TestReporting:

@@ -1,0 +1,57 @@
+"""Unit tests for the perf-telemetry log (``BENCH_PR1.json`` schema)."""
+
+import pytest
+
+from repro.bench import PERF_SCHEMA, PerfCell, PerfLog, load_perf_json
+from repro.core import (
+    reset_transfer_cache_stats,
+    transfer_cache_stats,
+)
+
+
+class TestPerfLog:
+    def test_record_cell_fields(self):
+        log = PerfLog(label="TEST")
+        cell = log.record_cell(
+            name="web/TwoFace/k8", matrix="web", algorithm="TwoFace",
+            k=8, n_nodes=4, wall_seconds=0.5, simulated_seconds=0.1,
+        )
+        assert isinstance(cell, PerfCell)
+        assert cell.cache_hits == 0 and cell.cache_recomputes == 0
+        assert log.cells == [cell]
+
+    def test_cache_snapshot_deltas(self):
+        reset_transfer_cache_stats()
+        snap = transfer_cache_stats().snapshot()
+        transfer_cache_stats().hits += 3
+        transfer_cache_stats().recomputes += 1
+        log = PerfLog(label="TEST")
+        cell = log.record_cell(
+            name="c", matrix="m", algorithm="a", k=8, n_nodes=4,
+            wall_seconds=None, simulated_seconds=None,
+            cache_snapshot=snap,
+        )
+        assert cell.cache_hits == 3
+        assert cell.cache_recomputes == 1
+        reset_transfer_cache_stats()
+
+    def test_document_schema(self):
+        log = PerfLog(label="TEST")
+        log.record_experiment("repeat", {"speedup": 2.5})
+        doc = log.to_document()
+        assert doc["schema"] == PERF_SCHEMA
+        assert doc["label"] == "TEST"
+        assert doc["experiments"]["repeat"]["speedup"] == 2.5
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        log = PerfLog(label="TEST")
+        log.record_cell(
+            name="c", matrix="m", algorithm="a", k=8, n_nodes=4,
+            wall_seconds=1.25, simulated_seconds=0.5,
+        )
+        path = tmp_path / "perf.json"
+        log.write(path)
+        doc = load_perf_json(path)
+        assert doc["schema"] == PERF_SCHEMA
+        assert doc["cells"][0]["wall_seconds"] == pytest.approx(1.25)
+        assert doc["cells"][0]["simulated_seconds"] == pytest.approx(0.5)

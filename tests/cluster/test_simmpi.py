@@ -166,6 +166,94 @@ class TestRgetRows:
         assert mpi.traffic.onesided_bytes == 3 * 4 * 8
 
 
+class TestRgetRowChunks:
+    """The vectorised array-chunk rget against the list-chunk original."""
+
+    def _arrays(self, chunks):
+        offsets, sizes = zip(*chunks)
+        return (
+            np.array(offsets, dtype=np.int64),
+            np.array(sizes, dtype=np.int64),
+        )
+
+    def test_matches_rget_rows(self, mpi, small_machine):
+        from repro.cluster import Cluster
+
+        source = np.arange(40.0).reshape(10, 4)
+        chunks = [(2, 2), (6, 1), (8, 2)]
+        ref_mpi = SimMPI(Cluster(small_machine))
+        want = ref_mpi.rget_rows(0, 1, source, chunks, label="r")
+        got = mpi.rget_row_chunks(
+            0, 1, source, *self._arrays(chunks), label="r"
+        )
+        np.testing.assert_array_equal(got, want)
+        assert mpi.traffic.onesided_bytes == ref_mpi.traffic.onesided_bytes
+        assert (
+            mpi.traffic.onesided_requests
+            == ref_mpi.traffic.onesided_requests
+        )
+        assert mpi.cluster.node(0).time == ref_mpi.cluster.node(0).time
+        assert mpi.events[-1] == ref_mpi.events[-1]
+
+    def test_precomputed_rows_used(self, mpi):
+        source = np.arange(20.0).reshape(5, 4)
+        offsets, sizes = self._arrays([(1, 2), (4, 1)])
+        rows = np.array([1, 2, 4], dtype=np.int64)
+        got = mpi.rget_row_chunks(
+            0, 1, source, offsets, sizes, label="r", rows=rows
+        )
+        np.testing.assert_array_equal(got, source[[1, 2, 4]])
+
+    def test_precomputed_rows_length_checked(self, mpi):
+        source = np.ones((5, 4))
+        offsets, sizes = self._arrays([(0, 2)])
+        with pytest.raises(CommunicationError):
+            mpi.rget_row_chunks(
+                0, 1, source, offsets, sizes, label="r",
+                rows=np.array([0], dtype=np.int64),
+            )
+
+    def test_only_origin_clock_advances(self, mpi):
+        source = np.ones((5, 4))
+        offsets, sizes = self._arrays([(0, 1)])
+        mpi.rget_row_chunks(2, 0, source, offsets, sizes, label="r")
+        assert mpi.cluster.node(2).time > 0
+        assert mpi.cluster.node(0).time == 0
+
+    def test_self_get_rejected(self, mpi):
+        offsets, sizes = self._arrays([(0, 1)])
+        with pytest.raises(CommunicationError):
+            mpi.rget_row_chunks(
+                1, 1, np.ones((2, 2)), offsets, sizes, label="r"
+            )
+
+    def test_chunk_bounds_checked(self, mpi):
+        source = np.ones((5, 4))
+        for bad in ([(4, 3)], [(-1, 1)], [(0, 0)]):
+            with pytest.raises(CommunicationError):
+                mpi.rget_row_chunks(
+                    0, 1, source, *self._arrays(bad), label="r"
+                )
+
+    def test_chunk_array_lengths_checked(self, mpi):
+        with pytest.raises(CommunicationError):
+            mpi.rget_row_chunks(
+                0, 1, np.ones((5, 4)),
+                np.array([0, 2], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+                label="r",
+            )
+
+    def test_empty_chunks(self, mpi):
+        fetched = mpi.rget_row_chunks(
+            0, 1, np.ones((5, 4)),
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            label="r",
+        )
+        assert fetched.shape[0] == 0
+        assert mpi.traffic.onesided_requests == 0
+
+
 class TestGetBlock:
     def test_self_block_free(self, mpi):
         block = np.ones((3, 3))

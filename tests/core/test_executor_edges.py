@@ -99,3 +99,93 @@ class TestExecutePlanValidation:
             TwoFace(plan=plan).run(
                 tiny_matrix, rng.standard_normal((64, 4)), small_machine
             )
+
+
+class TestCoverageRegression:
+    """Non-covering fetched rows must surface as PartitionError.
+
+    Regression: when a stripe's c_id exceeded every fetched row id,
+    ``np.searchsorted`` returned ``len(fetched_ids)`` and the coverage
+    check itself crashed with an IndexError instead of raising the
+    intended PartitionError.  The packed map is now clipped in-range
+    before the comparison.
+    """
+
+    def _async_plan(self, matrix):
+        dist = DistSparseMatrix(matrix, RowPartition(64, 4))
+        plan, _ = preprocess(
+            dist, k=4, stripe_width=4, force_all_async=True
+        )
+        return plan
+
+    def _corrupt_tail(self, plan):
+        """Drop the last fetched row of one schedule so the stripe's
+        largest c_id exceeds every remaining fetched id."""
+        from repro.core import packed_row_indices
+
+        for rank_plan in plan.ranks:
+            for stripe in rank_plan.async_matrix.stripes:
+                schedule = stripe.schedule
+                if schedule is None or len(schedule.fetched_ids) < 2:
+                    continue
+                if schedule.fetched_ids[-1] != stripe.nonzeros.cols.max():
+                    continue
+                schedule.fetched_ids = schedule.fetched_ids[:-1]
+                schedule.packed = packed_row_indices(
+                    schedule.fetched_ids, stripe.nonzeros.cols
+                )
+                return True
+        return False
+
+    def test_spmm_raises_partition_error(
+        self, tiny_matrix, small_machine, rng
+    ):
+        plan = self._async_plan(tiny_matrix)
+        if not self._corrupt_tail(plan):
+            pytest.skip("no corruptible schedule")
+        with pytest.raises(PartitionError, match="do not cover"):
+            TwoFace(plan=plan).run(
+                tiny_matrix, rng.standard_normal((64, 4)), small_machine
+            )
+
+    def test_sddmm_raises_partition_error(
+        self, tiny_matrix, small_machine, rng
+    ):
+        from repro.algorithms.sddmm import TwoFaceSDDMM
+
+        plan = self._async_plan(tiny_matrix)
+        if not self._corrupt_tail(plan):
+            pytest.skip("no corruptible schedule")
+        X = rng.standard_normal((64, 4))
+        Y = rng.standard_normal((64, 4))
+        with pytest.raises(PartitionError, match="do not cover"):
+            TwoFaceSDDMM(stripe_width=4, plan=plan).run(
+                tiny_matrix, X, Y, small_machine
+            )
+
+    def test_empty_fetched_with_nonzeros_raises(
+        self, tiny_matrix, small_machine, rng
+    ):
+        plan = self._async_plan(tiny_matrix)
+        corrupted = False
+        for rank_plan in plan.ranks:
+            for stripe in rank_plan.async_matrix.stripes:
+                if stripe.schedule is not None and stripe.nnz:
+                    from repro.core import TransferSchedule
+
+                    empty = np.zeros(0, dtype=np.int64)
+                    stripe.schedule = TransferSchedule(
+                        chunk_offsets=empty,
+                        chunk_sizes=empty,
+                        fetched_ids=empty,
+                        packed=np.zeros(stripe.nnz, dtype=np.int64),
+                    )
+                    corrupted = True
+                    break
+            if corrupted:
+                break
+        assert corrupted
+        with pytest.raises(PartitionError, match="do not cover"):
+            TwoFace(plan=plan).run(
+                tiny_matrix, rng.standard_normal((64, 4)), small_machine
+            )

@@ -148,3 +148,114 @@ class TestAsyncStripeMatrix:
         assert m.n_stripes == 0
         assert m.nnz == 0
         assert list(m.stripe_pointers()) == [0]
+
+
+def _async_stripe(slab, sel, gid=3, owner=1):
+    coo = COOMatrix(
+        slab.rows[sel], slab.cols[sel], slab.vals[sel], slab.shape
+    ).sorted_col_major()
+    return AsyncStripe(
+        gid=gid, owner=owner, nonzeros=coo, row_ids=np.unique(coo.cols)
+    )
+
+
+class TestTransferSchedule:
+    def test_build_schedule_fields(self, slab):
+        # Columns 0, 4, 5 with block at 0, gap 2 -> chunks (0,1), (4,2).
+        stripe = _async_stripe(slab, np.array([0, 1, 2, 4, 5]))
+        schedule = stripe.build_schedule(block_start=0, max_gap=2)
+        np.testing.assert_array_equal(schedule.chunk_offsets, [0, 4])
+        np.testing.assert_array_equal(schedule.chunk_sizes, [2, 2])
+        np.testing.assert_array_equal(schedule.fetched_ids, [0, 1, 4, 5])
+        np.testing.assert_array_equal(
+            schedule.fetched_ids[schedule.packed], stripe.nonzeros.cols
+        )
+        assert schedule.chunks() == [(0, 2), (4, 2)]
+        assert schedule.n_chunks == 2
+
+    def test_local_rows_cached(self, slab):
+        stripe = _async_stripe(slab, np.array([1, 5]))
+        schedule = stripe.build_schedule(block_start=4, max_gap=1)
+        rows = schedule.local_rows()
+        np.testing.assert_array_equal(rows, [1])
+        assert schedule.local_rows() is rows
+
+    def test_schedule_matches_transfer_chunks(self, slab):
+        stripe = _async_stripe(slab, np.arange(slab.nnz))
+        for gap in (1, 2, 4):
+            schedule = stripe.build_schedule(block_start=0, max_gap=gap)
+            assert schedule.chunks() == stripe.transfer_chunks(0, gap)
+
+    def test_below_block_rejected(self, slab):
+        stripe = _async_stripe(slab, np.array([1, 5]))
+        with pytest.raises(FormatError):
+            stripe.build_schedule(block_start=6, max_gap=1)
+
+
+class TestScheduleCaching:
+    def test_ensure_schedule_counts_recompute_then_hits(self, slab):
+        from repro.core import (
+            reset_transfer_cache_stats,
+            transfer_cache_stats,
+        )
+
+        reset_transfer_cache_stats()
+        stripe = _async_stripe(slab, np.array([1, 5]))
+        first = stripe.ensure_schedule(0, 1)
+        second = stripe.ensure_schedule(0, 1)
+        assert first is second
+        assert transfer_cache_stats().snapshot() == (1, 1)
+
+    def test_finalize_schedules_matches_per_stripe_build(self, slab):
+        m = build_async_stripe_matrix(
+            0, slab,
+            {1: (0, np.array([0, 2, 3])), 2: (0, np.array([1, 5]))},
+        )
+        from repro.dist import RowPartition
+
+        expected = [
+            s.build_schedule(0, 2) for s in m.stripes
+        ]
+        m.finalize_schedules(RowPartition(8, 1), max_gap=2)
+        assert m.finalized
+        for stripe, want in zip(m.stripes, expected):
+            got = stripe.schedule
+            np.testing.assert_array_equal(
+                got.chunk_offsets, want.chunk_offsets
+            )
+            np.testing.assert_array_equal(got.chunk_sizes, want.chunk_sizes)
+            np.testing.assert_array_equal(got.fetched_ids, want.fetched_ids)
+            np.testing.assert_array_equal(got.packed, want.packed)
+
+    def test_finalize_idempotent(self, slab):
+        from repro.dist import RowPartition
+
+        m = build_async_stripe_matrix(0, slab, {1: (0, np.array([0, 2]))})
+        m.finalize_schedules(RowPartition(8, 1), max_gap=1)
+        schedule = m.stripes[0].schedule
+        m.finalize_schedules(RowPartition(8, 1), max_gap=1)
+        assert m.stripes[0].schedule is schedule
+
+
+class TestPackedRowIndices:
+    def test_clips_instead_of_overflowing(self):
+        """A c_id above every fetched id must map in-range (the caller
+        then detects non-coverage as a mismatch, not an IndexError)."""
+        from repro.core import packed_row_indices
+
+        fetched = np.array([2, 3, 6], dtype=np.int64)
+        cols = np.array([2, 6, 9], dtype=np.int64)
+        packed = packed_row_indices(fetched, cols)
+        assert packed.dtype == np.int64
+        assert packed.max() <= len(fetched) - 1
+        # The in-coverage entries still land on their rows.
+        assert fetched[packed[0]] == 2
+        assert fetched[packed[1]] == 6
+
+    def test_empty_fetched(self):
+        from repro.core import packed_row_indices
+
+        packed = packed_row_indices(
+            np.zeros(0, dtype=np.int64), np.array([1, 2], dtype=np.int64)
+        )
+        assert len(packed) == 2  # all zeros, caller must check coverage

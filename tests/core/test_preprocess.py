@@ -103,6 +103,33 @@ class TestPlanConstruction:
         assert plan.panel_height == 32
         assert plan.n_nodes == 4
 
+    def test_destinations_sorted_ascending(self, dist_matrix):
+        """Ranks are visited in ascending order while destinations are
+        collected, so each list must come out sorted without a second
+        sort pass (the executor's multicast order relies on it)."""
+        plan, _ = preprocess(dist_matrix, k=16, stripe_width=4)
+        assert plan.stripe_destinations  # non-trivial matrix
+        for gid, dests in plan.stripe_destinations.items():
+            assert dests == sorted(dests), f"stripe {gid} out of order"
+            assert len(set(dests)) == len(dests)
+
+    def test_plan_finalized_with_cached_schedules(self, dist_matrix):
+        """Preprocessing precomputes every stripe's transfer schedule."""
+        from repro.runtime.threads import max_coalescing_gap
+
+        plan, _ = preprocess(dist_matrix, k=16, stripe_width=4)
+        assert plan.finalized
+        gap = max_coalescing_gap(16)
+        for rank in range(4):
+            for stripe in plan.rank_plan(rank).async_matrix.stripes:
+                schedule = stripe.schedule
+                assert schedule is not None
+                assert schedule.chunks() == stripe.transfer_chunks(
+                    plan.geometry.col_partition.bounds(stripe.owner)[0],
+                    gap,
+                )
+                assert len(schedule.packed) == stripe.nnz
+
 
 class TestMemoryFallback:
     def test_tight_memory_forces_async(self, tiny_matrix):

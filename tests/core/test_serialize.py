@@ -123,6 +123,111 @@ class TestExecutability:
         assert again.rank_plan(3).nnz == 0
 
 
+class TestScheduleRoundtrip:
+    """Version 2: the cached transfer schedules travel with the plan."""
+
+    def test_plan_finalized_by_preprocess(self, plan):
+        assert plan.finalized
+
+    def test_schedules_preserved(self, plan):
+        again = roundtrip(plan)
+        assert again.finalized
+        for rank in range(plan.n_nodes):
+            a = plan.rank_plan(rank).async_matrix
+            b = again.rank_plan(rank).async_matrix
+            for sa, sb in zip(a.stripes, b.stripes):
+                np.testing.assert_array_equal(
+                    sa.schedule.chunk_offsets, sb.schedule.chunk_offsets
+                )
+                np.testing.assert_array_equal(
+                    sa.schedule.chunk_sizes, sb.schedule.chunk_sizes
+                )
+                np.testing.assert_array_equal(
+                    sa.schedule.fetched_ids, sb.schedule.fetched_ids
+                )
+                np.testing.assert_array_equal(
+                    sa.schedule.packed, sb.schedule.packed
+                )
+
+    def test_loaded_plan_executes_without_recomputes(
+        self, tiny_matrix, rng
+    ):
+        """The §7.3 promise: a deserialised plan runs fully cached —
+        bit-identical C and identical lane times, zero rebuilds."""
+        from repro.core import (
+            reset_transfer_cache_stats,
+            transfer_cache_stats,
+        )
+
+        machine = MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+        B = rng.standard_normal((64, 16))
+        algo = TwoFace(stripe_width=4)
+        fresh = algo.run(tiny_matrix, B, machine)
+        loaded = roundtrip(algo.last_plan)
+
+        reset_transfer_cache_stats()
+        replay = TwoFace(plan=loaded).run(tiny_matrix, B, machine)
+        stats = transfer_cache_stats()
+        assert stats.recomputes == 0
+        assert stats.hits == loaded.total_async_stripes()
+
+        # Bit-identical output, identical simulated lane times per node.
+        np.testing.assert_array_equal(replay.C, fresh.C)
+        assert replay.seconds == fresh.seconds
+        for a, b in zip(fresh.breakdown.nodes, replay.breakdown.nodes):
+            assert a.sync_comm == b.sync_comm
+            assert a.sync_comp == b.sync_comp
+            assert a.async_comm == b.async_comm
+            assert a.async_comp == b.async_comp
+            assert a.other == b.other
+
+    def test_version1_container_still_loads(self, plan):
+        """A pre-schedule (v1) container loads and is finalised once."""
+        from repro.sparse import read_arrays
+
+        buf = io.BytesIO()
+        save_plan(plan, buf)
+        buf.seek(0)
+        arrays = read_arrays(buf)
+        v2_only = (
+            ".async.chunk_ptrs", ".async.chunk_offsets",
+            ".async.chunk_sizes", ".async.fetched_ptrs",
+            ".async.fetched_ids", ".async.packed",
+        )
+        arrays = {
+            key: val for key, val in arrays.items()
+            if not key.endswith(v2_only)
+        }
+        arrays["meta"] = arrays["meta"].copy()
+        arrays["meta"][0] = 1
+        buf2 = io.BytesIO()
+        write_arrays(arrays, buf2)
+        buf2.seek(0)
+        again = load_plan(buf2)
+        assert again.finalized
+        for rank in range(plan.n_nodes):
+            a = plan.rank_plan(rank).async_matrix
+            b = again.rank_plan(rank).async_matrix
+            for sa, sb in zip(a.stripes, b.stripes):
+                np.testing.assert_array_equal(
+                    sa.schedule.fetched_ids, sb.schedule.fetched_ids
+                )
+
+    def test_unfinalized_stripe_rejected_at_pack(self, plan):
+        from repro.core.serialize import _pack_rank
+
+        target = None
+        for rank_plan in plan.ranks:
+            if rank_plan.async_matrix.stripes:
+                target = rank_plan
+                break
+        if target is None:
+            pytest.skip("plan has no async stripes")
+        target.async_matrix.stripes[0].schedule = None
+        with pytest.raises(FormatError):
+            _pack_rank({}, "r0", target)
+
+
 class TestErrors:
     def test_not_a_plan_container(self, tmp_path):
         path = tmp_path / "other.bin"

@@ -2,20 +2,24 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ShapeError
 from repro.sparse import (
     COOMatrix,
     CSRMatrix,
+    coalesce_row_id_arrays,
     coalesce_row_ids,
     coalesced_transfer_rows,
     erdos_renyi,
+    expand_chunks,
     spmm_column_major,
     spmm_reference,
     spmm_row_panels,
     unique_col_ids,
 )
-from repro.sparse.ops import scatter_add
+from repro.sparse.ops import _coalesce_row_ids_reference, scatter_add
 
 
 def dense_oracle(A: COOMatrix, B: np.ndarray) -> np.ndarray:
@@ -212,6 +216,88 @@ class TestCoalescing:
         chunks = coalesce_row_ids(ids, max_gap=1)
         assert coalesced_transfer_rows(chunks) == len(ids)
 
+#: Sorted-unique row-id arrays for the coalescing property tests.
+row_id_arrays = st.lists(
+    st.integers(0, 2000), min_size=0, max_size=120, unique=True
+).map(lambda ids: np.array(sorted(ids), dtype=np.int64))
+
+
+class TestCoalesceArrays:
+    """The vectorised formulation against the scalar reference."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(ids=row_id_arrays, max_gap=st.sampled_from([1, 2, 4]))
+    def test_matches_scalar_reference(self, ids, max_gap):
+        offsets, sizes = coalesce_row_id_arrays(ids, max_gap=max_gap)
+        expected = _coalesce_row_ids_reference(ids, max_gap=max_gap)
+        assert list(zip(offsets.tolist(), sizes.tolist())) == expected
+
+    @pytest.mark.parametrize(
+        "max_gap,expected",
+        [
+            (1, [(2, 2), (6, 1), (8, 1)]),
+            (2, [(2, 2), (6, 3)]),
+            (4, [(2, 7)]),
+        ],
+    )
+    def test_paper_example(self, max_gap, expected):
+        """§5.2.3's running example {2, 3, 6, 8} at several gaps."""
+        ids = np.array([2, 3, 6, 8])
+        offsets, sizes = coalesce_row_id_arrays(ids, max_gap=max_gap)
+        assert list(zip(offsets.tolist(), sizes.tolist())) == expected
+        assert coalesce_row_ids(ids, max_gap=max_gap) == expected
+
+    def test_empty_returns_int64(self):
+        offsets, sizes = coalesce_row_id_arrays(np.array([], dtype=np.int64))
+        assert offsets.dtype == np.int64 and sizes.dtype == np.int64
+        assert len(offsets) == 0 and len(sizes) == 0
+
+    def test_validation_mirrors_scalar(self):
+        with pytest.raises(ShapeError):
+            coalesce_row_id_arrays(np.array([3, 1]))
+        with pytest.raises(ShapeError):
+            coalesce_row_id_arrays(np.array([1, 1]))
+        with pytest.raises(ShapeError):
+            coalesce_row_id_arrays(np.array([1]), max_gap=0)
+
+
+class TestExpandChunks:
+    def test_expansion_covers_chunks_in_order(self):
+        offsets = np.array([2, 6], dtype=np.int64)
+        sizes = np.array([2, 3], dtype=np.int64)
+        np.testing.assert_array_equal(
+            expand_chunks(offsets, sizes), [2, 3, 6, 7, 8]
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ids=row_id_arrays, max_gap=st.sampled_from([1, 2, 4]))
+    def test_roundtrips_coalescing(self, ids, max_gap):
+        """Expanding the chunks yields every id (plus gap filler)."""
+        offsets, sizes = coalesce_row_id_arrays(ids, max_gap=max_gap)
+        fetched = expand_chunks(offsets, sizes)
+        assert fetched.dtype == np.int64
+        # Sorted ascending, ids a subsequence, gap-1 exact.
+        assert np.all(np.diff(fetched) > 0)
+        assert np.all(np.isin(ids, fetched))
+        if max_gap == 1:
+            np.testing.assert_array_equal(fetched, ids)
+
+    def test_empty(self):
+        out = expand_chunks(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        )
+        assert out.dtype == np.int64 and len(out) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            expand_chunks(np.array([0, 5]), np.array([2]))
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ShapeError):
+            expand_chunks(np.array([0]), np.array([0]))
+
+
+class TestKernelStats:
     def test_kernel_stats_merge(self):
         from repro.sparse import KernelStats
 
