@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime.pool import get_exec_pool
 from .base import DistSpMMAlgorithm, RunContext
 
 
@@ -29,8 +30,8 @@ class AllGather(DistSpMMAlgorithm):
             ctx.B.partition.max_size() * k * 8, ctx.n_nodes
         )
 
-        comp_times = np.zeros(ctx.n_nodes)
-        for rank in range(ctx.n_nodes):
+        def rank_body(rank: int) -> float:
+            # Writes only C.block(rank); pool-safe.
             slab = ctx.A.slab(rank)
             if slab.nnz:
                 csr = slab.to_scipy().tocsr()
@@ -38,9 +39,11 @@ class AllGather(DistSpMMAlgorithm):
                 nonempty = int(np.count_nonzero(np.diff(csr.indptr)))
             else:
                 nonempty = 0
-            comp_times[rank] = compute.sync_panel_time(
+            return compute.sync_panel_time(
                 slab.nnz, k, nonempty, ctx.threads.total
             )
+
+        comp_times = get_exec_pool().map(rank_body, ctx.n_nodes)
         for rank in range(ctx.n_nodes):
             node = ctx.breakdown.node(rank)
             node.sync_comm += gather_time

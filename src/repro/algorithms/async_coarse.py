@@ -11,8 +11,12 @@ show it trailing the field).
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
+from ..cluster.simmpi import CommAccount
+from ..runtime.pool import get_exec_pool
 from .base import DistSpMMAlgorithm, RunContext
 
 
@@ -26,11 +30,15 @@ class AsyncCoarse(DistSpMMAlgorithm):
         compute = ctx.machine.compute
         k = ctx.k
 
-        for rank in range(ctx.n_nodes):
+        def rank_body(
+            rank: int,
+        ) -> Optional[Tuple[CommAccount, float, float]]:
+            # Writes only C.block(rank); SimMPI mutations deferred into
+            # the account, replayed in rank order below.
             slab = ctx.A.slab(rank)
-            node = ctx.breakdown.node(rank)
             if slab.nnz == 0:
-                continue
+                return None
+            account = CommAccount()
             needed_blocks = np.unique(ctx.B.partition.owners_of(slab.cols))
             get_time = 0.0
             for block_id in needed_blocks:
@@ -39,15 +47,25 @@ class AsyncCoarse(DistSpMMAlgorithm):
                 block = ctx.B.block(int(block_id))
                 ctx.mpi.get_block(
                     rank, int(block_id), block, label="B_got",
-                    charge_time=False,
+                    charge_time=False, account=account,
                 )
                 get_time += net.rget_time(int(block.nbytes), n_chunks=1)
-            # A couple of threads issue the gets concurrently.
-            node.async_comm += get_time / ctx.threads.async_comm
 
             csr = slab.to_scipy().tocsr()
             ctx.C.block(rank)[:] += csr @ ctx.B.data
             nonempty = int(np.count_nonzero(np.diff(csr.indptr)))
-            node.sync_comp += compute.sync_panel_time(
+            comp_time = compute.sync_panel_time(
                 slab.nnz, k, nonempty, ctx.threads.total
             )
+            return account, get_time, comp_time
+
+        records = get_exec_pool().map(rank_body, ctx.n_nodes)
+        for rank, record in enumerate(records):
+            if record is None:
+                continue
+            account, get_time, comp_time = record
+            ctx.mpi.apply_account(account)
+            node = ctx.breakdown.node(rank)
+            # A couple of threads issue the gets concurrently.
+            node.async_comm += get_time / ctx.threads.async_comm
+            node.sync_comp += comp_time

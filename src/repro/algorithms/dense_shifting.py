@@ -19,6 +19,7 @@ from typing import Dict
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..runtime.pool import get_exec_pool
 from .base import DistSpMMAlgorithm, RunContext
 
 
@@ -61,7 +62,8 @@ class DenseShifting(DistSpMMAlgorithm):
                 "DS_replicas", (bundle_blocks - 1) * max_block_bytes
             )
 
-        pieces = [self._bucket_slab(ctx, rank) for rank in range(p)]
+        pool = get_exec_pool()
+        pieces = pool.map(lambda rank: self._bucket_slab(ctx, rank), p)
         groups = [
             list(range(g * c, min((g + 1) * c, p))) for g in range(n_groups)
         ]
@@ -79,8 +81,9 @@ class DenseShifting(DistSpMMAlgorithm):
         shift_bytes = c * max_block_bytes
         shift_cost = net.p2p_time(shift_bytes)
         for step in range(n_groups):
-            comp_times = np.zeros(p)
-            for rank in range(p):
+
+            def rank_body(rank: int) -> float:
+                # Writes only C.block(rank); pool-safe within a step.
                 my_group = min(rank // c, n_groups - 1)
                 held = groups[(my_group + step) % n_groups]
                 nnz_step = 0
@@ -93,9 +96,11 @@ class DenseShifting(DistSpMMAlgorithm):
                     c_block += piece @ ctx.B.data
                     nnz_step += pieces[rank].nnz_by_block[block_id]
                     rows_step += pieces[rank].rows_by_block[block_id]
-                comp_times[rank] = compute.sync_panel_time(
+                return compute.sync_panel_time(
                     nnz_step, k, rows_step, ctx.threads.total
                 )
+
+            comp_times = np.asarray(pool.map(rank_body, p))
             step_max = float(comp_times.max(initial=0.0))
             is_last = step == n_groups - 1
             for rank in range(p):

@@ -7,12 +7,13 @@ schema (see the README's "Benchmark telemetry" section):
 
 ```
 {
-  "schema": "repro-perf/1",
-  "label": "<free-form document label, e.g. BENCH_PR1>",
+  "schema": "repro-perf/2",
+  "label": "<free-form document label, e.g. BENCH_PR2>",
   "cells": [
     {"name": ..., "matrix": ..., "algorithm": ..., "k": ...,
      "n_nodes": ..., "wall_seconds": ..., "simulated_seconds": ...,
-     "cache_hits": ..., "cache_recomputes": ...},
+     "cache_hits": ..., "cache_recomputes": ...,
+     "arena_hits": ..., "arena_grows": ...},
     ...
   ],
   "experiments": {"<name>": {...free-form...}, ...}
@@ -22,7 +23,10 @@ schema (see the README's "Benchmark telemetry" section):
 Simulated seconds are the paper-fidelity numbers and must not move when
 host-side performance work lands; wall seconds are the quantity being
 optimised.  Cache counters come from
-:func:`repro.core.formats.transfer_cache_stats`.
+:func:`repro.core.formats.transfer_cache_stats`; arena counters from
+:func:`repro.cluster.buffers.arena_stats` (schema ``repro-perf/2``
+added them — an all-hits, zero-grows cell means the fetch-buffer arena
+served every stripe without allocating).
 """
 
 from __future__ import annotations
@@ -31,9 +35,10 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..cluster.buffers import arena_stats
 from ..core.formats import transfer_cache_stats
 
-PERF_SCHEMA = "repro-perf/1"
+PERF_SCHEMA = "repro-perf/2"
 
 
 @dataclass
@@ -49,6 +54,8 @@ class PerfCell:
     simulated_seconds: Optional[float]
     cache_hits: int = 0
     cache_recomputes: int = 0
+    arena_hits: int = 0
+    arena_grows: int = 0
 
 
 @dataclass
@@ -69,6 +76,7 @@ class PerfLog:
         wall_seconds: Optional[float],
         simulated_seconds: Optional[float],
         cache_snapshot: Optional[tuple] = None,
+        arena_snapshot: Optional[tuple] = None,
     ) -> PerfCell:
         """Append one cell record.
 
@@ -76,12 +84,20 @@ class PerfLog:
             cache_snapshot: ``(hits, recomputes)`` taken *before* the
                 cell ran; the deltas against the current global counters
                 are stored.  Omit to record zeros.
+            arena_snapshot: ``(hits, grows)`` from
+                :meth:`~repro.cluster.buffers.ArenaStats.snapshot`
+                taken before the cell ran; deltas are stored likewise.
         """
         hits = recomputes = 0
         if cache_snapshot is not None:
             stats = transfer_cache_stats()
             hits = stats.hits - cache_snapshot[0]
             recomputes = stats.recomputes - cache_snapshot[1]
+        a_hits = a_grows = 0
+        if arena_snapshot is not None:
+            arenas = arena_stats()
+            a_hits = arenas.hits - arena_snapshot[0]
+            a_grows = arenas.grows - arena_snapshot[1]
         cell = PerfCell(
             name=name,
             matrix=matrix,
@@ -92,6 +108,8 @@ class PerfLog:
             simulated_seconds=simulated_seconds,
             cache_hits=hits,
             cache_recomputes=recomputes,
+            arena_hits=a_hits,
+            arena_grows=a_grows,
         )
         self.cells.append(cell)
         return cell

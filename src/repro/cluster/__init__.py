@@ -1,5 +1,13 @@
 """Simulated distributed machine: nodes, network model, simulated MPI."""
 
+from .buffers import (
+    ArenaStats,
+    FetchArena,
+    arena_stats,
+    local_arena,
+    reset_arenas,
+    warm_arenas,
+)
 from .machine import (
     DEFAULT_NODE_MEMORY,
     MEMORY_SCALE,
@@ -9,13 +17,22 @@ from .machine import (
     SimNode,
 )
 from .network import ComputeModel, NetworkModel
-from .simmpi import MAX_RECORDED_EVENTS, CommEvent, SimMPI, TrafficStats
+from .simmpi import (
+    MAX_RECORDED_EVENTS,
+    CommAccount,
+    CommEvent,
+    SimMPI,
+    TrafficStats,
+)
 
 __all__ = [
+    "ArenaStats",
+    "CommAccount",
     "CommEvent",
     "Cluster",
     "ComputeModel",
     "DEFAULT_NODE_MEMORY",
+    "FetchArena",
     "MEMORY_SCALE",
     "MachineConfig",
     "MAX_RECORDED_EVENTS",
@@ -24,4 +41,8 @@ __all__ = [
     "SimMPI",
     "SimNode",
     "TrafficStats",
+    "arena_stats",
+    "local_arena",
+    "reset_arenas",
+    "warm_arenas",
 ]

@@ -1,0 +1,191 @@
+"""Zero-copy fetch-buffer arenas for the async hot path.
+
+Each execution of an async stripe used to allocate three fresh arrays:
+the rget destination (``source[rows]``), the packed-row gather
+(``fetched[packed]``), and the per-chunk scatter product
+(``vals[:, None] * B_rows``).  All three are scratch — consumed within
+the stripe — so a per-worker, grow-only arena hands out views of
+preallocated buffers instead: after a warm-up execution sizes the
+buffers to the largest stripe, the steady state performs **zero**
+per-stripe allocations (the GNN pattern: hundreds of epochs against
+one plan).
+
+Arenas are per *worker thread* (via ``threading.local``), so pooled
+rank bodies never contend or alias each other's scratch; the process
+keeps one arena per pool worker plus one for the main thread.  Hit /
+grow counters aggregate across all arenas and surface through
+``repro.bench.telemetry`` next to the transfer-schedule cache stats.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Smallest buffer a slot is grown to (elements); avoids re-growing
+#: through tiny stripes during warm-up.
+_MIN_SLOT_ELEMS = 1024
+
+
+class FetchArena:
+    """Grow-only scratch buffers of one worker thread.
+
+    Buffers are keyed by slot name (``"async_fetch"``, ``"async_gather"``,
+    ``"scatter"``); a request that fits the slot's current buffer is a
+    *hit* and returns a view, a larger request *grows* the buffer
+    (doubling, so grows converge quickly and then stop).
+    """
+
+    def __init__(self):
+        self._slots: Dict[str, np.ndarray] = {}
+        self.hits = 0
+        self.grows = 0
+
+    # ------------------------------------------------------------------
+    def request(
+        self, slot: str, n_rows: int, n_cols: int, dtype=np.float64
+    ) -> np.ndarray:
+        """A ``(n_rows, n_cols)`` scratch view backed by slot storage.
+
+        The contents are uninitialised; callers must fully overwrite
+        (``np.take(..., out=...)`` / ``np.multiply(..., out=...)``).
+        """
+        needed = int(n_rows) * int(n_cols)
+        buf = self._slots.get(slot)
+        if buf is None or buf.size < needed or buf.dtype != dtype:
+            capacity = max(
+                needed,
+                _MIN_SLOT_ELEMS,
+                2 * (buf.size if buf is not None else 0),
+            )
+            buf = np.empty(capacity, dtype=dtype)
+            self._slots[slot] = buf
+            self.grows += 1
+        else:
+            self.hits += 1
+        return buf[:needed].reshape(n_rows, n_cols)
+
+    def take_rows(
+        self, source: np.ndarray, indices: np.ndarray, slot: str
+    ) -> np.ndarray:
+        """``source[indices]`` gathered into arena scratch (no alloc)."""
+        out = self.request(slot, len(indices), source.shape[1], source.dtype)
+        return np.take(source, indices, axis=0, out=out)
+
+    # ------------------------------------------------------------------
+    def capacity_bytes(self) -> int:
+        return int(sum(buf.nbytes for buf in self._slots.values()))
+
+    def release(self) -> None:
+        """Drop the buffers (counters are left untouched)."""
+        self._slots.clear()
+
+
+# ----------------------------------------------------------------------
+# Thread-local arena registry
+# ----------------------------------------------------------------------
+_TLS = threading.local()
+_REGISTRY: List[FetchArena] = []
+_REGISTRY_LOCK = threading.Lock()
+
+
+def local_arena() -> FetchArena:
+    """The calling thread's arena, created and registered on first use.
+
+    Worker threads of the process-global exec pool live across
+    executions, so their arenas — and therefore the warm buffers —
+    persist across epochs.
+    """
+    arena = getattr(_TLS, "arena", None)
+    if arena is None:
+        arena = FetchArena()
+        with _REGISTRY_LOCK:
+            _REGISTRY.append(arena)
+        _TLS.arena = arena
+    return arena
+
+
+@dataclass(frozen=True)
+class ArenaStats:
+    """Aggregate counters across every registered arena.
+
+    Attributes:
+        hits: requests served from an existing buffer (zero-alloc).
+        grows: requests that (re)allocated a slot buffer.
+        capacity_bytes: total bytes currently held by all arenas.
+        n_arenas: arenas alive (main thread + pool workers).
+    """
+
+    hits: int
+    grows: int
+    capacity_bytes: int
+    n_arenas: int
+
+    def snapshot(self) -> Tuple[int, int]:
+        return (self.hits, self.grows)
+
+
+def arena_stats() -> ArenaStats:
+    """Aggregate hit/grow/capacity counters over all arenas."""
+    with _REGISTRY_LOCK:
+        arenas = list(_REGISTRY)
+    return ArenaStats(
+        hits=sum(a.hits for a in arenas),
+        grows=sum(a.grows for a in arenas),
+        capacity_bytes=sum(a.capacity_bytes() for a in arenas),
+        n_arenas=len(arenas),
+    )
+
+
+def warm_arenas(pool, slots: Dict[str, Tuple[int, int]]) -> None:
+    """Pre-size every pool worker's arena (zero-alloc from the start).
+
+    Rank-to-worker assignment varies between executions, so organic
+    warm-up only guarantees zero steady-state allocations once *every*
+    worker has happened to serve the largest stripe.  This primes all
+    of them deterministically: a barrier forces the pool to run one
+    warm body on each distinct worker thread, which grows the named
+    slots to the given ``(n_rows, n_cols)`` ceilings.
+
+    Args:
+        pool: an :class:`~repro.runtime.pool.ExecPool` (duck-typed:
+            needs ``workers`` and ``map``); width 1 warms the calling
+            thread's arena.
+        slots: slot name -> ``(n_rows, n_cols)`` float64 ceiling.
+    """
+
+    def warm_body(arena: FetchArena) -> None:
+        for slot, (n_rows, n_cols) in slots.items():
+            hits_before = arena.hits
+            arena.request(slot, n_rows, n_cols)
+            arena.hits = hits_before  # sizing probes are not hits
+
+    if pool.workers <= 1:
+        warm_body(local_arena())
+        return
+    barrier = threading.Barrier(pool.workers)
+
+    def body(_i: int) -> None:
+        barrier.wait()  # pins one body per worker thread
+        warm_body(local_arena())
+
+    pool.map(body, pool.workers)
+
+
+def reset_arenas(release_buffers: bool = False) -> None:
+    """Zero every arena's counters (bench/test hygiene).
+
+    Args:
+        release_buffers: also drop the buffers, forcing a fresh
+            warm-up (used to measure warm-up vs steady state).
+    """
+    with _REGISTRY_LOCK:
+        arenas = list(_REGISTRY)
+    for arena in arenas:
+        arena.hits = 0
+        arena.grows = 0
+        if release_buffers:
+            arena.release()

@@ -53,6 +53,75 @@ class CommEvent:
 MAX_RECORDED_EVENTS = 200_000
 
 
+@dataclass(frozen=True)
+class _OneSidedCharge:
+    """Accounting of one MPI_Rget/MPI_Get, applied now or deferred.
+
+    Serial execution applies the charge immediately; pooled rank
+    bodies append it to a :class:`CommAccount` and the main thread
+    replays the accounts in rank order — the charge itself is the
+    single code path, so deferred accounting is mutation-for-mutation
+    identical to serial (clock advances, ledger order, traffic counts,
+    event log).
+    """
+
+    origin: int
+    target: int
+    nbytes: int
+    n_chunks: int
+    label: str
+    detail: str
+    charge_memory: bool
+    charge_time: bool
+
+    def apply(self, mpi: "SimMPI") -> None:
+        node = mpi.cluster.node(self.origin)
+        if self.charge_time:
+            node.advance(
+                mpi._net.rget_time(self.nbytes, n_chunks=self.n_chunks)
+            )
+        if self.charge_memory:
+            node.memory.allocate(self.label, self.nbytes)
+        mpi.traffic.onesided_bytes += self.nbytes
+        mpi.traffic.onesided_requests += 1
+        mpi.traffic._recv(self.origin, self.nbytes)
+        mpi._log("rget", self.target, self.origin, self.nbytes, self.detail)
+
+
+@dataclass(frozen=True)
+class _LedgerFree:
+    """Deferred release of a named ledger allocation."""
+
+    rank: int
+    label: str
+
+    def apply(self, mpi: "SimMPI") -> None:
+        mpi.cluster.node(self.rank).memory.free(self.label)
+
+
+class CommAccount:
+    """Ordered, deferred accounting of one worker's communication.
+
+    :class:`SimMPI` is not safe to mutate from concurrent rank bodies
+    (counters, the event log, and memory ledgers are plain shared
+    state).  A worker therefore passes an account to the data-plane
+    calls: the *data movement* happens immediately (reads of shared
+    read-only blocks are thread-safe) while every counter / ledger /
+    event mutation is recorded.  The main thread replays accounts in
+    rank order via :meth:`SimMPI.apply_account`, reproducing the exact
+    mutation sequence of a serial run — including a mid-rank
+    :class:`~repro.errors.OutOfMemoryError` leaving the same partial
+    state behind.
+    """
+
+    def __init__(self) -> None:
+        self.ops: List = []
+
+    def free(self, rank: int, label: str) -> None:
+        """Record a deferred ``ledger.free(label)`` on ``rank``."""
+        self.ops.append(_LedgerFree(rank, label))
+
+
 @dataclass
 class TrafficStats:
     """Bytes and message counts by communication category.
@@ -274,17 +343,10 @@ class SimMPI:
             total_rows += count
         fetched = parts[0] if len(parts) == 1 else np.concatenate(parts)
         nbytes = int(total_rows * source.shape[1] * source.itemsize)
-        node = self.cluster.node(origin)
-        if charge_time:
-            node.advance(self._net.rget_time(nbytes, n_chunks=len(chunks)))
-        if charge_memory:
-            node.memory.allocate(label, nbytes)
-        self.traffic.onesided_bytes += nbytes
-        self.traffic.onesided_requests += 1
-        self.traffic._recv(origin, nbytes)
-        self._log(
-            "rget", target, origin, nbytes, f"{label}:{len(chunks)}chunks"
-        )
+        _OneSidedCharge(
+            origin, target, nbytes, len(chunks), label,
+            f"{label}:{len(chunks)}chunks", charge_memory, charge_time,
+        ).apply(self)
         return fetched
 
     def rget_row_chunks(
@@ -298,6 +360,8 @@ class SimMPI:
         rows: np.ndarray = None,
         charge_memory: bool = True,
         charge_time: bool = True,
+        out: np.ndarray = None,
+        account: "CommAccount" = None,
     ) -> np.ndarray:
         """Vectorised :meth:`rget_rows` taking chunk *arrays*.
 
@@ -315,6 +379,12 @@ class SimMPI:
                 indices (``expand_chunks(offsets, sizes)``); passed by
                 callers that cache it so repeated executions skip the
                 expansion too.
+            out: optional destination of shape ``(total_rows, K)`` (an
+                arena view); the gather writes into it instead of
+                allocating a fresh array.
+            account: when given, accounting is appended there for a
+                later main-thread :meth:`apply_account` instead of
+                mutating shared state — required off the main thread.
         """
         if origin == target:
             raise CommunicationError("rget to self is always a local access")
@@ -345,19 +415,24 @@ class SimMPI:
                 f"precomputed row index has {len(rows)} rows, chunks "
                 f"cover {total_rows}"
             )
-        fetched = source[rows]
+        if out is None:
+            fetched = source[rows]
+        else:
+            if out.shape != (total_rows, source.shape[1]):
+                raise CommunicationError(
+                    f"out buffer shape {out.shape} does not match fetched "
+                    f"rows ({total_rows}, {source.shape[1]})"
+                )
+            fetched = np.take(source, rows, axis=0, out=out)
         nbytes = int(total_rows * source.shape[1] * source.itemsize)
-        node = self.cluster.node(origin)
-        if charge_time:
-            node.advance(self._net.rget_time(nbytes, n_chunks=n_chunks))
-        if charge_memory:
-            node.memory.allocate(label, nbytes)
-        self.traffic.onesided_bytes += nbytes
-        self.traffic.onesided_requests += 1
-        self.traffic._recv(origin, nbytes)
-        self._log(
-            "rget", target, origin, nbytes, f"{label}:{n_chunks}chunks"
+        charge = _OneSidedCharge(
+            origin, target, nbytes, n_chunks, label,
+            f"{label}:{n_chunks}chunks", charge_memory, charge_time,
         )
+        if account is None:
+            charge.apply(self)
+        else:
+            account.ops.append(charge)
         return fetched
 
     def get_block(
@@ -368,21 +443,37 @@ class SimMPI:
         label: str,
         charge_memory: bool = True,
         charge_time: bool = True,
+        account: "CommAccount" = None,
     ) -> np.ndarray:
-        """Whole-block MPI_Get (the Async Coarse-Grained baseline)."""
+        """Whole-block MPI_Get (the Async Coarse-Grained baseline).
+
+        ``account`` defers the accounting exactly as in
+        :meth:`rget_row_chunks`.
+        """
         if origin == target:
             return block
         nbytes = int(block.nbytes)
-        node = self.cluster.node(origin)
-        if charge_time:
-            node.advance(self._net.rget_time(nbytes, n_chunks=1))
-        if charge_memory:
-            node.memory.allocate(label, nbytes)
-        self.traffic.onesided_bytes += nbytes
-        self.traffic.onesided_requests += 1
-        self.traffic._recv(origin, nbytes)
-        self._log("rget", target, origin, nbytes, f"{label}:block")
+        charge = _OneSidedCharge(
+            origin, target, nbytes, 1, label, f"{label}:block",
+            charge_memory, charge_time,
+        )
+        if account is None:
+            charge.apply(self)
+        else:
+            account.ops.append(charge)
         return block
+
+    def apply_account(self, account: "CommAccount") -> None:
+        """Replay a worker's deferred accounting on the main thread.
+
+        Ops are applied in the order the worker issued them, so ledger
+        peaks, traffic counters, clock advances, and the event log are
+        exactly what a serial execution of that rank would have
+        produced — including raising
+        :class:`~repro.errors.OutOfMemoryError` at the same op.
+        """
+        for op in account.ops:
+            op.apply(self)
 
     # ------------------------------------------------------------------
     # Utilities

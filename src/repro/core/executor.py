@@ -13,18 +13,32 @@ cluster.  Per node, two lanes run in parallel:
 
 A node finishes at ``max(sync lane, async lane) + other``; the cluster
 finishes with its slowest node.
+
+Host-side, the per-rank bodies of both compute phases fan out across
+the :mod:`repro.runtime.pool` worker pool (``REPRO_EXEC_WORKERS``;
+default serial): each rank body writes only its own ``C`` block, draws
+scratch from its worker's fetch-buffer arena, and returns an immutable
+accounting record; the main thread folds the records into the
+breakdown, memory ledgers, and SimMPI counters in rank order, so the
+simulated seconds and event log are bit-identical at any pool width.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+from scipy import sparse
 
 from ..algorithms.base import RunContext
+from ..cluster.buffers import local_arena
+from ..cluster.simmpi import CommAccount
 from ..errors import PartitionError
+from ..runtime.pool import get_exec_pool
 from ..runtime.threads import max_coalescing_gap
 from ..sparse.ops import scatter_add
+from .formats import TRANSFER_CACHE, TransferCacheStats
 from .plan import TwoFacePlan
 from .sampling_mask import SampleMask
 
@@ -32,6 +46,33 @@ from .sampling_mask import SampleMask
 #: replication) on top of the shared base setup — the "Other" bar of
 #: Fig. 10 is visibly larger for Two-Face than for dense shifting.
 TWOFACE_SETUP_SECONDS = 3.0e-5
+
+
+def arena_ceilings(plan: TwoFacePlan, k: int) -> dict:
+    """Per-slot ``(n_rows, n_cols)`` arena ceilings of a finalised plan.
+
+    Feed to :func:`~repro.cluster.buffers.warm_arenas` to pre-size
+    every pool worker's scratch for this plan's largest async stripe,
+    pinning steady-state executions at zero per-stripe allocations
+    regardless of how ranks land on workers.
+    """
+    from ..sparse.ops import _SCATTER_CHUNK_ELEMS
+
+    max_rows = 1
+    max_nnz = 1
+    for rank_plan in plan.ranks:
+        for stripe in rank_plan.async_matrix.stripes:
+            if stripe.schedule is not None:
+                max_rows = max(
+                    max_rows, int(stripe.schedule.chunk_sizes.sum())
+                )
+            max_nnz = max(max_nnz, stripe.nnz)
+    scatter_rows = min(max_nnz, max(1, _SCATTER_CHUNK_ELEMS // max(1, k)))
+    return {
+        "async_fetch": (max_rows, k),
+        "async_gather": (max_nnz, k),
+        "scatter": (scatter_rows, k),
+    }
 
 
 def execute_plan(
@@ -72,9 +113,10 @@ def execute_plan(
     for node in ctx.breakdown.nodes:
         node.other += TWOFACE_SETUP_SECONDS
 
+    pool = get_exec_pool()
     _sync_transfers(plan, ctx)
-    _async_lane(plan, ctx, mask)
-    _sync_compute(plan, ctx, mask)
+    _async_lane(plan, ctx, pool, mask)
+    _sync_compute(plan, ctx, pool, mask)
 
 
 # ----------------------------------------------------------------------
@@ -105,19 +147,37 @@ def _sync_transfers(plan: TwoFacePlan, ctx: RunContext) -> None:
 # ----------------------------------------------------------------------
 # Phase 2: asynchronous stripes (Algorithm 1 lines 9-14, Algorithm 3)
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _AsyncRankRecord:
+    """One rank's async-lane results, folded on the main thread."""
+
+    account: CommAccount
+    cache: TransferCacheStats
+    comm_seconds: float
+    comp_seconds: float
+
+
 def _async_lane(
-    plan: TwoFacePlan, ctx: RunContext, mask: Optional[SampleMask] = None
+    plan: TwoFacePlan,
+    ctx: RunContext,
+    pool,
+    mask: Optional[SampleMask] = None,
 ) -> None:
     net = ctx.machine.network
     compute = ctx.machine.compute
     k = ctx.k
     max_gap = max_coalescing_gap(k)
-    for rank in range(ctx.n_nodes):
+
+    def rank_body(rank: int) -> _AsyncRankRecord:
+        # Writes only C.block(rank) and this worker's arena; every
+        # shared-state mutation is deferred into the returned record.
+        arena = local_arena()
+        account = CommAccount()
+        cache = TransferCacheStats()
         rank_plan = plan.rank_plan(rank)
-        node_breakdown = ctx.breakdown.node(rank)
-        ledger = ctx.cluster.node(rank).memory
         c_block = ctx.C.block(rank)
         comm_seconds = 0.0
+        comp_seconds = 0.0
         for stripe_idx, stripe in enumerate(
             rank_plan.async_matrix.stripes
         ):
@@ -127,7 +187,8 @@ def _async_lane(
                     "classified asynchronous"
                 )
             block_start, _ = ctx.B.partition.bounds(stripe.owner)
-            schedule = stripe.ensure_schedule(block_start, max_gap)
+            schedule = stripe.ensure_schedule(block_start, max_gap,
+                                              stats=cache)
             # The cached packed map lands each nonzero's global c_id on
             # its fetched row; re-validate coverage cheaply (the map is
             # clipped, so a non-covering plan surfaces here as a
@@ -140,11 +201,17 @@ def _async_lane(
                     f"stripe {stripe.gid}: fetched rows do not cover the "
                     "stripe's c_ids"
                 )
+            block = ctx.B.block(stripe.owner)
+            rows = schedule.local_rows()
             fetched = ctx.mpi.rget_row_chunks(
-                rank, stripe.owner, ctx.B.block(stripe.owner),
+                rank, stripe.owner, block,
                 schedule.chunk_offsets, schedule.chunk_sizes,
-                label="async_rows", rows=schedule.local_rows(),
+                label="async_rows", rows=rows,
                 charge_time=False,
+                out=arena.request(
+                    "async_fetch", len(rows), block.shape[1], block.dtype
+                ),
+                account=account,
             )
             comm_seconds += net.rget_time(
                 int(fetched.nbytes), n_chunks=schedule.n_chunks
@@ -153,40 +220,66 @@ def _async_lane(
             nnz_live = stripe.nnz
             if mask is not None:
                 keep = mask.async_masks[rank][stripe_idx]
-                vals = vals * keep
                 nnz_live = int(np.count_nonzero(keep))
+                if nnz_live != stripe.nnz:
+                    vals = vals * keep
             scatter_add(
-                c_block, stripe.nonzeros.rows, vals, fetched[packed],
+                c_block, stripe.nonzeros.rows, vals,
+                arena.take_rows(fetched, packed, "async_gather"),
+                arena=arena,
             )
-            node_breakdown.async_comp += compute.async_stripe_time(
+            comp_seconds += compute.async_stripe_time(
                 nnz_live, k, ctx.threads.async_comp, n_stripes=1
             )
-            ledger.free("async_rows")
-        node_breakdown.async_comm += comm_seconds / ctx.threads.async_comm
+            account.free(rank, "async_rows")
+        return _AsyncRankRecord(account, cache, comm_seconds, comp_seconds)
+
+    records = pool.map(rank_body, ctx.n_nodes)
+    for rank, rec in enumerate(records):
+        ctx.mpi.apply_account(rec.account)
+        TRANSFER_CACHE.hits += rec.cache.hits
+        TRANSFER_CACHE.recomputes += rec.cache.recomputes
+        node_breakdown = ctx.breakdown.node(rank)
+        node_breakdown.async_comp += rec.comp_seconds
+        node_breakdown.async_comm += (
+            rec.comm_seconds / ctx.threads.async_comm
+        )
 
 
 # ----------------------------------------------------------------------
 # Phase 3: synchronous row panels (Algorithm 1 lines 15-19, Algorithm 2)
 # ----------------------------------------------------------------------
 def _sync_compute(
-    plan: TwoFacePlan, ctx: RunContext, mask: Optional[SampleMask] = None
+    plan: TwoFacePlan,
+    ctx: RunContext,
+    pool,
+    mask: Optional[SampleMask] = None,
 ) -> None:
     compute = ctx.machine.compute
     k = ctx.k
-    for rank in range(ctx.n_nodes):
+
+    def rank_body(rank: int) -> float:
         rank_plan = plan.rank_plan(rank)
         sync_local = rank_plan.sync_local
-        node_breakdown = ctx.breakdown.node(rank)
         nnz_live = sync_local.nnz
         if sync_local.nnz:
             csr = sync_local.csr.to_scipy()
             if mask is not None:
                 keep = mask.sync_masks[rank]
-                csr = csr.copy()
-                csr.data = csr.data * keep
                 nnz_live = int(np.count_nonzero(keep))
+                if nnz_live != sync_local.nnz:
+                    # Rewrap instead of csr.copy(): shares the index
+                    # arrays and allocates only the masked data.
+                    csr = sparse.csr_matrix(
+                        (csr.data * keep, csr.indices, csr.indptr),
+                        shape=csr.shape,
+                    )
             ctx.C.block(rank)[:] += csr @ ctx.B.data
-        node_breakdown.sync_comp += compute.sync_panel_time(
+        return compute.sync_panel_time(
             nnz_live, k, sync_local.nonempty_rows(),
             ctx.threads.sync_comp,
         ) + sync_local.n_panels * compute.panel_overhead
+
+    seconds = pool.map(rank_body, ctx.n_nodes)
+    for rank, comp_seconds in enumerate(seconds):
+        ctx.breakdown.node(rank).sync_comp += comp_seconds

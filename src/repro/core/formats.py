@@ -227,14 +227,26 @@ class AsyncStripe:
         )
 
     def ensure_schedule(
-        self, block_start: int, max_gap: int
+        self,
+        block_start: int,
+        max_gap: int,
+        stats: Optional[TransferCacheStats] = None,
     ) -> TransferSchedule:
-        """The cached schedule, computing and storing it when absent."""
+        """The cached schedule, computing and storing it when absent.
+
+        Args:
+            stats: counter sink; defaults to the process-global
+                :data:`TRANSFER_CACHE`.  Pooled rank bodies pass a
+                local record instead (the global counters are not safe
+                to mutate concurrently) and the executor folds the
+                records back in rank order.
+        """
+        sink = TRANSFER_CACHE if stats is None else stats
         if self.schedule is None:
-            TRANSFER_CACHE.recomputes += 1
+            sink.recomputes += 1
             self.schedule = self.build_schedule(block_start, max_gap)
         else:
-            TRANSFER_CACHE.hits += 1
+            sink.hits += 1
         return self.schedule
 
 

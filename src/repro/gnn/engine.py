@@ -15,10 +15,12 @@ import numpy as np
 
 from ..algorithms.base import DistSpMMAlgorithm
 from ..algorithms.twoface import TwoFace
+from ..cluster.buffers import arena_stats, warm_arenas
 from ..cluster.machine import MachineConfig
 from ..core.formats import transfer_cache_stats
 from ..core.model import CostCoefficients
 from ..errors import ReproError, ShapeError
+from ..runtime.pool import get_exec_pool
 from ..sparse.coo import COOMatrix
 from ..sparse.suite import stripe_width_for
 
@@ -55,6 +57,7 @@ class DistSpMMEngine:
         self.n_spmm = 0
         self.n_preprocess = 0
         self._cache_baseline = transfer_cache_stats().snapshot()
+        self._arena_baseline = arena_stats().snapshot()
 
     # ------------------------------------------------------------------
     def multiply(self, B: np.ndarray) -> Tuple[np.ndarray, float]:
@@ -122,4 +125,38 @@ class DistSpMMEngine:
         return {
             "hits": hits - self._cache_baseline[0],
             "recomputes": recomputes - self._cache_baseline[1],
+        }
+
+    def warm_exec_buffers(self, k: int) -> None:
+        """Pre-size every pool worker's fetch arena for width ``k``.
+
+        Rank-to-worker assignment varies between epochs, so without
+        this a worker can still grow its arena the first time it draws
+        the largest stripe.  Call after the first ``multiply`` of a
+        width (the plan must be cached) to pin steady-state epochs at
+        zero per-stripe allocations deterministically.
+        """
+        plan = self._plans.get(k)
+        if plan is None:
+            raise ReproError(
+                f"no cached plan for K={k}; run a multiply first"
+            )
+        from ..core.executor import arena_ceilings
+
+        warm_arenas(get_exec_pool(), arena_ceilings(plan, k))
+
+    def exec_stats(self) -> Dict[str, int]:
+        """Worker-pool and fetch-arena activity since construction.
+
+        The pool and the per-worker arenas are process-global, so they
+        persist across epochs: after the first epoch warms the arenas,
+        ``grows`` should stop increasing — every later SpMM reuses the
+        same scratch buffers (zero per-stripe allocations).
+        """
+        pool = get_exec_pool()
+        hits, grows = arena_stats().snapshot()
+        return {
+            "workers": pool.workers,
+            "arena_hits": hits - self._arena_baseline[0],
+            "arena_grows": grows - self._arena_baseline[1],
         }

@@ -1,0 +1,202 @@
+"""Rank-parallel execution: a reusable shared-memory worker pool.
+
+Every simulated node is independent within an execution phase — the
+paper's whole design is that per-node lanes proceed concurrently and
+the cluster finishes with its slowest node — so the host-side per-rank
+loops of the executor and the baselines can fan out across threads
+(numpy releases the GIL in the hot kernels: fancy gathers, ufuncs,
+``np.add.at``, CSR @ dense).
+
+Determinism contract: a rank body run through :meth:`ExecPool.map`
+must write only state owned by its rank (its ``C`` block, its own
+stripes' cached schedules) and return everything else — lane seconds,
+deferred :class:`~repro.cluster.simmpi.CommAccount` records, local
+cache counters — as an immutable record.  The caller folds the records
+into the breakdown, memory ledgers, and SimMPI counters in rank order
+on the main thread, so simulated seconds, per-node breakdowns, and the
+communication event log are bit-identical to a serial run at any pool
+width.
+
+The pool width comes from ``REPRO_EXEC_WORKERS`` (default 1 = serial,
+no threads created).  The pool is process-global and reused across
+executions — the GNN engine's hundreds of per-epoch SpMMs dispatch
+onto the same threads, which also keeps the per-worker fetch-buffer
+arenas (:mod:`repro.cluster.buffers`) warm across epochs.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, TypeVar
+
+from ..errors import ConfigurationError
+
+#: Environment variable selecting the per-rank worker-pool width.
+WORKERS_ENV = "REPRO_EXEC_WORKERS"
+
+T = TypeVar("T")
+
+
+def exec_workers_from_env() -> int:
+    """Worker count requested via ``REPRO_EXEC_WORKERS`` (default 1)."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{WORKERS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ConfigurationError(
+            f"{WORKERS_ENV} must be >= 1, got {workers}"
+        )
+    return workers
+
+
+@dataclass
+class PoolStats:
+    """Dispatch counters of one :class:`ExecPool`.
+
+    Attributes:
+        tasks: rank bodies executed (serial or threaded).
+        parallel_batches: ``map`` calls that fanned out across threads.
+        serial_batches: ``map`` calls that ran inline on the caller.
+    """
+
+    tasks: int = 0
+    parallel_batches: int = 0
+    serial_batches: int = 0
+
+    def snapshot(self):
+        return (self.tasks, self.parallel_batches, self.serial_batches)
+
+
+class ExecPool:
+    """A reusable thread pool mapping per-rank bodies to results.
+
+    Args:
+        workers: pool width; 1 means strictly serial (no threads are
+            ever created, ``map`` runs inline on the caller).
+    """
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.stats = PoolStats()
+        self._executor: Optional[
+            concurrent.futures.ThreadPoolExecutor
+        ] = None
+        self._lock = threading.Lock()
+        # Fork marker: a ThreadPoolExecutor's worker threads do not
+        # survive fork(), but its bookkeeping says they exist, so an
+        # inherited pool silently queues work forever.
+        self._pid = os.getpid()
+
+    # ------------------------------------------------------------------
+    def map(self, body: Callable[[int], T], n_items: int) -> List[T]:
+        """Run ``body(i)`` for ``i in range(n_items)``; results in order.
+
+        With one worker (or one item) the bodies run inline, in index
+        order, on the calling thread — the serial reference behaviour.
+        Otherwise they are dispatched to the pool and the results are
+        reassembled in index order regardless of completion order.  If
+        any body raises, every body is still allowed to finish and the
+        lowest-index exception is re-raised — the same exception a
+        serial loop would have surfaced first.
+        """
+        if n_items < 0:
+            raise ConfigurationError(f"n_items must be >= 0: {n_items}")
+        self.stats.tasks += n_items
+        if self.workers == 1 or n_items <= 1:
+            self.stats.serial_batches += 1
+            return [body(i) for i in range(n_items)]
+        self.stats.parallel_batches += 1
+        executor = self._ensure_executor()
+        futures = [executor.submit(body, i) for i in range(n_items)]
+        concurrent.futures.wait(futures)
+        results: List[T] = []
+        first_exc: Optional[BaseException] = None
+        for future in futures:
+            exc = future.exception()
+            if exc is not None:
+                if first_exc is None:
+                    first_exc = exc
+                results.append(None)  # type: ignore[arg-type]
+            else:
+                results.append(future.result())
+        if first_exc is not None:
+            raise first_exc
+        return results
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> concurrent.futures.ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-exec",
+                )
+            return self._executor
+
+    def close(self) -> None:
+        """Shut the pool's threads down (idempotent)."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def __enter__(self) -> "ExecPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Process-global pool (reused across executions and training epochs)
+# ----------------------------------------------------------------------
+_GLOBAL_POOL: Optional[ExecPool] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def get_exec_pool(workers: Optional[int] = None) -> ExecPool:
+    """The process-global pool, resized only when the width changes.
+
+    Args:
+        workers: explicit width; defaults to ``REPRO_EXEC_WORKERS``.
+            Passing the current width returns the existing pool (and
+            its live worker threads / arenas) unchanged.
+    """
+    global _GLOBAL_POOL
+    width = workers if workers is not None else exec_workers_from_env()
+    with _GLOBAL_LOCK:
+        stale = _GLOBAL_POOL is not None and (
+            _GLOBAL_POOL.workers != width
+            or _GLOBAL_POOL._pid != os.getpid()
+        )
+        if stale:
+            # Only close a pool this process created: after fork() the
+            # inherited executor's threads are gone and shutdown(wait=True)
+            # would block on them forever.  Just drop the reference.
+            if _GLOBAL_POOL._pid == os.getpid():
+                _GLOBAL_POOL.close()
+            _GLOBAL_POOL = None
+        if _GLOBAL_POOL is None:
+            _GLOBAL_POOL = ExecPool(width)
+        return _GLOBAL_POOL
+
+
+def shutdown_exec_pool() -> None:
+    """Tear down the process-global pool (test hygiene)."""
+    global _GLOBAL_POOL
+    with _GLOBAL_LOCK:
+        if _GLOBAL_POOL is not None:
+            if _GLOBAL_POOL._pid == os.getpid():
+                _GLOBAL_POOL.close()
+            _GLOBAL_POOL = None

@@ -72,13 +72,28 @@ def scatter_add(
     rows: np.ndarray,
     vals: np.ndarray,
     B_rows: np.ndarray,
+    arena=None,
 ) -> None:
-    """``C[rows[i]] += vals[i] * B_rows[i]`` in memory-bounded chunks."""
+    """``C[rows[i]] += vals[i] * B_rows[i]`` in memory-bounded chunks.
+
+    Args:
+        arena: optional scratch provider with a
+            ``request(slot, n_rows, n_cols)`` method (a
+            :class:`repro.cluster.buffers.FetchArena`); the per-chunk
+            ``vals * B_rows`` product is then written into reused
+            arena storage instead of a fresh allocation per chunk.
+            Numerics are unchanged either way.
+    """
     k = max(1, C.shape[1])
     chunk = max(1, _SCATTER_CHUNK_ELEMS // k)
     for lo in range(0, len(rows), chunk):
-        hi = lo + chunk
-        np.add.at(C, rows[lo:hi], vals[lo:hi, None] * B_rows[lo:hi])
+        hi = min(lo + chunk, len(rows))
+        if arena is None:
+            contrib = vals[lo:hi, None] * B_rows[lo:hi]
+        else:
+            contrib = arena.request("scatter", hi - lo, C.shape[1])
+            np.multiply(vals[lo:hi, None], B_rows[lo:hi], out=contrib)
+        np.add.at(C, rows[lo:hi], contrib)
 
 
 def spmm_reference(A: COOMatrix, B: np.ndarray) -> np.ndarray:

@@ -1,0 +1,141 @@
+"""Unit tests for the zero-copy fetch-buffer arenas."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster.buffers import (
+    _MIN_SLOT_ELEMS,
+    FetchArena,
+    arena_stats,
+    local_arena,
+    reset_arenas,
+    warm_arenas,
+)
+from repro.runtime.pool import ExecPool
+
+
+class TestFetchArena:
+    def test_first_request_grows(self):
+        arena = FetchArena()
+        view = arena.request("s", 4, 3)
+        assert view.shape == (4, 3)
+        assert arena.grows == 1 and arena.hits == 0
+
+    def test_fitting_request_hits(self):
+        arena = FetchArena()
+        arena.request("s", 4, 3)
+        view = arena.request("s", 2, 5)
+        assert view.shape == (2, 5)
+        assert arena.hits == 1 and arena.grows == 1
+
+    def test_view_is_backed_by_slot_buffer(self):
+        arena = FetchArena()
+        a = arena.request("s", 4, 3)
+        b = arena.request("s", 4, 3)
+        assert np.shares_memory(a, b)
+
+    def test_min_slot_size(self):
+        arena = FetchArena()
+        arena.request("s", 1, 1)
+        assert arena.capacity_bytes() == _MIN_SLOT_ELEMS * 8
+
+    def test_growth_doubles(self):
+        arena = FetchArena()
+        arena.request("s", _MIN_SLOT_ELEMS, 1)
+        arena.request("s", _MIN_SLOT_ELEMS + 1, 1)
+        assert arena.grows == 2
+        assert arena.capacity_bytes() == 2 * _MIN_SLOT_ELEMS * 8
+        # Anything up to the doubled capacity is now a hit.
+        arena.request("s", 2 * _MIN_SLOT_ELEMS, 1)
+        assert arena.hits == 1
+
+    def test_slots_are_independent(self):
+        arena = FetchArena()
+        a = arena.request("a", 8, 2)
+        b = arena.request("b", 8, 2)
+        assert not np.shares_memory(a, b)
+        assert arena.grows == 2
+
+    def test_dtype_change_regrows(self):
+        arena = FetchArena()
+        arena.request("s", 4, 4, dtype=np.float64)
+        view = arena.request("s", 4, 4, dtype=np.float32)
+        assert view.dtype == np.float32
+        assert arena.grows == 2
+
+    def test_take_rows_matches_fancy_indexing(self):
+        rng = np.random.default_rng(0)
+        source = rng.standard_normal((50, 7))
+        idx = rng.integers(0, 50, size=30)
+        arena = FetchArena()
+        out = arena.take_rows(source, idx, "gather")
+        np.testing.assert_array_equal(out, source[idx])
+
+    def test_take_rows_empty(self):
+        arena = FetchArena()
+        out = arena.take_rows(
+            np.zeros((5, 3)), np.array([], dtype=np.int64), "gather"
+        )
+        assert out.shape == (0, 3)
+
+    def test_release_drops_buffers_keeps_counters(self):
+        arena = FetchArena()
+        arena.request("s", 4, 4)
+        arena.request("s", 2, 2)
+        arena.release()
+        assert arena.capacity_bytes() == 0
+        assert (arena.hits, arena.grows) == (1, 1)
+
+
+class TestLocalArenaRegistry:
+    def test_same_thread_same_arena(self):
+        assert local_arena() is local_arena()
+
+    def test_distinct_arena_per_thread(self):
+        mine = local_arena()
+        theirs = []
+        t = threading.Thread(target=lambda: theirs.append(local_arena()))
+        t.start()
+        t.join()
+        assert theirs[0] is not mine
+
+    def test_warm_arenas_serial(self):
+        reset_arenas(release_buffers=True)
+        pool = ExecPool(workers=1)
+        warm_arenas(pool, {"warm_test": (100, 8)})
+        arena = local_arena()
+        assert arena._slots["warm_test"].size >= 800
+        # Sizing probes count as neither hits nor steady-state grows
+        # masked out; a fitting request afterwards is a hit.
+        before = arena.hits
+        arena.request("warm_test", 100, 8)
+        assert arena.hits == before + 1
+
+    def test_warm_arenas_reaches_every_worker(self):
+        reset_arenas(release_buffers=True)
+        with ExecPool(workers=3) as pool:
+            warm_arenas(pool, {"warm_pool": (64, 4)})
+
+            def body(i):
+                arena = local_arena()
+                buf = arena._slots.get("warm_pool")
+                return buf is not None and buf.size >= 64 * 4
+
+            # Every worker thread must already hold a sized slot.
+            assert all(pool.map(body, 3))
+        reset_arenas(release_buffers=True)
+        local_arena().request("stats_test", 4, 4)
+        local_arena().request("stats_test", 2, 2)
+        stats = arena_stats()
+        assert stats.hits >= 1 and stats.grows >= 1
+        assert stats.n_arenas >= 1
+        assert stats.capacity_bytes > 0
+        assert stats.snapshot() == (stats.hits, stats.grows)
+        reset_arenas()
+        after = arena_stats()
+        assert (after.hits, after.grows) == (0, 0)
+        assert after.capacity_bytes > 0  # buffers kept
+        reset_arenas(release_buffers=True)
+        assert arena_stats().capacity_bytes == 0

@@ -1,0 +1,121 @@
+"""Stress test: pooled execution is bit-identical to serial.
+
+The determinism contract of :mod:`repro.runtime.pool` — every simulated
+quantity (output values, per-node lane breakdowns, traffic counters,
+the communication event log, and the makespan) must come out *bitwise*
+equal whether the per-rank bodies run inline or across four worker
+threads.  Host wall time is the only thing allowed to change.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms import (
+    AllGather,
+    AsyncCoarse,
+    AsyncFine,
+    DenseShifting,
+    TwoFace,
+)
+from repro.core import bernoulli_mask, preprocess
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.runtime.pool import WORKERS_ENV, shutdown_exec_pool
+from repro.sparse import erdos_renyi
+
+N_NODES = 8
+POOLED = "4"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    shutdown_exec_pool()
+    yield
+    shutdown_exec_pool()
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    # Big enough that every rank has sync panels and async stripes.
+    return erdos_renyi(256, 256, 6000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def dense(matrix):
+    rng = np.random.default_rng(99)
+    return rng.standard_normal((matrix.shape[1], 16))
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig(n_nodes=N_NODES)
+
+
+def run_both(monkeypatch, make_algorithm, matrix, dense, machine):
+    """Run the same workload serial and pooled; return both results."""
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    shutdown_exec_pool()
+    serial = make_algorithm().run(matrix, dense, machine)
+    monkeypatch.setenv(WORKERS_ENV, POOLED)
+    shutdown_exec_pool()
+    pooled = make_algorithm().run(matrix, dense, machine)
+    return serial, pooled
+
+
+def assert_bit_identical(serial, pooled):
+    assert not serial.failed and not pooled.failed
+    np.testing.assert_array_equal(serial.C, pooled.C)
+    assert serial.seconds == pooled.seconds  # bitwise, no tolerance
+    for node_s, node_p in zip(serial.breakdown.nodes, pooled.breakdown.nodes):
+        assert node_s == node_p  # all five float components, exactly
+    assert serial.traffic == pooled.traffic
+    assert serial.events == pooled.events  # order and content
+
+
+ALGORITHMS = [
+    pytest.param(TwoFace, id="TwoFace"),
+    pytest.param(AsyncFine, id="AsyncFine"),
+    pytest.param(AllGather, id="Allgather"),
+    pytest.param(AsyncCoarse, id="AsyncCoarse"),
+    pytest.param(lambda: DenseShifting(replication=2), id="DS2"),
+]
+
+
+@pytest.mark.parametrize("make_algorithm", ALGORITHMS)
+def test_pooled_matches_serial(
+    monkeypatch, make_algorithm, matrix, dense, machine
+):
+    serial, pooled = run_both(
+        monkeypatch, make_algorithm, matrix, dense, machine
+    )
+    assert_bit_identical(serial, pooled)
+
+
+def test_pooled_matches_serial_with_mask(
+    monkeypatch, matrix, dense, machine
+):
+    """The masked (sampled-GNN) path, including the keep-all fast path."""
+    dist = DistSparseMatrix(matrix, RowPartition(matrix.shape[0], N_NODES))
+    plan, _ = preprocess(dist, k=dense.shape[1], stripe_width=32)
+    for rate in (0.5, 1.0):  # 1.0 exercises the copy-skip fast path
+        mask = bernoulli_mask(plan, rate, seed=5)
+        serial, pooled = run_both(
+            monkeypatch,
+            lambda: TwoFace(plan=plan, mask=mask),
+            matrix,
+            dense,
+            machine,
+        )
+        assert_bit_identical(serial, pooled)
+
+
+def test_pooled_repeated_runs_stay_identical(
+    monkeypatch, matrix, dense, machine
+):
+    """Warm arenas / cached schedules must not drift across executions."""
+    monkeypatch.setenv(WORKERS_ENV, POOLED)
+    shutdown_exec_pool()
+    first = TwoFace().run(matrix, dense, machine)
+    second = TwoFace().run(matrix, dense, machine)
+    np.testing.assert_array_equal(first.C, second.C)
+    assert first.seconds == second.seconds

@@ -1,0 +1,173 @@
+"""Unit tests for the rank-parallel worker pool."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError, PartitionError
+from repro.runtime.pool import (
+    WORKERS_ENV,
+    ExecPool,
+    exec_workers_from_env,
+    get_exec_pool,
+    shutdown_exec_pool,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_global_pool():
+    shutdown_exec_pool()
+    yield
+    shutdown_exec_pool()
+
+
+class TestEnvParsing:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert exec_workers_from_env() == 1
+
+    def test_blank_is_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "  ")
+        assert exec_workers_from_env() == 1
+
+    def test_explicit_width(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert exec_workers_from_env() == 4
+
+    @pytest.mark.parametrize("bad", ["zero", "2.5", "0", "-1"])
+    def test_invalid_values_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv(WORKERS_ENV, bad)
+        with pytest.raises(ConfigurationError):
+            exec_workers_from_env()
+
+
+class TestExecPool:
+    def test_serial_runs_inline_in_order(self):
+        pool = ExecPool(workers=1)
+        seen = []
+
+        def body(i):
+            seen.append((i, threading.current_thread().name))
+            return i * i
+
+        assert pool.map(body, 5) == [0, 1, 4, 9, 16]
+        assert [i for i, _ in seen] == [0, 1, 2, 3, 4]
+        main = threading.current_thread().name
+        assert all(name == main for _, name in seen)
+        assert pool.stats.serial_batches == 1
+        assert pool.stats.parallel_batches == 0
+        assert pool._executor is None  # never spawned threads
+
+    def test_parallel_results_in_index_order(self):
+        with ExecPool(workers=4) as pool:
+            out = pool.map(lambda i: i * 10, 13)
+        assert out == [i * 10 for i in range(13)]
+        assert pool.stats.parallel_batches == 1
+        assert pool.stats.tasks == 13
+
+    def test_parallel_runs_on_worker_threads(self):
+        barrier = threading.Barrier(2, timeout=10)
+
+        def body(i):
+            barrier.wait()  # deadlocks unless two bodies overlap
+            return threading.current_thread().name
+
+        with ExecPool(workers=2) as pool:
+            names = pool.map(body, 2)
+        assert all(name.startswith("repro-exec") for name in names)
+
+    def test_single_item_stays_inline(self):
+        pool = ExecPool(workers=4)
+        pool.map(lambda i: i, 1)
+        assert pool.stats.serial_batches == 1
+        assert pool._executor is None
+
+    def test_lowest_index_exception_wins(self):
+        def body(i):
+            if i in (1, 3):
+                raise PartitionError(f"rank {i}")
+            return i
+
+        with ExecPool(workers=4) as pool:
+            with pytest.raises(PartitionError, match="rank 1"):
+                pool.map(body, 5)
+
+    def test_all_bodies_finish_despite_exception(self):
+        done = []
+
+        def body(i):
+            if i == 0:
+                raise ValueError("early")
+            done.append(i)
+            return i
+
+        with ExecPool(workers=2) as pool:
+            with pytest.raises(ValueError):
+                pool.map(body, 4)
+        assert sorted(done) == [1, 2, 3]
+
+    def test_zero_items(self):
+        assert ExecPool(workers=2).map(lambda i: i, 0) == []
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecPool(workers=2).map(lambda i: i, -1)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecPool(workers=0)
+
+    def test_close_is_idempotent(self):
+        pool = ExecPool(workers=2)
+        pool.map(lambda i: i, 4)
+        pool.close()
+        pool.close()
+        # A closed pool lazily re-creates its executor on next use.
+        assert pool.map(lambda i: i, 4) == [0, 1, 2, 3]
+
+
+class TestGlobalPool:
+    def test_width_follows_env(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert get_exec_pool().workers == 1
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert get_exec_pool().workers == 3
+
+    def test_same_width_reuses_pool(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        assert get_exec_pool() is get_exec_pool()
+
+    def test_width_change_rebuilds(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        first = get_exec_pool()
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        second = get_exec_pool()
+        assert second is not first
+        assert second.workers == 4
+
+    def test_explicit_width_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        assert get_exec_pool(workers=5).workers == 5
+
+    def test_inherited_pool_rebuilt_after_fork(self, monkeypatch):
+        # A forked child inherits the global pool, but the executor's
+        # worker threads do not survive fork(): submitting would queue
+        # work that never runs.  get_exec_pool must detect the foreign
+        # pid and hand back a fresh pool without trying to join the
+        # dead threads.
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        inherited = get_exec_pool()
+        inherited.map(lambda i: i, 4)  # spawn real worker threads
+        inherited._pid -= 1  # pretend we are the child of a fork
+        fresh = get_exec_pool()
+        assert fresh is not inherited
+        assert fresh.workers == 2
+        assert fresh.map(lambda i: i * 2, 4) == [0, 2, 4, 6]
+
+    def test_shutdown_skips_inherited_pool(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        pool = get_exec_pool()
+        pool.map(lambda i: i, 4)
+        pool._pid -= 1
+        shutdown_exec_pool()  # must not block joining dead threads
+        assert get_exec_pool() is not pool

@@ -66,6 +66,46 @@ class TestScatterAdd:
         scatter_add(C, np.array([1]), np.array([2.0]), np.array([[3.0, 4.0]]))
         np.testing.assert_allclose(C[1], [7.0, 9.0])
 
+    @pytest.mark.parametrize("extra", [0, 1])
+    def test_length_at_and_past_chunk_edge(self, rng, monkeypatch, extra):
+        """len(rows) exactly at / one past a chunk boundary."""
+        monkeypatch.setattr("repro.sparse.ops._SCATTER_CHUNK_ELEMS", 12)
+        k = 3  # chunk = 12 // 3 = 4 rows
+        n = 2 * 4 + extra
+        rows = rng.integers(0, 6, size=n)
+        vals = rng.standard_normal(n)
+        B_rows = rng.standard_normal((n, k))
+        C = np.zeros((6, k))
+        scatter_add(C, rows, vals, B_rows)
+        expected = np.zeros((6, k))
+        np.add.at(expected, rows, vals[:, None] * B_rows)
+        np.testing.assert_array_equal(C, expected)
+
+    def test_zero_column_c(self, rng):
+        """K=0 must not divide by zero or misindex."""
+        C = np.zeros((5, 0))
+        rows = rng.integers(0, 5, size=7)
+        scatter_add(C, rows, rng.standard_normal(7), np.zeros((7, 0)))
+        assert C.shape == (5, 0)
+
+    def test_arena_path_bitwise_identical(self, rng, monkeypatch):
+        """Arena-backed chunks equal the allocating path bit for bit."""
+        from repro.cluster.buffers import FetchArena
+
+        monkeypatch.setattr("repro.sparse.ops._SCATTER_CHUNK_ELEMS", 10)
+        rows = rng.integers(0, 8, size=23)
+        vals = rng.standard_normal(23)
+        B_rows = rng.standard_normal((23, 5))
+        plain = np.zeros((8, 5))
+        scatter_add(plain, rows, vals, B_rows)
+        arena = FetchArena()
+        pooled = np.zeros((8, 5))
+        scatter_add(pooled, rows, vals, B_rows, arena=arena)
+        np.testing.assert_array_equal(plain, pooled)
+        # Chunks after the first reuse the grown slot.
+        assert arena.grows >= 1
+        assert arena.hits >= 1
+
 
 class TestRowPanelKernel:
     def test_matches_reference(self, tiny_matrix, rng):
