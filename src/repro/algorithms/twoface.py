@@ -13,7 +13,8 @@ from typing import Optional
 from ..core.executor import execute_plan
 from ..core.model import CostCoefficients
 from ..core.plan import TwoFacePlan
-from ..core.preprocess import PreprocessReport, preprocess
+from ..core.plancache import AUTO, PlanCacheLike, cached_preprocess
+from ..core.preprocess import PreprocessReport
 from ..errors import PartitionError
 from ..sparse.suite import stripe_width_for
 from .base import DistSpMMAlgorithm, RunContext
@@ -33,6 +34,11 @@ class TwoFace(DistSpMMAlgorithm):
         mask: optional per-nonzero sampling mask (§5.4's sampled-GNN
             sketch); requires a precomputed ``plan`` the mask aligns
             with.
+        plan_cache: plan cache for preprocessing; the default AUTO uses
+            the process-global ``REPRO_PLAN_CACHE``-configured cache
+            (disabled when the variable is unset), None forces a cold
+            build, or pass an explicit
+            :class:`~repro.core.plancache.PlanCache`.
     """
 
     name = "TwoFace"
@@ -46,6 +52,7 @@ class TwoFace(DistSpMMAlgorithm):
         force_all_sync: bool = False,
         classify_override=None,
         mask=None,
+        plan_cache: PlanCacheLike = AUTO,
     ):
         if mask is not None and plan is None:
             raise PartitionError(
@@ -58,6 +65,7 @@ class TwoFace(DistSpMMAlgorithm):
         self.force_all_sync = force_all_sync
         self.classify_override = classify_override
         self.mask = mask
+        self.plan_cache = plan_cache
         self.last_plan: Optional[TwoFacePlan] = None
         self.last_report: Optional[PreprocessReport] = None
 
@@ -73,7 +81,7 @@ class TwoFace(DistSpMMAlgorithm):
             self.last_report = None
         else:
             width = self.stripe_width or stripe_width_for(ctx.A.shape[0])
-            plan, report = preprocess(
+            plan, report = cached_preprocess(
                 ctx.A,
                 k=ctx.k,
                 stripe_width=width,
@@ -83,6 +91,7 @@ class TwoFace(DistSpMMAlgorithm):
                 force_all_async=self.force_all_async,
                 force_all_sync=self.force_all_sync,
                 classify_override=self.classify_override,
+                cache=self.plan_cache,
             )
             self.last_report = report
         self.last_plan = plan
@@ -111,7 +120,11 @@ class AsyncFine(TwoFace):
         self,
         stripe_width: Optional[int] = None,
         coeffs: Optional[CostCoefficients] = None,
+        plan_cache: PlanCacheLike = AUTO,
     ):
         super().__init__(
-            stripe_width=stripe_width, coeffs=coeffs, force_all_async=True
+            stripe_width=stripe_width,
+            coeffs=coeffs,
+            force_all_async=True,
+            plan_cache=plan_cache,
         )

@@ -26,6 +26,7 @@ from ..algorithms.registry import make_algorithm
 from ..algorithms.twoface import AsyncFine, TwoFace
 from ..cluster.machine import MachineConfig
 from ..core.model import CostCoefficients
+from ..core.plancache import AUTO, PlanCache, PlanCacheLike
 from ..errors import ConfigurationError
 from ..sparse import suite
 from ..sparse.coo import COOMatrix
@@ -100,6 +101,11 @@ class ExperimentHarness:
         coeffs: Two-Face model coefficients shared by all Two-Face /
             Async Fine runs (defaults to the simulator-calibrated set).
         seed: RNG seed for dense inputs.
+        plan_cache: plan cache shared by all Two-Face / Async Fine
+            cells: "auto" (default) resolves ``REPRO_PLAN_CACHE``,
+            None disables caching, a string is a cache directory, or
+            pass a :class:`~repro.core.plancache.PlanCache`.  Repeat
+            sweeps over the same grid then reuse every plan.
     """
 
     def __init__(
@@ -107,10 +113,17 @@ class ExperimentHarness:
         size: str = "default",
         coeffs: Optional[CostCoefficients] = None,
         seed: int = 1,
+        plan_cache: PlanCacheLike = AUTO,
     ):
         self.size = size
         self.coeffs = coeffs if coeffs is not None else CostCoefficients()
         self.seed = seed
+        # Keep the picklable spec for process-pool workers; directory
+        # strings become a real PlanCache here on the host.
+        self._plan_cache_spec = _plan_cache_spec(plan_cache)
+        if isinstance(plan_cache, str) and plan_cache != AUTO:
+            plan_cache = PlanCache(cache_dir=plan_cache)
+        self.plan_cache = plan_cache
         self._matrices: Dict[str, COOMatrix] = {}
         self._dense: Dict[Tuple[str, int], np.ndarray] = {}
 
@@ -133,9 +146,9 @@ class ExperimentHarness:
     def make(self, algorithm: str):
         """Instantiate an algorithm, wiring shared coefficients."""
         if algorithm == "TwoFace":
-            return TwoFace(coeffs=self.coeffs)
+            return TwoFace(coeffs=self.coeffs, plan_cache=self.plan_cache)
         if algorithm == "AsyncFine":
-            return AsyncFine(coeffs=self.coeffs)
+            return AsyncFine(coeffs=self.coeffs, plan_cache=self.plan_cache)
         return make_algorithm(algorithm)
 
     # ------------------------------------------------------------------
@@ -212,7 +225,9 @@ class ExperimentHarness:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers,
             initializer=_pool_worker_init,
-            initargs=(self.size, self.coeffs, self.seed),
+            initargs=(
+                self.size, self.coeffs, self.seed, self._plan_cache_spec
+            ),
         ) as pool:
             futures = [
                 pool.submit(_pool_worker_run, matrix, algorithm, k, machine)
@@ -227,9 +242,25 @@ class ExperimentHarness:
 _POOL_HARNESS: Optional["ExperimentHarness"] = None
 
 
-def _pool_worker_init(size: str, coeffs, seed: int) -> None:
+def _plan_cache_spec(plan_cache: PlanCacheLike):
+    """Reduce a plan-cache argument to a picklable worker spec.
+
+    A memory-only :class:`PlanCache` cannot be shared with worker
+    processes (and its lock does not pickle), so it degrades to None
+    there; a directory-backed cache is shared through its directory.
+    """
+    if isinstance(plan_cache, PlanCache):
+        if plan_cache.cache_dir is None:
+            return None
+        return str(plan_cache.cache_dir)
+    return plan_cache  # AUTO / None / a directory string
+
+
+def _pool_worker_init(size: str, coeffs, seed: int, plan_cache=AUTO) -> None:
     global _POOL_HARNESS
-    _POOL_HARNESS = ExperimentHarness(size=size, coeffs=coeffs, seed=seed)
+    _POOL_HARNESS = ExperimentHarness(
+        size=size, coeffs=coeffs, seed=seed, plan_cache=plan_cache
+    )
 
 
 def _pool_worker_run(

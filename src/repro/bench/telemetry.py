@@ -7,13 +7,15 @@ schema (see the README's "Benchmark telemetry" section):
 
 ```
 {
-  "schema": "repro-perf/2",
-  "label": "<free-form document label, e.g. BENCH_PR2>",
+  "schema": "repro-perf/3",
+  "label": "<free-form document label, e.g. BENCH_PR3>",
   "cells": [
     {"name": ..., "matrix": ..., "algorithm": ..., "k": ...,
      "n_nodes": ..., "wall_seconds": ..., "simulated_seconds": ...,
      "cache_hits": ..., "cache_recomputes": ...,
-     "arena_hits": ..., "arena_grows": ...},
+     "arena_hits": ..., "arena_grows": ...,
+     "plan_hits": ..., "plan_misses": ..., "plan_evictions": ...,
+     "plan_invalidations": ..., "plan_stores": ...},
     ...
   ],
   "experiments": {"<name>": {...free-form...}, ...}
@@ -26,7 +28,9 @@ optimised.  Cache counters come from
 :func:`repro.core.formats.transfer_cache_stats`; arena counters from
 :func:`repro.cluster.buffers.arena_stats` (schema ``repro-perf/2``
 added them — an all-hits, zero-grows cell means the fetch-buffer arena
-served every stripe without allocating).
+served every stripe without allocating); plan-cache counters from
+:func:`repro.core.plancache.plan_cache_stats` (schema ``repro-perf/3``
+— a ``plan_hits > 0`` cell skipped classification entirely).
 """
 
 from __future__ import annotations
@@ -37,8 +41,9 @@ from typing import Any, Dict, List, Optional
 
 from ..cluster.buffers import arena_stats
 from ..core.formats import transfer_cache_stats
+from ..core.plancache import plan_cache_stats
 
-PERF_SCHEMA = "repro-perf/2"
+PERF_SCHEMA = "repro-perf/3"
 
 
 @dataclass
@@ -56,6 +61,11 @@ class PerfCell:
     cache_recomputes: int = 0
     arena_hits: int = 0
     arena_grows: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_evictions: int = 0
+    plan_invalidations: int = 0
+    plan_stores: int = 0
 
 
 @dataclass
@@ -77,6 +87,7 @@ class PerfLog:
         simulated_seconds: Optional[float],
         cache_snapshot: Optional[tuple] = None,
         arena_snapshot: Optional[tuple] = None,
+        plan_snapshot: Optional[tuple] = None,
     ) -> PerfCell:
         """Append one cell record.
 
@@ -86,6 +97,10 @@ class PerfLog:
                 are stored.  Omit to record zeros.
             arena_snapshot: ``(hits, grows)`` from
                 :meth:`~repro.cluster.buffers.ArenaStats.snapshot`
+                taken before the cell ran; deltas are stored likewise.
+            plan_snapshot: ``(hits, misses, evictions, invalidations,
+                stores)`` from
+                :meth:`~repro.core.plancache.PlanCacheStats.snapshot`
                 taken before the cell ran; deltas are stored likewise.
         """
         hits = recomputes = 0
@@ -98,6 +113,14 @@ class PerfLog:
             arenas = arena_stats()
             a_hits = arenas.hits - arena_snapshot[0]
             a_grows = arenas.grows - arena_snapshot[1]
+        plan_deltas = (0, 0, 0, 0, 0)
+        if plan_snapshot is not None:
+            plan_deltas = tuple(
+                now - before
+                for now, before in zip(
+                    plan_cache_stats().snapshot(), plan_snapshot
+                )
+            )
         cell = PerfCell(
             name=name,
             matrix=matrix,
@@ -110,6 +133,11 @@ class PerfLog:
             cache_recomputes=recomputes,
             arena_hits=a_hits,
             arena_grows=a_grows,
+            plan_hits=plan_deltas[0],
+            plan_misses=plan_deltas[1],
+            plan_evictions=plan_deltas[2],
+            plan_invalidations=plan_deltas[3],
+            plan_stores=plan_deltas[4],
         )
         self.cells.append(cell)
         return cell

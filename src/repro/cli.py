@@ -4,6 +4,7 @@ Commands:
 
 * ``run``       — one distributed SpMM: matrix x algorithm x K.
 * ``sweep``     — all algorithms over chosen matrices (mini Fig. 7/8).
+* ``plan``      — build (or fetch from the plan cache) a Two-Face plan.
 * ``calibrate`` — fit the preprocessing-model coefficients (§6.2).
 * ``stats``     — structural statistics of a suite matrix.
 * ``gnn``       — full-graph GCN training demo with amortisation report.
@@ -55,6 +56,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--nodes", type=int, default=32)
     sweep.add_argument(
         "--size", default="small", choices=list(suite.SIZE_CLASSES)
+    )
+
+    plan = sub.add_parser(
+        "plan", help="build or fetch a Two-Face plan (plan cache)"
+    )
+    plan.add_argument("--matrix", default="web", choices=suite.matrix_names())
+    plan.add_argument("--k", type=int, default=128)
+    plan.add_argument("--nodes", type=int, default=32)
+    plan.add_argument("--stripe-width", type=int, default=None)
+    plan.add_argument(
+        "--size", default="small", choices=list(suite.SIZE_CLASSES)
+    )
+    cache_group = plan.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache-dir", default=None,
+        help="plan-cache directory (default: REPRO_PLAN_CACHE)",
+    )
+    cache_group.add_argument(
+        "--no-cache", action="store_true",
+        help="force a cold build, ignoring REPRO_PLAN_CACHE",
     )
 
     cal = sub.add_parser(
@@ -119,6 +140,53 @@ def cmd_sweep(args) -> int:
         ["matrix"] + [f"{a} (x)" for a in FIGURE_ALGORITHMS],
         sweep.speedup_rows(FIGURE_ALGORITHMS, baseline="DS2"),
         title=f"speedup over DS2, K={args.k}, p={args.nodes}",
+    )
+    return 0
+
+
+def cmd_plan(args) -> int:
+    import time
+
+    from .core.plancache import PlanCache, cached_preprocess
+    from .dist.matrices import DistSparseMatrix, RowPartition
+    from .sparse.suite import stripe_width_for
+
+    matrix = suite.load(args.matrix, size=args.size)
+    machine = MachineConfig(n_nodes=args.nodes)
+    A = DistSparseMatrix(
+        matrix, RowPartition(matrix.shape[0], args.nodes)
+    )
+    width = args.stripe_width or stripe_width_for(matrix.shape[0])
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir is not None:
+        cache = PlanCache(cache_dir=args.cache_dir)
+    else:
+        cache = "auto"
+    started = time.perf_counter()
+    plan, report = cached_preprocess(
+        A, args.k, width, machine=machine, cache=cache
+    )
+    wall = time.perf_counter() - started
+    print_table(
+        ["metric", "value"],
+        [
+            ["matrix", args.matrix],
+            ["K", args.k],
+            ["nodes", args.nodes],
+            ["stripe width", width],
+            ["cache", "hit" if report.cache_hit else "miss/cold"],
+            ["planning wall seconds", wall],
+            ["modeled preprocess seconds", report.modeled_seconds],
+            ["modeled (with I/O)", report.modeled_seconds_with_io],
+            ["stripes scored", report.n_stripes_scored],
+            ["memory flips", report.memory_flips],
+            ["sync stripes", plan.total_sync_stripes()],
+            ["async stripes", plan.total_async_stripes()],
+            ["local stripes", plan.total_local_stripes()],
+            ["plan MB", plan.plan_nbytes() / 1e6],
+        ],
+        title="Two-Face plan",
     )
     return 0
 
@@ -194,6 +262,7 @@ def cmd_gnn(args) -> int:
 _COMMANDS = {
     "run": cmd_run,
     "sweep": cmd_sweep,
+    "plan": cmd_plan,
     "calibrate": cmd_calibrate,
     "stats": cmd_stats,
     "gnn": cmd_gnn,

@@ -23,8 +23,20 @@ from .formats import (
 )
 from .model import PAPER_TABLE3, SIM_CALIBRATED, CostCoefficients
 from .plan import RankPlan, TwoFacePlan
+from .plancache import (
+    PlanCache,
+    PlanCacheStats,
+    cached_preprocess,
+    configure_plan_cache,
+    get_plan_cache,
+    matrix_content_digest,
+    plan_cache_key,
+    plan_cache_stats,
+    reset_plan_cache,
+    reset_plan_cache_stats,
+)
 from .sampling_mask import SampleMask, bernoulli_mask, full_mask, masked_matrix
-from .serialize import PLAN_FORMAT_VERSION, load_plan, save_plan
+from .serialize import PLAN_FORMAT_VERSION, load_plan, plan_digest, save_plan
 from .validate import (
     assert_valid_plan,
     validate_plan,
@@ -33,6 +45,7 @@ from .validate import (
 from .preprocess import (
     PreprocessCostModel,
     PreprocessReport,
+    derive_report,
     preprocess,
 )
 from .stripes import (
@@ -48,6 +61,8 @@ __all__ = [
     "CostCoefficients",
     "PAPER_TABLE3",
     "SIM_CALIBRATED",
+    "PlanCache",
+    "PlanCacheStats",
     "PreprocessCostModel",
     "PreprocessReport",
     "RankClassification",
@@ -76,7 +91,17 @@ __all__ = [
     "load_plan",
     "PLAN_FORMAT_VERSION",
     "masked_matrix",
+    "cached_preprocess",
+    "configure_plan_cache",
+    "derive_report",
+    "get_plan_cache",
+    "matrix_content_digest",
+    "plan_cache_key",
+    "plan_cache_stats",
+    "plan_digest",
     "preprocess",
+    "reset_plan_cache",
+    "reset_plan_cache_stats",
     "save_plan",
     "assert_valid_plan",
     "validate_plan",

@@ -10,6 +10,8 @@ container of :mod:`repro.sparse.binary_io` and restores it bit-exactly.
 
 from __future__ import annotations
 
+import hashlib
+import io
 import os
 from typing import IO, Dict, List, Union
 
@@ -151,6 +153,20 @@ def _pack_rank(arrays: Dict[str, np.ndarray], prefix: str, rp: RankPlan) -> None
         ],
         dtype=np.int64,
     )
+
+
+def plan_digest(plan: TwoFacePlan) -> str:
+    """SHA-256 of the plan's serialised form.
+
+    Two plans digest equal iff every serialised quantity — geometry,
+    coefficients, multicast metadata, per-rank matrices, cached
+    transfer schedules, classification counters — is bitwise
+    identical, which is the determinism contract of parallel planning
+    and the plan cache.
+    """
+    buf = io.BytesIO()
+    save_plan(plan, buf)
+    return hashlib.sha256(buf.getvalue()).hexdigest()
 
 
 def load_plan(path_or_file: Union[_PathLike, IO[bytes]]) -> TwoFacePlan:

@@ -19,6 +19,7 @@ from ..cluster.buffers import arena_stats, warm_arenas
 from ..cluster.machine import MachineConfig
 from ..core.formats import transfer_cache_stats
 from ..core.model import CostCoefficients
+from ..core.plancache import AUTO, PlanCacheLike, plan_cache_stats
 from ..errors import ReproError, ShapeError
 from ..runtime.pool import get_exec_pool
 from ..sparse.coo import COOMatrix
@@ -36,6 +37,10 @@ class DistSpMMEngine:
         algorithm_factory: optional ``f(plan_or_none) -> algorithm`` for
             running a baseline instead of Two-Face (plans are ignored by
             baselines); by default Two-Face with plan reuse.
+        plan_cache: plan cache handed to Two-Face preprocessing; the
+            default AUTO resolves the ``REPRO_PLAN_CACHE``-configured
+            process-global cache, None disables persistent caching (the
+            engine's own per-K plan reuse is unaffected).
     """
 
     def __init__(
@@ -45,12 +50,14 @@ class DistSpMMEngine:
         stripe_width: Optional[int] = None,
         coeffs: Optional[CostCoefficients] = None,
         algorithm_factory=None,
+        plan_cache: PlanCacheLike = AUTO,
     ):
         self.A = A
         self.machine = machine
         self.stripe_width = stripe_width or stripe_width_for(A.shape[0])
         self.coeffs = coeffs
         self._factory = algorithm_factory
+        self.plan_cache = plan_cache
         self._plans: Dict[int, object] = {}
         self.spmm_seconds = 0.0
         self.preprocess_seconds = 0.0
@@ -58,6 +65,7 @@ class DistSpMMEngine:
         self.n_preprocess = 0
         self._cache_baseline = transfer_cache_stats().snapshot()
         self._arena_baseline = arena_stats().snapshot()
+        self._plan_cache_baseline = plan_cache_stats().snapshot()
 
     # ------------------------------------------------------------------
     def multiply(self, B: np.ndarray) -> Tuple[np.ndarray, float]:
@@ -93,6 +101,7 @@ class DistSpMMEngine:
             stripe_width=self.stripe_width,
             coeffs=self.coeffs,
             plan=self._plans.get(k),
+            plan_cache=self.plan_cache,
         )
 
     def _after_run(self, k: int, algorithm: DistSpMMAlgorithm) -> None:
@@ -122,9 +131,16 @@ class DistSpMMEngine:
         the amortisation behaviour of paper §5.4/§7.3.
         """
         hits, recomputes = transfer_cache_stats().snapshot()
+        plan_now = plan_cache_stats().snapshot()
+        plan_base = self._plan_cache_baseline
         return {
             "hits": hits - self._cache_baseline[0],
             "recomputes": recomputes - self._cache_baseline[1],
+            "plan_hits": plan_now[0] - plan_base[0],
+            "plan_misses": plan_now[1] - plan_base[1],
+            "plan_evictions": plan_now[2] - plan_base[2],
+            "plan_invalidations": plan_now[3] - plan_base[3],
+            "plan_stores": plan_now[4] - plan_base[4],
         }
 
     def warm_exec_buffers(self, k: int) -> None:

@@ -37,6 +37,9 @@ class TrainReport:
         amortization_ops: SpMM count after which Two-Face's cumulative
             time (preprocessing included) undercuts the baseline's;
             None when never or when no baseline was run.
+        plan_cache_hits / plan_cache_misses: plan-cache activity over
+            the run (both 0 when no cache is configured); a warm cache
+            turns every per-K preprocessing into a hit.
     """
 
     losses: List[float] = field(default_factory=list)
@@ -46,6 +49,8 @@ class TrainReport:
     preprocess_seconds: float = 0.0
     baseline_spmm_seconds: Optional[float] = None
     amortization_ops: Optional[int] = None
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
 
 def train_gcn(
@@ -57,6 +62,7 @@ def train_gcn(
     coeffs: Optional[CostCoefficients] = None,
     baseline_factory: Optional[Callable] = None,
     seed: int = 0,
+    plan_cache="auto",
 ) -> TrainReport:
     """Train a 2-layer GCN full-graph on the simulated cluster.
 
@@ -70,6 +76,9 @@ def train_gcn(
         baseline_factory: optional ``f() -> DistSpMMAlgorithm`` run once
             per distinct K to price the baseline per-SpMM cost.
         seed: weight-init seed.
+        plan_cache: plan cache forwarded to the engine ("auto" = the
+            ``REPRO_PLAN_CACHE``-configured global cache, None = off,
+            or an explicit :class:`~repro.core.plancache.PlanCache`).
 
     Returns:
         The training report.
@@ -77,7 +86,7 @@ def train_gcn(
     if epochs <= 0:
         raise ConfigurationError(f"epochs must be positive: {epochs}")
     ahat = gcn_normalize(dataset.adjacency)
-    engine = DistSpMMEngine(ahat, machine, coeffs=coeffs)
+    engine = DistSpMMEngine(ahat, machine, coeffs=coeffs, plan_cache=plan_cache)
     model = GCN(
         [dataset.feature_dim, hidden_dim, dataset.n_classes], seed=seed
     )
@@ -97,6 +106,9 @@ def train_gcn(
     report.spmm_ops = engine.n_spmm
     report.spmm_seconds = engine.spmm_seconds
     report.preprocess_seconds = engine.preprocess_seconds
+    engine_caches = engine.cache_stats()
+    report.plan_cache_hits = engine_caches["plan_hits"]
+    report.plan_cache_misses = engine_caches["plan_misses"]
 
     if baseline_factory is not None:
         report.baseline_spmm_seconds = _baseline_schedule_seconds(

@@ -37,7 +37,24 @@ from ..errors import ConfigurationError
 #: Environment variable selecting the per-rank worker-pool width.
 WORKERS_ENV = "REPRO_EXEC_WORKERS"
 
+#: Environment variable selecting the planning worker-pool width.  When
+#: unset, planning inherits the execution width (``REPRO_EXEC_WORKERS``)
+#: so one knob parallelises the whole pipeline.
+PLAN_WORKERS_ENV = "REPRO_PLAN_WORKERS"
+
 T = TypeVar("T")
+
+
+def _parse_workers(name: str, raw: str) -> int:
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {workers}")
+    return workers
 
 
 def exec_workers_from_env() -> int:
@@ -45,17 +62,19 @@ def exec_workers_from_env() -> int:
     raw = os.environ.get(WORKERS_ENV, "").strip()
     if not raw:
         return 1
-    try:
-        workers = int(raw)
-    except ValueError:
-        raise ConfigurationError(
-            f"{WORKERS_ENV} must be an integer, got {raw!r}"
-        ) from None
-    if workers < 1:
-        raise ConfigurationError(
-            f"{WORKERS_ENV} must be >= 1, got {workers}"
-        )
-    return workers
+    return _parse_workers(WORKERS_ENV, raw)
+
+
+def plan_workers_from_env() -> int:
+    """Worker count requested via ``REPRO_PLAN_WORKERS``.
+
+    Defaults to :func:`exec_workers_from_env` when unset, so setting
+    only ``REPRO_EXEC_WORKERS`` parallelises planning too.
+    """
+    raw = os.environ.get(PLAN_WORKERS_ENV, "").strip()
+    if not raw:
+        return exec_workers_from_env()
+    return _parse_workers(PLAN_WORKERS_ENV, raw)
 
 
 @dataclass
@@ -159,44 +178,78 @@ class ExecPool:
 
 
 # ----------------------------------------------------------------------
-# Process-global pool (reused across executions and training epochs)
+# Process-global pools (reused across executions and training epochs)
 # ----------------------------------------------------------------------
-_GLOBAL_POOL: Optional[ExecPool] = None
-_GLOBAL_LOCK = threading.Lock()
+class _PoolSlot:
+    """One process-global pool, rebuilt only when its width changes.
+
+    Execution and planning each own a slot: exec workers carry warm
+    fetch-buffer arenas that planning work must not displace, and the
+    two phases may legitimately run at different widths.
+    """
+
+    def __init__(self, env_reader: Callable[[], int]):
+        self._env_reader = env_reader
+        self._pool: Optional[ExecPool] = None
+        self._lock = threading.Lock()
+
+    def get(self, workers: Optional[int] = None) -> ExecPool:
+        width = workers if workers is not None else self._env_reader()
+        with self._lock:
+            stale = self._pool is not None and (
+                self._pool.workers != width
+                or self._pool._pid != os.getpid()
+            )
+            if stale:
+                # Only close a pool this process created: after fork()
+                # the inherited executor's threads are gone and
+                # shutdown(wait=True) would block on them forever.
+                # Just drop the reference.
+                if self._pool._pid == os.getpid():
+                    self._pool.close()
+                self._pool = None
+            if self._pool is None:
+                self._pool = ExecPool(width)
+            return self._pool
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                if self._pool._pid == os.getpid():
+                    self._pool.close()
+                self._pool = None
+
+
+_EXEC_SLOT = _PoolSlot(exec_workers_from_env)
+_PLAN_SLOT = _PoolSlot(plan_workers_from_env)
 
 
 def get_exec_pool(workers: Optional[int] = None) -> ExecPool:
-    """The process-global pool, resized only when the width changes.
+    """The process-global execution pool, resized on width change only.
 
     Args:
         workers: explicit width; defaults to ``REPRO_EXEC_WORKERS``.
             Passing the current width returns the existing pool (and
             its live worker threads / arenas) unchanged.
     """
-    global _GLOBAL_POOL
-    width = workers if workers is not None else exec_workers_from_env()
-    with _GLOBAL_LOCK:
-        stale = _GLOBAL_POOL is not None and (
-            _GLOBAL_POOL.workers != width
-            or _GLOBAL_POOL._pid != os.getpid()
-        )
-        if stale:
-            # Only close a pool this process created: after fork() the
-            # inherited executor's threads are gone and shutdown(wait=True)
-            # would block on them forever.  Just drop the reference.
-            if _GLOBAL_POOL._pid == os.getpid():
-                _GLOBAL_POOL.close()
-            _GLOBAL_POOL = None
-        if _GLOBAL_POOL is None:
-            _GLOBAL_POOL = ExecPool(width)
-        return _GLOBAL_POOL
+    return _EXEC_SLOT.get(workers)
 
 
 def shutdown_exec_pool() -> None:
-    """Tear down the process-global pool (test hygiene)."""
-    global _GLOBAL_POOL
-    with _GLOBAL_LOCK:
-        if _GLOBAL_POOL is not None:
-            if _GLOBAL_POOL._pid == os.getpid():
-                _GLOBAL_POOL.close()
-            _GLOBAL_POOL = None
+    """Tear down the process-global execution pool (test hygiene)."""
+    _EXEC_SLOT.shutdown()
+
+
+def get_plan_pool(workers: Optional[int] = None) -> ExecPool:
+    """The process-global planning pool, resized on width change only.
+
+    Args:
+        workers: explicit width; defaults to ``REPRO_PLAN_WORKERS``
+            (which itself falls back to ``REPRO_EXEC_WORKERS``).
+    """
+    return _PLAN_SLOT.get(workers)
+
+
+def shutdown_plan_pool() -> None:
+    """Tear down the process-global planning pool (test hygiene)."""
+    _PLAN_SLOT.shutdown()

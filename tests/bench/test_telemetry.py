@@ -35,6 +35,30 @@ class TestPerfLog:
         assert cell.cache_recomputes == 1
         reset_transfer_cache_stats()
 
+    def test_plan_snapshot_deltas(self):
+        from repro.core.plancache import (
+            plan_cache_stats,
+            reset_plan_cache_stats,
+        )
+
+        reset_plan_cache_stats()
+        snap = plan_cache_stats().snapshot()
+        plan_cache_stats().hits += 2
+        plan_cache_stats().misses += 1
+        plan_cache_stats().stores += 1
+        log = PerfLog(label="TEST")
+        cell = log.record_cell(
+            name="c", matrix="m", algorithm="a", k=8, n_nodes=4,
+            wall_seconds=None, simulated_seconds=None,
+            plan_snapshot=snap,
+        )
+        assert cell.plan_hits == 2
+        assert cell.plan_misses == 1
+        assert cell.plan_stores == 1
+        assert cell.plan_evictions == 0
+        assert cell.plan_invalidations == 0
+        reset_plan_cache_stats()
+
     def test_document_schema(self):
         log = PerfLog(label="TEST")
         log.record_experiment("repeat", {"speedup": 2.5})

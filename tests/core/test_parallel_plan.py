@@ -1,0 +1,116 @@
+"""Bitwise determinism of the parallel planning pipeline.
+
+The per-rank planning bodies fan out across the planning pool; the
+plan, stripe destinations, and report must be bit-identical to a serial
+build at any pool width.  ``plan_digest`` serialises the whole plan
+(geometry, coefficients, destinations, every rank's matrices and cached
+schedules) and hashes the bytes, so one comparison covers everything
+that travels in the v2 container.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import MachineConfig
+from repro.core import preprocess
+from repro.core.serialize import plan_digest
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.runtime.pool import shutdown_plan_pool
+from repro.sparse import banded, erdos_renyi, hub_skewed, rmat
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plan_pool():
+    shutdown_plan_pool()
+    yield
+    shutdown_plan_pool()
+
+
+MATRICES = {
+    "erdos_renyi": lambda: erdos_renyi(96, 96, 1200, seed=11),
+    "rmat": lambda: rmat(7, 12.0, seed=5),
+    "hub_skewed": lambda: hub_skewed(96, 10.0, 6, seed=9),
+    "banded": lambda: banded(96, 9, 8.0, seed=2),
+}
+
+
+def reports_equal(a, b):
+    """Reports must match exactly except the host wall clock."""
+    da, db = dataclasses.asdict(a), dataclasses.asdict(b)
+    da.pop("wall_seconds"), db.pop("wall_seconds")
+    return da == db
+
+
+@pytest.mark.parametrize("name", sorted(MATRICES))
+def test_parallel_matches_serial(name):
+    matrix = MATRICES[name]()
+    dist = DistSparseMatrix(
+        matrix, RowPartition(matrix.shape[0], 4)
+    )
+    serial_plan, serial_rep = preprocess(
+        dist, k=16, stripe_width=8, plan_workers=1
+    )
+    parallel_plan, parallel_rep = preprocess(
+        dist, k=16, stripe_width=8, plan_workers=4
+    )
+    assert plan_digest(parallel_plan) == plan_digest(serial_plan)
+    assert parallel_plan.stripe_destinations == (
+        serial_plan.stripe_destinations
+    )
+    assert reports_equal(parallel_rep, serial_rep)
+
+
+@pytest.mark.parametrize("workers", [2, 3, 4, 8])
+def test_every_width_agrees(workers):
+    matrix = rmat(7, 16.0, seed=3)
+    dist = DistSparseMatrix(matrix, RowPartition(128, 8))
+    serial, _ = preprocess(dist, k=32, stripe_width=8, plan_workers=1)
+    wide, _ = preprocess(
+        dist, k=32, stripe_width=8, plan_workers=workers
+    )
+    assert plan_digest(wide) == plan_digest(serial)
+
+
+def test_memory_fallback_deterministic():
+    """The §6.3 budget path (memory flips) survives parallel planning."""
+    matrix = hub_skewed(96, 16.0, 8, seed=4)
+    dist = DistSparseMatrix(matrix, RowPartition(96, 4))
+    tight = MachineConfig(n_nodes=4, memory_capacity=50_000)
+    serial_plan, serial_rep = preprocess(
+        dist, k=64, stripe_width=8, machine=tight, plan_workers=1
+    )
+    parallel_plan, parallel_rep = preprocess(
+        dist, k=64, stripe_width=8, machine=tight, plan_workers=4
+    )
+    assert serial_rep.memory_flips > 0  # the fallback actually fired
+    assert plan_digest(parallel_plan) == plan_digest(serial_plan)
+    assert reports_equal(parallel_rep, serial_rep)
+
+
+@pytest.mark.parametrize("flag", ["force_all_async", "force_all_sync"])
+def test_force_flags_deterministic(flag):
+    matrix = erdos_renyi(96, 96, 1200, seed=6)
+    dist = DistSparseMatrix(matrix, RowPartition(96, 4))
+    kwargs = {flag: True}
+    serial, _ = preprocess(
+        dist, k=16, stripe_width=8, plan_workers=1, **kwargs
+    )
+    parallel, _ = preprocess(
+        dist, k=16, stripe_width=8, plan_workers=4, **kwargs
+    )
+    assert plan_digest(parallel) == plan_digest(serial)
+
+
+def test_env_width_used(monkeypatch):
+    from repro.runtime.pool import PLAN_WORKERS_ENV, get_plan_pool
+
+    monkeypatch.setenv(PLAN_WORKERS_ENV, "4")
+    matrix = erdos_renyi(96, 96, 800, seed=8)
+    dist = DistSparseMatrix(matrix, RowPartition(96, 4))
+    plan, _ = preprocess(dist, k=16, stripe_width=8)
+    pool = get_plan_pool()
+    assert pool.workers == 4
+    assert pool.stats.parallel_batches >= 1
+    serial, _ = preprocess(dist, k=16, stripe_width=8, plan_workers=1)
+    assert plan_digest(plan) == plan_digest(serial)

@@ -90,6 +90,18 @@ class TestPlanConstruction:
         with pytest.raises(ConfigurationError):
             preprocess(dist_matrix, k=0, stripe_width=4)
 
+    @pytest.mark.parametrize("width", [0, -4])
+    def test_invalid_stripe_width(self, dist_matrix, width):
+        with pytest.raises(ConfigurationError, match="stripe width"):
+            preprocess(dist_matrix, k=16, stripe_width=width)
+
+    @pytest.mark.parametrize("height", [0, -32])
+    def test_invalid_panel_height(self, dist_matrix, height):
+        with pytest.raises(ConfigurationError, match="panel height"):
+            preprocess(
+                dist_matrix, k=16, stripe_width=4, panel_height=height
+            )
+
     def test_machine_mismatch(self, dist_matrix):
         with pytest.raises(ConfigurationError):
             preprocess(

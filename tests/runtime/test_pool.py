@@ -6,19 +6,25 @@ import pytest
 
 from repro.errors import ConfigurationError, PartitionError
 from repro.runtime.pool import (
+    PLAN_WORKERS_ENV,
     WORKERS_ENV,
     ExecPool,
     exec_workers_from_env,
     get_exec_pool,
+    get_plan_pool,
+    plan_workers_from_env,
     shutdown_exec_pool,
+    shutdown_plan_pool,
 )
 
 
 @pytest.fixture(autouse=True)
 def _fresh_global_pool():
     shutdown_exec_pool()
+    shutdown_plan_pool()
     yield
     shutdown_exec_pool()
+    shutdown_plan_pool()
 
 
 class TestEnvParsing:
@@ -39,6 +45,29 @@ class TestEnvParsing:
         monkeypatch.setenv(WORKERS_ENV, bad)
         with pytest.raises(ConfigurationError):
             exec_workers_from_env()
+
+
+class TestPlanEnvParsing:
+    def test_unset_falls_back_to_exec_width(self, monkeypatch):
+        monkeypatch.delenv(PLAN_WORKERS_ENV, raising=False)
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert plan_workers_from_env() == 3
+
+    def test_unset_everywhere_is_serial(self, monkeypatch):
+        monkeypatch.delenv(PLAN_WORKERS_ENV, raising=False)
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert plan_workers_from_env() == 1
+
+    def test_explicit_width_wins_over_exec(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        monkeypatch.setenv(PLAN_WORKERS_ENV, "5")
+        assert plan_workers_from_env() == 5
+
+    @pytest.mark.parametrize("bad", ["zero", "2.5", "0", "-1"])
+    def test_invalid_values_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv(PLAN_WORKERS_ENV, bad)
+        with pytest.raises(ConfigurationError):
+            plan_workers_from_env()
 
 
 class TestExecPool:
@@ -171,3 +200,35 @@ class TestGlobalPool:
         pool._pid -= 1
         shutdown_exec_pool()  # must not block joining dead threads
         assert get_exec_pool() is not pool
+
+
+class TestGlobalPlanPool:
+    def test_separate_from_exec_pool(self, monkeypatch):
+        # Exec workers carry warm fetch-buffer arenas; planning must
+        # not displace them even at an identical width.
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        monkeypatch.delenv(PLAN_WORKERS_ENV, raising=False)
+        assert get_plan_pool() is not get_exec_pool()
+        assert get_plan_pool().workers == 2
+
+    def test_width_follows_plan_env(self, monkeypatch):
+        monkeypatch.setenv(PLAN_WORKERS_ENV, "3")
+        assert get_plan_pool().workers == 3
+        monkeypatch.setenv(PLAN_WORKERS_ENV, "4")
+        assert get_plan_pool().workers == 4
+
+    def test_same_width_reuses_pool(self, monkeypatch):
+        monkeypatch.setenv(PLAN_WORKERS_ENV, "2")
+        assert get_plan_pool() is get_plan_pool()
+
+    def test_explicit_width_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(PLAN_WORKERS_ENV, "2")
+        assert get_plan_pool(workers=5).workers == 5
+
+    def test_exec_resize_keeps_plan_pool(self, monkeypatch):
+        monkeypatch.setenv(PLAN_WORKERS_ENV, "2")
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        plan_pool = get_plan_pool()
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        get_exec_pool()
+        assert get_plan_pool() is plan_pool

@@ -54,6 +54,32 @@ class TestCommands:
         assert "TwoFace" in out
         assert "queen" in out and "web" in out
 
+    def test_plan_cold_then_cached(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "plans")
+        argv = [
+            "plan", "--matrix", "web", "--k", "8", "--nodes", "4",
+            "--size", "tiny", "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        assert "miss/cold" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "hit" in capsys.readouterr().out
+
+    def test_plan_no_cache_stays_cold(self, capsys, tmp_path):
+        argv = [
+            "plan", "--matrix", "web", "--k", "8", "--nodes", "4",
+            "--size", "tiny", "--no-cache",
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert "miss/cold" in capsys.readouterr().out
+
+    def test_plan_cache_flags_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["plan", "--cache-dir", "x", "--no-cache"]
+            )
+
     def test_calibrate(self, capsys):
         code = main(
             ["calibrate", "--matrix", "twitter", "--k", "8",
