@@ -7,15 +7,17 @@ schema (see the README's "Benchmark telemetry" section):
 
 ```
 {
-  "schema": "repro-perf/3",
-  "label": "<free-form document label, e.g. BENCH_PR3>",
+  "schema": "repro-perf/4",
+  "label": "<free-form document label, e.g. BENCH_PR4>",
   "cells": [
     {"name": ..., "matrix": ..., "algorithm": ..., "k": ...,
      "n_nodes": ..., "wall_seconds": ..., "simulated_seconds": ...,
      "cache_hits": ..., "cache_recomputes": ...,
      "arena_hits": ..., "arena_grows": ...,
      "plan_hits": ..., "plan_misses": ..., "plan_evictions": ...,
-     "plan_invalidations": ..., "plan_stores": ...},
+     "plan_invalidations": ..., "plan_stores": ...,
+     "scatter_segmented": ..., "scatter_atomic": ...,
+     "sync_csr_hits": ..., "sync_csr_builds": ...},
     ...
   ],
   "experiments": {"<name>": {...free-form...}, ...}
@@ -30,7 +32,11 @@ optimised.  Cache counters come from
 added them — an all-hits, zero-grows cell means the fetch-buffer arena
 served every stripe without allocating); plan-cache counters from
 :func:`repro.core.plancache.plan_cache_stats` (schema ``repro-perf/3``
-— a ``plan_hits > 0`` cell skipped classification entirely).
+— a ``plan_hits > 0`` cell skipped classification entirely); scatter
+and sync-CSR counters from :func:`repro.sparse.ops.scatter_stats`
+(schema ``repro-perf/4`` — ``scatter_segmented``/``scatter_atomic``
+record which kernel served each stripe scatter, and a cell with
+``sync_csr_builds == 0`` reused memoised scipy handles throughout).
 """
 
 from __future__ import annotations
@@ -42,8 +48,9 @@ from typing import Any, Dict, List, Optional
 from ..cluster.buffers import arena_stats
 from ..core.formats import transfer_cache_stats
 from ..core.plancache import plan_cache_stats
+from ..sparse.ops import scatter_stats
 
-PERF_SCHEMA = "repro-perf/3"
+PERF_SCHEMA = "repro-perf/4"
 
 
 @dataclass
@@ -66,6 +73,10 @@ class PerfCell:
     plan_evictions: int = 0
     plan_invalidations: int = 0
     plan_stores: int = 0
+    scatter_segmented: int = 0
+    scatter_atomic: int = 0
+    sync_csr_hits: int = 0
+    sync_csr_builds: int = 0
 
 
 @dataclass
@@ -88,6 +99,7 @@ class PerfLog:
         cache_snapshot: Optional[tuple] = None,
         arena_snapshot: Optional[tuple] = None,
         plan_snapshot: Optional[tuple] = None,
+        scatter_snapshot: Optional[tuple] = None,
     ) -> PerfCell:
         """Append one cell record.
 
@@ -102,6 +114,10 @@ class PerfLog:
                 stores)`` from
                 :meth:`~repro.core.plancache.PlanCacheStats.snapshot`
                 taken before the cell ran; deltas are stored likewise.
+            scatter_snapshot: ``(segmented_calls, atomic_calls,
+                sync_csr_hits, sync_csr_builds)`` from
+                :meth:`~repro.sparse.ops.ScatterStats.snapshot` taken
+                before the cell ran; deltas are stored likewise.
         """
         hits = recomputes = 0
         if cache_snapshot is not None:
@@ -121,6 +137,14 @@ class PerfLog:
                     plan_cache_stats().snapshot(), plan_snapshot
                 )
             )
+        scatter_deltas = (0, 0, 0, 0)
+        if scatter_snapshot is not None:
+            scatter_deltas = tuple(
+                now - before
+                for now, before in zip(
+                    scatter_stats().snapshot(), scatter_snapshot
+                )
+            )
         cell = PerfCell(
             name=name,
             matrix=matrix,
@@ -138,6 +162,10 @@ class PerfLog:
             plan_evictions=plan_deltas[2],
             plan_invalidations=plan_deltas[3],
             plan_stores=plan_deltas[4],
+            scatter_segmented=scatter_deltas[0],
+            scatter_atomic=scatter_deltas[1],
+            sync_csr_hits=scatter_deltas[2],
+            sync_csr_builds=scatter_deltas[3],
         )
         self.cells.append(cell)
         return cell

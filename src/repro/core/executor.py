@@ -29,7 +29,6 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
-from scipy import sparse
 
 from ..algorithms.base import RunContext
 from ..cluster.buffers import local_arena
@@ -37,7 +36,14 @@ from ..cluster.simmpi import CommAccount
 from ..errors import PartitionError
 from ..runtime.pool import get_exec_pool
 from ..runtime.threads import max_coalescing_gap
-from ..sparse.ops import scatter_add
+from ..sparse.ops import (
+    SCATTER_SEGMENTED,
+    SCATTER_STATS,
+    ScatterStats,
+    scatter_add,
+    scatter_mode,
+    segmented_reduce_into,
+)
 from .formats import TRANSFER_CACHE, TransferCacheStats
 from .plan import TwoFacePlan
 from .sampling_mask import SampleMask
@@ -49,25 +55,40 @@ TWOFACE_SETUP_SECONDS = 3.0e-5
 
 
 def arena_ceilings(plan: TwoFacePlan, k: int) -> dict:
-    """Per-slot ``(n_rows, n_cols)`` arena ceilings of a finalised plan.
+    """Per-slot ``(n_rows, n_cols)`` arena ceilings of a plan.
 
     Feed to :func:`~repro.cluster.buffers.warm_arenas` to pre-size
     every pool worker's scratch for this plan's largest async stripe,
     pinning steady-state executions at zero per-stripe allocations
     regardless of how ranks land on workers.
+
+    A plan whose schedules were never finalised (hand-assembled in a
+    test, legacy deserialisation path) is finalised here first —
+    otherwise the fetch ceiling would silently degenerate to one row
+    and ``warm_arenas`` would undersize every worker.
     """
     from ..sparse.ops import _SCATTER_CHUNK_ELEMS
 
+    if not plan.finalized:
+        plan.ensure_finalized()
     max_rows = 1
     max_nnz = 1
+    max_segments = 1
     for rank_plan in plan.ranks:
         for stripe in rank_plan.async_matrix.stripes:
-            if stripe.schedule is not None:
-                max_rows = max(
-                    max_rows, int(stripe.schedule.chunk_sizes.sum())
-                )
+            max_rows = max(
+                max_rows, int(stripe.schedule.chunk_sizes.sum())
+            )
             max_nnz = max(max_nnz, stripe.nnz)
-    scatter_rows = min(max_nnz, max(1, _SCATTER_CHUNK_ELEMS // max(1, k)))
+            max_segments = max(
+                max_segments, stripe.reduce_schedule.n_segments
+            )
+    # The "scatter" slot holds per-chunk products on the atomic path
+    # and per-segment sums on the segmented path; cover both.
+    scatter_rows = max(
+        max_segments,
+        min(max_nnz, max(1, _SCATTER_CHUNK_ELEMS // max(1, k))),
+    )
     return {
         "async_fetch": (max_rows, k),
         "async_gather": (max_nnz, k),
@@ -153,6 +174,7 @@ class _AsyncRankRecord:
 
     account: CommAccount
     cache: TransferCacheStats
+    scatter: ScatterStats
     comm_seconds: float
     comp_seconds: float
 
@@ -167,6 +189,8 @@ def _async_lane(
     compute = ctx.machine.compute
     k = ctx.k
     max_gap = max_coalescing_gap(k)
+    # Resolve the knob once so one execution never mixes kernels.
+    segmented = scatter_mode() == SCATTER_SEGMENTED
 
     def rank_body(rank: int) -> _AsyncRankRecord:
         # Writes only C.block(rank) and this worker's arena; every
@@ -174,6 +198,7 @@ def _async_lane(
         arena = local_arena()
         account = CommAccount()
         cache = TransferCacheStats()
+        scatter = ScatterStats()
         rank_plan = plan.rank_plan(rank)
         c_block = ctx.C.block(rank)
         comm_seconds = 0.0
@@ -190,13 +215,11 @@ def _async_lane(
             schedule = stripe.ensure_schedule(block_start, max_gap,
                                               stats=cache)
             # The cached packed map lands each nonzero's global c_id on
-            # its fetched row; re-validate coverage cheaply (the map is
-            # clipped, so a non-covering plan surfaces here as a
-            # PartitionError rather than an IndexError).
+            # its fetched row; coverage is validated once per schedule
+            # (the memoised verdict on the stripe) so steady-state
+            # executions skip the per-stripe comparison.
             packed = schedule.packed
-            if (len(schedule.fetched_ids) == 0 and stripe.nnz) or np.any(
-                schedule.fetched_ids[packed] != stripe.nonzeros.cols
-            ):
+            if not stripe.covers_columns(schedule):
                 raise PartitionError(
                     f"stripe {stripe.gid}: fetched rows do not cover the "
                     "stripe's c_ids"
@@ -218,27 +241,52 @@ def _async_lane(
             )
             vals = stripe.nonzeros.vals
             nnz_live = stripe.nnz
+            keep = None
             if mask is not None:
                 keep = mask.async_masks[rank][stripe_idx]
                 nnz_live = int(np.count_nonzero(keep))
-                if nnz_live != stripe.nnz:
+                if nnz_live == stripe.nnz:
+                    keep = None  # keep-all: bitwise fast path
+            if segmented:
+                # Segmented reduction: one csr_matvecs call sums each
+                # output row's segment straight out of the fetch buffer
+                # (indices = the plan-resident composition
+                # packed[order], data = the cached permuted values),
+                # then each output row lands with a single
+                # fancy-indexed +=.  No gather, no materialised
+                # products.
+                reduce = stripe.ensure_reduce_schedule()
+                if keep is None:
+                    vals_perm = reduce.permuted_vals(vals)
+                else:
+                    vals_perm = (vals * keep)[reduce.order]
+                segmented_reduce_into(
+                    c_block, fetched, reduce.gather_indices(packed),
+                    vals_perm, reduce.seg_ptrs(), reduce.out_rows,
+                    arena=arena, stats=scatter,
+                )
+            else:
+                if keep is not None:
                     vals = vals * keep
-            scatter_add(
-                c_block, stripe.nonzeros.rows, vals,
-                arena.take_rows(fetched, packed, "async_gather"),
-                arena=arena,
-            )
+                scatter_add(
+                    c_block, stripe.nonzeros.rows, vals,
+                    arena.take_rows(fetched, packed, "async_gather"),
+                    arena=arena, stats=scatter,
+                )
             comp_seconds += compute.async_stripe_time(
                 nnz_live, k, ctx.threads.async_comp, n_stripes=1
             )
             account.free(rank, "async_rows")
-        return _AsyncRankRecord(account, cache, comm_seconds, comp_seconds)
+        return _AsyncRankRecord(
+            account, cache, scatter, comm_seconds, comp_seconds
+        )
 
     records = pool.map(rank_body, ctx.n_nodes)
     for rank, rec in enumerate(records):
         ctx.mpi.apply_account(rec.account)
         TRANSFER_CACHE.hits += rec.cache.hits
         TRANSFER_CACHE.recomputes += rec.cache.recomputes
+        SCATTER_STATS.merge_from(rec.scatter)
         node_breakdown = ctx.breakdown.node(rank)
         node_breakdown.async_comp += rec.comp_seconds
         node_breakdown.async_comm += (
@@ -258,28 +306,28 @@ def _sync_compute(
     compute = ctx.machine.compute
     k = ctx.k
 
-    def rank_body(rank: int) -> float:
+    def rank_body(rank: int):
         rank_plan = plan.rank_plan(rank)
         sync_local = rank_plan.sync_local
+        scatter = ScatterStats()
         nnz_live = sync_local.nnz
         if sync_local.nnz:
-            csr = sync_local.csr.to_scipy()
+            csr = sync_local.scipy_handle(stats=scatter)
             if mask is not None:
                 keep = mask.sync_masks[rank]
                 nnz_live = int(np.count_nonzero(keep))
                 if nnz_live != sync_local.nnz:
-                    # Rewrap instead of csr.copy(): shares the index
-                    # arrays and allocates only the masked data.
-                    csr = sparse.csr_matrix(
-                        (csr.data * keep, csr.indices, csr.indptr),
-                        shape=csr.shape,
-                    )
+                    # Rewrap instead of csr.copy(): shares the cached
+                    # index arrays and allocates only the masked data.
+                    csr = sync_local.masked_handle(keep, stats=scatter)
             ctx.C.block(rank)[:] += csr @ ctx.B.data
-        return compute.sync_panel_time(
+        seconds = compute.sync_panel_time(
             nnz_live, k, sync_local.nonempty_rows(),
             ctx.threads.sync_comp,
         ) + sync_local.n_panels * compute.panel_overhead
+        return seconds, scatter
 
-    seconds = pool.map(rank_body, ctx.n_nodes)
-    for rank, comp_seconds in enumerate(seconds):
+    records = pool.map(rank_body, ctx.n_nodes)
+    for rank, (comp_seconds, scatter) in enumerate(records):
+        SCATTER_STATS.merge_from(scatter)
         ctx.breakdown.node(rank).sync_comp += comp_seconds

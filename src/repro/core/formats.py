@@ -25,6 +25,9 @@ from ..errors import FormatError
 from ..sparse.coo import COOMatrix
 from ..sparse.csr import CSRMatrix
 from ..sparse.ops import (
+    SCATTER_STATS,
+    ScatterStats,
+    build_reduce_order,
     coalesce_row_id_arrays,
     coalesce_row_ids,
     expand_chunks,
@@ -126,8 +129,105 @@ class TransferSchedule:
 
 
 @dataclass
+class ReduceSchedule:
+    """Precomputed segmented-reduction geometry of one async stripe.
+
+    The accumulation order of a stripe's scatter is pure plan-time
+    geometry — it depends only on ``nonzeros.rows`` — so preprocessing
+    computes the stable sort permutation and segment boundaries once
+    and every execution reuses them (the same amortisation argument as
+    :class:`TransferSchedule`; see DESIGN.md §6).
+
+    Attributes:
+        order: stable sort permutation of the stripe's nonzero rows
+            (groups equal output rows, preserves column order within).
+        seg_starts: offsets into the permuted arrays where each output
+            row's segment begins.
+        out_rows: slab-local output-row id of each segment (unique,
+            ascending) — the fancy-index target of the single ``+=``.
+    """
+
+    order: np.ndarray
+    seg_starts: np.ndarray
+    out_rows: np.ndarray
+    #: Lazily cached ``(packed, packed[order])`` — the fetched-row
+    #: gather index in reduction order; derived, not serialised.
+    _gather: Optional[tuple] = field(default=None, repr=False, compare=False)
+    #: Lazily cached ``(vals, vals[order])`` of the owning stripe;
+    #: derived, not serialised (values travel in the stripe's COO
+    #: arrays).
+    _vals_perm: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Lazily cached CSR-style segment boundaries
+    #: (``seg_starts`` + ``[nnz]``); pure geometry, so no identity key.
+    _seg_ptrs: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def n_segments(self) -> int:
+        return int(len(self.out_rows))
+
+    def seg_ptrs(self) -> np.ndarray:
+        """Segment boundaries as a CSR ``indptr``-style array.
+
+        ``seg_starts`` extended with the nonzero count — the ``indptr``
+        of the segment-sum matrix ``csr_matvecs`` reduces with.
+        Derived from immutable geometry, so cached unconditionally.
+        """
+        if self._seg_ptrs is None:
+            self._seg_ptrs = np.concatenate(
+                [self.seg_starts, [len(self.order)]]
+            ).astype(np.int64, copy=False)
+        return self._seg_ptrs
+
+    def gather_indices(self, packed: np.ndarray) -> np.ndarray:
+        """``packed[order]``, computed once per source array.
+
+        The cache is keyed on the *identity* of ``packed``: schedule
+        objects are shared by shallow plan clones (e.g. the attention
+        layer's value-remapped plans), so a fresh argument array must
+        recompute rather than serve the previous plan's composition.
+        The result is coerced to int64 so it can feed ``csr_matvecs``
+        directly alongside :meth:`seg_ptrs`.
+        """
+        cached = self._gather
+        if cached is None or cached[0] is not packed:
+            composed = packed[self.order].astype(np.int64, copy=False)
+            cached = (packed, composed)
+            self._gather = cached
+        return cached[1]
+
+    def permuted_vals(self, vals: np.ndarray) -> np.ndarray:
+        """``vals[order]``, computed once per source array.
+
+        Identity-keyed like :meth:`gather_indices` — value-remapped
+        plan clones (attention) share this schedule object but pass
+        fresh value arrays, which must not hit the stale cache.
+        Callers with masked (per-iteration) values should permute fresh
+        instead of going through this cache.
+        """
+        cached = self._vals_perm
+        if cached is None or cached[0] is not vals:
+            cached = (vals, vals[self.order])
+            self._vals_perm = cached
+        return cached[1]
+
+    def nbytes(self) -> int:
+        return int(
+            self.order.nbytes + self.seg_starts.nbytes + self.out_rows.nbytes
+        )
+
+
+@dataclass
 class SyncLocalMatrix:
     """Row-major sync/local-input nonzeros of one rank (Fig. 6b).
+
+    The matrix is immutable after plan build, so the derived scipy CSR
+    handle and the nonempty-row count are memoised on first use and
+    never invalidated — the sync lane stops rebuilding both per
+    execution.
 
     Attributes:
         rank: owning node.
@@ -147,6 +247,11 @@ class SyncLocalMatrix:
                 f"panel height must be positive: {self.panel_height}"
             )
         self.panel_bounds = self.csr.panel_bounds(self.panel_height)
+        # Identity-keyed memos: plan clones with remapped values
+        # (attention) shallow-copy this object and swap ``csr``, so the
+        # cached handle must be checked against the current source.
+        self._scipy: Optional[tuple] = None
+        self._nonempty: Optional[tuple] = None
 
     @property
     def nnz(self) -> int:
@@ -157,8 +262,55 @@ class SyncLocalMatrix:
         return len(self.panel_bounds) - 1
 
     def nonempty_rows(self) -> int:
-        """Rows with at least one nonzero (modelled flush count)."""
-        return int(np.count_nonzero(np.diff(self.csr.indptr)))
+        """Rows with at least one nonzero (modelled flush count).
+
+        Memoised per ``indptr`` identity — the count depends only on
+        the row pointers, which value-remapped clones share.
+        """
+        cached = self._nonempty
+        indptr = self.csr.indptr
+        if cached is None or cached[0] is not indptr:
+            cached = (indptr, int(np.count_nonzero(np.diff(indptr))))
+            self._nonempty = cached
+        return cached[1]
+
+    def scipy_handle(self, stats: Optional[ScatterStats] = None):
+        """The memoised ``scipy.sparse.csr_matrix`` over the nonzeros.
+
+        Memoised per ``csr`` identity: a clone whose ``csr`` was
+        swapped for a value-remapped copy rebuilds (counted as a
+        ``sync_csr_build``) instead of serving the stale handle.
+
+        Args:
+            stats: counter sink for ``sync_csr_hits``/``sync_csr_builds``;
+                defaults to the process-global
+                :data:`~repro.sparse.ops.SCATTER_STATS` (pooled rank
+                bodies pass a local record instead).
+        """
+        sink = SCATTER_STATS if stats is None else stats
+        cached = self._scipy
+        csr = self.csr
+        if cached is None or cached[0] is not csr:
+            cached = (csr, csr.to_scipy())
+            self._scipy = cached
+            sink.sync_csr_builds += 1
+        else:
+            sink.sync_csr_hits += 1
+        return cached[1]
+
+    def masked_handle(self, keep: np.ndarray,
+                      stats: Optional[ScatterStats] = None):
+        """CSR over ``data * keep`` sharing the cached index arrays.
+
+        Allocates only the masked value array — ``indices``/``indptr``
+        come from the memoised handle.
+        """
+        import scipy.sparse as sp
+
+        base = self.scipy_handle(stats=stats)
+        return sp.csr_matrix(
+            (base.data * keep, base.indices, base.indptr), shape=base.shape
+        )
 
     def nbytes(self) -> int:
         return self.csr.nbytes() + int(self.panel_bounds.nbytes)
@@ -182,10 +334,47 @@ class AsyncStripe:
     #: Cached transfer schedule; filled at preprocessing time (or on the
     #: first execution of a never-finalised plan) and reused thereafter.
     schedule: Optional[TransferSchedule] = field(default=None, repr=False)
+    #: Cached segmented-reduction schedule; same lifecycle as
+    #: ``schedule`` (plan-time by ``finalize_schedules``, lazily for
+    #: hand-assembled plans).
+    reduce_schedule: Optional[ReduceSchedule] = field(
+        default=None, repr=False
+    )
+    #: Identity-keyed memo of the coverage check: ``(schedule, ok)``.
+    #: Plan geometry is immutable, so each schedule is validated once
+    #: per plan lifetime instead of per execution per stripe.
+    _coverage: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def nnz(self) -> int:
         return self.nonzeros.nnz
+
+    def covers_columns(self, schedule: TransferSchedule) -> bool:
+        """Whether ``schedule`` lands every nonzero on a fetched row.
+
+        The packed map is clipped (:func:`packed_row_indices`), so a
+        non-covering plan shows up as a value mismatch here rather
+        than an ``IndexError`` in the gather.  Both operands are
+        immutable plan data; the verdict is memoised keyed on the
+        schedule's identity (value-remapped plan clones share the
+        schedule object and therefore the memo).
+        """
+        cached = self._coverage
+        if cached is None or cached[0] is not schedule:
+            if len(schedule.fetched_ids) == 0:
+                ok = self.nnz == 0
+            else:
+                ok = bool(
+                    np.array_equal(
+                        schedule.fetched_ids[schedule.packed],
+                        self.nonzeros.cols,
+                    )
+                )
+            cached = (schedule, ok)
+            self._coverage = cached
+        return cached[1]
 
     @property
     def rows_needed(self) -> int:
@@ -248,6 +437,25 @@ class AsyncStripe:
         else:
             sink.hits += 1
         return self.schedule
+
+    def build_reduce_schedule(self) -> ReduceSchedule:
+        """Compute the reduction schedule (no caching side effects)."""
+        order, seg_starts, out_rows = build_reduce_order(self.nonzeros.rows)
+        return ReduceSchedule(
+            order=order, seg_starts=seg_starts, out_rows=out_rows
+        )
+
+    def ensure_reduce_schedule(self) -> ReduceSchedule:
+        """The cached reduction schedule, built and stored when absent.
+
+        Unlike :meth:`ensure_schedule` there is no counter: the
+        transfer-cache hit/recompute counters already pin the
+        plan-resident-cache contract (both schedules share a lifecycle),
+        and the scatter counters record which kernel consumed it.
+        """
+        if self.reduce_schedule is None:
+            self.reduce_schedule = self.build_reduce_schedule()
+        return self.reduce_schedule
 
 
 def packed_row_indices(
@@ -313,13 +521,17 @@ class AsyncStripeMatrix:
 
     @property
     def finalized(self) -> bool:
-        """True when every stripe carries a cached transfer schedule."""
-        return all(s.schedule is not None for s in self.stripes)
+        """True when every stripe carries both cached schedules."""
+        return all(
+            s.schedule is not None and s.reduce_schedule is not None
+            for s in self.stripes
+        )
 
     def finalize_schedules(
         self, col_partition: RowPartition, max_gap: int
     ) -> None:
-        """Precompute every stripe's transfer schedule (idempotent).
+        """Precompute every stripe's transfer + reduce schedule
+        (idempotent).
 
         Stripes are grouped by owner so the fetched-row id construction
         runs as one fused gather per (rank, owner) group rather than one
@@ -360,6 +572,9 @@ class AsyncStripeMatrix:
                         fetched_ids, stripe.nonzeros.cols
                     ),
                 )
+        for stripe in self.stripes:
+            if stripe.reduce_schedule is None:
+                stripe.reduce_schedule = stripe.build_reduce_schedule()
 
 
 def build_sync_local_matrix(

@@ -25,6 +25,7 @@ from .classifier import RankClassification
 from .formats import (
     AsyncStripe,
     AsyncStripeMatrix,
+    ReduceSchedule,
     SyncLocalMatrix,
     TransferSchedule,
 )
@@ -36,17 +37,21 @@ _PathLike = Union[str, os.PathLike]
 
 #: Format version; bump when the layout changes.  Version 2 adds the
 #: cached per-stripe transfer schedules (chunk lists, fetched-row ids,
-#: packed-row maps); version-1 containers still load, with schedules
-#: rebuilt once at load time.
-PLAN_FORMAT_VERSION = 2
+#: packed-row maps); version 3 adds the cached per-stripe reduction
+#: schedules (stable-sort permutation, segment starts, output-row ids)
+#: consumed by the segmented scatter kernel.  Older containers still
+#: load, with the missing schedules rebuilt once at load time.  The
+#: version also feeds the plan-cache key, so bumping it invalidates
+#: every previously cached plan automatically.
+PLAN_FORMAT_VERSION = 3
 
 
 def save_plan(plan: TwoFacePlan, path_or_file: Union[_PathLike, IO[bytes]]) -> int:
     """Serialise a plan; returns bytes written.
 
     The plan is finalised first so the container always carries the
-    cached transfer schedules — a deserialised plan executes with zero
-    schedule recomputations.
+    cached transfer *and* reduction schedules — a deserialised plan
+    executes with zero schedule recomputations on either scatter path.
     """
     plan.ensure_finalized()
     arrays: Dict[str, np.ndarray] = {
@@ -105,8 +110,9 @@ def _pack_rank(arrays: Dict[str, np.ndarray], prefix: str, rp: RankPlan) -> None
     )
     ptrs = [0]
     rows, cols, vals = [], [], []
-    chunk_ptrs, fetched_ptrs = [0], [0]
+    chunk_ptrs, fetched_ptrs, seg_ptrs = [0], [0], [0]
     chunk_offsets, chunk_sizes, fetched_ids, packed = [], [], [], []
+    orders, seg_starts, out_rows = [], [], []
     for stripe in stripes:
         rows.append(stripe.nonzeros.rows)
         cols.append(stripe.nonzeros.cols)
@@ -124,6 +130,16 @@ def _pack_rank(arrays: Dict[str, np.ndarray], prefix: str, rp: RankPlan) -> None
         packed.append(schedule.packed)
         chunk_ptrs.append(chunk_ptrs[-1] + schedule.n_chunks)
         fetched_ptrs.append(fetched_ptrs[-1] + len(schedule.fetched_ids))
+        reduce = stripe.reduce_schedule
+        if reduce is None:
+            raise FormatError(
+                f"stripe {stripe.gid} has no reduce schedule; call "
+                "plan.ensure_finalized() before packing"
+            )
+        orders.append(reduce.order)
+        seg_starts.append(reduce.seg_starts)
+        out_rows.append(reduce.out_rows)
+        seg_ptrs.append(seg_ptrs[-1] + reduce.n_segments)
     cat = lambda parts, dtype: (  # noqa: E731
         np.concatenate(parts) if parts else np.zeros(0, dtype=dtype)
     )
@@ -141,6 +157,12 @@ def _pack_rank(arrays: Dict[str, np.ndarray], prefix: str, rp: RankPlan) -> None
     )
     arrays[f"{prefix}.async.fetched_ids"] = cat(fetched_ids, np.int64)
     arrays[f"{prefix}.async.packed"] = cat(packed, np.int64)
+    # Reduce schedules: order aligns with async.ptrs (one entry per
+    # nonzero); seg_starts/out_rows align with async.seg_ptrs.
+    arrays[f"{prefix}.async.order"] = cat(orders, np.int64)
+    arrays[f"{prefix}.async.seg_ptrs"] = np.array(seg_ptrs, dtype=np.int64)
+    arrays[f"{prefix}.async.seg_starts"] = cat(seg_starts, np.int64)
+    arrays[f"{prefix}.async.out_rows"] = cat(out_rows, np.int64)
 
     cls = rp.classification
     arrays[f"{prefix}.cls.masks"] = np.concatenate(
@@ -160,7 +182,7 @@ def plan_digest(plan: TwoFacePlan) -> str:
 
     Two plans digest equal iff every serialised quantity — geometry,
     coefficients, multicast metadata, per-rank matrices, cached
-    transfer schedules, classification counters — is bitwise
+    transfer and reduction schedules, classification counters — is bitwise
     identical, which is the determinism contract of parallel planning
     and the plan cache.
     """
@@ -212,9 +234,10 @@ def load_plan(path_or_file: Union[_PathLike, IO[bytes]]) -> TwoFacePlan:
         ranks=ranks,
         stripe_destinations=destinations,
     )
-    if version < 2:
-        # Version-1 containers predate cached transfer schedules; build
-        # them once here so execution still runs fully cached.
+    if version < PLAN_FORMAT_VERSION:
+        # Older containers predate some cached schedule (v1: transfer
+        # schedules, v2: reduce schedules); build whatever is missing
+        # once here so execution still runs fully cached.
         plan.ensure_finalized()
     return plan
 
@@ -265,6 +288,23 @@ def _unpack_rank(
                     packed=packed[n_lo:n_hi],
                 )
             )
+    reduces = None
+    if version >= 3:
+        order = arrays[f"{prefix}.async.order"]
+        seg_ptrs = arrays[f"{prefix}.async.seg_ptrs"]
+        seg_starts = arrays[f"{prefix}.async.seg_starts"]
+        out_rows = arrays[f"{prefix}.async.out_rows"]
+        reduces = []
+        for i in range(len(gids)):
+            n_lo, n_hi = int(ptrs[i]), int(ptrs[i + 1])
+            s_lo, s_hi = int(seg_ptrs[i]), int(seg_ptrs[i + 1])
+            reduces.append(
+                ReduceSchedule(
+                    order=order[n_lo:n_hi],
+                    seg_starts=seg_starts[s_lo:s_hi],
+                    out_rows=out_rows[s_lo:s_hi],
+                )
+            )
     stripes = []
     for i, gid in enumerate(gids):
         lo, hi = int(ptrs[i]), int(ptrs[i + 1])
@@ -278,6 +318,7 @@ def _unpack_rank(
                 nonzeros=nonzeros,
                 row_ids=np.unique(nonzeros.cols),
                 schedule=schedules[i] if schedules is not None else None,
+                reduce_schedule=reduces[i] if reduces is not None else None,
             )
         )
     async_matrix = AsyncStripeMatrix(rank, stripes)

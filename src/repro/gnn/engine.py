@@ -23,6 +23,7 @@ from ..core.plancache import AUTO, PlanCacheLike, plan_cache_stats
 from ..errors import ReproError, ShapeError
 from ..runtime.pool import get_exec_pool
 from ..sparse.coo import COOMatrix
+from ..sparse.ops import scatter_stats
 from ..sparse.suite import stripe_width_for
 
 
@@ -66,6 +67,7 @@ class DistSpMMEngine:
         self._cache_baseline = transfer_cache_stats().snapshot()
         self._arena_baseline = arena_stats().snapshot()
         self._plan_cache_baseline = plan_cache_stats().snapshot()
+        self._scatter_baseline = scatter_stats().snapshot()
 
     # ------------------------------------------------------------------
     def multiply(self, B: np.ndarray) -> Tuple[np.ndarray, float]:
@@ -168,11 +170,24 @@ class DistSpMMEngine:
         persist across epochs: after the first epoch warms the arenas,
         ``grows`` should stop increasing — every later SpMM reuses the
         same scratch buffers (zero per-stripe allocations).
+
+        Scatter counters say which kernel served the async stripes
+        (``scatter_segmented`` under the default ``REPRO_SCATTER``,
+        ``scatter_atomic`` under the pinned reference path) and how the
+        sync lane's memoised scipy handles behaved —
+        ``sync_csr_builds`` should equal the number of distinct
+        rank-local matrices, with every later epoch a ``sync_csr_hit``.
         """
         pool = get_exec_pool()
         hits, grows = arena_stats().snapshot()
+        scatter = scatter_stats().snapshot()
+        base = self._scatter_baseline
         return {
             "workers": pool.workers,
             "arena_hits": hits - self._arena_baseline[0],
             "arena_grows": grows - self._arena_baseline[1],
+            "scatter_segmented": scatter[0] - base[0],
+            "scatter_atomic": scatter[1] - base[1],
+            "sync_csr_hits": scatter[2] - base[2],
+            "sync_csr_builds": scatter[3] - base[3],
         }

@@ -13,21 +13,131 @@ scipy paths, and return :class:`KernelStats` describing the operation
 counts the *modelled* execution would have performed (multiply-accumulates
 and synchronised accumulations into shared ``C``), which the runtime layer
 turns into simulated time.
+
+Host-side, the per-nonzero accumulation has two implementations selected
+by the ``REPRO_SCATTER`` environment variable:
+
+* ``segmented`` (default) — view the scatter as a tiny CSR matmul:
+  the stable sort permutation of the output rows gives one CSR row
+  per distinct output row (``indptr`` = segment starts, ``indices`` =
+  the permutation, ``data`` = the permuted values), so scipy's
+  ``csr_matvecs`` C kernel reduces every segment straight out of the
+  fetched dense rows and each output row lands with a single
+  fancy-indexed ``+=`` (:func:`scatter_add_segmented`).  The geometry
+  is pure plan-time data, so the executor caches it on the plan (a
+  ``ReduceSchedule``) and steady-state executions do no index work —
+  and, unlike ``np.add.reduceat``, the reduction runs at memory
+  bandwidth instead of per-segment ufunc dispatch.
+* ``atomic`` — the original ``np.add.at`` formulation
+  (:func:`scatter_add`), kept as the pinned numerical reference.
+
+Both orders sum the same addends per output row, so results agree to
+``allclose`` (≤1e-12 relative) but not bitwise; every *modelled* count —
+and therefore simulated seconds, traffic, and the event log — is
+identical under either knob value.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import ConfigurationError, ShapeError
 from .coo import COOMatrix
 from .csr import CSRMatrix
 
+try:  # scipy's C segment-sum kernel (Yx += A @ Xx, fixed index order)
+    from scipy.sparse._sparsetools import csr_matvecs as _csr_matvecs
+except ImportError:  # pragma: no cover - older scipy layouts
+    _csr_matvecs = None
+
 # Cap scratch memory of vectorised scatter-adds (elements per chunk).
 _SCATTER_CHUNK_ELEMS = 1 << 22
+
+#: Environment variable selecting the host-side scatter kernel.
+SCATTER_ENV = "REPRO_SCATTER"
+
+#: Knob values: segmented reduction (default) vs the ``np.add.at``
+#: reference path.
+SCATTER_SEGMENTED = "segmented"
+SCATTER_ATOMIC = "atomic"
+
+
+def scatter_mode() -> str:
+    """The configured scatter kernel (re-read from the env per call).
+
+    Raises:
+        ConfigurationError: on a value other than ``segmented``/``atomic``.
+    """
+    raw = os.environ.get(SCATTER_ENV, "").strip().lower()
+    if not raw:
+        return SCATTER_SEGMENTED
+    if raw not in (SCATTER_SEGMENTED, SCATTER_ATOMIC):
+        raise ConfigurationError(
+            f"{SCATTER_ENV} must be '{SCATTER_SEGMENTED}' or "
+            f"'{SCATTER_ATOMIC}', got {raw!r}"
+        )
+    return raw
+
+
+@dataclass
+class ScatterStats:
+    """Counters for the compute hot path's kernels and caches.
+
+    Attributes:
+        segmented_calls: scatter invocations served by the segmented-
+            reduction kernel.
+        atomic_calls: scatter invocations served by the ``np.add.at``
+            reference kernel.
+        sync_csr_hits: sync-lane executions that reused a memoised
+            scipy CSR handle.
+        sync_csr_builds: sync-lane executions that built the handle
+            (once per :class:`~repro.core.formats.SyncLocalMatrix`).
+    """
+
+    segmented_calls: int = 0
+    atomic_calls: int = 0
+    sync_csr_hits: int = 0
+    sync_csr_builds: int = 0
+
+    def reset(self) -> None:
+        self.segmented_calls = 0
+        self.atomic_calls = 0
+        self.sync_csr_hits = 0
+        self.sync_csr_builds = 0
+
+    def snapshot(self) -> Tuple[int, int, int, int]:
+        return (
+            self.segmented_calls,
+            self.atomic_calls,
+            self.sync_csr_hits,
+            self.sync_csr_builds,
+        )
+
+    def merge_from(self, other: "ScatterStats") -> None:
+        """Fold another record in (rank-order folding of pooled bodies)."""
+        self.segmented_calls += other.segmented_calls
+        self.atomic_calls += other.atomic_calls
+        self.sync_csr_hits += other.sync_csr_hits
+        self.sync_csr_builds += other.sync_csr_builds
+
+
+#: Process-global counters; pooled rank bodies fill local records that
+#: the executor folds back in rank order, direct kernel calls count here.
+SCATTER_STATS = ScatterStats()
+
+
+def scatter_stats() -> ScatterStats:
+    """The process-global scatter/sync-CSR counters."""
+    return SCATTER_STATS
+
+
+def reset_scatter_stats() -> None:
+    """Zero the process-global counters (test/bench hygiene)."""
+    SCATTER_STATS.reset()
 
 
 @dataclass
@@ -73,8 +183,13 @@ def scatter_add(
     vals: np.ndarray,
     B_rows: np.ndarray,
     arena=None,
+    stats: Optional[ScatterStats] = None,
 ) -> None:
     """``C[rows[i]] += vals[i] * B_rows[i]`` in memory-bounded chunks.
+
+    This is the ``np.add.at`` ("atomic") formulation — the pinned
+    numerical reference the segmented kernel is property-tested
+    against.  Accumulation follows the input order.
 
     Args:
         arena: optional scratch provider with a
@@ -83,7 +198,11 @@ def scatter_add(
             ``vals * B_rows`` product is then written into reused
             arena storage instead of a fresh allocation per chunk.
             Numerics are unchanged either way.
+        stats: counter sink; defaults to the process-global
+            :data:`SCATTER_STATS`.
     """
+    sink = SCATTER_STATS if stats is None else stats
+    sink.atomic_calls += 1
     k = max(1, C.shape[1])
     chunk = max(1, _SCATTER_CHUNK_ELEMS // k)
     for lo in range(0, len(rows), chunk):
@@ -96,12 +215,179 @@ def scatter_add(
         np.add.at(C, rows[lo:hi], contrib)
 
 
+def build_reduce_order(
+    rows: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Segmented-reduction geometry of an output-row array.
+
+    Pure plan-time geometry: depends only on ``rows``, so the executor
+    computes it once per stripe and caches it (a ``ReduceSchedule``).
+
+    Args:
+        rows: per-nonzero output-row ids (any order, duplicates fine).
+
+    Returns:
+        ``(order, seg_starts, out_rows)`` — the *stable* sort
+        permutation grouping equal rows while preserving their input
+        order, the segment start offsets into the permuted arrays, and
+        the unique output-row id of each segment.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    order = np.argsort(rows, kind="stable").astype(np.int64)
+    if len(rows) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return order, empty, empty.copy()
+    sorted_rows = rows[order]
+    seg_starts = np.concatenate(
+        [[0], np.flatnonzero(np.diff(sorted_rows)) + 1]
+    ).astype(np.int64)
+    return order, seg_starts, sorted_rows[seg_starts]
+
+
+def segmented_reduce_into(
+    C: np.ndarray,
+    source: np.ndarray,
+    cols: np.ndarray,
+    vals_perm: np.ndarray,
+    seg_ptrs: np.ndarray,
+    out_rows: np.ndarray,
+    arena=None,
+    stats: Optional[ScatterStats] = None,
+) -> None:
+    """``C[out_rows] += S @ source`` for a plan-resident CSR geometry.
+
+    ``S`` is the segment-sum matrix of :func:`build_reduce_order`:
+    row ``i`` covers ``cols[seg_ptrs[i]:seg_ptrs[i + 1]]`` of ``source``
+    weighted by the matching slice of ``vals_perm``, so one
+    ``csr_matvecs`` call reduces every segment straight out of the
+    (fetched) dense rows and each output row lands with a single
+    fancy-indexed ``+=``.  The kernel accumulates in ascending index
+    order, which the stable permutation pins to the nonzeros' input
+    order within each segment — results are byte-reproducible across
+    repeated runs and worker widths.
+
+    Args:
+        C: dense output, accumulated in place.
+        source: dense rows the segments draw from (``B_rows`` or a
+            packed fetch buffer), shape ``(n_source, K)``.
+        cols: per-nonzero source-row index in reduction order (the
+            permutation itself, or ``packed[order]`` on the fetched
+            path); int64, like ``seg_ptrs``.
+        vals_perm: the nonzero values permuted into reduction order
+            (contiguous float64, like ``source``).
+        seg_ptrs: CSR-style segment boundaries
+            (``seg_starts`` + ``[nnz]``), length ``len(out_rows) + 1``.
+        out_rows: the unique output-row id of each segment.
+        arena: optional scratch provider; the per-segment sums then
+            land in the reused ``"scatter"`` slot (zero allocations).
+        stats: counter sink; defaults to :data:`SCATTER_STATS`.
+
+    This is the per-stripe hot path: arguments are consumed as-is
+    (no dtype/contiguity coercion) — the plan-resident caches and
+    :func:`scatter_add_segmented` hand over conforming arrays.
+    """
+    sink = SCATTER_STATS if stats is None else stats
+    sink.segmented_calls += 1
+    n_seg = len(out_rows)
+    if n_seg == 0 or C.shape[1] == 0:
+        return
+    k = C.shape[1]
+    if arena is None:
+        reduced = np.zeros((n_seg, k), dtype=np.float64)
+    else:
+        reduced = arena.request("scatter", n_seg, k)
+        reduced[:] = 0.0
+    if _csr_matvecs is not None:
+        _csr_matvecs(
+            n_seg, source.shape[0], k,
+            seg_ptrs, cols, vals_perm, source, reduced,
+        )
+    else:  # pragma: no cover - scipy without the private kernel
+        contrib = vals_perm[:, None] * source[cols]
+        np.add.reduceat(contrib, seg_ptrs[:-1], axis=0, out=reduced)
+    C[out_rows] += reduced
+
+
+def scatter_add_segmented(
+    C: np.ndarray,
+    rows: np.ndarray,
+    vals: np.ndarray,
+    B_rows: np.ndarray,
+    order: Optional[np.ndarray] = None,
+    seg_starts: Optional[np.ndarray] = None,
+    out_rows: Optional[np.ndarray] = None,
+    arena=None,
+    stats: Optional[ScatterStats] = None,
+) -> None:
+    """Segmented-reduction equivalent of :func:`scatter_add`.
+
+    Per output row the same addends are summed, in sorted-segment order
+    instead of input order, so the result is ``allclose`` to the atomic
+    path (and bitwise-reproducible across repeated runs: the stable
+    permutation fixes the summation order).
+
+    Args:
+        order / seg_starts / out_rows: a precomputed
+            :func:`build_reduce_order` of ``rows``; derived on the fly
+            when omitted (one-shot callers).
+        arena: optional scratch provider; the permuted values and the
+            segment sums then reuse the ``"scatter_perm"`` and
+            ``"scatter"`` slots.
+        stats: counter sink; defaults to :data:`SCATTER_STATS`.
+    """
+    if len(rows) == 0:
+        sink = SCATTER_STATS if stats is None else stats
+        sink.segmented_calls += 1
+        return
+    if order is None or seg_starts is None or out_rows is None:
+        order, seg_starts, out_rows = build_reduce_order(rows)
+    else:
+        order = np.asarray(order, dtype=np.int64)
+        seg_starts = np.asarray(seg_starts, dtype=np.int64)
+    seg_ptrs = np.concatenate([seg_starts, [len(rows)]]).astype(
+        np.int64, copy=False
+    )
+    source = np.ascontiguousarray(B_rows, dtype=np.float64)
+    vals = np.ascontiguousarray(vals, dtype=np.float64)
+    if arena is None:
+        vals_perm = vals[order]
+    else:
+        vals_perm = arena.request(
+            "scatter_perm", len(order), 1, vals.dtype
+        )[:, 0]
+        np.take(vals, order, out=vals_perm)
+    segmented_reduce_into(
+        C, source, order, vals_perm, seg_ptrs, out_rows,
+        arena=arena, stats=stats,
+    )
+
+
+def scatter_add_auto(
+    C: np.ndarray,
+    rows: np.ndarray,
+    vals: np.ndarray,
+    B_rows: np.ndarray,
+    arena=None,
+    stats: Optional[ScatterStats] = None,
+) -> None:
+    """Dispatch to the ``REPRO_SCATTER``-selected scatter kernel."""
+    if scatter_mode() == SCATTER_SEGMENTED:
+        scatter_add_segmented(C, rows, vals, B_rows, arena=arena, stats=stats)
+    else:
+        scatter_add(C, rows, vals, B_rows, arena=arena, stats=stats)
+
+
 def spmm_reference(A: COOMatrix, B: np.ndarray) -> np.ndarray:
-    """Scatter-add reference ``C = A @ B`` used as the test oracle."""
+    """Scatter-add reference ``C = A @ B`` used as the test oracle.
+
+    Routes through the ``REPRO_SCATTER``-selected kernel; both knob
+    values produce ``allclose``-identical results (the oracle is always
+    compared with tolerance).
+    """
     B = np.asarray(B, dtype=np.float64)
     C = np.zeros((A.shape[0], B.shape[1]), dtype=np.float64)
     _check_dims(A.shape, B, C)
-    scatter_add(C, A.rows, A.vals, B[A.cols])
+    scatter_add_auto(C, A.rows, A.vals, B[A.cols])
     return C
 
 
@@ -180,7 +466,7 @@ def spmm_column_major(
     if np.any(packed < 0):
         missing = A.cols[packed < 0][:5]
         raise ShapeError(f"dense rows not fetched for columns {list(missing)}")
-    scatter_add(C, A.rows, A.vals, B_rows[packed])
+    scatter_add_auto(C, A.rows, A.vals, B_rows[packed])
     return KernelStats(
         nnz_processed=A.nnz,
         atomic_ops=A.nnz,

@@ -59,6 +59,27 @@ class TestPerfLog:
         assert cell.plan_invalidations == 0
         reset_plan_cache_stats()
 
+    def test_scatter_snapshot_deltas(self):
+        from repro.sparse import reset_scatter_stats, scatter_stats
+
+        reset_scatter_stats()
+        snap = scatter_stats().snapshot()
+        scatter_stats().segmented_calls += 4
+        scatter_stats().atomic_calls += 1
+        scatter_stats().sync_csr_hits += 3
+        scatter_stats().sync_csr_builds += 2
+        log = PerfLog(label="TEST")
+        cell = log.record_cell(
+            name="c", matrix="m", algorithm="a", k=8, n_nodes=4,
+            wall_seconds=None, simulated_seconds=None,
+            scatter_snapshot=snap,
+        )
+        assert cell.scatter_segmented == 4
+        assert cell.scatter_atomic == 1
+        assert cell.sync_csr_hits == 3
+        assert cell.sync_csr_builds == 2
+        reset_scatter_stats()
+
     def test_document_schema(self):
         log = PerfLog(label="TEST")
         log.record_experiment("repeat", {"speedup": 2.5})

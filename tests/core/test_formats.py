@@ -237,6 +237,127 @@ class TestScheduleCaching:
         assert m.stripes[0].schedule is schedule
 
 
+class TestReduceScheduleCaching:
+    def test_build_matches_reduce_order(self, slab):
+        from repro.sparse import build_reduce_order
+
+        stripe = _async_stripe(slab, np.array([0, 1, 2, 4, 5]))
+        schedule = stripe.build_reduce_schedule()
+        order, seg_starts, out_rows = build_reduce_order(
+            stripe.nonzeros.rows
+        )
+        np.testing.assert_array_equal(schedule.order, order)
+        np.testing.assert_array_equal(schedule.seg_starts, seg_starts)
+        np.testing.assert_array_equal(schedule.out_rows, out_rows)
+        assert schedule.n_segments == len(out_rows)
+        assert schedule.nbytes() > 0
+
+    def test_ensure_caches(self, slab):
+        stripe = _async_stripe(slab, np.array([1, 5]))
+        first = stripe.ensure_reduce_schedule()
+        assert stripe.ensure_reduce_schedule() is first
+
+    def test_gather_and_vals_identity_keyed(self, slab):
+        """Shallow plan clones (the attention layer's value remaps)
+        share schedule objects; a fresh source array must recompute
+        rather than serve the previous plan's cache."""
+        stripe = _async_stripe(slab, np.array([0, 1, 2, 4, 5]))
+        schedule = stripe.ensure_reduce_schedule()
+        packed = np.arange(stripe.nnz, dtype=np.int64)
+        gather = schedule.gather_indices(packed)
+        assert schedule.gather_indices(packed) is gather
+        np.testing.assert_array_equal(gather, packed[schedule.order])
+
+        vals = stripe.nonzeros.vals
+        perm = schedule.permuted_vals(vals)
+        assert schedule.permuted_vals(vals) is perm
+        np.testing.assert_array_equal(perm, vals[schedule.order])
+        remapped = vals * 2.0  # a clone's fresh value array
+        perm2 = schedule.permuted_vals(remapped)
+        assert perm2 is not perm
+        np.testing.assert_array_equal(perm2, remapped[schedule.order])
+
+    def test_finalize_builds_reduce_schedules(self, slab):
+        from repro.dist import RowPartition
+
+        m = build_async_stripe_matrix(
+            0, slab,
+            {1: (0, np.array([0, 2, 3])), 2: (0, np.array([1, 5]))},
+        )
+        assert not m.finalized
+        m.finalize_schedules(RowPartition(8, 1), max_gap=2)
+        assert m.finalized
+        for stripe in m.stripes:
+            assert stripe.reduce_schedule is not None
+        # Idempotent: a second pass keeps the same objects.
+        kept = [s.reduce_schedule for s in m.stripes]
+        m.finalize_schedules(RowPartition(8, 1), max_gap=2)
+        assert [s.reduce_schedule for s in m.stripes] == kept
+
+    def test_missing_reduce_schedule_unfinalizes(self, slab):
+        from repro.dist import RowPartition
+
+        m = build_async_stripe_matrix(0, slab, {1: (0, np.array([0, 2]))})
+        m.finalize_schedules(RowPartition(8, 1), max_gap=1)
+        m.stripes[0].reduce_schedule = None
+        assert not m.finalized
+
+
+class TestSyncComputeMemos:
+    def _matrix(self, slab):
+        return build_sync_local_matrix(
+            0, slab, np.arange(slab.nnz), panel_height=4
+        )
+
+    def test_scipy_handle_memoised_with_counters(self, slab):
+        from repro.sparse import ScatterStats
+
+        m = self._matrix(slab)
+        stats = ScatterStats()
+        first = m.scipy_handle(stats=stats)
+        second = m.scipy_handle(stats=stats)
+        assert first is second
+        assert (stats.sync_csr_builds, stats.sync_csr_hits) == (1, 1)
+
+    def test_scipy_handle_rebuilds_on_csr_swap(self, slab):
+        """A value-remapped clone swaps ``csr``; the stale handle must
+        not survive the shallow copy."""
+        import copy
+
+        from repro.sparse import ScatterStats
+
+        m = self._matrix(slab)
+        stats = ScatterStats()
+        m.scipy_handle(stats=stats)
+        clone = copy.copy(m)
+        new_csr = copy.copy(m.csr)
+        new_csr.data = m.csr.data * 3.0
+        clone.csr = new_csr
+        handle = clone.scipy_handle(stats=stats)
+        np.testing.assert_array_equal(handle.data, m.csr.data * 3.0)
+        assert stats.sync_csr_builds == 2
+        # The original keeps its own memo.
+        np.testing.assert_array_equal(
+            m.scipy_handle(stats=stats).data, m.csr.data
+        )
+
+    def test_masked_handle_shares_index_arrays(self, slab, rng):
+        m = self._matrix(slab)
+        keep = rng.integers(0, 2, size=m.nnz).astype(np.float64)
+        base = m.scipy_handle()
+        masked = m.masked_handle(keep)
+        assert np.shares_memory(masked.indices, base.indices)
+        assert np.shares_memory(masked.indptr, base.indptr)
+        np.testing.assert_array_equal(masked.data, base.data * keep)
+
+    def test_nonempty_rows_memoised(self, slab):
+        m = self._matrix(slab)
+        assert m.nonempty_rows() == 5
+        cached = m._nonempty
+        assert m.nonempty_rows() == 5
+        assert m._nonempty is cached
+
+
 class TestPackedRowIndices:
     def test_clips_instead_of_overflowing(self):
         """A c_id above every fetched id must map in-range (the caller

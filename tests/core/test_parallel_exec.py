@@ -21,7 +21,7 @@ from repro.algorithms import (
 from repro.core import bernoulli_mask, preprocess
 from repro.dist import DistSparseMatrix, RowPartition
 from repro.runtime.pool import WORKERS_ENV, shutdown_exec_pool
-from repro.sparse import erdos_renyi
+from repro.sparse import SCATTER_ENV, erdos_renyi
 
 N_NODES = 8
 POOLED = "4"
@@ -119,3 +119,101 @@ def test_pooled_repeated_runs_stay_identical(
     second = TwoFace().run(matrix, dense, machine)
     np.testing.assert_array_equal(first.C, second.C)
     assert first.seconds == second.seconds
+
+
+def _run_mode(monkeypatch, mode, plan, matrix, dense, machine):
+    monkeypatch.setenv(SCATTER_ENV, mode)
+    shutdown_exec_pool()
+    return TwoFace(plan=plan).run(matrix, dense, machine)
+
+
+@pytest.fixture(scope="module")
+def plan(matrix, dense):
+    dist = DistSparseMatrix(matrix, RowPartition(matrix.shape[0], N_NODES))
+    plan, _ = preprocess(dist, k=dense.shape[1], stripe_width=32)
+    return plan
+
+
+def test_scatter_modes_bitwise_timing_allclose_values(
+    monkeypatch, plan, matrix, dense, machine
+):
+    """The REPRO_SCATTER contract: simulated seconds, lane breakdowns,
+    traffic counters, and the event log are *bitwise* identical between
+    kernels (the timing model consumes counts, not values); only C is
+    allowed to differ, and only within 1e-12 relative tolerance."""
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    segmented = _run_mode(monkeypatch, "segmented", plan, matrix, dense, machine)
+    atomic = _run_mode(monkeypatch, "atomic", plan, matrix, dense, machine)
+    assert not segmented.failed and not atomic.failed
+    assert segmented.seconds == atomic.seconds
+    for node_s, node_a in zip(
+        segmented.breakdown.nodes, atomic.breakdown.nodes
+    ):
+        assert node_s == node_a
+    assert segmented.traffic == atomic.traffic
+    assert segmented.events == atomic.events
+    np.testing.assert_allclose(segmented.C, atomic.C, rtol=1e-12)
+
+
+def test_scatter_modes_contract_with_mask(
+    monkeypatch, plan, matrix, dense, machine
+):
+    """Same contract on the masked (sampled-GNN) path."""
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    mask = bernoulli_mask(plan, 0.5, seed=5)
+    results = {}
+    for mode in ("segmented", "atomic"):
+        monkeypatch.setenv(SCATTER_ENV, mode)
+        shutdown_exec_pool()
+        results[mode] = TwoFace(plan=plan, mask=mask).run(
+            matrix, dense, machine
+        )
+    assert results["segmented"].seconds == results["atomic"].seconds
+    assert results["segmented"].events == results["atomic"].events
+    np.testing.assert_allclose(
+        results["segmented"].C, results["atomic"].C, rtol=1e-12
+    )
+
+
+def test_segmented_c_bytes_identical_across_widths_and_runs(
+    monkeypatch, plan, matrix, dense, machine
+):
+    """Reproducible determinism of the segmented kernel: the stable
+    plan-time permutation fixes the summation order, so C's bytes are
+    identical across repeated runs *and* across pool widths."""
+    monkeypatch.setenv(SCATTER_ENV, "segmented")
+    blobs = []
+    for width in (None, POOLED):
+        if width is None:
+            monkeypatch.delenv(WORKERS_ENV, raising=False)
+        else:
+            monkeypatch.setenv(WORKERS_ENV, width)
+        shutdown_exec_pool()
+        for _ in range(2):
+            result = TwoFace(plan=plan).run(matrix, dense, machine)
+            assert not result.failed
+            blobs.append(result.C.tobytes())
+    assert all(blob == blobs[0] for blob in blobs)
+
+
+def test_arena_ceilings_finalizes_hand_assembled_plan(matrix, dense):
+    """Satellite: arena_ceilings must not silently return 1-row
+    ceilings for a plan whose schedules were never finalised."""
+    from repro.core.executor import arena_ceilings
+
+    k = dense.shape[1]
+    dist = DistSparseMatrix(matrix, RowPartition(matrix.shape[0], N_NODES))
+    reference, _ = preprocess(
+        dist, k=k, stripe_width=32, force_all_async=True
+    )
+    expected = arena_ceilings(reference, k)
+    assert expected["async_fetch"][0] > 1  # the workload has stripes
+
+    bare, _ = preprocess(dist, k=k, stripe_width=32, force_all_async=True)
+    for rank_plan in bare.ranks:
+        for stripe in rank_plan.async_matrix.stripes:
+            stripe.schedule = None
+            stripe.reduce_schedule = None
+    assert not bare.finalized
+    assert arena_ceilings(bare, k) == expected
+    assert bare.finalized

@@ -258,6 +258,129 @@ class TestScheduleRoundtrip:
             _pack_rank({}, "r0", target)
 
 
+def _stripe_pairs(plan_a, plan_b):
+    for rank in range(plan_a.n_nodes):
+        a = plan_a.rank_plan(rank).async_matrix
+        b = plan_b.rank_plan(rank).async_matrix
+        yield from zip(a.stripes, b.stripes)
+
+
+class TestReduceScheduleRoundtrip:
+    """Version 3: the cached reduction schedules travel with the plan."""
+
+    def test_reduce_schedules_preserved(self, plan):
+        again = roundtrip(plan)
+        assert again.finalized
+        for sa, sb in _stripe_pairs(plan, again):
+            np.testing.assert_array_equal(
+                sa.reduce_schedule.order, sb.reduce_schedule.order
+            )
+            np.testing.assert_array_equal(
+                sa.reduce_schedule.seg_starts, sb.reduce_schedule.seg_starts
+            )
+            np.testing.assert_array_equal(
+                sa.reduce_schedule.out_rows, sb.reduce_schedule.out_rows
+            )
+
+    def test_version2_container_still_loads(self, plan):
+        """A pre-reduce (v2) container loads, rebuilding the reduce
+        schedules once at load time — the v2→v3 migration path."""
+        from repro.sparse import read_arrays
+
+        buf = io.BytesIO()
+        save_plan(plan, buf)
+        buf.seek(0)
+        arrays = read_arrays(buf)
+        v3_only = (
+            ".async.order", ".async.seg_ptrs",
+            ".async.seg_starts", ".async.out_rows",
+        )
+        arrays = {
+            key: val for key, val in arrays.items()
+            if not key.endswith(v3_only)
+        }
+        arrays["meta"] = arrays["meta"].copy()
+        arrays["meta"][0] = 2
+        buf2 = io.BytesIO()
+        write_arrays(arrays, buf2)
+        buf2.seek(0)
+        again = load_plan(buf2)
+        assert again.finalized
+        for sa, sb in _stripe_pairs(plan, again):
+            # v2 transfer schedules must load untouched...
+            np.testing.assert_array_equal(
+                sa.schedule.packed, sb.schedule.packed
+            )
+            # ...and the rebuilt reduce schedules must equal the
+            # plan-time originals (pure geometry of nonzeros.rows).
+            np.testing.assert_array_equal(
+                sa.reduce_schedule.order, sb.reduce_schedule.order
+            )
+            np.testing.assert_array_equal(
+                sa.reduce_schedule.seg_starts, sb.reduce_schedule.seg_starts
+            )
+            np.testing.assert_array_equal(
+                sa.reduce_schedule.out_rows, sb.reduce_schedule.out_rows
+            )
+
+    def test_v2_to_v3_resave_digest_fixpoint(self, plan):
+        """Loading a v2 container and re-saving lands exactly on the
+        v3 serialisation of the original plan."""
+        from repro.sparse import read_arrays
+
+        buf = io.BytesIO()
+        save_plan(plan, buf)
+        v3_bytes = buf.getvalue()
+        buf.seek(0)
+        arrays = read_arrays(buf)
+        v3_only = (
+            ".async.order", ".async.seg_ptrs",
+            ".async.seg_starts", ".async.out_rows",
+        )
+        arrays = {
+            key: val for key, val in arrays.items()
+            if not key.endswith(v3_only)
+        }
+        arrays["meta"] = arrays["meta"].copy()
+        arrays["meta"][0] = 2
+        buf2 = io.BytesIO()
+        write_arrays(arrays, buf2)
+        buf2.seek(0)
+        migrated = load_plan(buf2)
+        buf3 = io.BytesIO()
+        save_plan(migrated, buf3)
+        assert buf3.getvalue() == v3_bytes
+
+    def test_missing_reduce_schedule_rejected_at_pack(self, plan):
+        from repro.core.serialize import _pack_rank
+
+        target = None
+        for rank_plan in plan.ranks:
+            if rank_plan.async_matrix.stripes:
+                target = rank_plan
+                break
+        if target is None:
+            pytest.skip("plan has no async stripes")
+        target.async_matrix.stripes[0].reduce_schedule = None
+        with pytest.raises(FormatError):
+            _pack_rank({}, "r0", target)
+
+    def test_plan_cache_key_invalidated_by_version_bump(
+        self, tiny_matrix, monkeypatch
+    ):
+        """Bumping PLAN_FORMAT_VERSION changes every cache key, so all
+        previously cached plans (e.g. the PR 3 v2 entries) miss."""
+        from repro.core import plancache
+
+        dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+        key_now = plancache.plan_cache_key(dist, k=16, stripe_width=4)
+        monkeypatch.setattr(
+            plancache, "PLAN_FORMAT_VERSION", PLAN_FORMAT_VERSION - 1
+        )
+        key_previous = plancache.plan_cache_key(dist, k=16, stripe_width=4)
+        assert key_now != key_previous
+
+
 class TestErrors:
     def test_not_a_plan_container(self, tmp_path):
         path = tmp_path / "other.bin"

@@ -35,6 +35,34 @@ class TestEngineScheduleReuse:
         assert engine.n_preprocess == 2
         assert engine.cache_stats()["recomputes"] == 0
 
+    def test_exec_stats_scatter_counters(self, machine, rng, monkeypatch):
+        from repro.sparse import SCATTER_ENV
+
+        monkeypatch.delenv(SCATTER_ENV, raising=False)
+        A = erdos_renyi(64, 64, 400, seed=9)
+        engine = DistSpMMEngine(A, machine, stripe_width=4)
+        B = rng.standard_normal((64, 8))
+        engine.multiply(B)
+        engine.multiply(B)
+        stats = engine.exec_stats()
+        # Default mode: only the segmented kernel served the stripes.
+        assert stats["scatter_atomic"] == 0
+        assert stats["scatter_segmented"] > 0
+        # Sync handles build once per rank matrix, then hit.
+        assert stats["sync_csr_builds"] <= machine.n_nodes
+        assert stats["sync_csr_hits"] > 0
+
+    def test_exec_stats_atomic_mode(self, machine, rng, monkeypatch):
+        from repro.sparse import SCATTER_ENV
+
+        monkeypatch.setenv(SCATTER_ENV, "atomic")
+        A = erdos_renyi(64, 64, 400, seed=9)
+        engine = DistSpMMEngine(A, machine, stripe_width=4)
+        engine.multiply(rng.standard_normal((64, 8)))
+        stats = engine.exec_stats()
+        assert stats["scatter_segmented"] == 0
+        assert stats["scatter_atomic"] > 0
+
 
 class TestTrainingScheduleReuse:
     def test_two_epoch_training_never_recomputes(self):

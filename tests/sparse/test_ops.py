@@ -5,21 +5,28 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ShapeError
+from repro.errors import ConfigurationError, ShapeError
 from repro.sparse import (
     COOMatrix,
     CSRMatrix,
+    SCATTER_ENV,
+    ScatterStats,
+    build_reduce_order,
     coalesce_row_id_arrays,
     coalesce_row_ids,
     coalesced_transfer_rows,
     erdos_renyi,
     expand_chunks,
+    scatter_add,
+    scatter_add_auto,
+    scatter_add_segmented,
+    scatter_mode,
     spmm_column_major,
     spmm_reference,
     spmm_row_panels,
     unique_col_ids,
 )
-from repro.sparse.ops import _coalesce_row_ids_reference, scatter_add
+from repro.sparse.ops import _coalesce_row_ids_reference
 
 
 def dense_oracle(A: COOMatrix, B: np.ndarray) -> np.ndarray:
@@ -105,6 +112,190 @@ class TestScatterAdd:
         # Chunks after the first reuse the grown slot.
         assert arena.grows >= 1
         assert arena.hits >= 1
+
+
+def atomic_oracle(rows, vals, B_rows, n_out):
+    C = np.zeros((n_out, B_rows.shape[1]))
+    np.add.at(C, rows, vals[:, None] * B_rows)
+    return C
+
+
+class TestBuildReduceOrder:
+    def test_empty(self):
+        order, seg_starts, out_rows = build_reduce_order(np.zeros(0, int))
+        assert len(order) == len(seg_starts) == len(out_rows) == 0
+        assert order.dtype == seg_starts.dtype == out_rows.dtype == np.int64
+
+    def test_geometry(self, rng):
+        rows = rng.integers(0, 12, size=64)
+        order, seg_starts, out_rows = build_reduce_order(rows)
+        # A permutation grouping equal rows, stable within each group.
+        assert sorted(order.tolist()) == list(range(64))
+        sorted_rows = rows[order]
+        assert np.all(np.diff(sorted_rows) >= 0)
+        np.testing.assert_array_equal(out_rows, np.unique(rows))
+        np.testing.assert_array_equal(sorted_rows[seg_starts], out_rows)
+        for row in out_rows:
+            members = order[sorted_rows == row]
+            np.testing.assert_array_equal(members, np.sort(members))
+
+    def test_all_duplicates_single_segment(self):
+        order, seg_starts, out_rows = build_reduce_order(np.full(9, 3))
+        np.testing.assert_array_equal(order, np.arange(9))
+        np.testing.assert_array_equal(seg_starts, [0])
+        np.testing.assert_array_equal(out_rows, [3])
+
+
+class TestSegmentedScatter:
+    """Pins ``scatter_add_segmented`` against the ``np.add.at`` oracle."""
+
+    def check(self, rows, vals, B_rows, n_out):
+        got = np.zeros((n_out, B_rows.shape[1]))
+        scatter_add_segmented(got, rows, vals, B_rows)
+        np.testing.assert_allclose(
+            got, atomic_oracle(rows, vals, B_rows, n_out), rtol=1e-12
+        )
+        return got
+
+    def test_empty_stripe(self):
+        stats = ScatterStats()
+        C = np.ones((3, 2))
+        scatter_add_segmented(
+            C, np.zeros(0, int), np.zeros(0), np.zeros((0, 2)), stats=stats
+        )
+        np.testing.assert_array_equal(C, np.ones((3, 2)))
+        assert stats.segmented_calls == 1
+
+    def test_single_row(self, rng):
+        self.check(np.array([4]), np.array([2.5]),
+                   rng.standard_normal((1, 3)), 6)
+
+    def test_all_duplicate_rows(self, rng):
+        n = 50
+        self.check(np.full(n, 2), rng.standard_normal(n),
+                   rng.standard_normal((n, 4)), 5)
+
+    def test_unsorted_coo_order(self, rng):
+        n = 200
+        rows = rng.permutation(np.repeat(np.arange(10), 20))
+        self.check(rows, rng.standard_normal(n),
+                   rng.standard_normal((n, 3)), 10)
+
+    def test_masked_partial_keep(self, rng):
+        """The masked path multiplies vals by keep before scattering."""
+        n = 80
+        rows = rng.integers(0, 7, size=n)
+        vals = rng.standard_normal(n)
+        keep = rng.integers(0, 2, size=n).astype(np.float64)
+        B_rows = rng.standard_normal((n, 3))
+        self.check(rows, vals * keep, B_rows, 7)
+
+    def test_precomputed_schedule_matches_derived(self, rng):
+        n = 120
+        rows = rng.integers(0, 9, size=n)
+        vals = rng.standard_normal(n)
+        B_rows = rng.standard_normal((n, 4))
+        derived = np.zeros((9, 4))
+        scatter_add_segmented(derived, rows, vals, B_rows)
+        order, seg_starts, out_rows = build_reduce_order(rows)
+        precomputed = np.zeros((9, 4))
+        scatter_add_segmented(
+            precomputed, rows, vals, B_rows,
+            order=order, seg_starts=seg_starts, out_rows=out_rows,
+        )
+        np.testing.assert_array_equal(derived, precomputed)
+
+    def test_arena_path_bitwise_identical(self, rng):
+        from repro.cluster.buffers import FetchArena
+
+        n = 64
+        rows = rng.integers(0, 8, size=n)
+        vals = rng.standard_normal(n)
+        B_rows = rng.standard_normal((n, 5))
+        plain = np.zeros((8, 5))
+        scatter_add_segmented(plain, rows, vals, B_rows)
+        arena = FetchArena()
+        pooled = np.zeros((8, 5))
+        scatter_add_segmented(pooled, rows, vals, B_rows, arena=arena)
+        np.testing.assert_array_equal(plain, pooled)
+        assert arena.grows >= 1
+        # Steady state: a second arena pass allocates nothing.
+        grows = arena.grows
+        scatter_add_segmented(pooled, rows, vals, B_rows, arena=arena)
+        assert arena.grows == grows
+
+    def test_repeated_runs_byte_identical(self, rng):
+        """The stable permutation fixes summation order across runs."""
+        n = 300
+        rows = rng.integers(0, 11, size=n)
+        vals = rng.standard_normal(n)
+        B_rows = rng.standard_normal((n, 6))
+        results = []
+        for _ in range(3):
+            C = np.zeros((11, 6))
+            scatter_add_segmented(C, rows, vals, B_rows)
+            results.append(C.tobytes())
+        assert results[0] == results[1] == results[2]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_property_matches_atomic(self, data):
+        n = data.draw(st.integers(min_value=0, max_value=120))
+        n_out = data.draw(st.integers(min_value=1, max_value=15))
+        k = data.draw(st.integers(min_value=0, max_value=6))
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, n_out, size=n)
+        vals = rng.standard_normal(n)
+        B_rows = rng.standard_normal((n, k))
+        got = np.zeros((n_out, k))
+        scatter_add_segmented(got, rows, vals, B_rows)
+        np.testing.assert_allclose(
+            got, atomic_oracle(rows, vals, B_rows, n_out),
+            rtol=1e-12, atol=1e-13,
+        )
+
+
+class TestScatterKnob:
+    def test_default_is_segmented(self, monkeypatch):
+        monkeypatch.delenv(SCATTER_ENV, raising=False)
+        assert scatter_mode() == "segmented"
+
+    def test_empty_value_is_segmented(self, monkeypatch):
+        monkeypatch.setenv(SCATTER_ENV, "")
+        assert scatter_mode() == "segmented"
+
+    def test_atomic_value(self, monkeypatch):
+        monkeypatch.setenv(SCATTER_ENV, "atomic")
+        assert scatter_mode() == "atomic"
+
+    def test_invalid_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(SCATTER_ENV, "turbo")
+        with pytest.raises(ConfigurationError):
+            scatter_mode()
+
+    @pytest.mark.parametrize("mode,field", [
+        ("segmented", "segmented_calls"), ("atomic", "atomic_calls"),
+    ])
+    def test_auto_dispatch_counts(self, rng, monkeypatch, mode, field):
+        monkeypatch.setenv(SCATTER_ENV, mode)
+        stats = ScatterStats()
+        rows = rng.integers(0, 5, size=20)
+        C = np.zeros((5, 3))
+        scatter_add_auto(
+            C, rows, rng.standard_normal(20),
+            rng.standard_normal((20, 3)), stats=stats,
+        )
+        assert getattr(stats, field) == 1
+        assert stats.segmented_calls + stats.atomic_calls == 1
+
+    def test_modes_allclose_on_spmm(self, tiny_matrix, rng, monkeypatch):
+        B = rng.standard_normal((64, 5))
+        monkeypatch.setenv(SCATTER_ENV, "segmented")
+        segmented = spmm_reference(tiny_matrix, B)
+        monkeypatch.setenv(SCATTER_ENV, "atomic")
+        atomic = spmm_reference(tiny_matrix, B)
+        np.testing.assert_allclose(segmented, atomic, rtol=1e-12)
 
 
 class TestRowPanelKernel:
