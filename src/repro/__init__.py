@@ -28,7 +28,16 @@ from .algorithms import (
     TwoFace,
     make_algorithm,
 )
-from .cluster import Cluster, ComputeModel, MachineConfig, NetworkModel, SimMPI
+from .cluster import (
+    Cluster,
+    ComputeModel,
+    FaultConfig,
+    MachineConfig,
+    NetworkModel,
+    ResilienceStats,
+    SimMPI,
+    resilience_stats,
+)
 from .core import (
     CostCoefficients,
     StripeGeometry,
@@ -68,12 +77,14 @@ __all__ = [
     "DistDenseMatrix",
     "DistSparseMatrix",
     "DistSpMMAlgorithm",
+    "FaultConfig",
     "FormatError",
     "MachineConfig",
     "NetworkModel",
     "OutOfMemoryError",
     "PartitionError",
     "ReproError",
+    "ResilienceStats",
     "RowPartition",
     "ShapeError",
     "SimMPI",
@@ -89,6 +100,7 @@ __all__ = [
     "dist",
     "make_algorithm",
     "preprocess",
+    "resilience_stats",
     "runtime",
     "sparse",
     "spmm_reference",

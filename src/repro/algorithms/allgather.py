@@ -23,6 +23,7 @@ class AllGather(DistSpMMAlgorithm):
     def _execute(self, ctx: RunContext) -> None:
         compute = ctx.machine.compute
         k = ctx.k
+        faults = ctx.cluster.faults
 
         # Replicate B everywhere; this is where OOM strikes.
         ctx.mpi.allgather(ctx.B.blocks(), label="B_replica")
@@ -39,12 +40,21 @@ class AllGather(DistSpMMAlgorithm):
                 nonempty = int(np.count_nonzero(np.diff(csr.indptr)))
             else:
                 nonempty = 0
-            return compute.sync_panel_time(
+            seconds = compute.sync_panel_time(
                 slab.nnz, k, nonempty, ctx.threads.total
             )
+            if faults is not None:
+                seconds *= faults.compute_skew(rank)
+            return seconds
 
         comp_times = get_exec_pool().map(rank_body, ctx.n_nodes)
         for rank in range(ctx.n_nodes):
             node = ctx.breakdown.node(rank)
-            node.sync_comm += gather_time
+            if faults is None:
+                node.sync_comm += gather_time
+            else:
+                # Ring steps pace at the participant's worst hop.
+                node.sync_comm += (
+                    gather_time * faults.worst_incoming_scale(rank)
+                )
             node.sync_comp += comp_times[rank]

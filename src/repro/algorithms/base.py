@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from ..cluster.faults import ResilienceStats, resilience_stats
 from ..cluster.machine import Cluster, MachineConfig
 from ..cluster.simmpi import SimMPI, TrafficStats
 from ..dist.matrices import DistDenseMatrix, DistSparseMatrix
@@ -120,6 +121,10 @@ class DistSpMMAlgorithm(abc.ABC):
         cluster = Cluster(machine)
         mpi = SimMPI(cluster)
         breakdown = TimeBreakdown.zeros(machine.n_nodes)
+        resil_before = (
+            resilience_stats().snapshot() if cluster.faults is not None
+            else None
+        )
         try:
             row_part = RowPartition(A.shape[0], machine.n_nodes)
             col_part = RowPartition(B.shape[0], machine.n_nodes)
@@ -141,7 +146,7 @@ class DistSpMMAlgorithm(abc.ABC):
             self._setup_cost(ctx)
             self._execute(ctx)
         except OutOfMemoryError as oom:
-            return SpMMResult(
+            result = SpMMResult(
                 algorithm=self.name,
                 C=None,
                 seconds=float("nan"),
@@ -151,7 +156,9 @@ class DistSpMMAlgorithm(abc.ABC):
                 failure=str(oom),
                 events=mpi.events,
             )
-        return SpMMResult(
+            self._attach_fault_extras(result, cluster, resil_before)
+            return result
+        result = SpMMResult(
             algorithm=self.name,
             C=ctx.C.data,
             seconds=breakdown.makespan,
@@ -160,6 +167,26 @@ class DistSpMMAlgorithm(abc.ABC):
             extras=self._extras(ctx),
             events=mpi.events,
         )
+        self._attach_fault_extras(result, cluster, resil_before)
+        return result
+
+    @staticmethod
+    def _attach_fault_extras(
+        result: SpMMResult, cluster: Cluster, resil_before
+    ) -> None:
+        """Record this run's fault plan and resilience-counter deltas."""
+        if cluster.faults is None or resil_before is None:
+            return
+        delta = ResilienceStats(
+            *(
+                now - before
+                for now, before in zip(
+                    resilience_stats().snapshot(), resil_before
+                )
+            )
+        )
+        result.extras["faults"] = cluster.faults.describe()
+        result.extras["resilience"] = delta.as_dict()
 
     # ------------------------------------------------------------------
     def _setup_cost(self, ctx: RunContext) -> None:

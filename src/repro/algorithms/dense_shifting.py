@@ -51,6 +51,7 @@ class DenseShifting(DistSpMMAlgorithm):
         net = ctx.machine.network
         compute = ctx.machine.compute
         k = ctx.k
+        faults = ctx.cluster.faults
         max_block_bytes = ctx.B.partition.max_size() * k * 8
 
         # Replica bundle (c blocks) plus a same-sized receive bundle:
@@ -73,7 +74,10 @@ class DenseShifting(DistSpMMAlgorithm):
             gather_cost = net.allgather_time(max_block_bytes, c)
             gathered_bytes = (c - 1) * max_block_bytes
             for rank in range(p):
-                ctx.breakdown.node(rank).sync_comm += gather_cost
+                cost = gather_cost
+                if faults is not None:
+                    cost *= faults.worst_incoming_scale(rank)
+                ctx.breakdown.node(rank).sync_comm += cost
                 ctx.mpi.traffic._recv(rank, gathered_bytes)
             ctx.mpi.traffic.collective_bytes += p * gathered_bytes
             ctx.mpi.traffic.collective_ops += n_groups
@@ -96,9 +100,12 @@ class DenseShifting(DistSpMMAlgorithm):
                     c_block += piece @ ctx.B.data
                     nnz_step += pieces[rank].nnz_by_block[block_id]
                     rows_step += pieces[rank].rows_by_block[block_id]
-                return compute.sync_panel_time(
+                seconds = compute.sync_panel_time(
                     nnz_step, k, rows_step, ctx.threads.total
                 )
+                if faults is not None:
+                    seconds *= faults.compute_skew(rank)
+                return seconds
 
             comp_times = np.asarray(pool.map(rank_body, p))
             step_max = float(comp_times.max(initial=0.0))
@@ -109,7 +116,11 @@ class DenseShifting(DistSpMMAlgorithm):
                 # Barrier wait shows up inside the communication phase.
                 node.sync_comm += step_max - comp_times[rank]
                 if not is_last:
-                    node.sync_comm += shift_cost
+                    cost = shift_cost
+                    if faults is not None:
+                        # Rank r receives the bundle its neighbour held.
+                        cost *= faults.link_scale((rank + 1) % p, rank)
+                    node.sync_comm += cost
                     ctx.mpi.traffic.p2p_bytes += shift_bytes
                     ctx.mpi.traffic.p2p_messages += 1
                     ctx.mpi.traffic._recv(rank, shift_bytes)

@@ -299,6 +299,7 @@ def sweep_records(sweep: SweepResult) -> List[Dict]:
                     "p2p_bytes": result.traffic.p2p_bytes,
                     "onesided_bytes": result.traffic.onesided_bytes,
                     "onesided_requests": result.traffic.onesided_requests,
+                    "events_dropped": result.traffic.events_dropped,
                 }
             )
     return records

@@ -7,7 +7,7 @@ schema (see the README's "Benchmark telemetry" section):
 
 ```
 {
-  "schema": "repro-perf/4",
+  "schema": "repro-perf/5",
   "label": "<free-form document label, e.g. BENCH_PR4>",
   "cells": [
     {"name": ..., "matrix": ..., "algorithm": ..., "k": ...,
@@ -17,7 +17,11 @@ schema (see the README's "Benchmark telemetry" section):
      "plan_hits": ..., "plan_misses": ..., "plan_evictions": ...,
      "plan_invalidations": ..., "plan_stores": ...,
      "scatter_segmented": ..., "scatter_atomic": ...,
-     "sync_csr_hits": ..., "sync_csr_builds": ...},
+     "sync_csr_hits": ..., "sync_csr_builds": ...,
+     "fault_rget_failures": ..., "fault_retries": ...,
+     "fault_backoff_seconds": ..., "fault_lane_fallbacks": ...,
+     "fault_rechunks": ..., "fault_rechunk_pieces": ...,
+     "events_dropped": ...},
     ...
   ],
   "experiments": {"<name>": {...free-form...}, ...}
@@ -36,7 +40,14 @@ served every stripe without allocating); plan-cache counters from
 and sync-CSR counters from :func:`repro.sparse.ops.scatter_stats`
 (schema ``repro-perf/4`` — ``scatter_segmented``/``scatter_atomic``
 record which kernel served each stripe scatter, and a cell with
-``sync_csr_builds == 0`` reused memoised scipy handles throughout).
+``sync_csr_builds == 0`` reused memoised scipy handles throughout);
+resilience counters from :func:`repro.cluster.faults.resilience_stats`
+(schema ``repro-perf/5`` — the ``fault_*`` fields record how much
+injected-fault recovery a cell needed: one-sided failures, retries and
+the backoff seconds they cost, sync-lane fallbacks, and stripe
+re-chunks under memory pressure; ``events_dropped`` counts comm events
+lost to the per-run recording cap so a truncated event log is visible
+rather than silent).
 """
 
 from __future__ import annotations
@@ -46,11 +57,12 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..cluster.buffers import arena_stats
+from ..cluster.faults import resilience_stats
 from ..core.formats import transfer_cache_stats
 from ..core.plancache import plan_cache_stats
 from ..sparse.ops import scatter_stats
 
-PERF_SCHEMA = "repro-perf/4"
+PERF_SCHEMA = "repro-perf/5"
 
 
 @dataclass
@@ -77,6 +89,13 @@ class PerfCell:
     scatter_atomic: int = 0
     sync_csr_hits: int = 0
     sync_csr_builds: int = 0
+    fault_rget_failures: int = 0
+    fault_retries: int = 0
+    fault_backoff_seconds: float = 0.0
+    fault_lane_fallbacks: int = 0
+    fault_rechunks: int = 0
+    fault_rechunk_pieces: int = 0
+    events_dropped: int = 0
 
 
 @dataclass
@@ -100,6 +119,8 @@ class PerfLog:
         arena_snapshot: Optional[tuple] = None,
         plan_snapshot: Optional[tuple] = None,
         scatter_snapshot: Optional[tuple] = None,
+        resilience_snapshot: Optional[tuple] = None,
+        events_dropped: int = 0,
     ) -> PerfCell:
         """Append one cell record.
 
@@ -118,6 +139,13 @@ class PerfLog:
                 sync_csr_hits, sync_csr_builds)`` from
                 :meth:`~repro.sparse.ops.ScatterStats.snapshot` taken
                 before the cell ran; deltas are stored likewise.
+            resilience_snapshot: ``(rget_failures, retries,
+                backoff_seconds, lane_fallbacks, rechunked_stripes,
+                rechunk_pieces)`` from
+                :meth:`~repro.cluster.faults.ResilienceStats.snapshot`
+                taken before the cell ran; deltas are stored likewise.
+            events_dropped: comm events lost to the recording cap for
+                this cell's run (``TrafficStats.events_dropped``).
         """
         hits = recomputes = 0
         if cache_snapshot is not None:
@@ -145,6 +173,14 @@ class PerfLog:
                     scatter_stats().snapshot(), scatter_snapshot
                 )
             )
+        resil_deltas = (0, 0, 0.0, 0, 0, 0)
+        if resilience_snapshot is not None:
+            resil_deltas = tuple(
+                now - before
+                for now, before in zip(
+                    resilience_stats().snapshot(), resilience_snapshot
+                )
+            )
         cell = PerfCell(
             name=name,
             matrix=matrix,
@@ -166,6 +202,13 @@ class PerfLog:
             scatter_atomic=scatter_deltas[1],
             sync_csr_hits=scatter_deltas[2],
             sync_csr_builds=scatter_deltas[3],
+            fault_rget_failures=resil_deltas[0],
+            fault_retries=resil_deltas[1],
+            fault_backoff_seconds=resil_deltas[2],
+            fault_lane_fallbacks=resil_deltas[3],
+            fault_rechunks=resil_deltas[4],
+            fault_rechunk_pieces=resil_deltas[5],
+            events_dropped=events_dropped,
         )
         self.cells.append(cell)
         return cell

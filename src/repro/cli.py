@@ -8,6 +8,8 @@ Commands:
 * ``calibrate`` — fit the preprocessing-model coefficients (§6.2).
 * ``stats``     — structural statistics of a suite matrix.
 * ``gnn``       — full-graph GCN training demo with amortisation report.
+* ``chaos``     — deterministic fault-injection sweep: verify the
+  resilient lanes keep the answer exact while faults slow the clock.
 """
 
 from __future__ import annotations
@@ -100,6 +102,32 @@ def build_parser() -> argparse.ArgumentParser:
     gnn.add_argument("--nodes", type=int, default=16)
     gnn.add_argument("--graph-size", type=int, default=2048)
     gnn.add_argument("--epochs", type=int, default=5)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection sweep (chaos testing)"
+    )
+    chaos.add_argument(
+        "--matrix", default="web", choices=suite.matrix_names()
+    )
+    chaos.add_argument(
+        "--algorithm", default="TwoFace", choices=algorithm_names()
+    )
+    chaos.add_argument("--k", type=int, default=32)
+    chaos.add_argument("--nodes", type=int, default=8)
+    chaos.add_argument(
+        "--size", default="small", choices=list(suite.SIZE_CLASSES)
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed"
+    )
+    chaos.add_argument(
+        "--intensity", type=float, default=0.05,
+        help="top fault rate of the sweep (rget/link/straggler/memory)",
+    )
+    chaos.add_argument(
+        "--out", default=None,
+        help="write a repro-perf/5 telemetry JSON to this path",
+    )
     return parser
 
 
@@ -259,6 +287,93 @@ def cmd_gnn(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .bench.telemetry import PerfLog
+    from .cluster.faults import (
+        FaultConfig,
+        reset_resilience_stats,
+        resilience_stats,
+    )
+
+    if args.intensity < 0.0:
+        print(f"intensity must be non-negative: {args.intensity}")
+        return 2
+    harness = ExperimentHarness(size=args.size, plan_cache=None)
+    baseline = harness.run_one(
+        args.matrix, args.algorithm, args.k,
+        MachineConfig(n_nodes=args.nodes),
+    )
+    if baseline.failed:
+        print(
+            f"{args.algorithm} on {args.matrix}: fault-free run failed "
+            f"({baseline.failure})"
+        )
+        return 1
+
+    intensities = [args.intensity * f for f in (0.0, 0.5, 1.0)]
+    log = PerfLog(label=f"chaos-{args.matrix}-{args.algorithm}")
+    rows = []
+    exact = True
+    for intensity in intensities:
+        faults = (
+            FaultConfig.from_intensity(intensity, seed=args.seed)
+            if intensity > 0.0 else None
+        )
+        machine = MachineConfig(n_nodes=args.nodes, faults=faults)
+        reset_resilience_stats()
+        resil_before = resilience_stats().snapshot()
+        result = harness.run_one(args.matrix, args.algorithm, args.k, machine)
+        if result.failed:
+            print(
+                f"intensity {intensity:.3f}: run failed ({result.failure})"
+            )
+            exact = False
+            continue
+        ok = np.allclose(baseline.C, result.C, rtol=0.0, atol=1e-12)
+        exact = exact and ok
+        cell = log.record_cell(
+            name=f"chaos@{intensity:.3f}",
+            matrix=args.matrix,
+            algorithm=args.algorithm,
+            k=args.k,
+            n_nodes=args.nodes,
+            wall_seconds=result.extras.get("wall_seconds"),
+            simulated_seconds=result.seconds,
+            resilience_snapshot=resil_before,
+            events_dropped=result.traffic.events_dropped,
+        )
+        rows.append(
+            [
+                f"{intensity:.3f}",
+                f"{result.seconds:.6f}",
+                f"{result.seconds / baseline.seconds:.2f}x",
+                cell.fault_rget_failures,
+                cell.fault_retries,
+                cell.fault_lane_fallbacks,
+                cell.fault_rechunks,
+                "exact" if ok else "WRONG",
+            ]
+        )
+    print_table(
+        [
+            "intensity", "sim seconds", "slowdown", "rget fails",
+            "retries", "fallbacks", "re-chunks", "C vs fault-free",
+        ],
+        rows,
+        title=(
+            f"chaos sweep: {args.algorithm} on {args.matrix}, "
+            f"K={args.k}, p={args.nodes}, seed={args.seed}"
+        ),
+    )
+    if args.out is not None:
+        log.write(args.out)
+        print(f"telemetry written to {args.out}")
+    if not exact:
+        print("FAILURE: injected faults changed the computed result")
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "run": cmd_run,
     "sweep": cmd_sweep,
@@ -266,6 +381,7 @@ _COMMANDS = {
     "calibrate": cmd_calibrate,
     "stats": cmd_stats,
     "gnn": cmd_gnn,
+    "chaos": cmd_chaos,
 }
 
 

@@ -8,8 +8,17 @@ from .buffers import (
     reset_arenas,
     warm_arenas,
 )
+from .faults import (
+    FaultConfig,
+    FaultPlan,
+    ResilienceStats,
+    compile_faults,
+    reset_resilience_stats,
+    resilience_stats,
+)
 from .machine import (
     DEFAULT_NODE_MEMORY,
+    FAULT_PRESSURE_LABEL,
     MEMORY_SCALE,
     Cluster,
     MachineConfig,
@@ -32,17 +41,24 @@ __all__ = [
     "Cluster",
     "ComputeModel",
     "DEFAULT_NODE_MEMORY",
+    "FAULT_PRESSURE_LABEL",
+    "FaultConfig",
+    "FaultPlan",
     "FetchArena",
     "MEMORY_SCALE",
     "MachineConfig",
     "MAX_RECORDED_EVENTS",
     "MemoryLedger",
     "NetworkModel",
+    "ResilienceStats",
     "SimMPI",
     "SimNode",
     "TrafficStats",
     "arena_stats",
+    "compile_faults",
     "local_arena",
     "reset_arenas",
+    "reset_resilience_stats",
+    "resilience_stats",
     "warm_arenas",
 ]

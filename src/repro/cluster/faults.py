@@ -1,0 +1,372 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The paper's schedule assumes a healthy Slingshot fabric: one-sided gets
+never fail, links deliver nominal bandwidth, and no node straggles.
+Real deployments of fine-grained RMA are exactly the opposite — the
+one-sided half is the fragile half — so this module lets the simulated
+cluster degrade on purpose, under a hard determinism contract:
+
+* Every fault decision is a pure function of the fault seed and
+  *structural* coordinates (rank, link endpoints, per-rank request
+  sequence numbers, attempt index).  Nothing depends on wall clock,
+  Python hash seeds, thread interleaving, or pool width — so a fixed
+  seed yields bitwise-identical simulated seconds, traffic counters,
+  event logs, and ``C`` at any ``REPRO_EXEC_WORKERS`` width and under
+  either ``REPRO_SCATTER`` kernel.
+* With faults disabled (``FaultConfig`` absent or all rates zero) every
+  consumer takes its original code path, byte for byte.
+
+Fault classes (compiled once per run into a :class:`FaultPlan`):
+
+* **Transient rget failures** — each one-sided request attempt fails
+  with probability ``rget_failure_rate``; the executor retries with
+  exponential backoff (charged to the simulated async lane) and falls
+  back to the sync multicast lane when the attempt budget is exhausted.
+* **Per-link bandwidth degradation** — each ordered link is degraded
+  with probability ``link_degradation_rate``; transfer costs over a
+  degraded link are multiplied by ``link_degradation_factor``.
+* **Straggler nodes** — each rank straggles with probability
+  ``straggler_rate``; its compute charges are multiplied by the
+  clock-skew factor ``straggler_skew``.
+* **Memory pressure** — each rank is squeezed with probability
+  ``memory_pressure_rate``; a ``memory_pressure_fraction`` slice of its
+  ledger capacity is pinned at cluster construction, forcing the
+  executor's stripe re-chunking (or a genuine simulated OOM).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, replace
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+
+#: Distinct decision streams, mixed into the hash so e.g. the straggler
+#: draw for rank 3 never correlates with the squeeze draw for rank 3.
+_STREAM_RGET = 0x1
+_STREAM_LINK = 0x2
+_STREAM_STRAGGLER = 0x3
+_STREAM_SQUEEZE = 0x4
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """The splitmix64 finaliser: a high-quality 64-bit bijection."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _u01(seed: int, *keys: int) -> float:
+    """A uniform draw in [0, 1) keyed by ``(seed, *keys)``.
+
+    Counter-based (no RNG state), so decisions are independent of the
+    order in which they are asked for — the property that makes fault
+    injection width- and mode-blind.
+    """
+    h = _mix64(seed & _MASK64)
+    for key in keys:
+        h = _mix64(h ^ ((key & _MASK64) * 0x9E3779B97F4A7C15 & _MASK64))
+    return (h >> 11) * (1.0 / (1 << 53))
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Seeded description of the faults to inject into one run.
+
+    Attributes:
+        seed: the fault seed; all decisions derive from it.
+        rget_failure_rate: per-attempt failure probability of one-sided
+            requests.
+        rget_max_attempts: attempts per request before the executor
+            gives up on the one-sided lane and falls back to a sync
+            multicast (>= 1).
+        rget_backoff_base: simulated seconds of backoff before the
+            first retry; doubles per subsequent retry.
+        link_degradation_rate: probability an ordered link (src, dst)
+            is degraded for the whole run.
+        link_degradation_factor: transfer-cost multiplier on degraded
+            links (>= 1).
+        straggler_rate: probability a rank is a straggler.
+        straggler_skew: compute clock-skew multiplier of stragglers
+            (>= 1).
+        memory_pressure_rate: probability a rank's memory is squeezed.
+        memory_pressure_fraction: fraction of ledger capacity pinned on
+            squeezed ranks (in [0, 1)).
+    """
+
+    seed: int = 0
+    rget_failure_rate: float = 0.0
+    rget_max_attempts: int = 4
+    rget_backoff_base: float = 5.0e-5
+    link_degradation_rate: float = 0.0
+    link_degradation_factor: float = 4.0
+    straggler_rate: float = 0.0
+    straggler_skew: float = 3.0
+    memory_pressure_rate: float = 0.0
+    memory_pressure_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigurationError(f"fault seed must be >= 0: {self.seed}")
+        if self.rget_max_attempts < 1:
+            raise ConfigurationError(
+                f"rget_max_attempts must be >= 1: {self.rget_max_attempts}"
+            )
+        for name in (
+            "rget_failure_rate", "link_degradation_rate",
+            "straggler_rate", "memory_pressure_rate",
+        ):
+            rate = getattr(self, name)
+            if not (math.isfinite(rate) and 0.0 <= rate <= 1.0):
+                raise ConfigurationError(
+                    f"{name} must be a probability in [0, 1]: {rate}"
+                )
+        for name in ("link_degradation_factor", "straggler_skew"):
+            factor = getattr(self, name)
+            if not (math.isfinite(factor) and factor >= 1.0):
+                raise ConfigurationError(
+                    f"{name} must be a finite multiplier >= 1: {factor}"
+                )
+        if not (
+            math.isfinite(self.rget_backoff_base)
+            and self.rget_backoff_base >= 0.0
+        ):
+            raise ConfigurationError(
+                "rget_backoff_base must be finite and >= 0: "
+                f"{self.rget_backoff_base}"
+            )
+        if not (
+            math.isfinite(self.memory_pressure_fraction)
+            and 0.0 <= self.memory_pressure_fraction < 1.0
+        ):
+            raise ConfigurationError(
+                "memory_pressure_fraction must be in [0, 1): "
+                f"{self.memory_pressure_fraction}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """True when any fault class can actually fire."""
+        return (
+            self.rget_failure_rate > 0.0
+            or self.link_degradation_rate > 0.0
+            or self.straggler_rate > 0.0
+            or self.memory_pressure_rate > 0.0
+        )
+
+    @classmethod
+    def from_intensity(
+        cls, intensity: float, seed: int = 0, **overrides
+    ) -> "FaultConfig":
+        """A config whose four rates all equal ``intensity``.
+
+        The ``repro chaos`` sweep knob: one scalar moves every fault
+        class together.  Keyword overrides replace individual fields.
+        """
+        if not (math.isfinite(intensity) and 0.0 <= intensity <= 1.0):
+            raise ConfigurationError(
+                f"fault intensity must be in [0, 1]: {intensity}"
+            )
+        config = cls(
+            seed=seed,
+            rget_failure_rate=intensity,
+            link_degradation_rate=intensity,
+            straggler_rate=intensity,
+            memory_pressure_rate=intensity,
+        )
+        return replace(config, **overrides) if overrides else config
+
+
+class FaultPlan:
+    """The compiled, per-run schedule of fault decisions.
+
+    Static decisions (stragglers, degraded links, squeezed ranks) are
+    drawn once at construction; per-request decisions (rget failures)
+    are answered on demand from the counter-based hash.  Everything is
+    a pure function of ``(config.seed, structural coordinates)``.
+    """
+
+    def __init__(self, config: FaultConfig, n_nodes: int):
+        if n_nodes <= 0:
+            raise ConfigurationError(f"n_nodes must be positive: {n_nodes}")
+        self.config = config
+        self.n_nodes = n_nodes
+        seed = config.seed
+        self._skew = tuple(
+            config.straggler_skew
+            if _u01(seed, _STREAM_STRAGGLER, rank) < config.straggler_rate
+            else 1.0
+            for rank in range(n_nodes)
+        )
+        self._squeeze = tuple(
+            config.memory_pressure_fraction
+            if _u01(seed, _STREAM_SQUEEZE, rank) < config.memory_pressure_rate
+            else 0.0
+            for rank in range(n_nodes)
+        )
+        self._link = {}
+        if config.link_degradation_rate > 0.0:
+            for src in range(n_nodes):
+                for dst in range(n_nodes):
+                    if src == dst:
+                        continue
+                    if (
+                        _u01(seed, _STREAM_LINK, src, dst)
+                        < config.link_degradation_rate
+                    ):
+                        self._link[(src, dst)] = config.link_degradation_factor
+
+    # ------------------------------------------------------------------
+    def rget_attempt_fails(
+        self, origin: int, target: int, request_index: int, attempt: int
+    ) -> bool:
+        """Does attempt ``attempt`` of the origin's ``request_index``-th
+        one-sided request (to ``target``) fail?
+
+        ``request_index`` is the origin rank's own sequence number, so
+        the answer never depends on how other ranks' requests
+        interleave.
+        """
+        rate = self.config.rget_failure_rate
+        if rate <= 0.0:
+            return False
+        return (
+            _u01(
+                self.config.seed, _STREAM_RGET,
+                origin, target, request_index, attempt,
+            )
+            < rate
+        )
+
+    def link_scale(self, src: int, dst: int) -> float:
+        """Transfer-cost multiplier of the ordered link ``src -> dst``."""
+        return self._link.get((src, dst), 1.0)
+
+    def worst_incoming_scale(self, rank: int) -> float:
+        """The slowest link into ``rank`` (collective-step multiplier:
+        a ring/tree collective moves at the pace of the worst hop)."""
+        if not self._link:
+            return 1.0
+        return max(
+            (
+                scale for (src, dst), scale in self._link.items()
+                if dst == rank
+            ),
+            default=1.0,
+        )
+
+    def compute_skew(self, rank: int) -> float:
+        """Clock-skew multiplier of ``rank``'s compute charges."""
+        return self._skew[rank]
+
+    def squeeze_fraction(self, rank: int) -> float:
+        """Fraction of ``rank``'s ledger capacity pinned by pressure."""
+        return self._squeeze[rank]
+
+    # ------------------------------------------------------------------
+    def straggler_ranks(self) -> Tuple[int, ...]:
+        return tuple(
+            rank for rank, skew in enumerate(self._skew) if skew > 1.0
+        )
+
+    def squeezed_ranks(self) -> Tuple[int, ...]:
+        return tuple(
+            rank for rank, frac in enumerate(self._squeeze) if frac > 0.0
+        )
+
+    def degraded_links(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(sorted(self._link))
+
+    def describe(self) -> dict:
+        """Summary counts for reports and the ``repro chaos`` table."""
+        return {
+            "seed": self.config.seed,
+            "stragglers": len(self.straggler_ranks()),
+            "degraded_links": len(self._link),
+            "squeezed_nodes": len(self.squeezed_ranks()),
+        }
+
+
+def compile_faults(
+    config: Optional[FaultConfig], n_nodes: int
+) -> Optional[FaultPlan]:
+    """Compile ``config`` for an ``n_nodes`` cluster; None stays None.
+
+    An inactive config (all rates zero) also compiles to None so every
+    consumer keeps its exact fault-free code path.
+    """
+    if config is None or not config.active:
+        return None
+    return FaultPlan(config, n_nodes)
+
+
+# ----------------------------------------------------------------------
+# Resilience counters
+# ----------------------------------------------------------------------
+@dataclass
+class ResilienceStats:
+    """Counters of the executor's reactions to injected faults.
+
+    Attributes:
+        rget_failures: one-sided request attempts that failed.
+        retries: failed attempts that were re-issued (with backoff).
+        backoff_seconds: simulated seconds spent backing off.
+        lane_fallbacks: requests whose retry budget ran out and were
+            served by the sync multicast lane instead.
+        rechunked_stripes: async stripes whose fetch was split to fit
+            squeezed memory.
+        rechunk_pieces: total pieces those stripes were split into.
+    """
+
+    rget_failures: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    lane_fallbacks: int = 0
+    rechunked_stripes: int = 0
+    rechunk_pieces: int = 0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+
+    def snapshot(self) -> Tuple:
+        return (
+            self.rget_failures,
+            self.retries,
+            self.backoff_seconds,
+            self.lane_fallbacks,
+            self.rechunked_stripes,
+            self.rechunk_pieces,
+        )
+
+    def merge_from(self, other: "ResilienceStats") -> None:
+        """Fold another record in (rank-order folding of pooled bodies)."""
+        self.rget_failures += other.rget_failures
+        self.retries += other.retries
+        self.backoff_seconds += other.backoff_seconds
+        self.lane_fallbacks += other.lane_fallbacks
+        self.rechunked_stripes += other.rechunked_stripes
+        self.rechunk_pieces += other.rechunk_pieces
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: Process-global counters; pooled rank bodies fill local records that
+#: the executor folds back in rank order (same discipline as
+#: :data:`repro.sparse.ops.SCATTER_STATS`).
+RESILIENCE_STATS = ResilienceStats()
+
+
+def resilience_stats() -> ResilienceStats:
+    """The process-global resilience counters."""
+    return RESILIENCE_STATS
+
+
+def reset_resilience_stats() -> None:
+    """Zero the process-global counters (test/bench hygiene)."""
+    RESILIENCE_STATS.reset()

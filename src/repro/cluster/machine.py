@@ -12,9 +12,10 @@ The default configuration mirrors the paper's platform at 1/4096 scale:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..errors import ConfigurationError, OutOfMemoryError
+from .faults import FaultConfig, compile_faults
 from .network import ComputeModel, NetworkModel
 
 #: Simulated DRAM per node.  Chosen so that capacity relative to the
@@ -40,6 +41,9 @@ class MachineConfig:
         memory_capacity: simulated DRAM per node, bytes.
         network: interconnect cost model.
         compute: local-kernel cost model.
+        faults: optional seeded fault-injection config; None (the
+            default) keeps the machine perfectly healthy and every
+            consumer on its fault-free code path.
     """
 
     n_nodes: int = 32
@@ -47,6 +51,7 @@ class MachineConfig:
     memory_capacity: int = DEFAULT_NODE_MEMORY
     network: NetworkModel = field(default_factory=NetworkModel)
     compute: ComputeModel = field(default_factory=ComputeModel)
+    faults: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
@@ -127,14 +132,34 @@ class SimNode:
         self.time = max(self.time, t)
 
 
+#: Ledger label of memory pinned by injected pressure (a co-tenant /
+#: fragmentation stand-in); lives for the whole run.
+FAULT_PRESSURE_LABEL = "fault_pressure"
+
+
 class Cluster:
-    """The set of simulated nodes plus barrier/makespan helpers."""
+    """The set of simulated nodes plus barrier/makespan helpers.
+
+    A :class:`~repro.cluster.faults.FaultConfig` on the machine config
+    is compiled here into the run's :class:`~repro.cluster.faults.FaultPlan`
+    (``self.faults``; None on a healthy machine), and any memory-pressure
+    squeezes are pinned on the affected ledgers immediately.
+    """
 
     def __init__(self, config: MachineConfig):
         self.config = config
         self.nodes: List[SimNode] = [
             SimNode(rank, config) for rank in range(config.n_nodes)
         ]
+        self.faults = compile_faults(config.faults, config.n_nodes)
+        if self.faults is not None:
+            for node in self.nodes:
+                fraction = self.faults.squeeze_fraction(node.rank)
+                if fraction > 0.0:
+                    node.memory.allocate(
+                        FAULT_PRESSURE_LABEL,
+                        int(config.memory_capacity * fraction),
+                    )
 
     @property
     def n_nodes(self) -> int:

@@ -59,8 +59,11 @@ class NetworkModel:
             "alpha_p2p", "beta_p2p", "alpha_coll", "beta_coll",
             "alpha_rget", "beta_rget",
         ):
-            if getattr(self, name) < 0:
-                raise ConfigurationError(f"{name} must be non-negative")
+            value = getattr(self, name)
+            if not (math.isfinite(value) and value >= 0):
+                raise ConfigurationError(
+                    f"{name} must be finite and non-negative: {value}"
+                )
 
     # ------------------------------------------------------------------
     # Point-to-point
@@ -116,12 +119,19 @@ class NetworkModel:
         """Return a copy with named parameters multiplied by factors.
 
         Example: ``model.scaled(beta_rget=2.0)`` doubles the one-sided
-        per-byte cost.  Used by sensitivity studies.
+        per-byte cost.  Used by sensitivity studies and degradation
+        configs; multipliers must be finite and non-negative so a
+        corrupted config fails here, not deep inside a simulation.
         """
         updates = {}
         for name, factor in factors.items():
             if not hasattr(self, name):
                 raise ConfigurationError(f"unknown network parameter {name!r}")
+            if not (math.isfinite(factor) and factor >= 0):
+                raise ConfigurationError(
+                    f"multiplier for {name} must be finite and "
+                    f"non-negative: {factor}"
+                )
             updates[name] = getattr(self, name) * factor
         return replace(self, **updates)
 
@@ -158,8 +168,11 @@ class ComputeModel:
         for name in (
             "fma_time", "atomic_time", "stripe_overhead", "panel_overhead"
         ):
-            if getattr(self, name) < 0:
-                raise ConfigurationError(f"{name} must be non-negative")
+            value = getattr(self, name)
+            if not (math.isfinite(value) and value >= 0):
+                raise ConfigurationError(
+                    f"{name} must be finite and non-negative: {value}"
+                )
 
     def sync_panel_time(
         self, nnz: int, k: int, rows_flushed: int, n_threads: int
@@ -210,5 +223,10 @@ class ComputeModel:
         for name, factor in factors.items():
             if not hasattr(self, name):
                 raise ConfigurationError(f"unknown compute parameter {name!r}")
+            if not (math.isfinite(factor) and factor >= 0):
+                raise ConfigurationError(
+                    f"multiplier for {name} must be finite and "
+                    f"non-negative: {factor}"
+                )
             updates[name] = getattr(self, name) * factor
         return replace(self, **updates)

@@ -17,6 +17,7 @@ a real ``MPI_Bcast`` buffer of the input matrix ``B`` has in the paper.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
@@ -48,8 +49,10 @@ class CommEvent:
     detail: str = ""
 
 
-#: Hard cap on retained events; beyond it recording stops silently
-#: (stats keep counting) so long simulations cannot exhaust memory.
+#: Hard cap on retained events so long simulations cannot exhaust
+#: memory.  Beyond it recording stops, but never silently: every
+#: dropped event is counted in :attr:`TrafficStats.events_dropped` and
+#: the first drop emits a :class:`RuntimeWarning`.
 MAX_RECORDED_EVENTS = 200_000
 
 
@@ -73,19 +76,70 @@ class _OneSidedCharge:
     detail: str
     charge_memory: bool
     charge_time: bool
+    time_scale: float = 1.0
 
     def apply(self, mpi: "SimMPI") -> None:
         node = mpi.cluster.node(self.origin)
         if self.charge_time:
-            node.advance(
-                mpi._net.rget_time(self.nbytes, n_chunks=self.n_chunks)
-            )
+            cost = mpi._net.rget_time(self.nbytes, n_chunks=self.n_chunks)
+            if self.time_scale != 1.0:
+                cost *= self.time_scale
+            node.advance(cost)
         if self.charge_memory:
             node.memory.allocate(self.label, self.nbytes)
         mpi.traffic.onesided_bytes += self.nbytes
         mpi.traffic.onesided_requests += 1
         mpi.traffic._recv(self.origin, self.nbytes)
         mpi._log("rget", self.target, self.origin, self.nbytes, self.detail)
+
+
+@dataclass(frozen=True)
+class _RgetFailureEvent:
+    """Record of a failed one-sided attempt (fault injection).
+
+    Failed attempts move no payload, so traffic byte/request counters
+    are untouched; the event log keeps the failure visible (and, being
+    a deferred op, width-deterministic).
+    """
+
+    origin: int
+    target: int
+    nbytes: int
+    detail: str
+
+    def apply(self, mpi: "SimMPI") -> None:
+        mpi._log(
+            "rget-fail", self.target, self.origin, self.nbytes, self.detail
+        )
+
+
+@dataclass(frozen=True)
+class _FallbackMulticastCharge:
+    """Accounting of a sync-lane fallback transfer (fault injection).
+
+    When an async stripe exhausts its retry budget, its rows arrive via
+    the sync multicast lane instead: collective traffic, a multicast
+    event, and the destination ledger charge.  Clock time is charged by
+    the executor into the breakdown (like every other executor-issued
+    transfer), not here.
+    """
+
+    root: int
+    dest: int
+    nbytes: int
+    label: str
+    detail: str
+    charge_memory: bool
+
+    def apply(self, mpi: "SimMPI") -> None:
+        if self.charge_memory:
+            mpi.cluster.node(self.dest).memory.allocate(
+                self.label, self.nbytes
+            )
+        mpi.traffic.collective_bytes += self.nbytes
+        mpi.traffic.collective_ops += 1
+        mpi.traffic._recv(self.dest, self.nbytes)
+        mpi._log("multicast", self.root, self.dest, self.nbytes, self.detail)
 
 
 @dataclass(frozen=True)
@@ -133,6 +187,9 @@ class TrafficStats:
             count.
         onesided_bytes / onesided_requests: MPI_Rget traffic.
         per_node_recv_bytes: bytes received by each rank, all categories.
+        events_dropped: communication events not retained in the event
+            log because :data:`MAX_RECORDED_EVENTS` was reached (the
+            counters above still include them).
     """
 
     n_nodes: int = 0
@@ -142,6 +199,7 @@ class TrafficStats:
     collective_ops: int = 0
     onesided_bytes: int = 0
     onesided_requests: int = 0
+    events_dropped: int = 0
     per_node_recv_bytes: List[int] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -165,13 +223,27 @@ class SimMPI:
         self.events: List[CommEvent] = []
         self._record = record_events
         self._net = cluster.config.network
+        #: The run's compiled fault plan (None on a healthy machine).
+        self.faults = getattr(cluster, "faults", None)
 
     def _log(self, kind: str, source: int, destination: int, nbytes: int,
              detail: str = "") -> None:
-        if self._record and len(self.events) < MAX_RECORDED_EVENTS:
+        if not self._record:
+            return
+        if len(self.events) < MAX_RECORDED_EVENTS:
             self.events.append(
                 CommEvent(kind, source, destination, nbytes, detail)
             )
+            return
+        if self.traffic.events_dropped == 0:
+            warnings.warn(
+                f"communication event log reached {MAX_RECORDED_EVENTS} "
+                "entries; further events are counted in "
+                "TrafficStats.events_dropped but not retained",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        self.traffic.events_dropped += 1
 
     @property
     def n_nodes(self) -> int:
@@ -218,9 +290,13 @@ class SimMPI:
             if charge_memory:
                 node.memory.allocate(label, foreign)
             # Ring allgather moves the max block size each step.
-            node.advance(
-                self._net.allgather_time(max(sizes, default=0), self.n_nodes)
+            step_cost = self._net.allgather_time(
+                max(sizes, default=0), self.n_nodes
             )
+            if self.faults is not None:
+                # A ring step is paced by the participant's worst hop.
+                step_cost *= self.faults.worst_incoming_scale(rank)
+            node.advance(step_cost)
             self.traffic._recv(rank, foreign)
             self._log("allgather", -1, rank, foreign, label)
         self.traffic.collective_bytes += total_foreign
@@ -253,7 +329,12 @@ class SimMPI:
         for rank, node in enumerate(self.cluster.nodes):
             incoming = blocks[(rank + shift) % self.n_nodes]
             nbytes = int(incoming.nbytes)
-            node.advance(self._net.p2p_time(nbytes))
+            cost = self._net.p2p_time(nbytes)
+            if self.faults is not None:
+                cost *= self.faults.link_scale(
+                    (rank + shift) % self.n_nodes, rank
+                )
+            node.advance(cost)
             self.traffic.p2p_bytes += nbytes
             self.traffic.p2p_messages += 1
             self.traffic._recv(rank, nbytes)
@@ -289,11 +370,20 @@ class SimMPI:
         nbytes = int(data.nbytes)
         cost = self._net.bcast_time(nbytes, len(dests))
         if dests and charge_time:
-            self.cluster.node(root).advance(cost)
+            root_cost = cost
+            if self.faults is not None:
+                # The root serves until its slowest destination is done.
+                root_cost *= max(
+                    self.faults.link_scale(root, d) for d in dests
+                )
+            self.cluster.node(root).advance(root_cost)
         for dest in dests:
             node = self.cluster.node(dest)
             if charge_time:
-                node.advance(cost)
+                dest_cost = cost
+                if self.faults is not None:
+                    dest_cost *= self.faults.link_scale(root, dest)
+                node.advance(dest_cost)
             if charge_memory:
                 node.memory.allocate(label, nbytes)
             self.traffic._recv(dest, nbytes)
@@ -346,6 +436,7 @@ class SimMPI:
         _OneSidedCharge(
             origin, target, nbytes, len(chunks), label,
             f"{label}:{len(chunks)}chunks", charge_memory, charge_time,
+            self._rget_scale(origin, target),
         ).apply(self)
         return fetched
 
@@ -428,6 +519,7 @@ class SimMPI:
         charge = _OneSidedCharge(
             origin, target, nbytes, n_chunks, label,
             f"{label}:{n_chunks}chunks", charge_memory, charge_time,
+            self._rget_scale(origin, target),
         )
         if account is None:
             charge.apply(self)
@@ -455,7 +547,7 @@ class SimMPI:
         nbytes = int(block.nbytes)
         charge = _OneSidedCharge(
             origin, target, nbytes, 1, label, f"{label}:block",
-            charge_memory, charge_time,
+            charge_memory, charge_time, self._rget_scale(origin, target),
         )
         if account is None:
             charge.apply(self)
@@ -474,6 +566,69 @@ class SimMPI:
         """
         for op in account.ops:
             op.apply(self)
+
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (resilient executor lanes)
+    # ------------------------------------------------------------------
+    def _rget_scale(self, origin: int, target: int) -> float:
+        """Link multiplier of a one-sided get (data flows target->origin)."""
+        if self.faults is None:
+            return 1.0
+        return self.faults.link_scale(target, origin)
+
+    def deferred_rget_charge(
+        self,
+        origin: int,
+        target: int,
+        nbytes: int,
+        n_chunks: int,
+        label: str,
+        detail: str,
+        account: "CommAccount",
+        charge_memory: bool = True,
+        charge_time: bool = False,
+    ) -> None:
+        """Append a bare rget accounting op (no data movement).
+
+        The resilient async lane separates data movement (one gather
+        for the whole stripe) from accounting (one charge per re-chunk
+        piece); this exposes the charge alone.
+        """
+        account.ops.append(
+            _OneSidedCharge(
+                origin, target, nbytes, n_chunks, label, detail,
+                charge_memory, charge_time,
+                self._rget_scale(origin, target),
+            )
+        )
+
+    def deferred_rget_failure(
+        self,
+        origin: int,
+        target: int,
+        nbytes: int,
+        detail: str,
+        account: "CommAccount",
+    ) -> None:
+        """Append a failed-attempt event (fault injection)."""
+        account.ops.append(_RgetFailureEvent(origin, target, nbytes, detail))
+
+    def deferred_fallback_multicast(
+        self,
+        root: int,
+        dest: int,
+        nbytes: int,
+        label: str,
+        detail: str,
+        account: "CommAccount",
+        charge_memory: bool = True,
+    ) -> None:
+        """Append the accounting of a sync-lane fallback transfer."""
+        account.ops.append(
+            _FallbackMulticastCharge(
+                root, dest, nbytes, label, detail, charge_memory
+            )
+        )
 
     # ------------------------------------------------------------------
     # Utilities

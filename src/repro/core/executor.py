@@ -26,14 +26,15 @@ simulated seconds and event log are bit-identical at any pool width.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..algorithms.base import RunContext
 from ..cluster.buffers import local_arena
+from ..cluster.faults import RESILIENCE_STATS, FaultPlan, ResilienceStats
 from ..cluster.simmpi import CommAccount
-from ..errors import PartitionError
+from ..errors import OutOfMemoryError, PartitionError
 from ..runtime.pool import get_exec_pool
 from ..runtime.threads import max_coalescing_gap
 from ..sparse.ops import (
@@ -146,6 +147,7 @@ def execute_plan(
 def _sync_transfers(plan: TwoFacePlan, ctx: RunContext) -> None:
     net = ctx.machine.network
     geometry = plan.geometry
+    faults = ctx.cluster.faults
     for gid, dests in sorted(plan.stripe_destinations.items()):
         if not dests:
             continue
@@ -160,9 +162,17 @@ def _sync_transfers(plan: TwoFacePlan, ctx: RunContext) -> None:
             charge_time=False,
         )
         cost = net.bcast_time(int(payload.nbytes), len(receivers))
-        ctx.breakdown.node(owner).sync_comm += cost
-        for dest in receivers:
-            ctx.breakdown.node(dest).sync_comm += cost
+        if faults is None:
+            ctx.breakdown.node(owner).sync_comm += cost
+            for dest in receivers:
+                ctx.breakdown.node(dest).sync_comm += cost
+        else:
+            # A degraded link slows its destination; the root serves
+            # until its slowest destination is done.
+            scales = [faults.link_scale(owner, d) for d in receivers]
+            ctx.breakdown.node(owner).sync_comm += cost * max(scales)
+            for dest, scale in zip(receivers, scales):
+                ctx.breakdown.node(dest).sync_comm += cost * scale
 
 
 # ----------------------------------------------------------------------
@@ -170,13 +180,155 @@ def _sync_transfers(plan: TwoFacePlan, ctx: RunContext) -> None:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class _AsyncRankRecord:
-    """One rank's async-lane results, folded on the main thread."""
+    """One rank's async-lane results, folded on the main thread.
+
+    ``sync_comm_seconds`` and ``fallback_root_costs`` are only nonzero
+    under fault injection: they carry the sync-lane cost of fallback
+    multicasts (destination side and owner side respectively), folded
+    in rank order so the breakdown stays width-deterministic.
+    """
 
     account: CommAccount
     cache: TransferCacheStats
     scatter: ScatterStats
     comm_seconds: float
     comp_seconds: float
+    sync_comm_seconds: float = 0.0
+    fallback_root_costs: Tuple[Tuple[int, float], ...] = ()
+    resilience: Optional[ResilienceStats] = None
+
+
+def _rechunk_boundaries(
+    chunk_sizes: np.ndarray, max_piece_rows: int
+) -> Optional[List[Tuple[int, int, int]]]:
+    """Split a schedule's chunks into contiguous pieces that fit memory.
+
+    Returns ``(chunk_lo, chunk_hi, piece_rows)`` triples covering the
+    chunks in order, each piece at most ``max_piece_rows`` rows — or
+    None when a single chunk alone exceeds the budget (a genuine OOM).
+    The greedy left-to-right split is a pure function of the schedule
+    and the budget, so re-chunking is deterministic.
+    """
+    pieces: List[Tuple[int, int, int]] = []
+    lo = 0
+    acc = 0
+    for i, size in enumerate(chunk_sizes.tolist()):
+        if size > max_piece_rows:
+            return None
+        if acc + size > max_piece_rows:
+            pieces.append((lo, i, acc))
+            lo, acc = i, 0
+        acc += size
+    pieces.append((lo, len(chunk_sizes), acc))
+    return pieces
+
+
+def _resilient_fetch_accounting(
+    ctx: RunContext,
+    faults: FaultPlan,
+    rank: int,
+    owner: int,
+    schedule,
+    row_bytes: int,
+    headroom: int,
+    account: CommAccount,
+    resil: ResilienceStats,
+    request_seq: int,
+) -> Tuple[float, float, List[Tuple[int, float]], int]:
+    """Charge one async stripe's fetch under fault injection.
+
+    The data itself was already gathered (host views cannot fail); this
+    models what the simulated cluster *pays* for it: per-piece rget
+    requests (re-chunked to fit squeezed memory), failed attempts that
+    burn their timeout budget, exponential backoff before retries, and
+    sync-lane fallback multicasts once the attempt budget is exhausted.
+
+    Returns ``(async_comm_seconds, sync_comm_seconds,
+    fallback_root_costs, next_request_seq)``.
+    """
+    cfg = faults.config
+    net = ctx.machine.network
+    scale = faults.link_scale(owner, rank)
+    total_rows = int(schedule.chunk_sizes.sum())
+    total_bytes = total_rows * row_bytes
+    ledger = ctx.cluster.node(rank).memory
+
+    if total_bytes <= headroom:
+        pieces = [(0, schedule.n_chunks, total_rows)]
+    else:
+        max_piece_rows = headroom // row_bytes
+        pieces = (
+            _rechunk_boundaries(schedule.chunk_sizes, max_piece_rows)
+            if max_piece_rows > 0 else None
+        )
+        if pieces is None:
+            oom = OutOfMemoryError(
+                rank, ledger.current + total_bytes, ledger.capacity
+            )
+            if hasattr(oom, "add_note"):  # 3.11+
+                oom.add_note(
+                    f"async stripe fetch of {total_bytes} B cannot be "
+                    f"re-chunked into the {headroom} B left by injected "
+                    "memory pressure"
+                )
+            raise oom
+        resil.rechunked_stripes += 1
+        resil.rechunk_pieces += len(pieces)
+
+    async_comm = 0.0
+    sync_comm = 0.0
+    root_costs: List[Tuple[int, float]] = []
+    for piece_idx, (chunk_lo, chunk_hi, piece_rows) in enumerate(pieces):
+        if piece_idx:
+            # Streamed re-chunking: the previous piece's rows are
+            # consumed and released before the next piece arrives, so
+            # the ledger peak is one piece, not the whole stripe.
+            account.free(rank, "async_rows")
+        piece_bytes = piece_rows * row_bytes
+        piece_chunks = chunk_hi - chunk_lo
+        attempt = 0
+        while True:
+            if not faults.rget_attempt_fails(
+                rank, owner, request_seq, attempt
+            ):
+                ctx.mpi.deferred_rget_charge(
+                    rank, owner, piece_bytes, piece_chunks, "async_rows",
+                    f"async_rows:{piece_chunks}chunks", account,
+                )
+                async_comm += scale * net.rget_time(
+                    piece_bytes, n_chunks=piece_chunks
+                )
+                break
+            resil.rget_failures += 1
+            # The failed attempt burns its timeout budget: the full
+            # modeled transfer time before the failure is detected.
+            async_comm += scale * net.rget_time(
+                piece_bytes, n_chunks=piece_chunks
+            )
+            ctx.mpi.deferred_rget_failure(
+                rank, owner, piece_bytes,
+                f"async_rows:attempt{attempt}", account,
+            )
+            attempt += 1
+            if attempt >= cfg.rget_max_attempts:
+                # Retry budget exhausted: this piece degrades to the
+                # sync multicast lane (owner pushes the rows), at
+                # collective rates, still over the degraded link.
+                resil.lane_fallbacks += 1
+                ctx.mpi.deferred_fallback_multicast(
+                    owner, rank, piece_bytes, "async_rows",
+                    "async_rows:fallback", account,
+                )
+                cost = scale * net.bcast_time(piece_bytes, 1)
+                sync_comm += cost
+                root_costs.append((owner, cost))
+                break
+            backoff = cfg.rget_backoff_base * (2 ** (attempt - 1))
+            resil.retries += 1
+            resil.backoff_seconds += backoff
+            async_comm += backoff
+        request_seq += 1
+    return async_comm, sync_comm, root_costs, request_seq
 
 
 def _async_lane(
@@ -189,6 +341,7 @@ def _async_lane(
     compute = ctx.machine.compute
     k = ctx.k
     max_gap = max_coalescing_gap(k)
+    faults = ctx.cluster.faults
     # Resolve the knob once so one execution never mixes kernels.
     segmented = scatter_mode() == SCATTER_SEGMENTED
 
@@ -203,6 +356,18 @@ def _async_lane(
         c_block = ctx.C.block(rank)
         comm_seconds = 0.0
         comp_seconds = 0.0
+        sync_comm_seconds = 0.0
+        root_costs: List[Tuple[int, float]] = []
+        resil = ResilienceStats() if faults is not None else None
+        request_seq = 0
+        if faults is not None:
+            # The ledger is static while rank bodies run (deferred
+            # accounting replays after the pool joins), and every
+            # stripe frees its rows, so one headroom figure serves the
+            # whole body — deterministically, at any pool width.
+            ledger = ctx.cluster.node(rank).memory
+            headroom = ledger.capacity - ledger.current
+            skew = faults.compute_skew(rank)
         for stripe_idx, stripe in enumerate(
             rank_plan.async_matrix.stripes
         ):
@@ -226,19 +391,41 @@ def _async_lane(
                 )
             block = ctx.B.block(stripe.owner)
             rows = schedule.local_rows()
-            fetched = ctx.mpi.rget_row_chunks(
-                rank, stripe.owner, block,
-                schedule.chunk_offsets, schedule.chunk_sizes,
-                label="async_rows", rows=rows,
-                charge_time=False,
-                out=arena.request(
-                    "async_fetch", len(rows), block.shape[1], block.dtype
-                ),
-                account=account,
-            )
-            comm_seconds += net.rget_time(
-                int(fetched.nbytes), n_chunks=schedule.n_chunks
-            )
+            if faults is None:
+                fetched = ctx.mpi.rget_row_chunks(
+                    rank, stripe.owner, block,
+                    schedule.chunk_offsets, schedule.chunk_sizes,
+                    label="async_rows", rows=rows,
+                    charge_time=False,
+                    out=arena.request(
+                        "async_fetch", len(rows), block.shape[1],
+                        block.dtype,
+                    ),
+                    account=account,
+                )
+                comm_seconds += net.rget_time(
+                    int(fetched.nbytes), n_chunks=schedule.n_chunks
+                )
+            else:
+                # Data movement (host views cannot fail) is one gather;
+                # the simulated cost is modelled per piece/attempt.
+                fetched = np.take(
+                    block, rows, axis=0,
+                    out=arena.request(
+                        "async_fetch", len(rows), block.shape[1],
+                        block.dtype,
+                    ),
+                )
+                a_comm, s_comm, roots, request_seq = (
+                    _resilient_fetch_accounting(
+                        ctx, faults, rank, stripe.owner, schedule,
+                        int(block.shape[1] * block.itemsize), headroom,
+                        account, resil, request_seq,
+                    )
+                )
+                comm_seconds += a_comm
+                sync_comm_seconds += s_comm
+                root_costs.extend(roots)
             vals = stripe.nonzeros.vals
             nnz_live = stripe.nnz
             keep = None
@@ -273,12 +460,16 @@ def _async_lane(
                     arena.take_rows(fetched, packed, "async_gather"),
                     arena=arena, stats=scatter,
                 )
-            comp_seconds += compute.async_stripe_time(
+            stripe_comp = compute.async_stripe_time(
                 nnz_live, k, ctx.threads.async_comp, n_stripes=1
             )
+            if faults is not None:
+                stripe_comp *= skew
+            comp_seconds += stripe_comp
             account.free(rank, "async_rows")
         return _AsyncRankRecord(
-            account, cache, scatter, comm_seconds, comp_seconds
+            account, cache, scatter, comm_seconds, comp_seconds,
+            sync_comm_seconds, tuple(root_costs), resil,
         )
 
     records = pool.map(rank_body, ctx.n_nodes)
@@ -292,6 +483,11 @@ def _async_lane(
         node_breakdown.async_comm += (
             rec.comm_seconds / ctx.threads.async_comm
         )
+        if rec.resilience is not None:
+            RESILIENCE_STATS.merge_from(rec.resilience)
+            node_breakdown.sync_comm += rec.sync_comm_seconds
+            for owner, cost in rec.fallback_root_costs:
+                ctx.breakdown.node(owner).sync_comm += cost
 
 
 # ----------------------------------------------------------------------
@@ -305,6 +501,7 @@ def _sync_compute(
 ) -> None:
     compute = ctx.machine.compute
     k = ctx.k
+    faults = ctx.cluster.faults
 
     def rank_body(rank: int):
         rank_plan = plan.rank_plan(rank)
@@ -325,6 +522,8 @@ def _sync_compute(
             nnz_live, k, sync_local.nonempty_rows(),
             ctx.threads.sync_comp,
         ) + sync_local.n_panels * compute.panel_overhead
+        if faults is not None:
+            seconds *= faults.compute_skew(rank)
         return seconds, scatter
 
     records = pool.map(rank_body, ctx.n_nodes)

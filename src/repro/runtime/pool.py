@@ -45,6 +45,26 @@ PLAN_WORKERS_ENV = "REPRO_PLAN_WORKERS"
 T = TypeVar("T")
 
 
+def _annotate_rank(exc: BaseException, rank: int, workers: int) -> None:
+    """Attach the failing rank to an exception escaping a rank body.
+
+    Sets ``exc.rank`` (first annotation wins — a re-raised exception
+    keeps the rank that originally failed) and, where supported, adds a
+    human-readable note so tracebacks name the simulated rank rather
+    than an anonymous worker thread.
+    """
+    if getattr(exc, "rank", None) is not None:
+        return
+    try:
+        exc.rank = rank
+    except (AttributeError, TypeError):
+        return
+    if hasattr(exc, "add_note"):
+        exc.add_note(
+            f"raised in rank body {rank} (pool width {workers})"
+        )
+
+
 def _parse_workers(name: str, raw: str) -> int:
     try:
         workers = int(raw)
@@ -128,22 +148,35 @@ class ExecPool:
         any body raises, every body is still allowed to finish and the
         lowest-index exception is re-raised — the same exception a
         serial loop would have surfaced first.
+
+        An exception escaping a body is annotated with the failing
+        rank: ``exc.rank`` carries the index and (on Python >= 3.11) a
+        traceback note names it, so a failure in a 64-rank fan-out is
+        attributable without re-running serially.
         """
         if n_items < 0:
             raise ConfigurationError(f"n_items must be >= 0: {n_items}")
         self.stats.tasks += n_items
         if self.workers == 1 or n_items <= 1:
             self.stats.serial_batches += 1
-            return [body(i) for i in range(n_items)]
+            results: List[T] = []
+            for i in range(n_items):
+                try:
+                    results.append(body(i))
+                except BaseException as exc:
+                    _annotate_rank(exc, i, self.workers)
+                    raise
+            return results
         self.stats.parallel_batches += 1
         executor = self._ensure_executor()
         futures = [executor.submit(body, i) for i in range(n_items)]
         concurrent.futures.wait(futures)
-        results: List[T] = []
+        results = []
         first_exc: Optional[BaseException] = None
-        for future in futures:
+        for rank, future in enumerate(futures):
             exc = future.exception()
             if exc is not None:
+                _annotate_rank(exc, rank, self.workers)
                 if first_exc is None:
                     first_exc = exc
                 results.append(None)  # type: ignore[arg-type]

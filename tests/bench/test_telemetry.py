@@ -80,6 +80,39 @@ class TestPerfLog:
         assert cell.sync_csr_builds == 2
         reset_scatter_stats()
 
+    def test_resilience_snapshot_deltas(self):
+        from repro.cluster.faults import (
+            reset_resilience_stats,
+            resilience_stats,
+        )
+
+        reset_resilience_stats()
+        snap = resilience_stats().snapshot()
+        resilience_stats().rget_failures += 5
+        resilience_stats().retries += 3
+        resilience_stats().backoff_seconds += 0.25
+        resilience_stats().lane_fallbacks += 2
+        resilience_stats().rechunked_stripes += 1
+        resilience_stats().rechunk_pieces += 4
+        log = PerfLog(label="TEST")
+        cell = log.record_cell(
+            name="c", matrix="m", algorithm="a", k=8, n_nodes=4,
+            wall_seconds=None, simulated_seconds=None,
+            resilience_snapshot=snap,
+            events_dropped=7,
+        )
+        assert cell.fault_rget_failures == 5
+        assert cell.fault_retries == 3
+        assert cell.fault_backoff_seconds == pytest.approx(0.25)
+        assert cell.fault_lane_fallbacks == 2
+        assert cell.fault_rechunks == 1
+        assert cell.fault_rechunk_pieces == 4
+        assert cell.events_dropped == 7
+        reset_resilience_stats()
+
+    def test_schema_is_v5(self):
+        assert PERF_SCHEMA == "repro-perf/5"
+
     def test_document_schema(self):
         log = PerfLog(label="TEST")
         log.record_experiment("repeat", {"speedup": 2.5})

@@ -39,6 +39,37 @@ class TestSimMPIEvents:
             event.nbytes = 99
 
 
+class TestEventCap:
+    def test_overflow_counted_and_warned_once(
+        self, small_machine, monkeypatch
+    ):
+        import repro.cluster.simmpi as simmpi
+
+        monkeypatch.setattr(simmpi, "MAX_RECORDED_EVENTS", 3)
+        mpi = SimMPI(Cluster(small_machine))
+        data = np.ones((2, 2))
+        with pytest.warns(RuntimeWarning, match="events_dropped"):
+            for _ in range(5):
+                mpi.multicast(0, data, [1], label="x")
+        assert len(mpi.events) == 3
+        assert mpi.traffic.events_dropped == 2
+        # Counters still include the dropped operations.
+        assert mpi.traffic.collective_ops == 5
+        # Only the first drop warns.
+        import warnings
+
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            mpi.multicast(0, data, [1], label="x")
+        assert captured == []
+        assert mpi.traffic.events_dropped == 3
+
+    def test_under_cap_no_drops(self, small_machine):
+        mpi = SimMPI(Cluster(small_machine))
+        mpi.multicast(0, np.ones((2, 2)), [1], label="x")
+        assert mpi.traffic.events_dropped == 0
+
+
 class TestAlgorithmEvents:
     def test_twoface_event_kinds(self, inputs, small_machine):
         A, B = inputs

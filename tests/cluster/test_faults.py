@@ -1,0 +1,240 @@
+"""Tests for the deterministic fault-injection layer."""
+
+import math
+
+import pytest
+
+from repro.cluster.faults import (
+    FaultConfig,
+    FaultPlan,
+    ResilienceStats,
+    _u01,
+    compile_faults,
+    reset_resilience_stats,
+    resilience_stats,
+)
+from repro.errors import ConfigurationError
+
+
+class TestHash:
+    def test_u01_in_unit_interval(self):
+        for seed in (0, 1, 7, 2**31):
+            for keys in [(0,), (1, 2), (3, 4, 5, 6)]:
+                u = _u01(seed, *keys)
+                assert 0.0 <= u < 1.0
+
+    def test_u01_deterministic(self):
+        assert _u01(7, 1, 2, 3) == _u01(7, 1, 2, 3)
+
+    def test_u01_key_sensitivity(self):
+        base = _u01(7, 1, 2, 3)
+        assert _u01(8, 1, 2, 3) != base
+        assert _u01(7, 2, 2, 3) != base
+        assert _u01(7, 1, 2, 4) != base
+
+    def test_u01_roughly_uniform(self):
+        draws = [_u01(0, i) for i in range(4000)]
+        mean = sum(draws) / len(draws)
+        assert abs(mean - 0.5) < 0.02
+        assert sum(1 for d in draws if d < 0.1) / len(draws) == (
+            pytest.approx(0.1, abs=0.02)
+        )
+
+
+class TestFaultConfig:
+    def test_default_inactive(self):
+        assert not FaultConfig().active
+
+    def test_any_rate_activates(self):
+        assert FaultConfig(rget_failure_rate=0.1).active
+        assert FaultConfig(link_degradation_rate=0.1).active
+        assert FaultConfig(straggler_rate=0.1).active
+        assert FaultConfig(memory_pressure_rate=0.1).active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"seed": -1},
+            {"rget_max_attempts": 0},
+            {"rget_failure_rate": -0.1},
+            {"rget_failure_rate": 1.5},
+            {"rget_failure_rate": float("nan")},
+            {"link_degradation_rate": 2.0},
+            {"straggler_rate": float("inf")},
+            {"memory_pressure_rate": -1e-9},
+            {"link_degradation_factor": 0.5},
+            {"straggler_skew": 0.0},
+            {"straggler_skew": float("nan")},
+            {"rget_backoff_base": -1.0},
+            {"rget_backoff_base": float("inf")},
+            {"memory_pressure_fraction": 1.0},
+            {"memory_pressure_fraction": -0.1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**kwargs)
+
+    def test_from_intensity_sets_all_rates(self):
+        config = FaultConfig.from_intensity(0.25, seed=9)
+        assert config.seed == 9
+        assert config.rget_failure_rate == 0.25
+        assert config.link_degradation_rate == 0.25
+        assert config.straggler_rate == 0.25
+        assert config.memory_pressure_rate == 0.25
+
+    def test_from_intensity_overrides(self):
+        config = FaultConfig.from_intensity(
+            0.25, memory_pressure_rate=0.0, rget_max_attempts=2
+        )
+        assert config.memory_pressure_rate == 0.0
+        assert config.rget_max_attempts == 2
+        assert config.rget_failure_rate == 0.25
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, float("nan")])
+    def test_from_intensity_rejects_bad(self, bad):
+        with pytest.raises(ConfigurationError):
+            FaultConfig.from_intensity(bad)
+
+
+class TestCompile:
+    def test_none_stays_none(self):
+        assert compile_faults(None, 4) is None
+
+    def test_inactive_compiles_to_none(self):
+        assert compile_faults(FaultConfig(), 4) is None
+
+    def test_active_compiles_to_plan(self):
+        plan = compile_faults(FaultConfig(straggler_rate=0.5), 4)
+        assert isinstance(plan, FaultPlan)
+        assert plan.n_nodes == 4
+
+    def test_bad_n_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(FaultConfig(straggler_rate=0.5), 0)
+
+
+class TestFaultPlan:
+    def test_same_seed_same_plan(self):
+        config = FaultConfig.from_intensity(0.3, seed=11)
+        a = FaultPlan(config, 8)
+        b = FaultPlan(config, 8)
+        assert a.straggler_ranks() == b.straggler_ranks()
+        assert a.squeezed_ranks() == b.squeezed_ranks()
+        assert a.degraded_links() == b.degraded_links()
+
+    def test_different_seed_different_plan(self):
+        plans = [
+            FaultPlan(FaultConfig.from_intensity(0.5, seed=s), 16)
+            for s in range(8)
+        ]
+        signatures = {
+            (p.straggler_ranks(), p.degraded_links()) for p in plans
+        }
+        assert len(signatures) > 1
+
+    def test_rate_one_everything_fires(self):
+        plan = FaultPlan(FaultConfig.from_intensity(1.0, seed=0), 4)
+        assert plan.straggler_ranks() == (0, 1, 2, 3)
+        assert plan.squeezed_ranks() == (0, 1, 2, 3)
+        assert len(plan.degraded_links()) == 12  # all ordered pairs
+        assert plan.rget_attempt_fails(0, 1, 0, 0)
+
+    def test_rate_zero_nothing_fires(self):
+        config = FaultConfig(straggler_rate=0.5)  # active, others zero
+        plan = FaultPlan(config, 4)
+        assert plan.link_scale(0, 1) == 1.0
+        assert plan.worst_incoming_scale(2) == 1.0
+        assert plan.squeeze_fraction(0) == 0.0
+        assert not plan.rget_attempt_fails(0, 1, 0, 0)
+
+    def test_skew_values(self):
+        plan = FaultPlan(
+            FaultConfig(straggler_rate=1.0, straggler_skew=2.5), 4
+        )
+        assert all(plan.compute_skew(r) == 2.5 for r in range(4))
+
+    def test_link_scale_is_per_ordered_pair(self):
+        plan = FaultPlan(
+            FaultConfig(seed=3, link_degradation_rate=0.5), 16
+        )
+        links = set(plan.degraded_links())
+        assert links  # at rate .5 over 240 pairs this cannot be empty
+        asymmetric = [
+            (s, d) for (s, d) in links if (d, s) not in links
+        ]
+        assert asymmetric, "ordered links must degrade independently"
+        for src, dst in links:
+            assert plan.link_scale(src, dst) == 4.0
+        src, dst = asymmetric[0]
+        assert plan.link_scale(dst, src) == 1.0
+
+    def test_worst_incoming_scale(self):
+        plan = FaultPlan(
+            FaultConfig(seed=3, link_degradation_rate=0.5), 8
+        )
+        for rank in range(8):
+            incoming = [
+                plan.link_scale(src, rank)
+                for src in range(8) if src != rank
+            ]
+            assert plan.worst_incoming_scale(rank) == max(incoming)
+
+    def test_rget_decision_keyed_on_request_index(self):
+        plan = FaultPlan(
+            FaultConfig(seed=1, rget_failure_rate=0.5), 4
+        )
+        decisions = [
+            plan.rget_attempt_fails(0, 1, i, 0) for i in range(64)
+        ]
+        assert any(decisions) and not all(decisions)
+        assert decisions == [
+            plan.rget_attempt_fails(0, 1, i, 0) for i in range(64)
+        ]
+
+    def test_rget_rate_statistics(self):
+        plan = FaultPlan(
+            FaultConfig(seed=5, rget_failure_rate=0.2), 4
+        )
+        n = 5000
+        fails = sum(
+            plan.rget_attempt_fails(0, 1, i, 0) for i in range(n)
+        )
+        assert fails / n == pytest.approx(0.2, abs=0.02)
+
+    def test_describe_counts(self):
+        plan = FaultPlan(FaultConfig.from_intensity(1.0, seed=2), 4)
+        desc = plan.describe()
+        assert desc["seed"] == 2
+        assert desc["stragglers"] == 4
+        assert desc["squeezed_nodes"] == 4
+        assert desc["degraded_links"] == 12
+
+
+class TestResilienceStats:
+    def test_snapshot_merge_reset(self):
+        a = ResilienceStats(rget_failures=2, retries=1,
+                            backoff_seconds=0.5, lane_fallbacks=1,
+                            rechunked_stripes=1, rechunk_pieces=3)
+        b = ResilienceStats()
+        b.merge_from(a)
+        b.merge_from(a)
+        assert b.snapshot() == (4, 2, 1.0, 2, 2, 6)
+        b.reset()
+        assert b.snapshot() == (0, 0, 0.0, 0, 0, 0)
+
+    def test_as_dict_keys(self):
+        keys = set(ResilienceStats().as_dict())
+        assert keys == {
+            "rget_failures", "retries", "backoff_seconds",
+            "lane_fallbacks", "rechunked_stripes", "rechunk_pieces",
+        }
+
+    def test_global_reset(self):
+        resilience_stats().retries += 5
+        reset_resilience_stats()
+        assert resilience_stats().retries == 0
+
+    def test_math_isfinite_guard(self):
+        # Defensive: the config validators rely on math.isfinite.
+        assert math.isfinite(FaultConfig().rget_backoff_base)

@@ -70,9 +70,29 @@ class TestNetworkModel:
         with pytest.raises(ConfigurationError):
             NetworkModel().scaled(nonsense=2.0)
 
-    def test_negative_parameter_rejected(self):
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha_p2p": -1.0},
+            {"beta_p2p": float("nan")},
+            {"alpha_coll": float("inf")},
+            {"beta_coll": -1e-12},
+            {"alpha_rget": float("-inf")},
+            {"beta_rget": float("nan")},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
-            NetworkModel(alpha_p2p=-1.0)
+            NetworkModel(**kwargs)
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf")])
+    def test_scaled_invalid_factor_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            NetworkModel().scaled(beta_rget=bad)
+
+    def test_zero_parameter_allowed(self):
+        # Zero-cost terms are valid (e.g. idealised-latency studies).
+        assert NetworkModel(alpha_p2p=0.0).p2p_time(0) == 0.0
 
 
 class TestComputeModel:
@@ -126,3 +146,22 @@ class TestComputeModel:
     def test_scaled_unknown(self):
         with pytest.raises(ConfigurationError):
             ComputeModel().scaled(bogus=1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fma_time": -1.0},
+            {"fma_time": float("nan")},
+            {"atomic_time": float("inf")},
+            {"stripe_overhead": -1e-12},
+            {"panel_overhead": float("nan")},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ComputeModel(**kwargs)
+
+    @pytest.mark.parametrize("bad", [-2.0, float("nan"), float("inf")])
+    def test_scaled_invalid_factor_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            ComputeModel().scaled(fma_time=bad)

@@ -135,6 +135,38 @@ class TestExecPool:
                 pool.map(body, 4)
         assert sorted(done) == [1, 2, 3]
 
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_exception_carries_failing_rank(self, workers):
+        def body(i):
+            if i == 2:
+                raise PartitionError("boom")
+            return i
+
+        with ExecPool(workers=workers) as pool:
+            with pytest.raises(PartitionError) as excinfo:
+                pool.map(body, 5)
+        assert excinfo.value.rank == 2
+        if hasattr(excinfo.value, "__notes__"):
+            assert any(
+                "rank body 2" in note
+                for note in excinfo.value.__notes__
+            )
+
+    def test_reraised_exception_keeps_original_rank(self):
+        """A body that re-raises a caught exception must not have the
+        annotation overwritten by the re-raising rank."""
+        shared = ValueError("one instance")
+
+        def body(i):
+            if i in (1, 3):
+                raise shared
+            return i
+
+        with ExecPool(workers=4) as pool:
+            with pytest.raises(ValueError) as excinfo:
+                pool.map(body, 5)
+        assert excinfo.value.rank in (1, 3)
+
     def test_zero_items(self):
         assert ExecPool(workers=2).map(lambda i: i, 0) == []
 

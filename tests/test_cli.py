@@ -102,3 +102,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "train accuracy" in out
+
+    def test_chaos(self, capsys, tmp_path):
+        out_path = tmp_path / "chaos.json"
+        code = main(
+            ["chaos", "--matrix", "web", "--k", "8", "--nodes", "4",
+             "--size", "tiny", "--seed", "7", "--intensity", "0.2",
+             "--out", str(out_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos sweep" in out
+        assert "exact" in out
+        assert "WRONG" not in out
+
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro-perf/5"
+        assert len(doc["cells"]) == 3  # intensities 0, half, full
+        top = doc["cells"][-1]
+        assert top["fault_rget_failures"] >= 0
+        assert {"fault_retries", "fault_lane_fallbacks",
+                "fault_rechunks"} <= set(top)
+
+    def test_chaos_negative_intensity_rejected(self, capsys):
+        code = main(
+            ["chaos", "--size", "tiny", "--nodes", "4", "--k", "8",
+             "--intensity", "-0.5"]
+        )
+        assert code == 2
+        assert "non-negative" in capsys.readouterr().out
