@@ -38,7 +38,12 @@ class TwoFace(DistSpMMAlgorithm):
             the process-global ``REPRO_PLAN_CACHE``-configured cache
             (disabled when the variable is unset), None forces a cold
             build, or pass an explicit
-            :class:`~repro.core.plancache.PlanCache`.
+            :class:`~repro.core.plancache.PlanCache` (or a per-tenant
+            :class:`~repro.core.plancache.PlanCacheNamespace`).
+        classify_k: pin stripe classification at this dense width
+            regardless of the run's actual K (serving's K-panel fusion
+            needs plans for every fused width to accumulate ``C`` in
+            one canonical order; see DESIGN.md §8).
     """
 
     name = "TwoFace"
@@ -53,6 +58,7 @@ class TwoFace(DistSpMMAlgorithm):
         classify_override=None,
         mask=None,
         plan_cache: PlanCacheLike = AUTO,
+        classify_k: Optional[int] = None,
     ):
         if mask is not None and plan is None:
             raise PartitionError(
@@ -66,6 +72,7 @@ class TwoFace(DistSpMMAlgorithm):
         self.classify_override = classify_override
         self.mask = mask
         self.plan_cache = plan_cache
+        self.classify_k = classify_k
         self.last_plan: Optional[TwoFacePlan] = None
         self.last_report: Optional[PreprocessReport] = None
 
@@ -92,6 +99,7 @@ class TwoFace(DistSpMMAlgorithm):
                 force_all_sync=self.force_all_sync,
                 classify_override=self.classify_override,
                 cache=self.plan_cache,
+                classify_k=self.classify_k,
             )
             self.last_report = report
         self.last_plan = plan

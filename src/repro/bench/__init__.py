@@ -10,7 +10,14 @@ from .harness import (
     sweep_records,
 )
 from .reporting import format_cell, format_table, print_table
-from .telemetry import PERF_SCHEMA, PerfCell, PerfLog, load_perf_json
+from .telemetry import (
+    PERF_SCHEMA,
+    PerfCell,
+    PerfLog,
+    latency_summary,
+    load_perf_json,
+    percentile,
+)
 
 __all__ = [
     "ExperimentHarness",
@@ -22,8 +29,10 @@ __all__ = [
     "bench_workers_from_env",
     "format_cell",
     "format_table",
+    "latency_summary",
     "load_perf_json",
     "load_sweep_json",
+    "percentile",
     "print_table",
     "save_sweep_json",
     "sweep_records",

@@ -92,6 +92,24 @@ class SweepResult:
             rows.append(row)
         return rows
 
+    def seconds_summary(self, algorithm: str) -> Dict[str, float]:
+        """p50/p95/p99 simulated seconds of one algorithm's column.
+
+        Uses the shared percentile helpers from
+        :mod:`repro.bench.telemetry` (the same aggregation path as
+        serving latency) over the matrices that completed; failed
+        (OOM) cells are excluded.
+        """
+        from .telemetry import latency_summary
+
+        seconds = [
+            result.seconds
+            for by_algo in self.results.values()
+            for name, result in by_algo.items()
+            if name == algorithm and not result.failed
+        ]
+        return latency_summary(seconds)
+
 
 class ExperimentHarness:
     """Caches matrices/inputs and runs algorithm sweeps.

@@ -7,10 +7,11 @@ schema (see the README's "Benchmark telemetry" section):
 
 ```
 {
-  "schema": "repro-perf/5",
+  "schema": "repro-perf/6",
   "label": "<free-form document label, e.g. BENCH_PR4>",
   "cells": [
-    {"name": ..., "matrix": ..., "algorithm": ..., "k": ...,
+    {"schema": "repro-perf/6",
+     "name": ..., "matrix": ..., "algorithm": ..., "k": ...,
      "n_nodes": ..., "wall_seconds": ..., "simulated_seconds": ...,
      "cache_hits": ..., "cache_recomputes": ...,
      "arena_hits": ..., "arena_grows": ...,
@@ -21,7 +22,13 @@ schema (see the README's "Benchmark telemetry" section):
      "fault_rget_failures": ..., "fault_retries": ...,
      "fault_backoff_seconds": ..., "fault_lane_fallbacks": ...,
      "fault_rechunks": ..., "fault_rechunk_pieces": ...,
-     "events_dropped": ...},
+     "events_dropped": ...,
+     "serve_requests": ..., "serve_completed": ...,
+     "serve_rejected": ..., "serve_failed": ...,
+     "serve_batches": ..., "serve_fusion_factor": ...,
+     "serve_p50_latency": ..., "serve_p99_latency": ...,
+     "serve_requests_per_sec": ..., "serve_peak_queue_depth": ...,
+     "serve_deadline_misses": ...},
     ...
   ],
   "experiments": {"<name>": {...free-form...}, ...}
@@ -48,6 +55,16 @@ the backoff seconds they cost, sync-lane fallbacks, and stripe
 re-chunks under memory pressure; ``events_dropped`` counts comm events
 lost to the per-run recording cap so a truncated event log is visible
 rather than silent).
+
+Schema ``repro-perf/6`` adds the serving layer (:mod:`repro.serve`):
+every emitted cell record carries its own ``schema`` field so chaos
+and serve logs are self-describing when records are compared across
+documents, and the ``serve_*`` fields record one trace replay —
+request/batch counts, the fusion factor (completed requests per fused
+SpMM), p50/p99 simulated latency, simulated requests/sec, the peak
+admission-queue depth, and deadline misses.  The shared percentile
+helpers (:func:`percentile`, :func:`latency_summary`) are the one
+aggregation path for serving latency and sweep summaries.
 """
 
 from __future__ import annotations
@@ -56,13 +73,43 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
+import numpy as np
+
 from ..cluster.buffers import arena_stats
 from ..cluster.faults import resilience_stats
 from ..core.formats import transfer_cache_stats
 from ..core.plancache import plan_cache_stats
 from ..sparse.ops import scatter_stats
 
-PERF_SCHEMA = "repro-perf/5"
+PERF_SCHEMA = "repro-perf/6"
+
+
+# ----------------------------------------------------------------------
+# Shared percentile helpers (serving latency, sweep summaries)
+# ----------------------------------------------------------------------
+def percentile(values, q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    The single aggregation routine behind every latency/summary
+    percentile in the repo (serving p50/p99, sweep summaries, matrix
+    bandwidth stats) so documents stay comparable across PRs.  Returns
+    NaN for an empty input — the table renderer shows it as missing.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100]: {q}")
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q))
+
+
+def latency_summary(values) -> Dict[str, float]:
+    """p50/p95/p99 of ``values`` as a dict (NaN entries when empty)."""
+    return {
+        "p50": percentile(values, 50.0),
+        "p95": percentile(values, 95.0),
+        "p99": percentile(values, 99.0),
+    }
 
 
 @dataclass
@@ -96,6 +143,17 @@ class PerfCell:
     fault_rechunks: int = 0
     fault_rechunk_pieces: int = 0
     events_dropped: int = 0
+    serve_requests: int = 0
+    serve_completed: int = 0
+    serve_rejected: int = 0
+    serve_failed: int = 0
+    serve_batches: int = 0
+    serve_fusion_factor: float = 0.0
+    serve_p50_latency: float = 0.0
+    serve_p99_latency: float = 0.0
+    serve_requests_per_sec: float = 0.0
+    serve_peak_queue_depth: int = 0
+    serve_deadline_misses: int = 0
 
 
 @dataclass
@@ -213,15 +271,75 @@ class PerfLog:
         self.cells.append(cell)
         return cell
 
+    def record_serve_cell(
+        self,
+        name: str,
+        matrix: str,
+        algorithm: str,
+        k: int,
+        n_nodes: int,
+        serving: Dict[str, Any],
+        wall_seconds: Optional[float] = None,
+        simulated_seconds: Optional[float] = None,
+    ) -> PerfCell:
+        """Append one serving-replay cell.
+
+        Args:
+            serving: a summary dict as produced by
+                ``repro.serve.ServeReport.serving_summary()`` — any of
+                the ``serve_*`` field names (without the prefix) are
+                picked up: ``requests``, ``completed``, ``rejected``,
+                ``failed``, ``batches``, ``fusion_factor``,
+                ``p50_latency``, ``p99_latency``, ``requests_per_sec``,
+                ``peak_queue_depth``, ``deadline_misses``.  Unknown
+                keys are ignored so the summary can carry extra detail
+                for ``experiments`` records.
+            simulated_seconds: defaults to the summary's ``makespan``.
+        """
+        if simulated_seconds is None:
+            simulated_seconds = serving.get("makespan")
+        cell = PerfCell(
+            name=name,
+            matrix=matrix,
+            algorithm=algorithm,
+            k=k,
+            n_nodes=n_nodes,
+            wall_seconds=wall_seconds,
+            simulated_seconds=simulated_seconds,
+            serve_requests=int(serving.get("requests", 0)),
+            serve_completed=int(serving.get("completed", 0)),
+            serve_rejected=int(serving.get("rejected", 0)),
+            serve_failed=int(serving.get("failed", 0)),
+            serve_batches=int(serving.get("batches", 0)),
+            serve_fusion_factor=float(serving.get("fusion_factor", 0.0)),
+            serve_p50_latency=float(serving.get("p50_latency", 0.0)),
+            serve_p99_latency=float(serving.get("p99_latency", 0.0)),
+            serve_requests_per_sec=float(
+                serving.get("requests_per_sec", 0.0)
+            ),
+            serve_peak_queue_depth=int(
+                serving.get("peak_queue_depth", 0)
+            ),
+            serve_deadline_misses=int(serving.get("deadline_misses", 0)),
+        )
+        self.cells.append(cell)
+        return cell
+
     def record_experiment(self, name: str, payload: Dict[str, Any]) -> None:
         """Attach a free-form experiment record (e.g. a repeat bench)."""
         self.experiments[name] = payload
 
     def to_document(self) -> Dict[str, Any]:
+        # Each cell record repeats the schema tag so a record copied
+        # out of its document (chaos logs, serve logs, spreadsheets)
+        # stays self-describing and comparable across PRs.
         return {
             "schema": PERF_SCHEMA,
             "label": self.label,
-            "cells": [asdict(cell) for cell in self.cells],
+            "cells": [
+                {"schema": PERF_SCHEMA, **asdict(cell)}
+                for cell in self.cells
+            ],
             "experiments": self.experiments,
         }
 

@@ -10,6 +10,9 @@ Commands:
 * ``gnn``       — full-graph GCN training demo with amortisation report.
 * ``chaos``     — deterministic fault-injection sweep: verify the
   resilient lanes keep the answer exact while faults slow the clock.
+* ``serve``     — replay a synthetic multi-tenant request trace through
+  the serving scheduler, fused (K-panel batching) vs serial, and check
+  the fused outputs are byte-identical.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from .algorithms import FIGURE_ALGORITHMS, algorithm_names
 from .bench import ExperimentHarness, print_table
 from .cluster import MachineConfig
 from .core import calibrate
+from .serve.traces import TRACE_KINDS
 from .sparse import compute_stats, suite
 
 
@@ -126,7 +130,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--out", default=None,
-        help="write a repro-perf/5 telemetry JSON to this path",
+        help="write a repro-perf/6 telemetry JSON to this path",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="multi-tenant serving replay: fused vs serial"
+    )
+    serve.add_argument(
+        "--trace", default="hot", choices=list(TRACE_KINDS),
+        help="synthetic trace kind (traces are seeded, hence replayable)",
+    )
+    serve.add_argument(
+        "--matrices", nargs="+", default=["kmer"],
+        choices=suite.matrix_names(),
+        help="matrix pool; the hot trace skews onto the first one",
+    )
+    serve.add_argument("--requests", type=int, default=48)
+    serve.add_argument("--k", type=int, default=8,
+                       help="dense width of each request's block")
+    serve.add_argument("--nodes", type=int, default=16)
+    serve.add_argument(
+        "--size", default="tiny", choices=list(suite.SIZE_CLASSES)
+    )
+    serve.add_argument("--seed", type=int, default=7, help="trace seed")
+    serve.add_argument(
+        "--burst-gap", type=float, default=0.02,
+        help="simulated seconds between bursts (bursty/hot traces)",
+    )
+    serve.add_argument("--max-fused-k", type=int, default=64)
+    serve.add_argument("--max-batch-delay", type=float, default=0.05)
+    serve.add_argument("--max-queue-depth", type=int, default=256)
+    serve.add_argument(
+        "--require-speedup", type=float, default=None,
+        help="exit 1 unless fused/serial requests-per-sec >= this",
+    )
+    serve.add_argument(
+        "--out", default=None,
+        help="write a repro-perf/6 telemetry JSON to this path",
     )
     return parser
 
@@ -168,6 +208,17 @@ def cmd_sweep(args) -> int:
         ["matrix"] + [f"{a} (x)" for a in FIGURE_ALGORITHMS],
         sweep.speedup_rows(FIGURE_ALGORITHMS, baseline="DS2"),
         title=f"speedup over DS2, K={args.k}, p={args.nodes}",
+    )
+    summary_rows = []
+    for algorithm in FIGURE_ALGORITHMS:
+        summary = sweep.seconds_summary(algorithm)
+        summary_rows.append(
+            [algorithm, summary["p50"], summary["p95"], summary["p99"]]
+        )
+    print_table(
+        ["algorithm", "p50 s", "p95 s", "p99 s"],
+        summary_rows,
+        title="simulated seconds across matrices (shared percentiles)",
     )
     return 0
 
@@ -374,6 +425,105 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import time
+
+    from .bench.telemetry import PerfLog
+    from .serve import DONE, ServePolicy, ServeScheduler, make_trace
+
+    matrices = {
+        name: suite.load(name, size=args.size) for name in args.matrices
+    }
+    trace_kwargs = dict(
+        n_requests=args.requests, k=args.k, seed=args.seed,
+    )
+    if args.trace in ("bursty", "hot"):
+        trace_kwargs["burst_gap"] = args.burst_gap
+    trace = make_trace(args.trace, matrices, **trace_kwargs)
+    policy = ServePolicy(
+        max_fused_k=args.max_fused_k,
+        max_batch_delay=args.max_batch_delay,
+        max_queue_depth=args.max_queue_depth,
+    )
+    machine = MachineConfig(n_nodes=args.nodes)
+
+    reports = {}
+    walls = {}
+    for mode, fuse in (("fused", True), ("serial", False)):
+        scheduler = ServeScheduler(machine, matrices, policy=policy)
+        started = time.perf_counter()
+        reports[mode] = scheduler.serve(trace, fuse=fuse)
+        walls[mode] = time.perf_counter() - started
+    fused, serial = reports["fused"], reports["serial"]
+    fs, ss = fused.serving_summary(), serial.serving_summary()
+
+    mismatched = []
+    for fo, so in zip(fused.outcomes, serial.outcomes):
+        if fo.status != so.status:
+            mismatched.append(fo.request_id)
+        elif fo.status == DONE and fo.C.tobytes() != so.C.tobytes():
+            mismatched.append(fo.request_id)
+
+    rows = []
+    for metric in (
+        "completed", "rejected", "failed", "batches", "fusion_factor",
+        "p50_latency", "p99_latency", "requests_per_sec",
+        "peak_queue_depth", "deadline_misses", "makespan",
+    ):
+        rows.append([metric, fs[metric], ss[metric]])
+    print_table(
+        ["metric", "fused", "serial"],
+        rows,
+        title=(
+            f"{args.trace} trace: {args.requests} requests, K={args.k}, "
+            f"p={args.nodes}, max fused K={args.max_fused_k}"
+        ),
+    )
+    speedup = (
+        fs["requests_per_sec"] / ss["requests_per_sec"]
+        if ss["requests_per_sec"] > 0 else float("nan")
+    )
+    print(f"fused/serial requests-per-sec speedup: {speedup:.2f}x")
+    if mismatched:
+        print(
+            "FAILURE: fused outputs differ from unbatched execution "
+            f"for requests {mismatched[:8]}"
+        )
+    else:
+        print("fused output slices are byte-identical to serial replay")
+
+    if args.out is not None:
+        log = PerfLog(label=f"serve-{args.trace}")
+        for mode, report in reports.items():
+            log.record_serve_cell(
+                name=f"serve-{args.trace}-{mode}",
+                matrix=",".join(sorted(matrices)),
+                algorithm=f"TwoFace/{mode}",
+                k=args.k,
+                n_nodes=args.nodes,
+                serving=report.serving_summary(),
+                wall_seconds=walls[mode],
+            )
+        log.record_experiment(
+            "speedup",
+            {"requests_per_sec": speedup, "byte_identical": not mismatched},
+        )
+        log.write(args.out)
+        print(f"telemetry written to {args.out}")
+
+    if mismatched:
+        return 1
+    if args.require_speedup is not None and not (
+        speedup >= args.require_speedup
+    ):
+        print(
+            f"FAILURE: fused speedup {speedup:.2f}x below required "
+            f"{args.require_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "run": cmd_run,
     "sweep": cmd_sweep,
@@ -382,6 +532,7 @@ _COMMANDS = {
     "stats": cmd_stats,
     "gnn": cmd_gnn,
     "chaos": cmd_chaos,
+    "serve": cmd_serve,
 }
 
 

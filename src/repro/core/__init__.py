@@ -25,6 +25,7 @@ from .model import PAPER_TABLE3, SIM_CALIBRATED, CostCoefficients
 from .plan import RankPlan, TwoFacePlan
 from .plancache import (
     PlanCache,
+    PlanCacheNamespace,
     PlanCacheStats,
     cached_preprocess,
     configure_plan_cache,
@@ -62,6 +63,7 @@ __all__ = [
     "PAPER_TABLE3",
     "SIM_CALIBRATED",
     "PlanCache",
+    "PlanCacheNamespace",
     "PlanCacheStats",
     "PreprocessCostModel",
     "PreprocessReport",

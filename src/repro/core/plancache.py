@@ -18,6 +18,8 @@ Key derivation (see also DESIGN.md §7): SHA-256 over
 * ``k``, ``stripe_width``, ``panel_height``,
 * the six :class:`~repro.core.model.CostCoefficients` (hex-exact),
 * the force/override classification flags,
+* the ``classify_k`` classification pin (normalised: pinning at ``k``
+  itself hashes like no pin at all),
 * the machine memory capacity (the §6.3 memory fallback consumes it),
 * ``PLAN_FORMAT_VERSION`` — bumping the serialisation format
   invalidates every existing entry.
@@ -162,14 +164,20 @@ def plan_cache_key(
     machine: Optional[MachineConfig] = None,
     force_all_async: bool = False,
     force_all_sync: bool = False,
+    classify_k: Optional[int] = None,
 ) -> str:
     """Content hash of every input that shapes the resulting plan.
 
     Two ``preprocess`` calls produce bitwise-identical plans iff their
     keys match; anything that can change a classification or a built
     matrix participates (see the module docstring for the full list).
+    A ``classify_k`` equal to ``k`` (or None) normalises to the unpinned
+    key — pinning classification at the run's own width changes
+    nothing, so both spellings share one entry.
     """
     coeffs = coeffs if coeffs is not None else CostCoefficients()
+    if classify_k == k:
+        classify_k = None
     parts = [
         f"fmt{PLAN_FORMAT_VERSION}",
         matrix_content_digest(A.global_matrix),
@@ -187,6 +195,8 @@ def plan_cache_key(
         f"fs{int(force_all_sync)}",
         # The §6.3 memory fallback flips stripes based on capacity.
         f"mem{-1 if machine is None else machine.memory_capacity}",
+        # Serving's K-panel fusion pins classification at one width.
+        f"ck{-1 if classify_k is None else classify_k}",
     ]
     return hashlib.sha256("|".join(parts).encode("ascii")).hexdigest()
 
@@ -242,20 +252,11 @@ class PlanCache:
                 self._memory.move_to_end(key)
                 self.stats.hits += 1
                 return plan
-        path = self.entry_path(key)
-        if path is not None and path.exists():
-            try:
-                plan = load_plan(path)
-            except (FormatError, OSError, ValueError):
-                self.stats.invalidations += 1
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
-            else:
-                self.stats.hits += 1
-                self._remember(key, plan)
-                return plan
+        plan = self._disk_load(key, self.stats)
+        if plan is not None:
+            self.stats.hits += 1
+            self._remember(key, plan)
+            return plan
         self.stats.misses += 1
         return None
 
@@ -267,20 +268,50 @@ class PlanCache:
         reader (or a crash mid-write) never observes a torn entry.
         """
         self._remember(key, plan)
-        path = self.entry_path(key)
-        if path is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f"{ENTRY_SUFFIX}.tmp{os.getpid()}")
-            try:
-                save_plan(plan, tmp)
-                os.replace(tmp, path)
-            finally:
-                if tmp.exists():
-                    try:
-                        tmp.unlink()
-                    except OSError:
-                        pass
+        self._disk_store(key, plan)
         self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+    def _disk_load(
+        self, key: str, stats: PlanCacheStats
+    ) -> Optional[TwoFacePlan]:
+        """Load ``key`` from the disk layer (shared with namespaces).
+
+        Corrupt or truncated entries are deleted and counted as an
+        invalidation against ``stats``; the caller then treats the
+        lookup as a miss.  No hit/miss counters are touched here — the
+        caller attributes them (a tenant namespace attributes them to
+        its own sink).
+        """
+        path = self.entry_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            return load_plan(path)
+        except (FormatError, OSError, ValueError):
+            stats.invalidations += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _disk_store(self, key: str, plan: TwoFacePlan) -> None:
+        """Atomically write ``key`` to the disk layer (if any)."""
+        path = self.entry_path(key)
+        if path is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f"{ENTRY_SUFFIX}.tmp{os.getpid()}")
+        try:
+            save_plan(plan, tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
 
     def clear(self, disk: bool = False) -> None:
         """Drop the memory layer (and the disk entries when asked)."""
@@ -298,6 +329,95 @@ class PlanCache:
             return len(self._memory)
 
     # ------------------------------------------------------------------
+    def _remember(self, key: str, plan: TwoFacePlan) -> None:
+        if self.max_memory_entries == 0:
+            return
+        with self._lock:
+            self._memory[key] = plan
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
+
+
+# ----------------------------------------------------------------------
+# Per-tenant namespaces (serving layer)
+# ----------------------------------------------------------------------
+class PlanCacheNamespace:
+    """A tenant-scoped view over a shared :class:`PlanCache`.
+
+    The serving layer (:mod:`repro.serve`) gives every tenant its own
+    namespace.  Content addressing means two tenants planning the same
+    (matrix, K, config) produce the *same* key, so the expensive disk
+    entry is written once and shared — but each namespace keeps its own
+    in-memory LRU layer and its own :class:`PlanCacheStats` sink, so one
+    tenant's working set can neither evict another's hot plans nor
+    pollute another's hit-rate accounting.
+
+    Args:
+        parent: the shared cache whose disk layer is reused.  A
+            memory-only parent still isolates tenants; they simply have
+            nothing to share.
+        tenant: namespace label (surfaced in serving telemetry).
+        max_memory_entries: per-tenant LRU capacity; 0 disables the
+            namespace memory layer (every hit deserialises from disk).
+        stats: counter sink; defaults to a fresh namespace-local
+            :class:`PlanCacheStats` (NOT the process-global one).
+    """
+
+    def __init__(
+        self,
+        parent: PlanCache,
+        tenant: str,
+        max_memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        stats: Optional[PlanCacheStats] = None,
+    ):
+        if not isinstance(parent, PlanCache):
+            raise ConfigurationError(
+                f"namespace parent must be a PlanCache: {parent!r}"
+            )
+        if max_memory_entries < 0:
+            raise ConfigurationError(
+                f"max_memory_entries must be >= 0: {max_memory_entries}"
+            )
+        self.parent = parent
+        self.tenant = tenant
+        self.max_memory_entries = max_memory_entries
+        self.stats = stats if stats is not None else PlanCacheStats()
+        self._memory: "OrderedDict[str, TwoFacePlan]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        """The shared disk directory (None for memory-only parents)."""
+        return self.parent.cache_dir
+
+    def get(self, key: str) -> Optional[TwoFacePlan]:
+        """The cached plan for ``key``, counted against this tenant."""
+        with self._lock:
+            plan = self._memory.get(key)
+            if plan is not None:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                return plan
+        plan = self.parent._disk_load(key, self.stats)
+        if plan is not None:
+            self.stats.hits += 1
+            self._remember(key, plan)
+            return plan
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, plan: TwoFacePlan) -> None:
+        """Store ``plan``: tenant LRU + the shared disk layer."""
+        self._remember(key, plan)
+        self.parent._disk_store(key, plan)
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
     def _remember(self, key: str, plan: TwoFacePlan) -> None:
         if self.max_memory_entries == 0:
             return
@@ -367,12 +487,18 @@ def reset_plan_cache() -> None:
 AUTO = "auto"
 
 #: Type accepted wherever a cache can be supplied.
-PlanCacheLike = Union[None, str, PlanCache]
+PlanCacheLike = Union[None, str, PlanCache, PlanCacheNamespace]
 
 
-def resolve_plan_cache(cache: PlanCacheLike = AUTO) -> Optional[PlanCache]:
-    """Normalise a cache argument: AUTO → global, None → disabled."""
-    if cache is None or isinstance(cache, PlanCache):
+def resolve_plan_cache(
+    cache: PlanCacheLike = AUTO,
+) -> Union[None, PlanCache, PlanCacheNamespace]:
+    """Normalise a cache argument: AUTO → global, None → disabled.
+
+    Tenant namespaces pass through unchanged — they share the
+    get/put surface of :class:`PlanCache`.
+    """
+    if cache is None or isinstance(cache, (PlanCache, PlanCacheNamespace)):
         return cache
     if cache == AUTO:
         return get_plan_cache()
@@ -395,6 +521,7 @@ def cached_preprocess(
     classify_override: Optional[Callable] = None,
     plan_workers: Optional[int] = None,
     cache: PlanCacheLike = AUTO,
+    classify_k: Optional[int] = None,
 ) -> Tuple[TwoFacePlan, PreprocessReport]:
     """:func:`~repro.core.preprocess.preprocess` behind the plan cache.
 
@@ -416,11 +543,12 @@ def cached_preprocess(
             force_all_sync=force_all_sync,
             classify_override=classify_override,
             plan_workers=plan_workers,
+            classify_k=classify_k,
         )
     key = plan_cache_key(
         A, k, stripe_width, panel_height=panel_height, coeffs=coeffs,
         machine=machine, force_all_async=force_all_async,
-        force_all_sync=force_all_sync,
+        force_all_sync=force_all_sync, classify_k=classify_k,
     )
     started = time.perf_counter()
     plan = cache.get(key)
@@ -434,7 +562,7 @@ def cached_preprocess(
         A, k, stripe_width, coeffs=coeffs, machine=machine,
         panel_height=panel_height, cost_model=cost_model,
         force_all_async=force_all_async, force_all_sync=force_all_sync,
-        plan_workers=plan_workers,
+        plan_workers=plan_workers, classify_k=classify_k,
     )
     cache.put(key, plan)
     return plan, report

@@ -117,6 +117,7 @@ def preprocess(
     force_all_sync: bool = False,
     classify_override: Optional[Callable] = None,
     plan_workers: Optional[int] = None,
+    classify_k: Optional[int] = None,
 ) -> Tuple[TwoFacePlan, PreprocessReport]:
     """Classify stripes and build the Two-Face representation.
 
@@ -145,6 +146,14 @@ def preprocess(
         plan_workers: planning pool width; defaults to
             ``REPRO_PLAN_WORKERS`` (itself defaulting to
             ``REPRO_EXEC_WORKERS``; 1 = serial).
+        classify_k: when set, score and classify stripes (and evaluate
+            the §6.3 memory fallback) *as if* the dense width were this
+            value, while transfer schedules and execution still target
+            the real ``k``.  Pinning the classification at one
+            canonical width makes plans built for different widths
+            accumulate into ``C`` in the same order — the property the
+            serving layer's K-panel fusion relies on for byte-identical
+            per-request output slices (DESIGN.md §8).
 
     Returns:
         ``(plan, report)``.
@@ -163,6 +172,11 @@ def preprocess(
         raise ConfigurationError(
             f"panel height must be positive: {panel_height}"
         )
+    if classify_k is not None and classify_k <= 0:
+        raise ConfigurationError(
+            f"classify_k must be positive: {classify_k}"
+        )
+    score_k = k if classify_k is None else classify_k
     coeffs = coeffs if coeffs is not None else CostCoefficients()
     cost_model = cost_model if cost_model is not None else PreprocessCostModel()
     n, m = A.shape
@@ -184,16 +198,18 @@ def preprocess(
 
         budget = None
         if machine is not None:
-            budget = _sync_memory_budget(machine, A, rank, k)
+            budget = _sync_memory_budget(machine, A, rank, score_k)
         classification = classify_rank_stripes(
-            stats, geometry, coeffs, k, sync_memory_budget=budget
+            stats, geometry, coeffs, score_k, sync_memory_budget=budget
         )
         if force_all_async:
             classification = _force_mask(stats, classification, all_async=True)
         elif force_all_sync:
             classification = _force_mask(stats, classification, all_async=False)
         elif classify_override is not None:
-            mask = np.asarray(classify_override(stats, geometry, k), dtype=bool)
+            mask = np.asarray(
+                classify_override(stats, geometry, score_k), dtype=bool
+            )
             classification = _masked_classification(stats, classification, mask)
 
         # Selection arrays into the slab's nonzero storage.

@@ -26,6 +26,10 @@ from ..sparse.coo import COOMatrix
 from ..sparse.ops import scatter_stats
 from ..sparse.suite import stripe_width_for
 
+#: Sentinel distinguishing "use the engine's cache" from an explicit
+#: None (= disable persistent caching for this multiply).
+_ENGINE_DEFAULT = object()
+
 
 class DistSpMMEngine:
     """Runs repeated distributed SpMMs against one sparse matrix.
@@ -42,6 +46,11 @@ class DistSpMMEngine:
             default AUTO resolves the ``REPRO_PLAN_CACHE``-configured
             process-global cache, None disables persistent caching (the
             engine's own per-K plan reuse is unaffected).
+        classify_k: pin stripe classification at this dense width for
+            every multiply regardless of its actual K.  The serving
+            layer uses this so a fused K-panel and each request's
+            unbatched run accumulate ``C`` in the same order — the
+            byte-identity guarantee of DESIGN.md §8.
     """
 
     def __init__(
@@ -52,6 +61,7 @@ class DistSpMMEngine:
         coeffs: Optional[CostCoefficients] = None,
         algorithm_factory=None,
         plan_cache: PlanCacheLike = AUTO,
+        classify_k: Optional[int] = None,
     ):
         self.A = A
         self.machine = machine
@@ -59,6 +69,7 @@ class DistSpMMEngine:
         self.coeffs = coeffs
         self._factory = algorithm_factory
         self.plan_cache = plan_cache
+        self.classify_k = classify_k
         self._plans: Dict[int, object] = {}
         self.spmm_seconds = 0.0
         self.preprocess_seconds = 0.0
@@ -70,8 +81,19 @@ class DistSpMMEngine:
         self._scatter_baseline = scatter_stats().snapshot()
 
     # ------------------------------------------------------------------
-    def multiply(self, B: np.ndarray) -> Tuple[np.ndarray, float]:
+    def multiply(
+        self, B: np.ndarray, plan_cache: PlanCacheLike = _ENGINE_DEFAULT
+    ) -> Tuple[np.ndarray, float]:
         """Compute ``A @ B`` on the simulated cluster.
+
+        Args:
+            B: dense input block, shape ``(A.shape[1], K)``.
+            plan_cache: per-call plan-cache override — the serving
+                layer passes the requesting tenant's
+                :class:`~repro.core.plancache.PlanCacheNamespace` here
+                so a cold plan build is attributed to that tenant.
+                Defaults to the engine's own cache.  Only consulted
+                when this K has no engine-cached plan yet.
 
         Returns:
             ``(C, simulated_seconds)``; running totals are accumulated
@@ -86,7 +108,7 @@ class DistSpMMEngine:
                 f"B shape {B.shape} incompatible with A {self.A.shape}"
             )
         k = B.shape[1]
-        algorithm = self._algorithm_for(k)
+        algorithm = self._algorithm_for(k, plan_cache)
         result = algorithm.run(self.A, B, self.machine)
         if result.failed:
             raise ReproError(f"distributed SpMM failed: {result.failure}")
@@ -96,14 +118,19 @@ class DistSpMMEngine:
         return result.C, result.seconds
 
     # ------------------------------------------------------------------
-    def _algorithm_for(self, k: int) -> DistSpMMAlgorithm:
+    def _algorithm_for(
+        self, k: int, plan_cache: PlanCacheLike = _ENGINE_DEFAULT
+    ) -> DistSpMMAlgorithm:
+        if plan_cache is _ENGINE_DEFAULT:
+            plan_cache = self.plan_cache
         if self._factory is not None:
             return self._factory(self._plans.get(k))
         return TwoFace(
             stripe_width=self.stripe_width,
             coeffs=self.coeffs,
             plan=self._plans.get(k),
-            plan_cache=self.plan_cache,
+            plan_cache=plan_cache,
+            classify_k=self.classify_k,
         )
 
     def _after_run(self, k: int, algorithm: DistSpMMAlgorithm) -> None:

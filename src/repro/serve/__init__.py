@@ -1,0 +1,44 @@
+"""Multi-tenant SpMM serving with K-panel request fusion.
+
+The serving layer turns the repeated-SpMM engine
+(:class:`~repro.gnn.engine.DistSpMMEngine`) into a request server:
+tenants submit dense blocks against shared preprocessed matrices, an
+admission/batching scheduler fuses compatible queued requests into one
+wide K-panel SpMM, and every request gets back its own output slice —
+byte-identical to what an unbatched run would have produced (the
+classification-pin argument of DESIGN.md §8).
+
+Entry points: :class:`ServeScheduler` (the deterministic virtual-clock
+event loop), :class:`ServePolicy` (fusion/backpressure knobs),
+:mod:`repro.serve.traces` (seeded synthetic traces), and the
+``repro serve --trace`` CLI for fused-vs-serial replays.
+"""
+
+from .request import DONE, FAILED, REJECTED, ServeOutcome, ServeRequest
+from .scheduler import BatchRecord, ServePolicy, ServeReport, ServeScheduler
+from .traces import (
+    DEFAULT_TENANTS,
+    TRACE_KINDS,
+    bursty_trace,
+    diurnal_trace,
+    hot_matrix_trace,
+    make_trace,
+)
+
+__all__ = [
+    "BatchRecord",
+    "DEFAULT_TENANTS",
+    "DONE",
+    "FAILED",
+    "REJECTED",
+    "ServeOutcome",
+    "ServePolicy",
+    "ServeReport",
+    "ServeRequest",
+    "ServeScheduler",
+    "TRACE_KINDS",
+    "bursty_trace",
+    "diurnal_trace",
+    "hot_matrix_trace",
+    "make_trace",
+]

@@ -1,0 +1,110 @@
+"""Serving request/outcome records for the multi-tenant SpMM engine.
+
+A :class:`ServeRequest` is one tenant's ask: multiply the (shared,
+preprocessed) sparse matrix against a private dense block of width K,
+arriving at a simulated instant and optionally carrying a completion
+deadline.  A :class:`ServeOutcome` is what the scheduler hands back —
+the request's slice of the (possibly fused) output panel plus the
+simulated timing that produced it.
+
+Everything here is plain data; the event loop lives in
+:mod:`repro.serve.scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.machine import MachineConfig
+from ..errors import ConfigurationError, ShapeError
+
+#: Outcome status values.
+DONE = "done"
+REJECTED = "rejected"
+FAILED = "failed"
+
+
+@dataclass
+class ServeRequest:
+    """One tenant request: ``C_slice = A @ B`` against a named matrix.
+
+    Attributes:
+        request_id: unique id; ties in arrival time are broken by id,
+            so a trace replays identically regardless of how it was
+            constructed.
+        tenant: tenant label — selects the plan-cache namespace charged
+            for any cold plan build this request triggers.
+        matrix: suite matrix name the request multiplies against.
+        B: dense input block, shape ``(A.shape[1], K)``.
+        arrival: simulated arrival instant (seconds, virtual clock).
+        deadline: optional absolute simulated completion deadline; a
+            completion after it is recorded as a deadline miss (the
+            request still completes — misses are telemetry, not drops).
+        machine: optional per-request machine config; None uses the
+            scheduler's.  Requests only fuse with requests on the same
+            (matrix content, machine) group.
+    """
+
+    request_id: int
+    tenant: str
+    matrix: str
+    B: np.ndarray
+    arrival: float
+    deadline: Optional[float] = None
+    machine: Optional[MachineConfig] = None
+
+    def __post_init__(self) -> None:
+        self.B = np.asarray(self.B, dtype=np.float64)
+        if self.B.ndim != 2 or self.B.shape[1] < 1:
+            raise ShapeError(
+                f"request B must be 2-D with >=1 column, got {self.B.shape}"
+            )
+        if self.arrival < 0:
+            raise ConfigurationError(
+                f"arrival must be >= 0, got {self.arrival}"
+            )
+        if self.deadline is not None and self.deadline < self.arrival:
+            raise ConfigurationError(
+                f"deadline {self.deadline} precedes arrival {self.arrival}"
+            )
+
+    @property
+    def k(self) -> int:
+        """Dense width of this request's block."""
+        return int(self.B.shape[1])
+
+
+@dataclass
+class ServeOutcome:
+    """What the scheduler produced for one request.
+
+    Attributes:
+        request_id / tenant / matrix: copied from the request.
+        status: ``"done"``, ``"rejected"`` (backpressure at admission),
+            or ``"failed"`` (the underlying simulated SpMM raised).
+        batch_id: id of the fused dispatch that served the request
+            (None when rejected).
+        fused_k: total dense width of that dispatch (equals the
+            request's own K when it ran unbatched).
+        dispatched: simulated dispatch instant (None when rejected).
+        completion: simulated completion instant (arrival for rejects).
+        latency: ``completion - arrival`` (0.0 for rejects).
+        deadline_missed: True when a deadline existed and completion
+            overran it.
+        C: the request's own output slice ``A @ B`` (None unless done).
+    """
+
+    request_id: int
+    tenant: str
+    matrix: str
+    status: str
+    batch_id: Optional[int] = None
+    fused_k: int = 0
+    dispatched: Optional[float] = None
+    completion: float = 0.0
+    latency: float = 0.0
+    deadline_missed: bool = False
+    C: Optional[np.ndarray] = field(default=None, repr=False)

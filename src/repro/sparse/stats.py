@@ -74,8 +74,12 @@ def compute_stats(matrix: COOMatrix, blocks: int = 32) -> MatrixStats:
     row_counts = np.bincount(matrix.rows, minlength=n) if n else np.zeros(0)
     col_counts = np.bincount(matrix.cols, minlength=m) if m else np.zeros(0)
     if nnz:
+        # Shared percentile helper (lazy import: bench sits above
+        # sparse in the layering, so a top-level import would cycle).
+        from ..bench.telemetry import percentile
+
         band = np.abs(matrix.rows - matrix.cols).astype(np.float64)
-        bandwidth_p95 = float(np.percentile(band, 95))
+        bandwidth_p95 = percentile(band, 95)
         row_block = matrix.rows * blocks // max(1, n)
         col_block = matrix.cols * blocks // max(1, m)
         diag_frac = float(np.mean(row_block == col_block))

@@ -1,12 +1,53 @@
 """Unit tests for the perf-telemetry log (``BENCH_PR1.json`` schema)."""
 
+import math
+
+import numpy as np
 import pytest
 
-from repro.bench import PERF_SCHEMA, PerfCell, PerfLog, load_perf_json
+from repro.bench import (
+    PERF_SCHEMA,
+    PerfCell,
+    PerfLog,
+    latency_summary,
+    load_perf_json,
+    percentile,
+)
 from repro.core import (
     reset_transfer_cache_stats,
     transfer_cache_stats,
 )
+
+
+class TestPercentileHelpers:
+    def test_matches_numpy(self):
+        values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+        for q in (0, 25, 50, 95, 99, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_accepts_any_iterable(self):
+        assert percentile((x for x in (1.0, 2.0, 3.0)), 50) == 2.0
+
+    def test_empty_input_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_latency_summary_keys(self):
+        summary = latency_summary([1.0, 2.0, 3.0, 4.0])
+        assert sorted(summary) == ["p50", "p95", "p99"]
+        assert summary["p50"] == pytest.approx(2.5)
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_latency_summary_empty(self):
+        summary = latency_summary([])
+        assert all(math.isnan(v) for v in summary.values())
 
 
 class TestPerfLog:
@@ -110,8 +151,8 @@ class TestPerfLog:
         assert cell.events_dropped == 7
         reset_resilience_stats()
 
-    def test_schema_is_v5(self):
-        assert PERF_SCHEMA == "repro-perf/5"
+    def test_schema_is_v6(self):
+        assert PERF_SCHEMA == "repro-perf/6"
 
     def test_document_schema(self):
         log = PerfLog(label="TEST")
@@ -120,6 +161,48 @@ class TestPerfLog:
         assert doc["schema"] == PERF_SCHEMA
         assert doc["label"] == "TEST"
         assert doc["experiments"]["repeat"]["speedup"] == 2.5
+
+    def test_each_cell_record_carries_schema(self):
+        log = PerfLog(label="TEST")
+        log.record_cell(
+            name="c", matrix="m", algorithm="a", k=8, n_nodes=4,
+            wall_seconds=None, simulated_seconds=None,
+        )
+        log.record_serve_cell(
+            name="s", matrix="m", algorithm="a", k=8, n_nodes=4,
+            serving={"requests": 1},
+        )
+        doc = log.to_document()
+        assert [cell["schema"] for cell in doc["cells"]] == [
+            PERF_SCHEMA, PERF_SCHEMA,
+        ]
+
+    def test_record_serve_cell_maps_summary(self):
+        log = PerfLog(label="TEST")
+        cell = log.record_serve_cell(
+            name="serve", matrix="kmer", algorithm="TwoFace/fused",
+            k=8, n_nodes=16,
+            serving={
+                "requests": 48, "completed": 47, "rejected": 1,
+                "failed": 0, "batches": 6, "fusion_factor": 7.83,
+                "p50_latency": 0.1, "p99_latency": 0.2,
+                "requests_per_sec": 170.0, "peak_queue_depth": 24,
+                "deadline_misses": 2, "makespan": 0.28,
+                "an_unknown_key": "ignored",
+            },
+        )
+        assert cell.serve_requests == 48
+        assert cell.serve_completed == 47
+        assert cell.serve_rejected == 1
+        assert cell.serve_batches == 6
+        assert cell.serve_fusion_factor == pytest.approx(7.83)
+        assert cell.serve_p50_latency == pytest.approx(0.1)
+        assert cell.serve_p99_latency == pytest.approx(0.2)
+        assert cell.serve_requests_per_sec == pytest.approx(170.0)
+        assert cell.serve_peak_queue_depth == 24
+        assert cell.serve_deadline_misses == 2
+        # simulated seconds default to the summary's makespan
+        assert cell.simulated_seconds == pytest.approx(0.28)
 
     def test_write_and_load_roundtrip(self, tmp_path):
         log = PerfLog(label="TEST")

@@ -186,6 +186,25 @@ class TestExecPool:
         # A closed pool lazily re-creates its executor on next use.
         assert pool.map(lambda i: i, 4) == [0, 1, 2, 3]
 
+    def test_context_manager_reentry(self):
+        # Serving replays may re-enter the same pool's with-block; the
+        # second exit must be a no-op close, not an error.
+        pool = ExecPool(workers=2)
+        with pool:
+            assert pool.map(lambda i: i, 3) == [0, 1, 2]
+        with pool:
+            assert pool.map(lambda i: i * 2, 3) == [0, 2, 4]
+
+    def test_close_inside_with_block(self):
+        # An early explicit close followed by __exit__'s close.
+        with ExecPool(workers=2) as pool:
+            pool.map(lambda i: i, 2)
+            pool.close()
+
+    def test_close_without_use(self):
+        # Closing a pool that never spawned an executor.
+        ExecPool(workers=2).close()
+
 
 class TestGlobalPool:
     def test_width_follows_env(self, monkeypatch):

@@ -1,0 +1,216 @@
+"""Per-tenant plan-cache namespace tests (serving satellite).
+
+Covers the sharing/isolation contract: content addressing makes two
+tenants planning the same (matrix, K, config) share one disk entry,
+while each tenant keeps a private memory LRU and private stats.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import MachineConfig
+from repro.core import preprocess
+from repro.core.plancache import (
+    PlanCache,
+    PlanCacheNamespace,
+    PlanCacheStats,
+    plan_cache_key,
+    resolve_plan_cache,
+)
+from repro.dist import DistSparseMatrix, RowPartition
+from repro.errors import ConfigurationError
+from repro.serve import ServePolicy, ServeRequest, ServeScheduler
+from repro.sparse import erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def dist_matrix():
+    return DistSparseMatrix(
+        erdos_renyi(64, 64, 400, seed=5), RowPartition(64, 4)
+    )
+
+
+@pytest.fixture
+def plan_and_key(dist_matrix):
+    plan, _ = preprocess(dist_matrix, k=8, stripe_width=4)
+    return plan, plan_cache_key(dist_matrix, 8, 4)
+
+
+class TestNamespaceSharing:
+    def test_two_tenants_share_one_disk_entry(
+        self, tmp_path, plan_and_key
+    ):
+        plan, key = plan_and_key
+        parent = PlanCache(cache_dir=tmp_path)
+        a = PlanCacheNamespace(parent, "tenant-a")
+        b = PlanCacheNamespace(parent, "tenant-b")
+        a.put(key, plan)
+        b.put(key, plan)  # same content -> same key -> same file
+        entries = [p for p in os.listdir(tmp_path) if p.endswith(".plan")]
+        assert len(entries) == 1
+        # The other tenant reads the shared entry from disk.
+        fresh = PlanCacheNamespace(parent, "tenant-c")
+        assert fresh.get(key) is not None
+
+    def test_disk_hit_counted_for_reading_tenant(
+        self, tmp_path, plan_and_key
+    ):
+        plan, key = plan_and_key
+        parent = PlanCache(cache_dir=tmp_path)
+        writer = PlanCacheNamespace(parent, "writer")
+        reader = PlanCacheNamespace(parent, "reader")
+        writer.put(key, plan)
+        assert reader.get(key) is not None
+        assert reader.stats.hits == 1
+        assert writer.stats.hits == 0
+        assert writer.stats.stores == 1
+
+    def test_memory_only_parent_isolates_tenants(self, plan_and_key):
+        plan, key = plan_and_key
+        parent = PlanCache(cache_dir=None)
+        a = PlanCacheNamespace(parent, "a")
+        b = PlanCacheNamespace(parent, "b")
+        a.put(key, plan)
+        assert a.get(key) is plan
+        assert b.get(key) is None  # nothing to share without disk
+        assert b.stats.misses == 1
+
+
+class TestNamespaceIsolation:
+    def test_stats_are_namespace_scoped(self, tmp_path, plan_and_key):
+        plan, key = plan_and_key
+        parent = PlanCache(cache_dir=tmp_path, stats=PlanCacheStats())
+        a = PlanCacheNamespace(parent, "a")
+        b = PlanCacheNamespace(parent, "b")
+        a.put(key, plan)
+        a.get(key)
+        b.get("missing")
+        assert (a.stats.hits, a.stats.stores) == (1, 1)
+        assert (b.stats.hits, b.stats.misses) == (0, 1)
+        # The parent's own stats sink is untouched by namespace traffic.
+        assert parent.stats.hits == 0
+        assert parent.stats.stores == 0
+
+    def test_one_tenants_working_set_cannot_evict_anothers(
+        self, plan_and_key
+    ):
+        plan, key = plan_and_key
+        parent = PlanCache(cache_dir=None)
+        small = PlanCacheNamespace(parent, "small", max_memory_entries=1)
+        other = PlanCacheNamespace(parent, "other", max_memory_entries=1)
+        small.put(key, plan)
+        for i in range(4):
+            other.put(f"churn-{i}", plan)
+        assert small.get(key) is plan  # survived the other's churn
+        assert other.stats.evictions == 3
+
+    def test_lru_eviction_under_interleaved_tenants(
+        self, tmp_path, plan_and_key
+    ):
+        plan, key = plan_and_key
+        parent = PlanCache(cache_dir=tmp_path)
+        a = PlanCacheNamespace(parent, "a", max_memory_entries=2)
+        b = PlanCacheNamespace(parent, "b", max_memory_entries=2)
+        # Interleave: each tenant's LRU only sees its own accesses.
+        a.put("k1", plan)
+        b.put("k1", plan)
+        a.put("k2", plan)
+        b.put("k2", plan)
+        a.get("k1")        # refresh a's k1
+        a.put("k3", plan)  # evicts a's k2, not k1
+        b.put("k3", plan)  # evicts b's k1 (never refreshed)
+        assert a.stats.evictions == 1
+        assert b.stats.evictions == 1
+        assert len(a) == 2 and len(b) == 2
+        with a._lock:
+            assert set(a._memory) == {"k1", "k3"}
+        with b._lock:
+            assert set(b._memory) == {"k2", "k3"}
+
+    def test_zero_capacity_namespace_always_reads_disk(
+        self, tmp_path, plan_and_key
+    ):
+        plan, key = plan_and_key
+        parent = PlanCache(cache_dir=tmp_path)
+        ns = PlanCacheNamespace(parent, "cold", max_memory_entries=0)
+        ns.put(key, plan)
+        assert len(ns) == 0
+        loaded = ns.get(key)
+        assert loaded is not None and loaded is not plan  # deserialised
+
+    def test_invalid_construction(self, plan_and_key):
+        with pytest.raises(ConfigurationError):
+            PlanCacheNamespace("not-a-cache", "t")
+        with pytest.raises(ConfigurationError):
+            PlanCacheNamespace(PlanCache(), "t", max_memory_entries=-1)
+
+    def test_resolve_passes_namespace_through(self):
+        ns = PlanCacheNamespace(PlanCache(), "t")
+        assert resolve_plan_cache(ns) is ns
+
+
+class TestSchedulerIntegration:
+    def test_tenants_get_memoised_namespaces(self, tmp_path):
+        matrices = {"alpha": erdos_renyi(64, 64, 400, seed=6)}
+        scheduler = ServeScheduler(
+            MachineConfig(n_nodes=4), matrices,
+            plan_cache=PlanCache(cache_dir=tmp_path),
+        )
+        a = scheduler.tenant_cache("a")
+        assert scheduler.tenant_cache("a") is a
+        assert a.tenant == "a"
+        assert scheduler.tenant_cache("b") is not a
+
+    def test_no_cache_means_no_namespaces(self):
+        matrices = {"alpha": erdos_renyi(64, 64, 400, seed=6)}
+        scheduler = ServeScheduler(
+            MachineConfig(n_nodes=4), matrices, plan_cache=None
+        )
+        assert scheduler.tenant_cache("a") is None
+
+    def test_cold_plan_build_attributed_to_lead_tenant(self, tmp_path):
+        matrices = {"alpha": erdos_renyi(64, 64, 400, seed=6)}
+        rng = np.random.default_rng(1)
+        trace = [
+            ServeRequest(i, tenant, "alpha",
+                         rng.standard_normal((64, 4)), arrival=0.0)
+            for i, tenant in enumerate(["lead", "joiner"])
+        ]
+        scheduler = ServeScheduler(
+            MachineConfig(n_nodes=4), matrices,
+            policy=ServePolicy(max_fused_k=64),
+            plan_cache=PlanCache(cache_dir=tmp_path),
+        )
+        report = scheduler.serve(trace)
+        assert len(report.batches) == 1
+        lead = scheduler.tenant_cache("lead")
+        assert lead.stats.misses == 1  # cold build charged to lead
+        assert lead.stats.stores == 1
+        # The joiner was served from the fused panel: its namespace was
+        # never consulted.
+        assert scheduler.tenant_cache("joiner").stats.misses == 0
+
+    def test_second_scheduler_hits_shared_disk(self, tmp_path):
+        matrices = {"alpha": erdos_renyi(64, 64, 400, seed=6)}
+        rng = np.random.default_rng(2)
+
+        def run(tenant):
+            trace = [
+                ServeRequest(0, tenant, "alpha",
+                             rng.standard_normal((64, 4)), arrival=0.0)
+            ]
+            scheduler = ServeScheduler(
+                MachineConfig(n_nodes=4), matrices,
+                policy=ServePolicy(classify_k=4),
+                plan_cache=PlanCache(cache_dir=tmp_path),
+            )
+            scheduler.serve(trace)
+            return scheduler.tenant_cache(tenant).stats
+
+        first = run("tenant-a")
+        second = run("tenant-b")
+        assert first.misses == 1 and first.stores == 1
+        # A different tenant in a fresh scheduler reuses the disk entry.
+        assert second.hits == 1 and second.misses == 0

@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic serving traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import (
+    bursty_trace,
+    diurnal_trace,
+    hot_matrix_trace,
+    make_trace,
+)
+from repro.sparse import erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    return {
+        "alpha": erdos_renyi(64, 64, 300, seed=3),
+        "beta": erdos_renyi(64, 64, 300, seed=4),
+    }
+
+
+MAKERS = [bursty_trace, diurnal_trace, hot_matrix_trace]
+
+
+class TestTraceShape:
+    @pytest.mark.parametrize("maker", MAKERS)
+    def test_count_width_and_shape(self, matrices, maker):
+        trace = maker(matrices, n_requests=10, k=4, seed=1)
+        assert len(trace) == 10
+        for req in trace:
+            assert req.B.shape == (64, 4)
+            assert req.matrix in matrices
+
+    @pytest.mark.parametrize("maker", MAKERS)
+    def test_ids_follow_arrival_order(self, matrices, maker):
+        trace = maker(matrices, n_requests=12, k=4, seed=2)
+        assert [r.request_id for r in trace] == list(range(12))
+        arrivals = [r.arrival for r in trace]
+        assert arrivals == sorted(arrivals)
+
+    @pytest.mark.parametrize("maker", MAKERS)
+    def test_deadline_slack(self, matrices, maker):
+        trace = maker(matrices, n_requests=5, k=4, seed=1,
+                      deadline_slack=0.25)
+        for req in trace:
+            assert req.deadline == pytest.approx(req.arrival + 0.25)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("maker", MAKERS)
+    def test_same_seed_bit_identical(self, matrices, maker):
+        a = maker(matrices, n_requests=8, k=4, seed=9)
+        b = maker(matrices, n_requests=8, k=4, seed=9)
+        for ra, rb in zip(a, b):
+            assert ra.arrival == rb.arrival
+            assert ra.tenant == rb.tenant
+            assert ra.matrix == rb.matrix
+            assert ra.B.tobytes() == rb.B.tobytes()
+
+    @pytest.mark.parametrize("maker", MAKERS)
+    def test_different_seed_differs(self, matrices, maker):
+        a = maker(matrices, n_requests=8, k=4, seed=9)
+        b = maker(matrices, n_requests=8, k=4, seed=10)
+        assert any(
+            ra.B.tobytes() != rb.B.tobytes() for ra, rb in zip(a, b)
+        )
+
+
+class TestHotSkew:
+    def test_hot_matrix_dominates(self, matrices):
+        trace = hot_matrix_trace(
+            matrices, n_requests=60, k=2, seed=5,
+            hot="beta", hot_fraction=0.9,
+        )
+        hot_share = sum(r.matrix == "beta" for r in trace) / len(trace)
+        assert hot_share > 0.6
+
+    def test_unknown_hot_rejected(self, matrices):
+        with pytest.raises(ConfigurationError):
+            hot_matrix_trace(matrices, hot="nope")
+
+
+class TestValidation:
+    def test_make_trace_dispatch(self, matrices):
+        trace = make_trace("bursty", matrices, n_requests=4, k=2, seed=1)
+        assert len(trace) == 4
+
+    def test_make_trace_unknown_kind(self, matrices):
+        with pytest.raises(ConfigurationError):
+            make_trace("nope", matrices)
+
+    def test_empty_matrix_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bursty_trace({}, n_requests=4, k=2)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_requests": 0}, {"k": 0},
+    ])
+    def test_bad_counts_rejected(self, matrices, kwargs):
+        with pytest.raises(ConfigurationError):
+            bursty_trace(matrices, **{"n_requests": 4, "k": 2, **kwargs})
+
+    def test_burst_arrivals_cluster(self, matrices):
+        trace = bursty_trace(
+            matrices, n_requests=16, k=2, seed=1,
+            burst_size=8, burst_gap=1.0, intra_gap=1e-4,
+        )
+        arrivals = np.array([r.arrival for r in trace])
+        # Two bursts of eight: within-burst spread tiny, gap large.
+        assert arrivals[7] - arrivals[0] < 0.01
+        assert arrivals[8] - arrivals[7] > 0.5

@@ -119,9 +119,10 @@ class TestCommands:
         import json
 
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/5"
+        assert doc["schema"] == "repro-perf/6"
         assert len(doc["cells"]) == 3  # intensities 0, half, full
         top = doc["cells"][-1]
+        assert top["schema"] == "repro-perf/6"  # per-record stamp
         assert top["fault_rget_failures"] >= 0
         assert {"fault_retries", "fault_lane_fallbacks",
                 "fault_rechunks"} <= set(top)
@@ -133,3 +134,40 @@ class TestCommands:
         )
         assert code == 2
         assert "non-negative" in capsys.readouterr().out
+
+    def test_serve(self, capsys, tmp_path):
+        out_path = tmp_path / "serve.json"
+        code = main(
+            ["serve", "--trace", "hot", "--matrices", "queen",
+             "--requests", "12", "--k", "4", "--nodes", "4",
+             "--size", "tiny", "--out", str(out_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "byte-identical" in out
+        assert "FAILURE" not in out
+
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro-perf/6"
+        by_name = {cell["name"]: cell for cell in doc["cells"]}
+        fused = by_name["serve-hot-fused"]
+        serial = by_name["serve-hot-serial"]
+        assert fused["serve_requests"] == 12
+        assert fused["serve_batches"] <= serial["serve_batches"]
+        assert doc["experiments"]["speedup"]["byte_identical"] is True
+
+    def test_serve_unknown_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--trace", "nope"])
+
+    def test_serve_require_speedup_can_fail(self, capsys):
+        # An impossible bar exercises the failure exit path.
+        code = main(
+            ["serve", "--trace", "bursty", "--matrices", "queen",
+             "--requests", "6", "--k", "4", "--nodes", "4",
+             "--size", "tiny", "--require-speedup", "1000"]
+        )
+        assert code == 1
+        assert "below required" in capsys.readouterr().out

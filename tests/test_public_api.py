@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.runtime",
     "repro.gnn",
     "repro.bench",
+    "repro.serve",
 ]
 
 
