@@ -1,0 +1,166 @@
+"""Process-grid telemetry: 1D vs 1.5D vs 2D at scale (``BENCH_PR7.json``).
+
+Runs one (matrix, algorithm, K) cell at 256 simulated nodes under the
+three process-grid layouts and records simulated seconds plus the
+per-grid-dimension communication counters.  At this node count the 1D
+allgather moves ~|B| dense bytes into every rank while the 1.5D and 2D
+layouts move ~|B|/c (plus a small allreduce of the C partials), so the
+grid runs should win by a wide margin on the collective-dominated
+Allgather baseline.
+
+Contracts asserted here:
+
+* ``Grid1D`` is bitwise identical to the grid-free legacy path —
+  output bytes, simulated seconds, total traffic, and the event log;
+* the best grid layout (1.5D or 2D) beats 1D simulated seconds by
+  >= 1.5x on the Allgather baseline at 256 nodes;
+* the per-dimension counters land in the telemetry cells: 1.5D
+  attributes bytes to ``row`` + ``fiber``, 2D to ``col`` + ``row``.
+
+The trajectory lands in ``BENCH_PR7.json`` at the repository root
+(schema ``repro-perf/7``; see ``repro.bench.telemetry``).
+"""
+
+import os
+import pathlib
+import time
+
+from repro import MachineConfig
+from repro.bench import ExperimentHarness, PerfLog
+from repro.dist.grid import make_grid
+
+from conftest import emit
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+# The acceptance scenario: the dense-traffic-bound regime.  Size is
+# pinned to tiny — the layout geometry, not the matrix scale, is the
+# subject, and 768 web rows over 256 ranks still gives every rank a
+# populated slab.
+MATRIX = "web"
+MATRIX_SIZE = "tiny"
+N_NODES = 256
+K = 64
+ALGORITHMS = ("Allgather", "TwoFace")
+REPLICATION = 4          # 1.5D: p_r=64, c=4
+GRID_ROWS = 16           # 2D: 16 x 16
+SPEEDUP_FLOOR = 1.5
+
+
+def run_grid_experiment():
+    harness = ExperimentHarness(size=MATRIX_SIZE, plan_cache=None)
+    machine = MachineConfig(n_nodes=N_NODES)
+    grids = {
+        "1d": make_grid("1d", N_NODES),
+        "1.5d": make_grid("1.5d", N_NODES, c=REPLICATION),
+        "2d": make_grid("2d", N_NODES, p_r=GRID_ROWS),
+    }
+
+    results = {}
+    walls = {}
+    for algorithm in ALGORITHMS:
+        # Contract 1: Grid1D is bitwise identical to the legacy path.
+        legacy = harness.run_one(MATRIX, algorithm, K, machine, grid=None)
+        for layout, grid in grids.items():
+            started = time.perf_counter()
+            result = harness.run_one(
+                MATRIX, algorithm, K, machine, grid=grid
+            )
+            walls[(algorithm, layout)] = time.perf_counter() - started
+            assert not result.failed, (algorithm, layout)
+            results[(algorithm, layout)] = result
+        flat = results[(algorithm, "1d")]
+        assert flat.C.tobytes() == legacy.C.tobytes()
+        assert flat.seconds == legacy.seconds
+        assert flat.traffic.total_bytes == legacy.traffic.total_bytes
+        assert flat.events == legacy.events
+
+    # Contract 3: the counters name the right grid dimensions.
+    for algorithm in ALGORITHMS:
+        rep = results[(algorithm, "1.5d")].traffic.dim_bytes
+        two = results[(algorithm, "2d")].traffic.dim_bytes
+        assert set(rep) == {"row", "fiber"}, rep
+        assert set(two) == {"col", "row"}, two
+
+    # Contract 2: a grid layout wins by >= 1.5x where it should.
+    flat_s = results[("Allgather", "1d")].seconds
+    best_s = min(
+        results[("Allgather", layout)].seconds
+        for layout in ("1.5d", "2d")
+    )
+    speedup = flat_s / best_s
+    assert speedup >= SPEEDUP_FLOOR, (flat_s, best_s)
+
+    record = {
+        "matrix": MATRIX,
+        "matrix_size": MATRIX_SIZE,
+        "n_nodes": N_NODES,
+        "k": K,
+        "algorithms": list(ALGORITHMS),
+        "grids": {
+            layout: grid.describe() for layout, grid in grids.items()
+        },
+        "allgather_speedup_best_grid": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "grid1d_bitwise_identical": True,
+        "host_cpus": os.cpu_count(),
+        "simulated_seconds": {
+            f"{algorithm}/{layout}": results[(algorithm, layout)].seconds
+            for algorithm in ALGORITHMS
+            for layout in grids
+        },
+    }
+    return grids, results, walls, record
+
+
+def test_pr7_grid_telemetry(benchmark, results_dir):
+    grids, results, walls, record = benchmark.pedantic(
+        run_grid_experiment, rounds=1, iterations=1
+    )
+
+    log = PerfLog(label="BENCH_PR7")
+    for (algorithm, layout), result in results.items():
+        token = grids[layout].cache_token()
+        log.record_cell(
+            name=f"{MATRIX}/{algorithm}/grid-{token}",
+            matrix=MATRIX,
+            algorithm=algorithm,
+            k=K,
+            n_nodes=N_NODES,
+            wall_seconds=walls[(algorithm, layout)],
+            simulated_seconds=result.seconds,
+            events_dropped=result.traffic.events_dropped,
+            traffic=result.traffic,
+            grid=token,
+        )
+    log.record_experiment("grid_layouts", record)
+    log.write(REPO_ROOT / "BENCH_PR7.json")
+
+    rows = []
+    for algorithm in ALGORITHMS:
+        flat_s = results[(algorithm, "1d")].seconds
+        for layout in ("1d", "1.5d", "2d"):
+            result = results[(algorithm, layout)]
+            traffic = result.traffic
+            rows.append(
+                [
+                    algorithm,
+                    grids[layout].cache_token(),
+                    f"{result.seconds:.6f}",
+                    f"{flat_s / result.seconds:.2f}x",
+                    f"{traffic.total_bytes / 1e6:.3f}",
+                    f"{traffic.dim_bytes.get('row', 0) / 1e6:.3f}",
+                    f"{traffic.dim_bytes.get('col', 0) / 1e6:.3f}",
+                    f"{traffic.dim_bytes.get('fiber', 0) / 1e6:.3f}",
+                ]
+            )
+    emit(
+        results_dir,
+        "pr7_grid",
+        ["algorithm", "grid", "sim seconds", "vs 1d", "total MB",
+         "row MB", "col MB", "fiber MB"],
+        rows,
+        f"Process grids: {MATRIX} at p={N_NODES}, K={K}",
+    )
+
+    assert record["allgather_speedup_best_grid"] >= SPEEDUP_FLOOR

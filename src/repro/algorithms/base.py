@@ -99,6 +99,7 @@ class DistSpMMAlgorithm(abc.ABC):
         B: np.ndarray,
         machine: MachineConfig,
         threads: Optional[ThreadConfig] = None,
+        grid=None,
     ) -> SpMMResult:
         """Distribute inputs, execute, and collect the result.
 
@@ -108,6 +109,12 @@ class DistSpMMAlgorithm(abc.ABC):
             machine: simulated machine description.
             threads: per-node thread split; derived from the machine's
                 thread count when omitted.
+            grid: optional process-grid layout
+                (:mod:`repro.dist.grid`).  ``None`` and ``Grid1D`` take
+                the identical 1D code path (byte-identical output,
+                simulated seconds, and traffic events); 1.5D/2D layouts
+                run each depth layer as a 1D sub-problem and reduce the
+                partial outputs across the depth dimension.
 
         Returns:
             The result; ``failed=True`` on simulated OOM.
@@ -118,6 +125,12 @@ class DistSpMMAlgorithm(abc.ABC):
                 f"B shape {B.shape} incompatible with A shape {A.shape}"
             )
         threads = threads or ThreadConfig.for_machine(machine.threads_per_node)
+        if grid is not None:
+            grid.validate_nodes(machine.n_nodes)
+            if grid.depth > 1:
+                from .gridrun import run_on_grid
+
+                return run_on_grid(self, A, B, machine, threads, grid)
         cluster = Cluster(machine)
         mpi = SimMPI(cluster)
         breakdown = TimeBreakdown.zeros(machine.n_nodes)
@@ -187,6 +200,18 @@ class DistSpMMAlgorithm(abc.ABC):
         )
         result.extras["faults"] = cluster.faults.describe()
         result.extras["resilience"] = delta.as_dict()
+
+    # ------------------------------------------------------------------
+    def _grid_layer_algorithm(self, grid) -> "DistSpMMAlgorithm":
+        """The algorithm instance that runs one grid layer.
+
+        The default is the algorithm itself — the baselines are written
+        against local ranks only, so they run unchanged inside a layer
+        sub-communicator.  Subclasses whose planning depends on the
+        communicator size (Two-Face's stripe classifier) return a
+        re-scaled clone instead.
+        """
+        return self
 
     # ------------------------------------------------------------------
     def _setup_cost(self, ctx: RunContext) -> None:

@@ -73,6 +73,9 @@ class TwoFace(DistSpMMAlgorithm):
         self.mask = mask
         self.plan_cache = plan_cache
         self.classify_k = classify_k
+        #: Grid spec stamped into plans/keys; set by the grid runner on
+        #: layer clones (None = the plain 1D layout).
+        self.grid = None
         self.last_plan: Optional[TwoFacePlan] = None
         self.last_report: Optional[PreprocessReport] = None
 
@@ -100,10 +103,42 @@ class TwoFace(DistSpMMAlgorithm):
                 classify_override=self.classify_override,
                 cache=self.plan_cache,
                 classify_k=self.classify_k,
+                grid=self.grid,
             )
             self.last_report = report
         self.last_plan = plan
         execute_plan(plan, ctx, mask=self.mask)
+
+    def _grid_layer_algorithm(self, grid) -> "TwoFace":
+        """A clone whose classifier matches the layer sub-communicator.
+
+        The clone re-scales the model coefficients to the layer's
+        ``p_r``-rank communicator (``CostCoefficients.for_group_size``)
+        and stamps the grid onto itself so layer plans are cached and
+        serialised under the grid-qualified key.  A precomputed plan or
+        sampling mask describes the full 1D problem and cannot be
+        re-partitioned, so those runs must stay on the 1D layout.
+        """
+        if self.plan is not None or self.mask is not None:
+            raise PartitionError(
+                "a precomputed plan/mask is bound to the 1D layout; "
+                f"rebuild it per layer to run on {grid.cache_token()}"
+            )
+        coeffs = (
+            self.coeffs if self.coeffs is not None else CostCoefficients()
+        ).for_group_size(grid.p_r, grid.n_nodes)
+        clone = TwoFace(
+            stripe_width=self.stripe_width,
+            coeffs=coeffs,
+            force_all_async=self.force_all_async,
+            force_all_sync=self.force_all_sync,
+            classify_override=self.classify_override,
+            plan_cache=self.plan_cache,
+            classify_k=self.classify_k,
+        )
+        clone.name = self.name
+        clone.grid = grid
+        return clone
 
     def _extras(self, ctx: RunContext) -> dict:
         plan = self.last_plan

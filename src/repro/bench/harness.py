@@ -176,17 +176,19 @@ class ExperimentHarness:
         algorithm: str,
         k: int,
         machine: MachineConfig,
+        grid=None,
     ) -> SpMMResult:
         """Run one (matrix, algorithm, K) cell.
 
         The host wall-clock time of the cell is recorded in
         ``result.extras["wall_seconds"]`` for perf telemetry; it never
-        affects the simulated seconds.
+        affects the simulated seconds.  ``grid`` selects a process-grid
+        layout (None = plain 1D; see :mod:`repro.dist.grid`).
         """
         A = self.matrix(matrix)
         B = self.dense_input(matrix, k)
         started = time.perf_counter()
-        result = self.make(algorithm).run(A, B, machine)
+        result = self.make(algorithm).run(A, B, machine, grid=grid)
         result.extras["wall_seconds"] = time.perf_counter() - started
         return result
 

@@ -7,12 +7,13 @@ schema (see the README's "Benchmark telemetry" section):
 
 ```
 {
-  "schema": "repro-perf/6",
+  "schema": "repro-perf/7",
   "label": "<free-form document label, e.g. BENCH_PR4>",
   "cells": [
-    {"schema": "repro-perf/6",
+    {"schema": "repro-perf/7",
      "name": ..., "matrix": ..., "algorithm": ..., "k": ...,
-     "n_nodes": ..., "wall_seconds": ..., "simulated_seconds": ...,
+     "n_nodes": ..., "grid": ...,
+     "wall_seconds": ..., "simulated_seconds": ...,
      "cache_hits": ..., "cache_recomputes": ...,
      "arena_hits": ..., "arena_grows": ...,
      "plan_hits": ..., "plan_misses": ..., "plan_evictions": ...,
@@ -28,7 +29,9 @@ schema (see the README's "Benchmark telemetry" section):
      "serve_batches": ..., "serve_fusion_factor": ...,
      "serve_p50_latency": ..., "serve_p99_latency": ...,
      "serve_requests_per_sec": ..., "serve_peak_queue_depth": ...,
-     "serve_deadline_misses": ...},
+     "serve_deadline_misses": ...,
+     "comm_total_bytes": ..., "comm_row_bytes": ...,
+     "comm_col_bytes": ..., "comm_fiber_bytes": ...},
     ...
   ],
   "experiments": {"<name>": {...free-form...}, ...}
@@ -65,6 +68,18 @@ SpMM), p50/p99 simulated latency, simulated requests/sec, the peak
 admission-queue depth, and deadline misses.  The shared percentile
 helpers (:func:`percentile`, :func:`latency_summary`) are the one
 aggregation path for serving latency and sweep summaries.
+
+Schema ``repro-perf/7`` adds process grids (:mod:`repro.dist.grid`):
+``grid`` is the layout cache token of the run (``"1d"``,
+``"1.5d:r{p_r}c{c}"``, ``"2d:r{p_r}x{p_c}"``; empty when not
+recorded), ``comm_total_bytes`` is the run's total simulated traffic,
+and the ``comm_row_bytes``/``comm_col_bytes``/``comm_fiber_bytes``
+counters split that traffic by grid dimension — row-communicator
+volume (1D runs and the intra-layer lanes of 1.5D), column-communicator
+volume (intra-layer lanes of 2D), and the depth-fiber allreduce that
+sums partial ``C`` blocks.  These come from
+``TrafficStats.dim_bytes``; dimensions a layout does not exercise stay
+zero.
 """
 
 from __future__ import annotations
@@ -81,7 +96,7 @@ from ..core.formats import transfer_cache_stats
 from ..core.plancache import plan_cache_stats
 from ..sparse.ops import scatter_stats
 
-PERF_SCHEMA = "repro-perf/6"
+PERF_SCHEMA = "repro-perf/7"
 
 
 # ----------------------------------------------------------------------
@@ -154,6 +169,11 @@ class PerfCell:
     serve_requests_per_sec: float = 0.0
     serve_peak_queue_depth: int = 0
     serve_deadline_misses: int = 0
+    grid: str = ""
+    comm_total_bytes: int = 0
+    comm_row_bytes: int = 0
+    comm_col_bytes: int = 0
+    comm_fiber_bytes: int = 0
 
 
 @dataclass
@@ -179,6 +199,8 @@ class PerfLog:
         scatter_snapshot: Optional[tuple] = None,
         resilience_snapshot: Optional[tuple] = None,
         events_dropped: int = 0,
+        traffic=None,
+        grid: str = "",
     ) -> PerfCell:
         """Append one cell record.
 
@@ -204,6 +226,12 @@ class PerfLog:
                 taken before the cell ran; deltas are stored likewise.
             events_dropped: comm events lost to the recording cap for
                 this cell's run (``TrafficStats.events_dropped``).
+            traffic: the run's ``TrafficStats``; fills
+                ``comm_total_bytes`` and the per-grid-dimension
+                ``comm_{row,col,fiber}_bytes`` counters from
+                ``dim_bytes``.  Omit to record zeros.
+            grid: the run's grid cache token (e.g. ``"2d:r16x16"``;
+                empty = not recorded, 1D runs record ``"1d"``).
         """
         hits = recomputes = 0
         if cache_snapshot is not None:
@@ -267,6 +295,22 @@ class PerfLog:
             fault_rechunks=resil_deltas[4],
             fault_rechunk_pieces=resil_deltas[5],
             events_dropped=events_dropped,
+            grid=grid,
+            comm_total_bytes=(
+                int(traffic.total_bytes) if traffic is not None else 0
+            ),
+            comm_row_bytes=(
+                int(traffic.dim_bytes.get("row", 0))
+                if traffic is not None else 0
+            ),
+            comm_col_bytes=(
+                int(traffic.dim_bytes.get("col", 0))
+                if traffic is not None else 0
+            ),
+            comm_fiber_bytes=(
+                int(traffic.dim_bytes.get("fiber", 0))
+                if traffic is not None else 0
+            ),
         )
         self.cells.append(cell)
         return cell

@@ -13,6 +13,10 @@ Commands:
 * ``serve``     — replay a synthetic multi-tenant request trace through
   the serving scheduler, fused (K-panel batching) vs serial, and check
   the fused outputs are byte-identical.
+* ``grid-sweep`` — run one (matrix, algorithm, K) cell under the 1D,
+  1.5D, and 2D process-grid layouts and tabulate simulated seconds,
+  total bytes moved, and per-grid-dimension traffic (the
+  communication-lower-bound comparison; see DESIGN.md §9).
 """
 
 from __future__ import annotations
@@ -129,8 +133,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="top fault rate of the sweep (rget/link/straggler/memory)",
     )
     chaos.add_argument(
+        "--grid", default="1d", choices=["1d", "1.5d", "2d"],
+        help=(
+            "process-grid layout (auto-factorised over --nodes); faults "
+            "then exercise the sub-communicator collectives"
+        ),
+    )
+    chaos.add_argument(
         "--out", default=None,
-        help="write a repro-perf/6 telemetry JSON to this path",
+        help="write a repro-perf/7 telemetry JSON to this path",
     )
 
     serve = sub.add_parser(
@@ -166,7 +177,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--out", default=None,
-        help="write a repro-perf/6 telemetry JSON to this path",
+        help="write a repro-perf/7 telemetry JSON to this path",
+    )
+
+    gs = sub.add_parser(
+        "grid-sweep",
+        help="compare 1D / 1.5D / 2D process-grid layouts",
+    )
+    gs.add_argument(
+        "--matrix", default="web", choices=suite.matrix_names()
+    )
+    gs.add_argument(
+        "--algorithm", default="Allgather", choices=algorithm_names()
+    )
+    gs.add_argument("--k", type=int, default=64)
+    gs.add_argument("--nodes", type=int, default=64)
+    gs.add_argument(
+        "--size", default="tiny", choices=list(suite.SIZE_CLASSES)
+    )
+    gs.add_argument(
+        "--layouts", nargs="+", default=["1d", "1.5d", "2d"],
+        choices=["1d", "1.5d", "2d"],
+    )
+    gs.add_argument(
+        "--c", type=int, default=None,
+        help="1.5D replication factor (default: auto-factorised)",
+    )
+    gs.add_argument(
+        "--p-r", type=int, default=None,
+        help="2D grid rows (default: most-square factorisation)",
+    )
+    gs.add_argument(
+        "--p-c", type=int, default=None,
+        help="2D grid columns (default: most-square factorisation)",
+    )
+    gs.add_argument(
+        "--check-1d", action="store_true",
+        help=(
+            "also run the grid-free legacy path and exit 1 unless the "
+            "Grid1D run is bitwise identical (output, seconds, events)"
+        ),
+    )
+    gs.add_argument(
+        "--out", default=None,
+        help="write a repro-perf/7 telemetry JSON to this path",
     )
     return parser
 
@@ -346,13 +400,16 @@ def cmd_chaos(args) -> int:
         resilience_stats,
     )
 
+    from .dist.grid import make_grid
+
     if args.intensity < 0.0:
         print(f"intensity must be non-negative: {args.intensity}")
         return 2
+    grid = make_grid(args.grid, args.nodes)
     harness = ExperimentHarness(size=args.size, plan_cache=None)
     baseline = harness.run_one(
         args.matrix, args.algorithm, args.k,
-        MachineConfig(n_nodes=args.nodes),
+        MachineConfig(n_nodes=args.nodes), grid=grid,
     )
     if baseline.failed:
         print(
@@ -365,6 +422,7 @@ def cmd_chaos(args) -> int:
     log = PerfLog(label=f"chaos-{args.matrix}-{args.algorithm}")
     rows = []
     exact = True
+    invariant_ok = True
     for intensity in intensities:
         faults = (
             FaultConfig.from_intensity(intensity, seed=args.seed)
@@ -373,7 +431,9 @@ def cmd_chaos(args) -> int:
         machine = MachineConfig(n_nodes=args.nodes, faults=faults)
         reset_resilience_stats()
         resil_before = resilience_stats().snapshot()
-        result = harness.run_one(args.matrix, args.algorithm, args.k, machine)
+        result = harness.run_one(
+            args.matrix, args.algorithm, args.k, machine, grid=grid
+        )
         if result.failed:
             print(
                 f"intensity {intensity:.3f}: run failed ({result.failure})"
@@ -392,7 +452,16 @@ def cmd_chaos(args) -> int:
             simulated_seconds=result.seconds,
             resilience_snapshot=resil_before,
             events_dropped=result.traffic.events_dropped,
+            traffic=result.traffic,
+            grid=grid.cache_token(),
         )
+        # Every one-sided failure is absorbed by either a retry or a
+        # sync-lane fallback — on any grid layout (DESIGN.md §7).
+        if (
+            cell.fault_retries + cell.fault_lane_fallbacks
+            != cell.fault_rget_failures
+        ):
+            invariant_ok = False
         rows.append(
             [
                 f"{intensity:.3f}",
@@ -413,12 +482,19 @@ def cmd_chaos(args) -> int:
         rows,
         title=(
             f"chaos sweep: {args.algorithm} on {args.matrix}, "
-            f"K={args.k}, p={args.nodes}, seed={args.seed}"
+            f"K={args.k}, p={args.nodes}, grid={grid.cache_token()}, "
+            f"seed={args.seed}"
         ),
     )
     if args.out is not None:
         log.write(args.out)
         print(f"telemetry written to {args.out}")
+    if not invariant_ok:
+        print(
+            "FAILURE: retries + lane fallbacks != rget failures "
+            "(a one-sided failure went unhandled)"
+        )
+        return 1
     if not exact:
         print("FAILURE: injected faults changed the computed result")
         return 1
@@ -524,6 +600,119 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_grid_sweep(args) -> int:
+    from .bench.telemetry import PerfLog
+    from .dist.grid import make_grid
+    from .errors import PartitionError
+
+    harness = ExperimentHarness(size=args.size, plan_cache=None)
+    machine = MachineConfig(n_nodes=args.nodes)
+
+    grids = []
+    for layout in args.layouts:
+        try:
+            grids.append(
+                make_grid(
+                    layout, args.nodes,
+                    p_r=args.p_r if layout == "2d" else None,
+                    p_c=args.p_c if layout == "2d" else None,
+                    c=args.c if layout == "1.5d" else None,
+                )
+            )
+        except PartitionError as exc:
+            print(f"{layout}: {exc}")
+            return 2
+
+    log = PerfLog(label=f"grid-sweep-{args.matrix}-{args.algorithm}")
+    results = {}
+    rows = []
+    base_seconds = None
+    for grid in grids:
+        result = harness.run_one(
+            args.matrix, args.algorithm, args.k, machine, grid=grid
+        )
+        token = grid.cache_token()
+        results[token] = result
+        if result.failed:
+            rows.append([token, "OOM", "-", "-", "-", "-", "-", "-"])
+            continue
+        if grid.depth == 1 and base_seconds is None:
+            base_seconds = result.seconds
+        log.record_cell(
+            name=f"grid-{token}",
+            matrix=args.matrix,
+            algorithm=args.algorithm,
+            k=args.k,
+            n_nodes=args.nodes,
+            wall_seconds=result.extras.get("wall_seconds"),
+            simulated_seconds=result.seconds,
+            events_dropped=result.traffic.events_dropped,
+            traffic=result.traffic,
+            grid=token,
+        )
+        traffic = result.traffic
+        rows.append(
+            [
+                token,
+                f"{result.seconds:.6f}",
+                (
+                    f"{base_seconds / result.seconds:.2f}x"
+                    if base_seconds else "-"
+                ),
+                f"{traffic.total_bytes / 1e6:.3f}",
+                f"{traffic.dim_bytes.get('row', 0) / 1e6:.3f}",
+                f"{traffic.dim_bytes.get('col', 0) / 1e6:.3f}",
+                f"{traffic.dim_bytes.get('fiber', 0) / 1e6:.3f}",
+                result.traffic.collective_ops,
+            ]
+        )
+    print_table(
+        [
+            "grid", "sim seconds", "vs 1d", "total MB",
+            "row MB", "col MB", "fiber MB", "collectives",
+        ],
+        rows,
+        title=(
+            f"grid sweep: {args.algorithm} on {args.matrix}, "
+            f"K={args.k}, p={args.nodes}, size={args.size}"
+        ),
+    )
+
+    if args.out is not None:
+        log.write(args.out)
+        print(f"telemetry written to {args.out}")
+
+    if args.check_1d:
+        legacy = harness.run_one(
+            args.matrix, args.algorithm, args.k, machine, grid=None
+        )
+        grid1d = results.get("1d")
+        if grid1d is None:
+            grid1d = harness.run_one(
+                args.matrix, args.algorithm, args.k, machine,
+                grid=make_grid("1d", args.nodes),
+            )
+        identical = (
+            not legacy.failed
+            and not grid1d.failed
+            and legacy.C.tobytes() == grid1d.C.tobytes()
+            and legacy.seconds == grid1d.seconds
+            and legacy.traffic.total_bytes == grid1d.traffic.total_bytes
+            and legacy.events == grid1d.events
+        )
+        if not identical:
+            print(
+                "FAILURE: Grid1D run is not bitwise identical to the "
+                "grid-free path"
+            )
+            return 1
+        print(
+            "Grid1D matches the grid-free path bit-for-bit "
+            "(output, simulated seconds, traffic events)"
+        )
+    return 0
+
+
 _COMMANDS = {
     "run": cmd_run,
     "sweep": cmd_sweep,
@@ -533,6 +722,7 @@ _COMMANDS = {
     "gnn": cmd_gnn,
     "chaos": cmd_chaos,
     "serve": cmd_serve,
+    "grid-sweep": cmd_grid_sweep,
 }
 
 

@@ -85,6 +85,20 @@ class NetworkModel:
         steps = n_ranks - 1
         return steps * (self.alpha_coll + self.beta_coll * nbytes_per_rank)
 
+    def allreduce_time(self, nbytes: int, n_ranks: int) -> float:
+        """Cost of a ring MPI_Allreduce of ``nbytes``, per participant.
+
+        The standard reduce-scatter + allgather ring: ``2 (n - 1)``
+        steps, each moving ``nbytes / n``.  This is the reduction cost
+        of the 1.5D depth fibers and the 2D grid rows — the term the
+        grid layouts trade against the ``~|B|`` dense-input traffic of
+        the 1D layout.
+        """
+        if n_ranks <= 1:
+            return 0.0
+        steps = 2 * (n_ranks - 1)
+        return steps * (self.alpha_coll + self.beta_coll * nbytes / n_ranks)
+
     def bcast_time(self, nbytes: int, n_destinations: int) -> float:
         """Cost of a (multi)cast of ``nbytes`` to ``n_destinations``.
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -190,6 +190,10 @@ class TrafficStats:
         events_dropped: communication events not retained in the event
             log because :data:`MAX_RECORDED_EVENTS` was reached (the
             counters above still include them).
+        dim_bytes: bytes moved per process-grid dimension (``"row"`` /
+            ``"col"`` for intra-layer traffic, ``"fiber"`` / ``"row"``
+            for the partial-``C`` reduction); empty for 1D runs, so
+            pre-grid accounting is untouched.
     """
 
     n_nodes: int = 0
@@ -201,6 +205,7 @@ class TrafficStats:
     onesided_requests: int = 0
     events_dropped: int = 0
     per_node_recv_bytes: List[int] = field(default_factory=list)
+    dim_bytes: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.per_node_recv_bytes:
@@ -212,6 +217,11 @@ class TrafficStats:
 
     def _recv(self, rank: int, nbytes: int) -> None:
         self.per_node_recv_bytes[rank] += nbytes
+
+    def add_dim_bytes(self, dim: str, nbytes: int) -> None:
+        """Attribute ``nbytes`` to a grid communication dimension."""
+        if dim:
+            self.dim_bytes[dim] = self.dim_bytes.get(dim, 0) + int(nbytes)
 
 
 class SimMPI:
@@ -344,6 +354,144 @@ class SimMPI:
             shifted.append(incoming)
         self.cluster.barrier()
         return shifted
+
+    # ------------------------------------------------------------------
+    # Sub-communicator collectives (process grids)
+    # ------------------------------------------------------------------
+    def _group_barrier(self, ranks: Sequence[int]) -> float:
+        """Synchronise the member clocks only (a sub-communicator
+        barrier: non-members keep running)."""
+        nodes = [self.cluster.node(r) for r in ranks]
+        latest = max(node.time for node in nodes)
+        for node in nodes:
+            node.sync_to(latest)
+        return latest
+
+    def group_allgather(
+        self,
+        blocks: Sequence[np.ndarray],
+        ranks: Sequence[int],
+        label: str,
+        charge_memory: bool = True,
+        dim: str = "",
+    ) -> List[np.ndarray]:
+        """MPI_Allgather over the sub-communicator ``ranks``.
+
+        Identical accounting to :meth:`allgather` but scoped to the
+        member ranks (a grid row or column): only their clocks move and
+        the ring cost is paid at the *group* size — the source of the
+        1.5D/2D traffic win.  ``dim`` attributes the moved bytes to a
+        grid dimension in :attr:`TrafficStats.dim_bytes`.
+        """
+        if len(blocks) != len(ranks):
+            raise CommunicationError(
+                f"group allgather needs {len(ranks)} blocks, "
+                f"got {len(blocks)}"
+            )
+        sizes = [int(b.nbytes) for b in blocks]
+        total_foreign = sum(sizes)
+        self._group_barrier(ranks)
+        for member, rank in enumerate(ranks):
+            node = self.cluster.node(rank)
+            foreign = total_foreign - sizes[member]
+            if charge_memory:
+                node.memory.allocate(label, foreign)
+            step_cost = self._net.allgather_time(
+                max(sizes, default=0), len(ranks)
+            )
+            if self.faults is not None:
+                step_cost *= self.faults.worst_incoming_scale(rank)
+            node.advance(step_cost)
+            self.traffic._recv(rank, foreign)
+            self._log("allgather", -1, rank, foreign, label)
+        self.traffic.collective_bytes += total_foreign
+        self.traffic.collective_ops += 1
+        self.traffic.add_dim_bytes(dim, total_foreign)
+        self._group_barrier(ranks)
+        return list(blocks)
+
+    def group_allreduce(
+        self,
+        ranks: Sequence[int],
+        nbytes: int,
+        label: str,
+        dim: str = "",
+    ) -> List[float]:
+        """Accounting of a ring MPI_Allreduce over ``ranks``.
+
+        Every member contributes and receives an ``nbytes`` buffer (a
+        partial ``C`` row block); the reduced result replaces it in
+        place, so no memory is charged.  Member clocks first meet at
+        the group barrier, then advance by the ring cost (scaled by the
+        member's worst incoming link under fault injection).  The
+        logical payload is counted once in ``collective_bytes`` —
+        the same convention as :meth:`allgather` — while each member's
+        ``per_node_recv_bytes`` gets the ``2 (n-1)/n`` ring traffic it
+        actually received.
+
+        Returns:
+            The per-member clock costs, in ``ranks`` order (the grid
+            runner mirrors them into the time breakdown).
+        """
+        nbytes = int(nbytes)
+        n = len(ranks)
+        self._group_barrier(ranks)
+        costs: List[float] = []
+        recv_each = 0 if n <= 1 else int(2 * nbytes * (n - 1) // n)
+        for rank in ranks:
+            node = self.cluster.node(rank)
+            cost = self._net.allreduce_time(nbytes, n)
+            if self.faults is not None:
+                cost *= self.faults.worst_incoming_scale(rank)
+            node.advance(cost)
+            costs.append(cost)
+            self.traffic._recv(rank, recv_each)
+            self._log("allreduce", -1, rank, recv_each, label)
+        if n > 1:
+            self.traffic.collective_bytes += nbytes
+            self.traffic.collective_ops += 1
+            self.traffic.add_dim_bytes(dim, nbytes)
+        self._group_barrier(ranks)
+        return costs
+
+    def absorb(
+        self, sub: "SimMPI", ranks: Sequence[int], dim: str = ""
+    ) -> None:
+        """Merge a sub-communicator run's traffic and events into this
+        instance, remapping its local ranks to the global ``ranks``.
+
+        The grid runner executes each layer against its own
+        :class:`SimMPI` (over a sub-cluster view whose nodes are shared
+        with the parent, so clocks and ledgers already land globally);
+        this folds the layer's *counters* back: scalar totals add,
+        per-rank receive bytes remap, events replay through the parent
+        log (respecting its recording cap), and the layer's total
+        bytes are attributed to grid dimension ``dim``.
+        """
+        s = sub.traffic
+        t = self.traffic
+        t.p2p_bytes += s.p2p_bytes
+        t.p2p_messages += s.p2p_messages
+        t.collective_bytes += s.collective_bytes
+        t.collective_ops += s.collective_ops
+        t.onesided_bytes += s.onesided_bytes
+        t.onesided_requests += s.onesided_requests
+        for local, nbytes in enumerate(s.per_node_recv_bytes):
+            if nbytes:
+                t._recv(ranks[local], nbytes)
+        for sub_dim, nbytes in s.dim_bytes.items():
+            t.add_dim_bytes(sub_dim, nbytes)
+        t.add_dim_bytes(dim, s.total_bytes)
+        for ev in sub.events:
+            self._log(
+                ev.kind,
+                ranks[ev.source] if ev.source >= 0 else ev.source,
+                ranks[ev.destination] if ev.destination >= 0
+                else ev.destination,
+                ev.nbytes,
+                ev.detail,
+            )
+        t.events_dropped += s.events_dropped
 
     # ------------------------------------------------------------------
     # Multicast (participant-local time; no global barrier)

@@ -145,6 +145,34 @@ class CostCoefficients:
             updates[name] = getattr(self, name) * factor
         return replace(self, **updates)
 
+    def for_group_size(
+        self, n_ranks: int, reference: int
+    ) -> "CostCoefficients":
+        """Re-scale the sync-transfer latency to a sub-communicator.
+
+        The coefficients are calibrated at a reference communicator
+        size; when Two-Face plans one layer of a process grid, the sync
+        lane's multicasts span only the ``n_ranks`` layer members, so
+        the per-stripe latency term ``alpha_S`` (dominated by the
+        scatter-allgather tree depth, ``ceil(log2(n + 1))`` — see
+        ``NetworkModel.bcast_time``) shrinks with the group.  The
+        per-byte terms and the one-sided coefficients are
+        size-independent and stay put.  This is how the stripe
+        classifier picks sync/async *per grid dimension*: each layer is
+        classified with coefficients matching its own sub-communicator.
+        """
+        import math
+
+        if n_ranks < 1 or reference < 1:
+            raise ConfigurationError(
+                f"group sizes must be positive: {n_ranks}, {reference}"
+            )
+        if n_ranks == reference:
+            return self
+        depth = math.ceil(math.log2(n_ranks + 1))
+        ref_depth = max(math.ceil(math.log2(reference + 1)), 1)
+        return replace(self, alpha_s=self.alpha_s * depth / ref_depth)
+
     def as_dict(self) -> Dict[str, float]:
         """Coefficient name -> value mapping (Table 3 rows)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}

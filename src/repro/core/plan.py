@@ -54,6 +54,9 @@ class TwoFacePlan:
         ranks: per-rank plans, rank order.
         stripe_destinations: gid -> sorted destination ranks of the
             collective transfer (empty / absent gid = no multicast).
+        grid: process-grid layout the plan was built for (None = the
+            plain 1D layout; for a 1.5D/2D run this is the full grid
+            while the plan itself covers one ``p_r``-rank layer).
     """
 
     geometry: StripeGeometry
@@ -62,11 +65,21 @@ class TwoFacePlan:
     panel_height: int
     ranks: List[RankPlan]
     stripe_destinations: Dict[int, List[int]]
+    grid: object = None
 
     # ------------------------------------------------------------------
     @property
     def n_nodes(self) -> int:
         return self.geometry.n_parts
+
+    @property
+    def grid_spec(self):
+        """The plan's grid, with None normalised to ``Grid1D``."""
+        if self.grid is not None:
+            return self.grid
+        from ..dist.grid import Grid1D
+
+        return Grid1D(self.geometry.n_parts)
 
     def rank_plan(self, rank: int) -> RankPlan:
         if not 0 <= rank < len(self.ranks):

@@ -165,6 +165,7 @@ def plan_cache_key(
     force_all_async: bool = False,
     force_all_sync: bool = False,
     classify_k: Optional[int] = None,
+    grid=None,
 ) -> str:
     """Content hash of every input that shapes the resulting plan.
 
@@ -173,11 +174,16 @@ def plan_cache_key(
     matrix participates (see the module docstring for the full list).
     A ``classify_k`` equal to ``k`` (or None) normalises to the unpinned
     key — pinning classification at the run's own width changes
-    nothing, so both spellings share one entry.
+    nothing, so both spellings share one entry.  Likewise a ``grid``
+    of None and an explicit ``Grid1D`` share the ``g1d`` token — both
+    spell the plain 1D layout; 1.5D/2D layouts get their own entries
+    (the same layer content classifies differently per layout because
+    the coefficients are re-scaled to the sub-communicator).
     """
     coeffs = coeffs if coeffs is not None else CostCoefficients()
     if classify_k == k:
         classify_k = None
+    grid_token = "1d" if grid is None else grid.cache_token()
     parts = [
         f"fmt{PLAN_FORMAT_VERSION}",
         matrix_content_digest(A.global_matrix),
@@ -197,6 +203,8 @@ def plan_cache_key(
         f"mem{-1 if machine is None else machine.memory_capacity}",
         # Serving's K-panel fusion pins classification at one width.
         f"ck{-1 if classify_k is None else classify_k}",
+        # Process-grid layout (PR7): layer plans are layout-qualified.
+        f"g{grid_token}",
     ]
     return hashlib.sha256("|".join(parts).encode("ascii")).hexdigest()
 
@@ -522,6 +530,7 @@ def cached_preprocess(
     plan_workers: Optional[int] = None,
     cache: PlanCacheLike = AUTO,
     classify_k: Optional[int] = None,
+    grid=None,
 ) -> Tuple[TwoFacePlan, PreprocessReport]:
     """:func:`~repro.core.preprocess.preprocess` behind the plan cache.
 
@@ -544,11 +553,13 @@ def cached_preprocess(
             classify_override=classify_override,
             plan_workers=plan_workers,
             classify_k=classify_k,
+            grid=grid,
         )
     key = plan_cache_key(
         A, k, stripe_width, panel_height=panel_height, coeffs=coeffs,
         machine=machine, force_all_async=force_all_async,
         force_all_sync=force_all_sync, classify_k=classify_k,
+        grid=grid,
     )
     started = time.perf_counter()
     plan = cache.get(key)

@@ -118,6 +118,7 @@ def preprocess(
     classify_override: Optional[Callable] = None,
     plan_workers: Optional[int] = None,
     classify_k: Optional[int] = None,
+    grid=None,
 ) -> Tuple[TwoFacePlan, PreprocessReport]:
     """Classify stripes and build the Two-Face representation.
 
@@ -154,6 +155,10 @@ def preprocess(
             accumulate into ``C`` in the same order — the property the
             serving layer's K-panel fusion relies on for byte-identical
             per-request output slices (DESIGN.md §8).
+        grid: process-grid layout to stamp into the plan (None = plain
+            1D).  Classification itself sees only the layer-local
+            ``A``; the grid is metadata carried for serialisation and
+            cache keying.
 
     Returns:
         ``(plan, report)``.
@@ -249,6 +254,7 @@ def preprocess(
         panel_height=panel_height,
         ranks=rank_plans,
         stripe_destinations=destinations,
+        grid=grid,
     )
     wall = time.perf_counter() - started
     report = derive_report(

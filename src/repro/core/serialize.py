@@ -17,6 +17,7 @@ from typing import IO, Dict, List, Union
 
 import numpy as np
 
+from ..dist.grid import GRID_LAYOUT_CODES, grid_from_code, grid_to_code
 from ..errors import FormatError
 from ..sparse.binary_io import read_arrays, write_arrays
 from ..sparse.coo import COOMatrix
@@ -39,11 +40,14 @@ _PathLike = Union[str, os.PathLike]
 #: cached per-stripe transfer schedules (chunk lists, fetched-row ids,
 #: packed-row maps); version 3 adds the cached per-stripe reduction
 #: schedules (stable-sort permutation, segment starts, output-row ids)
-#: consumed by the segmented scatter kernel.  Older containers still
-#: load, with the missing schedules rebuilt once at load time.  The
-#: version also feeds the plan-cache key, so bumping it invalidates
-#: every previously cached plan automatically.
-PLAN_FORMAT_VERSION = 3
+#: consumed by the segmented scatter kernel; version 4 extends ``meta``
+#: with the process-grid shape (layout code, p_r, depth) so a plan
+#: built for one layer of a 1.5D/2D grid cannot be replayed under a
+#: different layout.  Older containers still load — v1/v2 rebuild the
+#: missing schedules once at load time, and anything pre-v4 loads as
+#: the plain 1D layout.  The version also feeds the plan-cache key, so
+#: bumping it invalidates every previously cached plan automatically.
+PLAN_FORMAT_VERSION = 4
 
 
 def save_plan(plan: TwoFacePlan, path_or_file: Union[_PathLike, IO[bytes]]) -> int:
@@ -54,6 +58,7 @@ def save_plan(plan: TwoFacePlan, path_or_file: Union[_PathLike, IO[bytes]]) -> i
     executes with zero schedule recomputations on either scatter path.
     """
     plan.ensure_finalized()
+    layout_code, grid_p_r, grid_depth = grid_to_code(plan.grid_spec)
     arrays: Dict[str, np.ndarray] = {
         "meta": np.array(
             [
@@ -64,6 +69,9 @@ def save_plan(plan: TwoFacePlan, path_or_file: Union[_PathLike, IO[bytes]]) -> i
                 plan.geometry.stripe_width,
                 plan.k,
                 plan.panel_height,
+                layout_code,
+                grid_p_r,
+                grid_depth,
             ],
             dtype=np.int64,
         ),
@@ -207,6 +215,11 @@ def load_plan(path_or_file: Union[_PathLike, IO[bytes]]) -> TwoFacePlan:
     n_rows, n_cols, n_parts, width, k, panel_height = (
         int(v) for v in meta[1:7]
     )
+    grid = None
+    if version >= 4:
+        layout_code, grid_p_r, grid_depth = (int(v) for v in meta[7:10])
+        if layout_code != GRID_LAYOUT_CODES["1d"] or grid_depth != 1:
+            grid = grid_from_code(layout_code, grid_p_r, grid_depth)
     geometry = StripeGeometry(n_rows, n_cols, n_parts, width)
     c = arrays["coeffs"]
     coeffs = CostCoefficients(
@@ -233,6 +246,7 @@ def load_plan(path_or_file: Union[_PathLike, IO[bytes]]) -> TwoFacePlan:
         panel_height=panel_height,
         ranks=ranks,
         stripe_destinations=destinations,
+        grid=grid,
     )
     if version < PLAN_FORMAT_VERSION:
         # Older containers predate some cached schedule (v1: transfer

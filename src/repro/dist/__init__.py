@@ -1,6 +1,24 @@
-"""Distributed data structures under 1D row partitioning."""
+"""Distributed data structures and process-grid layouts."""
 
+from .grid import (
+    Grid1D,
+    Grid2D,
+    Grid15D,
+    ProcessGrid,
+    make_grid,
+    square_factors,
+)
 from .matrices import DistDenseMatrix, DistSparseMatrix
 from .oned import RowPartition
 
-__all__ = ["DistDenseMatrix", "DistSparseMatrix", "RowPartition"]
+__all__ = [
+    "DistDenseMatrix",
+    "DistSparseMatrix",
+    "Grid15D",
+    "Grid1D",
+    "Grid2D",
+    "ProcessGrid",
+    "RowPartition",
+    "make_grid",
+    "square_factors",
+]

@@ -1,0 +1,364 @@
+"""Process-grid layouts for distributed SpMM (1D / 1.5D / 2D).
+
+The paper's Two-Face algorithm is presented on a 1D row-block
+distribution: every rank owns a row slab of ``A`` and the matching block
+of ``B``, and (collectively or one-sidedly) fetches the remaining
+``~|B|`` bytes it needs.  Bharadwaj, Buluc & Demmel ("Distributed-Memory
+Sparse Kernels for Machine Learning", PAPERS.md) show that replicated
+1.5D and 2D grid variants move asymptotically less data per rank as the
+node count grows:
+
+* ``Grid1D``  — p ranks in a row; per-rank dense traffic ``~|B|``.
+* ``Grid15D`` — a ``p_r x c`` grid: ``A`` stays row-blocked across the
+  ``p_r`` layer ranks while the dense rows of ``B`` are split
+  block-cyclically over the ``c`` depth fibers; each fiber computes a
+  partial ``C`` from its ``1/c`` of the columns and the fibers
+  allreduce.  Per-rank traffic ``~|B|/c + 2 |C_i| (c-1)/c``.
+* ``Grid2D``  — a ``p_r x p_c`` grid: ``A`` is blocked on the grid
+  (each grid column owns a contiguous ``1/p_c`` of the columns of
+  ``A``), ``B`` is partitioned along grid columns, and partial outputs
+  are reduced across each grid row.  Per-rank traffic
+  ``~|B|/p_c + 2 |C_i| (p_c-1)/p_c``.
+
+A layout answers three purely geometric questions the grid runner
+(:mod:`repro.algorithms.gridrun`) needs:
+
+1. which global ranks form each *layer* (the sub-communicator that runs
+   an unchanged 1D sub-problem),
+2. which dense rows of ``B`` (equivalently, columns of ``A``) each
+   layer owns, and
+3. which global ranks form each *reduce group* (the ranks holding
+   partials of the same ``C`` row block, reduced over the grid's depth
+   dimension).
+
+Global ranks are numbered layer-major: layer ``g`` owns the contiguous
+ranks ``[g * p_r, (g + 1) * p_r)``, and rank ``g * p_r + i`` holds row
+block ``i``.  Reduce group ``i`` is therefore ``{g * p_r + i : g}``.
+
+``Grid1D`` is pure bookkeeping — algorithms run the exact pre-grid code
+path and produce byte-identical results (output, simulated seconds,
+traffic events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, List, Optional
+
+import numpy as np
+
+from ..errors import PartitionError
+from .oned import RowPartition
+
+
+class ProcessGrid:
+    """Base class of the grid layouts (shared geometry helpers).
+
+    Subclasses define ``p_r`` (ranks per layer, i.e. row blocks of
+    ``A``/``C``), ``depth`` (number of layers: ``1`` for 1D, ``c`` for
+    1.5D, ``p_c`` for 2D) and ``n_nodes = p_r * depth``.
+    """
+
+    #: Layout tag ("1d", "1.5d", "2d"); also the CLI spelling.
+    layout: ClassVar[str] = "abstract"
+    #: Telemetry dimension charged for intra-layer (dense input) traffic.
+    intra_dim: ClassVar[str] = "row"
+    #: Telemetry dimension charged for the partial-``C`` reduction
+    #: (None when the layout has no reduction, i.e. 1D).
+    reduce_dim: ClassVar[Optional[str]] = None
+
+    # -- geometry ------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self.p_r * self.depth  # type: ignore[attr-defined]
+
+    def validate_nodes(self, n_nodes: int) -> None:
+        """Raise unless the machine's node count matches the grid."""
+        if n_nodes != self.n_nodes:
+            raise PartitionError(
+                f"machine has {n_nodes} nodes but grid "
+                f"{self.describe()['shape']} needs {self.n_nodes}"
+            )
+
+    def layer_ranks(self, layer: int) -> List[int]:
+        """Global ranks of one layer (a 1D sub-communicator)."""
+        if not 0 <= layer < self.depth:
+            raise PartitionError(
+                f"layer {layer} out of range for depth {self.depth}"
+            )
+        base = layer * self.p_r
+        return list(range(base, base + self.p_r))
+
+    def reduce_groups(self) -> List[List[int]]:
+        """Global ranks holding partials of each ``C`` row block.
+
+        Entry ``i`` lists, in layer order, the ranks whose partial
+        ``C`` contains row block ``i``; the grid runner charges one
+        allreduce per group.  Degenerate (depth-1) grids reduce
+        nothing, so the list is empty.
+        """
+        if self.depth <= 1:
+            return []
+        return [
+            [g * self.p_r + i for g in range(self.depth)]
+            for i in range(self.p_r)
+        ]
+
+    def layer_col_ids(self, layer: int, n_cols: int) -> np.ndarray:
+        """Sorted global column ids of ``A`` owned by ``layer``."""
+        raise NotImplementedError
+
+    # -- identity ------------------------------------------------------
+    def cache_token(self) -> str:
+        """Stable token naming this layout in plan-cache keys."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """JSON-ready summary (telemetry / result extras)."""
+        return {
+            "layout": self.layout,
+            "shape": self.cache_token(),
+            "n_nodes": self.n_nodes,
+            "p_r": self.p_r,
+            "depth": self.depth,
+        }
+
+
+@dataclass(frozen=True)
+class Grid1D(ProcessGrid):
+    """The paper's layout: ``p`` ranks in a row, no depth dimension.
+
+    Running with ``grid=Grid1D(p)`` (or ``grid=None``) takes the exact
+    pre-grid code path — output, simulated seconds, and traffic events
+    are byte-identical to a run without a grid argument.
+    """
+
+    nodes: int
+
+    layout: ClassVar[str] = "1d"
+    intra_dim: ClassVar[str] = "row"
+    reduce_dim: ClassVar[Optional[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise PartitionError(
+                f"Grid1D needs at least 1 node, got {self.nodes}"
+            )
+
+    @property
+    def p_r(self) -> int:
+        return self.nodes
+
+    @property
+    def depth(self) -> int:
+        return 1
+
+    def layer_col_ids(self, layer: int, n_cols: int) -> np.ndarray:
+        if layer != 0:
+            raise PartitionError(f"Grid1D has one layer, got {layer}")
+        return np.arange(n_cols, dtype=np.int64)
+
+    def cache_token(self) -> str:
+        return "1d"
+
+
+@dataclass(frozen=True)
+class Grid15D(ProcessGrid):
+    """1.5D layout: row-blocked ``A``, ``B`` block-cyclic over fibers.
+
+    ``A``'s rows are blocked over the ``p_r`` layer ranks exactly as in
+    1D.  The dense rows of ``B`` are first split into ``p_r`` blocks
+    (the 1D ownership blocks) and block ``j`` is assigned to depth
+    fiber ``j mod c`` — the replication-group schedule of the 1.5D
+    algorithm.  Fiber ``f`` computes a partial ``C`` from its blocks
+    and the ``c`` fibers allreduce each row block of ``C``.
+
+    Args:
+        p_r: ranks per fiber (row blocks of ``A``).
+        c: replication factor (number of depth fibers).
+    """
+
+    p_r: int
+    c: int
+
+    layout: ClassVar[str] = "1.5d"
+    intra_dim: ClassVar[str] = "row"
+    reduce_dim: ClassVar[Optional[str]] = "fiber"
+
+    def __post_init__(self) -> None:
+        if self.p_r < 1 or self.c < 1:
+            raise PartitionError(
+                f"Grid15D needs positive p_r and c, got "
+                f"p_r={self.p_r}, c={self.c}"
+            )
+        if self.c > self.p_r:
+            raise PartitionError(
+                f"Grid15D replication c={self.c} exceeds p_r={self.p_r}: "
+                "a fiber would own no dense blocks"
+            )
+
+    @property
+    def depth(self) -> int:
+        return self.c
+
+    def layer_col_ids(self, layer: int, n_cols: int) -> np.ndarray:
+        if not 0 <= layer < self.c:
+            raise PartitionError(
+                f"fiber {layer} out of range for c={self.c}"
+            )
+        blocks = RowPartition(n_cols, self.p_r)
+        spans = [
+            blocks.bounds(j)
+            for j in range(self.p_r)
+            if j % self.c == layer
+        ]
+        parts = [
+            np.arange(start, stop, dtype=np.int64) for start, stop in spans
+        ]
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def cache_token(self) -> str:
+        return f"1.5d:r{self.p_r}c{self.c}"
+
+
+@dataclass(frozen=True)
+class Grid2D(ProcessGrid):
+    """2D layout: ``A`` blocked on a ``p_r x p_c`` grid.
+
+    Each grid column (a layer of ``p_r`` ranks) owns a contiguous
+    ``1/p_c`` slice of the columns of ``A`` and the matching rows of
+    ``B``; within the layer, rows of ``A`` are blocked as in 1D.  The
+    column groups each compute a partial ``C`` and the ``p_c`` members
+    of every grid row allreduce their row block.
+    """
+
+    p_r: int
+    p_c: int
+
+    layout: ClassVar[str] = "2d"
+    intra_dim: ClassVar[str] = "col"
+    reduce_dim: ClassVar[Optional[str]] = "row"
+
+    def __post_init__(self) -> None:
+        if self.p_r < 1 or self.p_c < 1:
+            raise PartitionError(
+                f"Grid2D needs positive p_r and p_c, got "
+                f"p_r={self.p_r}, p_c={self.p_c}"
+            )
+
+    @property
+    def depth(self) -> int:
+        return self.p_c
+
+    def layer_col_ids(self, layer: int, n_cols: int) -> np.ndarray:
+        if not 0 <= layer < self.p_c:
+            raise PartitionError(
+                f"grid column {layer} out of range for p_c={self.p_c}"
+            )
+        start, stop = RowPartition(n_cols, self.p_c).bounds(layer)
+        return np.arange(start, stop, dtype=np.int64)
+
+    def cache_token(self) -> str:
+        return f"2d:r{self.p_r}x{self.p_c}"
+
+
+# ----------------------------------------------------------------------
+# Construction helpers
+# ----------------------------------------------------------------------
+def square_factors(n_nodes: int) -> tuple:
+    """The most-square ``(p_r, p_c)`` factorisation of ``n_nodes``.
+
+    Returns the factor pair with ``p_r >= p_c`` and ``p_c`` the largest
+    divisor not exceeding ``sqrt(n_nodes)`` — the default 2D shape.
+    """
+    if n_nodes < 1:
+        raise PartitionError(f"need at least 1 node, got {n_nodes}")
+    p_c = 1
+    d = 1
+    while d * d <= n_nodes:
+        if n_nodes % d == 0:
+            p_c = d
+        d += 1
+    return n_nodes // p_c, p_c
+
+
+def make_grid(
+    layout: str,
+    n_nodes: int,
+    p_r: Optional[int] = None,
+    p_c: Optional[int] = None,
+    c: Optional[int] = None,
+) -> ProcessGrid:
+    """Build a grid over ``n_nodes`` ranks from a layout name.
+
+    Args:
+        layout: ``"1d"``, ``"1.5d"``, or ``"2d"``.
+        n_nodes: total simulated node count; must equal the grid's
+            ``p_r * depth``.
+        p_r / p_c: explicit 2D shape (either implies the other); the
+            default is the most-square factorisation.
+        c: 1.5D replication factor; the default is the ``p_c`` of the
+            most-square factorisation (capped at ``p_r``).
+    """
+    if layout == "1d":
+        return Grid1D(n_nodes)
+    if layout == "1.5d":
+        if c is None:
+            rows, cols = square_factors(n_nodes)
+            c = 1 if cols < 2 else cols
+        if c < 1 or n_nodes % c != 0:
+            raise PartitionError(
+                f"replication c={c} does not divide {n_nodes} nodes"
+            )
+        if c == 1:
+            return Grid1D(n_nodes)
+        return Grid15D(p_r=n_nodes // c, c=c)
+    if layout == "2d":
+        if p_r is None and p_c is None:
+            p_r, p_c = square_factors(n_nodes)
+        elif p_r is None:
+            if p_c < 1 or n_nodes % p_c != 0:
+                raise PartitionError(
+                    f"p_c={p_c} does not divide {n_nodes} nodes"
+                )
+            p_r = n_nodes // p_c
+        elif p_c is None:
+            if p_r < 1 or n_nodes % p_r != 0:
+                raise PartitionError(
+                    f"p_r={p_r} does not divide {n_nodes} nodes"
+                )
+            p_c = n_nodes // p_r
+        if p_r * p_c != n_nodes:
+            raise PartitionError(
+                f"grid {p_r}x{p_c} does not cover {n_nodes} nodes"
+            )
+        if p_c == 1:
+            return Grid1D(n_nodes)
+        return Grid2D(p_r=p_r, p_c=p_c)
+    raise PartitionError(
+        f"unknown grid layout {layout!r} (expected 1d, 1.5d, or 2d)"
+    )
+
+
+#: Stable layout codes used by the plan container (format v4).
+GRID_LAYOUT_CODES = {"1d": 1, "1.5d": 2, "2d": 3}
+
+
+def grid_to_code(grid: Optional[ProcessGrid]) -> tuple:
+    """``(layout_code, p_r, depth)`` of a grid (None = 1D over p_r)."""
+    if grid is None:
+        raise PartitionError("grid_to_code needs a grid; resolve None first")
+    return GRID_LAYOUT_CODES[grid.layout], grid.p_r, grid.depth
+
+
+def grid_from_code(code: int, p_r: int, depth: int) -> ProcessGrid:
+    """Inverse of :func:`grid_to_code` (plan deserialisation)."""
+    if code == GRID_LAYOUT_CODES["1d"]:
+        return Grid1D(p_r)
+    if code == GRID_LAYOUT_CODES["1.5d"]:
+        return Grid15D(p_r=p_r, c=depth)
+    if code == GRID_LAYOUT_CODES["2d"]:
+        return Grid2D(p_r=p_r, p_c=depth)
+    raise PartitionError(f"unknown grid layout code {code}")

@@ -22,6 +22,27 @@ from ..sparse.coo import COOMatrix
 from .oned import RowPartition
 
 
+def _validate_populated(partition: RowPartition, shape, what: str) -> None:
+    """Reject partitions that would leave ranks without any rows.
+
+    ``RowPartition`` itself tolerates over-split partitions (some of
+    its callers slice empty ranges on purpose), but a *distributed
+    matrix* with empty ranks is always a configuration mistake: those
+    ranks would silently contribute nothing to the computation.  The
+    split is ``n_rows = n_parts * base + extra`` with the first
+    ``extra`` ranks one row larger — an uneven remainder is fine, a
+    zero ``base`` is not.
+    """
+    base, extra = divmod(partition.n_rows, partition.n_parts)
+    if base == 0 and extra < partition.n_parts:
+        raise PartitionError(
+            f"{what} of shape {tuple(shape)} cannot be split into "
+            f"{partition.n_parts} row blocks: only {partition.n_rows} "
+            f"rows (base={base}, remainder={extra}), so "
+            f"{partition.n_parts - extra} ranks would own no rows"
+        )
+
+
 class DistDenseMatrix:
     """A dense matrix split into contiguous row blocks, one per rank."""
 
@@ -40,6 +61,7 @@ class DistDenseMatrix:
                 f"matrix has {data.shape[0]} rows but partition covers "
                 f"{partition.n_rows}"
             )
+        _validate_populated(partition, data.shape, "dense matrix")
         self.data = data
         self.partition = partition
         self.label = label
@@ -117,6 +139,7 @@ class DistSparseMatrix:
                 f"A has {global_matrix.shape[0]} rows but partition covers "
                 f"{partition.n_rows}"
             )
+        _validate_populated(partition, global_matrix.shape, "sparse matrix")
         self.global_matrix = global_matrix
         self.partition = partition
         self.slabs: List[COOMatrix] = []

@@ -152,7 +152,7 @@ class TestPerfLog:
         reset_resilience_stats()
 
     def test_schema_is_v6(self):
-        assert PERF_SCHEMA == "repro-perf/6"
+        assert PERF_SCHEMA == "repro-perf/7"
 
     def test_document_schema(self):
         log = PerfLog(label="TEST")

@@ -47,6 +47,30 @@ class TestNetworkModel:
         delta = net.bcast_time(2000, 1) - net.bcast_time(1000, 1)
         assert delta == pytest.approx(2.0 * net.beta_coll * 1000)
 
+    def test_allreduce_single_rank_free(self):
+        net = NetworkModel()
+        assert net.allreduce_time(1 << 20, 1) == 0.0
+        assert net.allreduce_time(1 << 20, 0) == 0.0
+
+    def test_allreduce_ring_formula(self):
+        # Reduce-scatter + allgather: 2 (n-1) steps of nbytes / n.
+        net = NetworkModel()
+        expected = 2 * 7 * (net.alpha_coll + net.beta_coll * 800 / 8)
+        assert net.allreduce_time(800, 8) == pytest.approx(expected)
+
+    def test_allreduce_latency_dominated_at_small_sizes(self):
+        # Per-rank bandwidth term shrinks with n; latency term grows.
+        net = NetworkModel()
+        assert net.allreduce_time(0, 8) == pytest.approx(
+            2 * 7 * net.alpha_coll
+        )
+
+    def test_allreduce_cheaper_than_allgather_of_replicas(self):
+        # The grid trade: reducing one buffer over c ranks beats
+        # gathering c copies of it.
+        net = NetworkModel()
+        assert net.allreduce_time(4096, 4) < net.allgather_time(4096, 4) * 4
+
     def test_rget_more_expensive_per_byte_than_collective(self):
         net = NetworkModel()
         assert net.beta_rget > 10 * net.beta_coll  # the paper's ~18.5x

@@ -268,6 +268,151 @@ class TestGetBlock:
         assert mpi.cluster.node(0).time > 0
 
 
+class TestGroupAllgather:
+    def test_returns_blocks_in_member_order(self, mpi):
+        blocks = blocks_for(mpi)[:2]
+        out = mpi.group_allgather(blocks, [1, 3], label="B")
+        for got, want in zip(out, blocks):
+            np.testing.assert_array_equal(got, want)
+
+    def test_only_member_clocks_advance(self, mpi):
+        mpi.group_allgather(blocks_for(mpi)[:2], [1, 3], label="B")
+        assert mpi.cluster.node(1).time > 0
+        assert mpi.cluster.node(3).time > 0
+        assert mpi.cluster.node(0).time == 0
+        assert mpi.cluster.node(2).time == 0
+
+    def test_memory_charged_to_members_only(self, mpi):
+        blocks = blocks_for(mpi)[:2]
+        mpi.group_allgather(blocks, [0, 2], label="B")
+        foreign = blocks[0].nbytes  # each member misses one block
+        assert mpi.cluster.node(0).memory.allocations()["B"] == foreign
+        assert "B" not in mpi.cluster.node(1).memory.allocations()
+
+    def test_payload_counted_once(self, mpi):
+        blocks = blocks_for(mpi)[:2]
+        mpi.group_allgather(blocks, [0, 1], label="B", dim="row")
+        total = sum(b.nbytes for b in blocks)
+        assert mpi.traffic.collective_bytes == total
+        assert mpi.traffic.collective_ops == 1
+        assert mpi.traffic.dim_bytes == {"row": total}
+
+    def test_group_cost_below_flat_cost(self, small_machine):
+        # The grid win: the ring is paid at the group size, not p.
+        flat = SimMPI(Cluster(small_machine))
+        flat.allgather(blocks_for(flat), label="B")
+        grouped = SimMPI(Cluster(small_machine))
+        grouped.group_allgather(
+            blocks_for(grouped)[:2], [0, 1], label="B"
+        )
+        assert grouped.cluster.node(0).time < flat.cluster.node(0).time
+
+    def test_wrong_block_count(self, mpi):
+        with pytest.raises(CommunicationError):
+            mpi.group_allgather([np.zeros((2, 2))], [0, 1], label="B")
+
+
+class TestGroupAllreduce:
+    def test_costs_returned_per_member(self, mpi):
+        costs = mpi.group_allreduce([0, 2, 3], 960, label="C")
+        assert len(costs) == 3
+        assert all(c > 0 for c in costs)
+
+    def test_singleton_group_is_free(self, mpi):
+        assert mpi.group_allreduce([1], 960, label="C") == [0.0]
+        assert mpi.traffic.collective_bytes == 0
+        assert mpi.traffic.collective_ops == 0
+        assert mpi.traffic.dim_bytes == {}
+
+    def test_payload_counted_once(self, mpi):
+        mpi.group_allreduce([0, 1], 960, label="C", dim="fiber")
+        assert mpi.traffic.collective_bytes == 960
+        assert mpi.traffic.collective_ops == 1
+        assert mpi.traffic.dim_bytes == {"fiber": 960}
+
+    def test_ring_traffic_per_member(self, mpi):
+        # Each member receives 2 (n-1)/n of the buffer over the ring.
+        mpi.group_allreduce([0, 1, 2], 900, label="C")
+        expected = 2 * 900 * 2 // 3
+        assert mpi.traffic.per_node_recv_bytes[0] == expected
+        assert mpi.traffic.per_node_recv_bytes[3] == 0
+
+    def test_only_member_clocks_advance(self, mpi):
+        mpi.group_allreduce([0, 3], 960, label="C")
+        assert mpi.cluster.node(0).time > 0
+        assert mpi.cluster.node(3).time > 0
+        assert mpi.cluster.node(1).time == 0
+
+
+class TestAbsorb:
+    def _sub(self, n=2):
+        return SimMPI(
+            Cluster(MachineConfig(n_nodes=n, memory_capacity=1 << 30))
+        )
+
+    def test_counters_added_and_ranks_remapped(self, mpi):
+        sub = self._sub()
+        sub.multicast(0, np.ones((2, 2)), [1], label="d")
+        mpi.absorb(sub, ranks=[1, 3], dim="row")
+        t = mpi.traffic
+        assert t.collective_bytes == sub.traffic.collective_bytes
+        assert t.collective_ops == sub.traffic.collective_ops
+        # Sub-rank 1 (the receiver) is global rank 3.
+        assert t.per_node_recv_bytes[3] == 32
+        assert t.per_node_recv_bytes[1] == 0
+
+    def test_layer_total_attributed_to_dim(self, mpi):
+        sub = self._sub()
+        sub.multicast(0, np.ones((2, 2)), [1], label="d")
+        mpi.absorb(sub, ranks=[0, 2], dim="row")
+        assert mpi.traffic.dim_bytes["row"] == sub.traffic.total_bytes
+
+    def test_sub_dim_bytes_merge(self, mpi):
+        sub = self._sub()
+        sub.group_allreduce([0, 1], 100, label="C", dim="fiber")
+        mpi.absorb(sub, ranks=[0, 2], dim="row")
+        assert mpi.traffic.dim_bytes["fiber"] == 100
+
+    def test_events_replayed_with_remap(self, mpi):
+        sub = self._sub()
+        sub.sendrecv_shift(
+            [np.ones((1, 2)), np.ones((1, 2))], shift=1, label="s"
+        )
+        before = len(mpi.events)
+        mpi.absorb(sub, ranks=[1, 3], dim="row")
+        replayed = mpi.events[before:]
+        assert len(replayed) == len(sub.events)
+        for parent_ev, sub_ev in zip(replayed, sub.events):
+            assert parent_ev.kind == sub_ev.kind
+            for got, want in (
+                (parent_ev.source, sub_ev.source),
+                (parent_ev.destination, sub_ev.destination),
+            ):
+                assert got == ([1, 3][want] if want >= 0 else want)
+
+    def test_collective_source_sentinel_preserved(self, mpi):
+        sub = self._sub()
+        sub.allgather(
+            [np.ones((1, 2)), np.ones((1, 2))], label="B"
+        )
+        mpi.absorb(sub, ranks=[2, 3], dim="row")
+        assert any(
+            ev.kind == "allgather" and ev.source == -1
+            for ev in mpi.events
+        )
+
+
+class TestDimBytes:
+    def test_empty_dim_is_noop(self, mpi):
+        mpi.traffic.add_dim_bytes("", 100)
+        assert mpi.traffic.dim_bytes == {}
+
+    def test_accumulates(self, mpi):
+        mpi.traffic.add_dim_bytes("col", 10)
+        mpi.traffic.add_dim_bytes("col", 5)
+        assert mpi.traffic.dim_bytes == {"col": 15}
+
+
 class TestTrafficStats:
     def test_total_bytes(self, mpi):
         mpi.sendrecv_shift(blocks_for(mpi), shift=1, label="s")

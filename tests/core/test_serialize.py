@@ -381,6 +381,103 @@ class TestReduceScheduleRoundtrip:
         assert key_now != key_previous
 
 
+class TestGridRoundtrip:
+    """Version 4: the process-grid layout travels with the plan."""
+
+    def _strip_to_v3(self, plan):
+        """Serialise ``plan`` and rewrite the container as v3."""
+        from repro.sparse import read_arrays
+
+        buf = io.BytesIO()
+        save_plan(plan, buf)
+        buf.seek(0)
+        arrays = read_arrays(buf)
+        # v3's meta held 7 ints; v4 appended layout_code/p_r/depth.
+        arrays["meta"] = arrays["meta"][:7].copy()
+        arrays["meta"][0] = 3
+        buf2 = io.BytesIO()
+        write_arrays(arrays, buf2)
+        buf2.seek(0)
+        return buf2
+
+    def test_grid_preserved(self, plan):
+        from dataclasses import replace as dc_replace
+
+        from repro.dist.grid import Grid2D
+
+        gridded = dc_replace(plan, grid=Grid2D(p_r=4, p_c=2))
+        again = roundtrip(gridded)
+        assert again.grid == Grid2D(p_r=4, p_c=2)
+        assert again.grid_spec == Grid2D(p_r=4, p_c=2)
+
+    def test_default_plan_has_1d_grid_spec(self, plan):
+        from repro.dist.grid import Grid1D
+
+        assert plan.grid is None
+        assert plan.grid_spec == Grid1D(plan.geometry.n_parts)
+        again = roundtrip(plan)
+        # 1D serialises as the degenerate code and loads back as None,
+        # keeping the digest a fixpoint.
+        assert again.grid is None
+        assert again.grid_spec == Grid1D(plan.geometry.n_parts)
+
+    def test_version3_container_loads_as_grid1d(self, plan):
+        """A pre-grid (v3) container loads with the 1D layout — the
+        v3→v4 migration path."""
+        from repro.dist.grid import Grid1D
+
+        again = load_plan(self._strip_to_v3(plan))
+        assert again.grid is None
+        assert again.grid_spec == Grid1D(plan.geometry.n_parts)
+        assert again.finalized
+        for sa, sb in _stripe_pairs(plan, again):
+            np.testing.assert_array_equal(
+                sa.schedule.packed, sb.schedule.packed
+            )
+
+    def test_v3_to_v4_resave_digest_fixpoint(self, plan):
+        """Loading a v3 container and re-saving lands exactly on the
+        v4 serialisation of the original plan."""
+        buf = io.BytesIO()
+        save_plan(plan, buf)
+        v4_bytes = buf.getvalue()
+        migrated = load_plan(self._strip_to_v3(plan))
+        buf2 = io.BytesIO()
+        save_plan(migrated, buf2)
+        assert buf2.getvalue() == v4_bytes
+
+    def test_gridded_plan_digest_differs(self, plan):
+        from dataclasses import replace as dc_replace
+
+        from repro.core.serialize import plan_digest
+        from repro.dist.grid import Grid15D
+
+        gridded = dc_replace(plan, grid=Grid15D(p_r=4, c=2))
+        assert plan_digest(gridded) != plan_digest(plan)
+
+    def test_plan_cache_key_carries_grid(self, tiny_matrix):
+        """Grid layouts key separately; None and Grid1D share a key
+        (both are the plain 1D layout), so pre-grid cache entries are
+        exactly the 1D entries."""
+        from repro.core.plancache import plan_cache_key
+        from repro.dist.grid import Grid1D, Grid2D
+
+        dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
+        key_none = plan_cache_key(dist, k=16, stripe_width=4)
+        key_1d = plan_cache_key(
+            dist, k=16, stripe_width=4, grid=Grid1D(4)
+        )
+        key_2d = plan_cache_key(
+            dist, k=16, stripe_width=4, grid=Grid2D(p_r=4, p_c=2)
+        )
+        key_2d_other = plan_cache_key(
+            dist, k=16, stripe_width=4, grid=Grid2D(p_r=2, p_c=2)
+        )
+        assert key_none == key_1d
+        assert key_2d != key_none
+        assert key_2d_other != key_2d
+
+
 class TestErrors:
     def test_not_a_plan_container(self, tmp_path):
         path = tmp_path / "other.bin"

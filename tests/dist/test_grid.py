@@ -1,0 +1,204 @@
+"""Unit tests for process-grid layouts (1D / 1.5D / 2D geometry)."""
+
+import numpy as np
+import pytest
+
+from repro.dist.grid import (
+    GRID_LAYOUT_CODES,
+    Grid1D,
+    Grid2D,
+    Grid15D,
+    grid_from_code,
+    grid_to_code,
+    make_grid,
+    square_factors,
+)
+from repro.errors import PartitionError
+
+
+class TestGrid1D:
+    def test_shape(self):
+        g = Grid1D(8)
+        assert g.p_r == 8
+        assert g.depth == 1
+        assert g.n_nodes == 8
+        assert g.layout == "1d"
+        assert g.cache_token() == "1d"
+
+    def test_single_layer_owns_all_columns(self):
+        g = Grid1D(4)
+        np.testing.assert_array_equal(
+            g.layer_col_ids(0, 10), np.arange(10)
+        )
+        assert g.layer_ranks(0) == [0, 1, 2, 3]
+
+    def test_no_reduce_groups(self):
+        assert Grid1D(4).reduce_groups() == []
+        assert Grid1D(4).reduce_dim is None
+
+    def test_layer_out_of_range(self):
+        with pytest.raises(PartitionError):
+            Grid1D(4).layer_ranks(1)
+        with pytest.raises(PartitionError):
+            Grid1D(4).layer_col_ids(1, 10)
+
+    def test_positive_nodes_required(self):
+        with pytest.raises(PartitionError):
+            Grid1D(0)
+
+    def test_validate_nodes(self):
+        Grid1D(4).validate_nodes(4)
+        with pytest.raises(PartitionError):
+            Grid1D(4).validate_nodes(8)
+
+
+class TestGrid15D:
+    def test_shape(self):
+        g = Grid15D(p_r=4, c=2)
+        assert g.depth == 2
+        assert g.n_nodes == 8
+        assert g.cache_token() == "1.5d:r4c2"
+        assert g.intra_dim == "row"
+        assert g.reduce_dim == "fiber"
+
+    def test_layers_are_contiguous_rank_ranges(self):
+        g = Grid15D(p_r=3, c=2)
+        assert g.layer_ranks(0) == [0, 1, 2]
+        assert g.layer_ranks(1) == [3, 4, 5]
+
+    def test_reduce_groups_span_fibers(self):
+        g = Grid15D(p_r=3, c=2)
+        assert g.reduce_groups() == [[0, 3], [1, 4], [2, 5]]
+
+    def test_block_cyclic_column_ownership(self):
+        # 8 columns over p_r=4 blocks of 2; fiber f owns blocks j%2==f.
+        g = Grid15D(p_r=4, c=2)
+        np.testing.assert_array_equal(
+            g.layer_col_ids(0, 8), [0, 1, 4, 5]
+        )
+        np.testing.assert_array_equal(
+            g.layer_col_ids(1, 8), [2, 3, 6, 7]
+        )
+
+    def test_layers_partition_columns(self):
+        g = Grid15D(p_r=5, c=3)
+        n_cols = 37
+        seen = np.concatenate(
+            [g.layer_col_ids(f, n_cols) for f in range(3)]
+        )
+        np.testing.assert_array_equal(np.sort(seen), np.arange(n_cols))
+
+    def test_replication_exceeding_p_r_rejected(self):
+        with pytest.raises(PartitionError):
+            Grid15D(p_r=2, c=4)
+
+    def test_positive_dims_required(self):
+        with pytest.raises(PartitionError):
+            Grid15D(p_r=0, c=1)
+
+
+class TestGrid2D:
+    def test_shape(self):
+        g = Grid2D(p_r=4, p_c=2)
+        assert g.depth == 2
+        assert g.n_nodes == 8
+        assert g.cache_token() == "2d:r4x2"
+        assert g.intra_dim == "col"
+        assert g.reduce_dim == "row"
+
+    def test_contiguous_column_slices(self):
+        g = Grid2D(p_r=2, p_c=2)
+        np.testing.assert_array_equal(
+            g.layer_col_ids(0, 10), np.arange(5)
+        )
+        np.testing.assert_array_equal(
+            g.layer_col_ids(1, 10), np.arange(5, 10)
+        )
+
+    def test_reduce_groups_span_grid_rows(self):
+        g = Grid2D(p_r=2, p_c=3)
+        assert g.reduce_groups() == [[0, 2, 4], [1, 3, 5]]
+
+    def test_describe(self):
+        d = Grid2D(p_r=4, p_c=2).describe()
+        assert d == {
+            "layout": "2d",
+            "shape": "2d:r4x2",
+            "n_nodes": 8,
+            "p_r": 4,
+            "depth": 2,
+        }
+
+
+class TestSquareFactors:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, (1, 1)), (4, (2, 2)), (8, (4, 2)), (12, (4, 3)),
+         (16, (4, 4)), (256, (16, 16)), (7, (7, 1))],
+    )
+    def test_most_square(self, n, expected):
+        assert square_factors(n) == expected
+
+    def test_positive_required(self):
+        with pytest.raises(PartitionError):
+            square_factors(0)
+
+
+class TestMakeGrid:
+    def test_1d(self):
+        assert make_grid("1d", 8) == Grid1D(8)
+
+    def test_15d_auto_factorises(self):
+        g = make_grid("1.5d", 16)
+        assert isinstance(g, Grid15D)
+        assert g.n_nodes == 16
+        assert g.c == 4
+
+    def test_15d_explicit_c(self):
+        assert make_grid("1.5d", 8, c=2) == Grid15D(p_r=4, c=2)
+
+    def test_2d_auto_factorises(self):
+        assert make_grid("2d", 256) == Grid2D(p_r=16, p_c=16)
+
+    def test_2d_explicit_shape(self):
+        assert make_grid("2d", 8, p_r=2) == Grid2D(p_r=2, p_c=4)
+        assert make_grid("2d", 8, p_c=4) == Grid2D(p_r=2, p_c=4)
+
+    def test_degenerate_normalises_to_1d(self):
+        # A prime node count factorises to depth 1 — plain 1D.
+        assert make_grid("2d", 7) == Grid1D(7)
+        assert make_grid("1.5d", 8, c=1) == Grid1D(8)
+        assert make_grid("2d", 8, p_c=1) == Grid1D(8)
+
+    def test_non_divisor_rejected(self):
+        with pytest.raises(PartitionError):
+            make_grid("1.5d", 8, c=3)
+        with pytest.raises(PartitionError):
+            make_grid("2d", 8, p_r=3)
+        with pytest.raises(PartitionError):
+            make_grid("2d", 8, p_r=2, p_c=2)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(PartitionError):
+            make_grid("3d", 8)
+
+
+class TestLayoutCodes:
+    def test_round_trip(self):
+        for grid in (
+            Grid1D(8), Grid15D(p_r=4, c=2), Grid2D(p_r=4, p_c=2)
+        ):
+            code, p_r, depth = grid_to_code(grid)
+            assert grid_from_code(code, p_r, depth) == grid
+
+    def test_codes_stable(self):
+        # Serialised in plan containers — these values must never move.
+        assert GRID_LAYOUT_CODES == {"1d": 1, "1.5d": 2, "2d": 3}
+
+    def test_none_rejected(self):
+        with pytest.raises(PartitionError):
+            grid_to_code(None)
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(PartitionError):
+            grid_from_code(9, 4, 2)

@@ -112,3 +112,41 @@ class TestDistSparse:
         dist = DistSparseMatrix(tiny_matrix, RowPartition(64, 4))
         assert dist.nnz == tiny_matrix.nnz
         assert dist.shape == tiny_matrix.shape
+
+
+class TestPopulatedPartition:
+    """More ranks than rows must raise, not silently create empty ranks."""
+
+    def test_dense_more_parts_than_rows_rejected(self, rng):
+        with pytest.raises(PartitionError) as excinfo:
+            DistDenseMatrix(
+                rng.standard_normal((3, 4)), RowPartition(3, 5)
+            )
+        # The message names the offending shape and the empty ranks.
+        assert "(3, 4)" in str(excinfo.value)
+        assert "no rows" in str(excinfo.value)
+
+    def test_sparse_more_parts_than_rows_rejected(self):
+        from repro.sparse import erdos_renyi
+
+        matrix = erdos_renyi(3, 16, 8, seed=0)
+        with pytest.raises(PartitionError) as excinfo:
+            DistSparseMatrix(matrix, RowPartition(3, 5))
+        assert "(3, 16)" in str(excinfo.value)
+
+    def test_uneven_remainder_is_fine(self, rng):
+        # 10 rows over 4 parts: sizes 3,3,2,2 — every rank populated.
+        dist = DistDenseMatrix(
+            rng.standard_normal((10, 2)), RowPartition(10, 4)
+        )
+        assert [len(dist.block(r)) for r in range(4)] == [3, 3, 2, 2]
+
+    def test_exact_fit_is_fine(self, rng):
+        dist = DistDenseMatrix(
+            rng.standard_normal((4, 2)), RowPartition(4, 4)
+        )
+        assert all(len(dist.block(r)) == 1 for r in range(4))
+
+    def test_single_part_zero_rows_rejected(self):
+        with pytest.raises(PartitionError):
+            DistDenseMatrix(np.zeros((0, 4)), RowPartition(0, 1))

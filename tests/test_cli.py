@@ -119,10 +119,10 @@ class TestCommands:
         import json
 
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/6"
+        assert doc["schema"] == "repro-perf/7"
         assert len(doc["cells"]) == 3  # intensities 0, half, full
         top = doc["cells"][-1]
-        assert top["schema"] == "repro-perf/6"  # per-record stamp
+        assert top["schema"] == "repro-perf/7"  # per-record stamp
         assert top["fault_rget_failures"] >= 0
         assert {"fault_retries", "fault_lane_fallbacks",
                 "fault_rechunks"} <= set(top)
@@ -134,6 +134,69 @@ class TestCommands:
         )
         assert code == 2
         assert "non-negative" in capsys.readouterr().out
+
+    def test_chaos_on_grid(self, capsys):
+        code = main(
+            ["chaos", "--matrix", "web", "--k", "8", "--nodes", "4",
+             "--size", "tiny", "--seed", "7", "--intensity", "0.2",
+             "--grid", "2d"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "grid=2d:r2x2" in out
+        assert "WRONG" not in out
+        assert "FAILURE" not in out
+
+    def test_grid_sweep(self, capsys, tmp_path):
+        out_path = tmp_path / "grid.json"
+        code = main(
+            ["grid-sweep", "--matrix", "web", "--k", "8",
+             "--nodes", "8", "--size", "tiny", "--check-1d",
+             "--out", str(out_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "grid sweep" in out
+        assert "bit-for-bit" in out
+        assert "FAILURE" not in out
+
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro-perf/7"
+        by_name = {cell["name"]: cell for cell in doc["cells"]}
+        assert set(by_name) == {
+            "grid-1d", "grid-1.5d:r4c2", "grid-2d:r4x2"
+        }
+        flat = by_name["grid-1d"]
+        assert flat["grid"] == "1d"
+        assert flat["comm_total_bytes"] > 0
+        assert flat["comm_fiber_bytes"] == 0
+        rep = by_name["grid-1.5d:r4c2"]
+        assert rep["comm_row_bytes"] > 0
+        assert rep["comm_fiber_bytes"] > 0
+        two = by_name["grid-2d:r4x2"]
+        assert two["comm_col_bytes"] > 0
+        assert two["comm_row_bytes"] > 0
+
+    def test_grid_sweep_explicit_layouts(self, capsys):
+        code = main(
+            ["grid-sweep", "--matrix", "queen", "--k", "8",
+             "--nodes", "4", "--size", "tiny",
+             "--layouts", "1d", "1.5d", "--c", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1.5d:r2c2" in out
+        assert "2d:" not in out
+
+    def test_grid_sweep_bad_shape_rejected(self, capsys):
+        code = main(
+            ["grid-sweep", "--matrix", "web", "--k", "8",
+             "--nodes", "8", "--size", "tiny", "--c", "3"]
+        )
+        assert code == 2
+        assert "divide" in capsys.readouterr().out
 
     def test_serve(self, capsys, tmp_path):
         out_path = tmp_path / "serve.json"
@@ -150,7 +213,7 @@ class TestCommands:
         import json
 
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/6"
+        assert doc["schema"] == "repro-perf/7"
         by_name = {cell["name"]: cell for cell in doc["cells"]}
         fused = by_name["serve-hot-fused"]
         serial = by_name["serve-hot-serial"]

@@ -5,7 +5,7 @@ distributed-SpMM correctness.
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro import MachineConfig
@@ -172,6 +172,7 @@ class TestClassifierProperties:
     @given(coo_matrices(max_dim=40, max_nnz=100), st.integers(1, 4),
            st.integers(1, 8), st.sampled_from([8, 32, 128]))
     def test_classification_well_formed(self, matrix, parts, width, k):
+        assume(matrix.shape[0] >= parts)  # populated row partition
         geo = StripeGeometry(*matrix.shape, parts, width)
         dist = DistSparseMatrix(matrix, RowPartition(matrix.shape[0], parts))
         for rank in range(parts):
@@ -195,6 +196,7 @@ class TestDistributedSpMMProperties:
         st.sampled_from(["TwoFace", "DS2", "Allgather", "AsyncFine"]),
     )
     def test_distributed_matches_reference(self, matrix, parts, k, name):
+        assume(min(matrix.shape) >= parts)  # populated A and B partitions
         machine = MachineConfig(n_nodes=parts, memory_capacity=1 << 30)
         rng = np.random.default_rng(0)
         B = rng.standard_normal((matrix.shape[1], k))
@@ -212,6 +214,7 @@ class TestDistributedSpMMProperties:
     @SETTINGS
     @given(coo_matrices(max_dim=40, max_nnz=80), st.integers(2, 4))
     def test_twoface_time_positive_and_finite(self, matrix, parts):
+        assume(min(matrix.shape) >= parts)  # populated A and B partitions
         machine = MachineConfig(n_nodes=parts, memory_capacity=1 << 30)
         rng = np.random.default_rng(0)
         B = rng.standard_normal((matrix.shape[1], 4))
@@ -228,6 +231,7 @@ class TestExtensionProperties:
         from repro.algorithms import TwoFaceSDDMM
         from repro.sparse import sddmm_reference
 
+        assume(min(matrix.shape) >= parts)  # populated X and Y partitions
         machine = MachineConfig(n_nodes=parts, memory_capacity=1 << 30)
         rng = np.random.default_rng(0)
         X = rng.standard_normal((matrix.shape[0], k))
@@ -244,6 +248,7 @@ class TestExtensionProperties:
         from repro.core import load_plan, preprocess, save_plan
         from repro.dist import DistSparseMatrix, RowPartition
 
+        assume(matrix.shape[0] >= parts)  # populated row partition
         dist = DistSparseMatrix(
             matrix, RowPartition(matrix.shape[0], parts)
         )
@@ -273,6 +278,7 @@ class TestExtensionProperties:
         from repro.dist import DistSparseMatrix, RowPartition
 
         parts = 2
+        assume(min(matrix.shape) >= parts)  # populated A and B partitions
         machine = MachineConfig(n_nodes=parts, memory_capacity=1 << 30)
         part = RowPartition(matrix.shape[0], parts)
         plan, _ = preprocess(
