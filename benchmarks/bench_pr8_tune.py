@@ -1,0 +1,289 @@
+"""Autotuner telemetry: tuned vs static-1D vs oracle (``BENCH_PR8.json``).
+
+Replays the PR7 grid-sweep regime through the cost-model autotuner
+(DESIGN.md §10).  For every sweep cell the tuner picks an (algorithm,
+layout) from the model alone; the exhaustive oracle then measures every
+candidate and the tuner's pick is charged its regret against the
+measured winner.  A serving-trace replay at 256 nodes compares
+``auto_layout`` on vs off (static 1D) on simulated requests/sec.
+
+Contracts asserted here:
+
+* model-only decisions are within 10% simulated-seconds regret of the
+  oracle on >= 90% of the sweep cells (the model mirrors the
+  simulator's charging formulas, so the expected regret is 0);
+* wherever the model does misrank, re-tuning with the top-2 probe
+  reaches 0 regret;
+* the serving replay with ``auto_layout`` on completes at least the
+  static-1D requests/sec (strictly more when a layered grid wins the
+  cell, as it does for Two-Face at p=256 on web/tiny).
+
+The trajectory lands in ``BENCH_PR8.json`` at the repository root
+(schema ``repro-perf/8``; see ``repro.bench.telemetry``).
+"""
+
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro import MachineConfig
+from repro.bench import PerfLog
+from repro.dist.grid import make_grid
+from repro.serve import ServePolicy, ServeScheduler, bursty_trace
+from repro.sparse import suite
+from repro.tune import DecisionCache, Tuner
+
+from conftest import emit
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+MATRIX_SIZE = "tiny"
+ALGORITHMS = ("Allgather", "TwoFace")
+REGRET_BOUND = 0.10
+REGRET_SHARE_FLOOR = 0.90
+
+#: (matrix, K, n_nodes) sweep cells.  The first row is the BENCH_PR7
+#: acceptance cell; the rest widen the sample for the >=90% statistic.
+SWEEP_CELLS = (
+    ("web", 64, 256),
+    ("web", 32, 256),
+    ("web", 16, 256),
+    ("web", 64, 64),
+    ("web", 32, 64),
+    ("queen", 64, 64),
+    ("queen", 32, 64),
+    ("kmer", 32, 64),
+)
+
+# Serving replay: k=64 requests at p=256 are the regime where
+# Two-Face@1.5d beats the pinned 1d path by ~12% per multiply
+# (BENCH_PR7), so auto_layout converts directly into requests/sec.
+SERVE_MATRIX = "web"
+SERVE_NODES = 256
+SERVE_REQUESTS = 16
+SERVE_K = 64
+SERVE_MAX_FUSED_K = 64
+SERVE_BURST_GAP = 0.01
+
+
+def candidate_grids(n_nodes):
+    """The PR7 layout set: 1D, 1.5D (c=4), most-square 2D."""
+    return [
+        make_grid("1d", n_nodes),
+        make_grid("1.5d", n_nodes, c=4),
+        make_grid("2d", n_nodes),
+    ]
+
+
+def run_sweep():
+    cache = DecisionCache()
+    cells = []
+    for matrix_name, k, n_nodes in SWEEP_CELLS:
+        A = suite.load(matrix_name, size=MATRIX_SIZE)
+        machine = MachineConfig(n_nodes=n_nodes)
+        grids = candidate_grids(n_nodes)
+        tuner = Tuner(
+            machine, algorithms=ALGORITHMS, grids=grids, cache=cache
+        )
+        started = time.perf_counter()
+        decision = tuner.tune(A, k)
+        tune_wall = time.perf_counter() - started
+
+        # Exhaustive oracle: measure every feasible candidate.
+        by_token = {g.cache_token(): g for g in grids}
+        B = np.ones((A.shape[1], k))
+        measured = {}
+        for cand in decision.candidates:
+            if not cand["feasible"]:
+                continue
+            algo = tuner.make_algorithm(cand["algorithm"])
+            result = algo.run(
+                A, B, machine, grid=by_token[cand["grid"]]
+            )
+            if not result.failed:
+                label = f"{cand['algorithm']}@{cand['grid']}"
+                measured[label] = result.seconds
+        best_label = min(
+            measured, key=lambda lab: (measured[lab], lab)
+        )
+        observed = measured[decision.label]
+        regret = observed / measured[best_label] - 1.0
+        tuner.record_run(decision, observed)
+
+        static_label = "TwoFace@1d"
+        probe_regret = None
+        if regret > 0:
+            # Model misranked: the top-2 probe must recover the winner.
+            prober = Tuner(
+                machine, algorithms=ALGORITHMS, grids=grids, probe=True
+            )
+            probed = prober.tune(A, k)
+            probe_regret = (
+                measured[probed.label] / measured[best_label] - 1.0
+            )
+        cells.append(
+            {
+                "matrix": matrix_name,
+                "k": k,
+                "n_nodes": n_nodes,
+                "chosen": decision.label,
+                "predicted_seconds": decision.predicted_seconds,
+                "observed_seconds": observed,
+                "oracle_label": best_label,
+                "oracle_seconds": measured[best_label],
+                "static_1d_seconds": measured.get(static_label),
+                "regret": regret,
+                "probe_regret": probe_regret,
+                "tune_wall_seconds": tune_wall,
+                "tuner_stats": tuner.stats(),
+            }
+        )
+    return cells
+
+
+def run_serving_replay():
+    matrices = {
+        SERVE_MATRIX: suite.load(SERVE_MATRIX, size=MATRIX_SIZE)
+    }
+    machine = MachineConfig(n_nodes=SERVE_NODES)
+    trace = bursty_trace(
+        matrices, n_requests=SERVE_REQUESTS, k=SERVE_K, seed=7,
+        burst_size=8, burst_gap=SERVE_BURST_GAP,
+    )
+    summaries = {}
+    for mode, auto in (("static-1d", False), ("tuned", True)):
+        policy = ServePolicy(
+            max_fused_k=SERVE_MAX_FUSED_K, auto_layout=auto
+        )
+        scheduler = ServeScheduler(machine, matrices, policy=policy)
+        started = time.perf_counter()
+        report = scheduler.serve(list(trace))
+        summaries[mode] = {
+            "serving": report.serving_summary(),
+            "wall_seconds": time.perf_counter() - started,
+            "tuner_stats": scheduler.tuner_stats(),
+        }
+    return summaries
+
+
+def run_tune_experiment():
+    cells = run_sweep()
+    serving = run_serving_replay()
+
+    within = [c for c in cells if c["regret"] <= REGRET_BOUND]
+    share = len(within) / len(cells)
+    assert share >= REGRET_SHARE_FLOOR, [
+        (c["chosen"], c["regret"]) for c in cells
+    ]
+    for cell in cells:
+        if cell["probe_regret"] is not None:
+            assert cell["probe_regret"] == 0.0, cell
+
+    tuned_rps = summaries_rps(serving, "tuned")
+    static_rps = summaries_rps(serving, "static-1d")
+    assert tuned_rps > static_rps, (tuned_rps, static_rps)
+
+    record = {
+        "matrix_size": MATRIX_SIZE,
+        "algorithms": list(ALGORITHMS),
+        "regret_bound": REGRET_BOUND,
+        "regret_share_floor": REGRET_SHARE_FLOOR,
+        "regret_share_within_bound": share,
+        "cells_misranked": sum(c["regret"] > 0 for c in cells),
+        "serving_rps_tuned": tuned_rps,
+        "serving_rps_static_1d": static_rps,
+        "serving_rps_improvement": (
+            tuned_rps / static_rps if static_rps else None
+        ),
+        "serving_p99_tuned": (
+            serving["tuned"]["serving"]["p99_latency"]
+        ),
+        "serving_p99_static_1d": (
+            serving["static-1d"]["serving"]["p99_latency"]
+        ),
+        "host_cpus": os.cpu_count(),
+    }
+    return cells, serving, record
+
+
+def summaries_rps(serving, mode):
+    return serving[mode]["serving"]["requests_per_sec"]
+
+
+def test_pr8_tune_telemetry(benchmark, results_dir):
+    cells, serving, record = benchmark.pedantic(
+        run_tune_experiment, rounds=1, iterations=1
+    )
+
+    log = PerfLog(label="BENCH_PR8")
+    for cell in cells:
+        log.record_tune_cell(
+            name=(
+                f"{cell['matrix']}/tune-k{cell['k']}-"
+                f"p{cell['n_nodes']}"
+            ),
+            matrix=cell["matrix"],
+            k=cell["k"],
+            n_nodes=cell["n_nodes"],
+            chosen=cell["chosen"],
+            predicted_seconds=cell["predicted_seconds"],
+            observed_seconds=cell["observed_seconds"],
+            regret=cell["regret"],
+            probed=cell["probe_regret"] is not None,
+            tuner_stats=cell["tuner_stats"],
+            grid=cell["chosen"].split("@", 1)[1],
+            wall_seconds=cell["tune_wall_seconds"],
+        )
+    for mode, payload in serving.items():
+        log.record_serve_cell(
+            name=f"serve-{SERVE_MATRIX}-{mode}",
+            matrix=SERVE_MATRIX,
+            algorithm=f"TwoFace/{mode}",
+            k=SERVE_K,
+            n_nodes=SERVE_NODES,
+            serving=payload["serving"],
+            wall_seconds=payload["wall_seconds"],
+        )
+    log.record_experiment("autotuner", record)
+    log.write(REPO_ROOT / "BENCH_PR8.json")
+
+    rows = []
+    for cell in cells:
+        rows.append(
+            [
+                f"{cell['matrix']}/k{cell['k']}/p{cell['n_nodes']}",
+                cell["chosen"],
+                f"{cell['observed_seconds']:.6f}",
+                (
+                    f"{cell['static_1d_seconds']:.6f}"
+                    if cell["static_1d_seconds"] is not None else "-"
+                ),
+                f"{cell['oracle_seconds']:.6f}",
+                f"{cell['regret'] * 100:.2f}%",
+            ]
+        )
+    rows.append(
+        [
+            f"serve {SERVE_MATRIX}/p{SERVE_NODES}",
+            "auto_layout",
+            f"{summaries_rps(serving, 'tuned'):.1f} req/s",
+            f"{summaries_rps(serving, 'static-1d'):.1f} req/s",
+            "-",
+            (
+                f"{record['serving_rps_improvement']:.3f}x"
+                if record["serving_rps_improvement"] else "-"
+            ),
+        ]
+    )
+    emit(
+        results_dir,
+        "pr8_tune",
+        ["cell", "chosen", "tuned s", "static-1d s", "oracle s",
+         "regret"],
+        rows,
+        f"Autotuner vs oracle ({len(cells)} sweep cells)",
+    )
+
+    assert record["regret_share_within_bound"] >= REGRET_SHARE_FLOOR

@@ -7,10 +7,10 @@ schema (see the README's "Benchmark telemetry" section):
 
 ```
 {
-  "schema": "repro-perf/7",
+  "schema": "repro-perf/8",
   "label": "<free-form document label, e.g. BENCH_PR4>",
   "cells": [
-    {"schema": "repro-perf/7",
+    {"schema": "repro-perf/8",
      "name": ..., "matrix": ..., "algorithm": ..., "k": ...,
      "n_nodes": ..., "grid": ...,
      "wall_seconds": ..., "simulated_seconds": ...,
@@ -31,7 +31,12 @@ schema (see the README's "Benchmark telemetry" section):
      "serve_requests_per_sec": ..., "serve_peak_queue_depth": ...,
      "serve_deadline_misses": ...,
      "comm_total_bytes": ..., "comm_row_bytes": ...,
-     "comm_col_bytes": ..., "comm_fiber_bytes": ...},
+     "comm_col_bytes": ..., "comm_fiber_bytes": ...,
+     "tune_chosen": ..., "tune_predicted_seconds": ...,
+     "tune_observed_seconds": ..., "tune_regret": ...,
+     "tune_probed": ..., "tune_cache_hits": ...,
+     "tune_cache_misses": ..., "tune_cache_invalidations": ...,
+     "tune_recalibrations": ...},
     ...
   ],
   "experiments": {"<name>": {...free-form...}, ...}
@@ -80,6 +85,15 @@ volume (intra-layer lanes of 2D), and the depth-fiber allreduce that
 sums partial ``C`` blocks.  These come from
 ``TrafficStats.dim_bytes``; dimensions a layout does not exercise stay
 zero.
+
+Schema ``repro-perf/8`` adds the autotuner (:mod:`repro.tune`): the
+``tune_*`` fields record a tuned cell's decision — the chosen
+``"Algorithm@layout"`` label, the model's predicted simulated seconds
+next to the observed run, the regret against the best candidate the
+document also measured (0.0 when the tuner picked the winner), whether
+the top-2 probe ran, and the tuner's decision-cache and drift-feedback
+counters (hits/misses/invalidations, recalibrations).  Untuned cells
+leave the fields at their zero/empty defaults.
 """
 
 from __future__ import annotations
@@ -96,7 +110,7 @@ from ..core.formats import transfer_cache_stats
 from ..core.plancache import plan_cache_stats
 from ..sparse.ops import scatter_stats
 
-PERF_SCHEMA = "repro-perf/7"
+PERF_SCHEMA = "repro-perf/8"
 
 
 # ----------------------------------------------------------------------
@@ -174,6 +188,15 @@ class PerfCell:
     comm_row_bytes: int = 0
     comm_col_bytes: int = 0
     comm_fiber_bytes: int = 0
+    tune_chosen: str = ""
+    tune_predicted_seconds: float = 0.0
+    tune_observed_seconds: float = 0.0
+    tune_regret: float = 0.0
+    tune_probed: bool = False
+    tune_cache_hits: int = 0
+    tune_cache_misses: int = 0
+    tune_cache_invalidations: int = 0
+    tune_recalibrations: int = 0
 
 
 @dataclass
@@ -365,6 +388,63 @@ class PerfLog:
                 serving.get("peak_queue_depth", 0)
             ),
             serve_deadline_misses=int(serving.get("deadline_misses", 0)),
+        )
+        self.cells.append(cell)
+        return cell
+
+    def record_tune_cell(
+        self,
+        name: str,
+        matrix: str,
+        k: int,
+        n_nodes: int,
+        chosen: str,
+        predicted_seconds: float,
+        observed_seconds: Optional[float] = None,
+        regret: float = 0.0,
+        probed: bool = False,
+        tuner_stats: Optional[Dict[str, Any]] = None,
+        grid: str = "",
+        wall_seconds: Optional[float] = None,
+    ) -> PerfCell:
+        """Append one autotuner decision cell (schema ``repro-perf/8``).
+
+        Args:
+            chosen: the decision label, ``"Algorithm@layout"``.
+            predicted_seconds: the model's simulated-seconds estimate
+                for the chosen candidate.
+            observed_seconds: the chosen candidate's measured simulated
+                seconds, when the caller executed it; also stored as
+                the cell's ``simulated_seconds``.
+            regret: ``observed / best_observed - 1`` against the best
+                candidate the caller also measured (0.0 = tuner picked
+                the winner).
+            probed: whether the top-2 probe decided this cell.
+            tuner_stats: a :meth:`repro.tune.Tuner.stats` dict; fills
+                the decision-cache and recalibration counters.
+            grid: the chosen layout's cache token.
+        """
+        stats = tuner_stats or {}
+        cache = stats.get("decision_cache", {})
+        algorithm = chosen.split("@", 1)[0] if chosen else ""
+        cell = PerfCell(
+            name=name,
+            matrix=matrix,
+            algorithm=algorithm,
+            k=k,
+            n_nodes=n_nodes,
+            wall_seconds=wall_seconds,
+            simulated_seconds=observed_seconds,
+            grid=grid,
+            tune_chosen=chosen,
+            tune_predicted_seconds=float(predicted_seconds),
+            tune_observed_seconds=float(observed_seconds or 0.0),
+            tune_regret=float(regret),
+            tune_probed=bool(probed),
+            tune_cache_hits=int(cache.get("hits", 0)),
+            tune_cache_misses=int(cache.get("misses", 0)),
+            tune_cache_invalidations=int(cache.get("invalidations", 0)),
+            tune_recalibrations=int(stats.get("recalibrations", 0)),
         )
         self.cells.append(cell)
         return cell

@@ -16,7 +16,13 @@ Commands:
 * ``grid-sweep`` — run one (matrix, algorithm, K) cell under the 1D,
   1.5D, and 2D process-grid layouts and tabulate simulated seconds,
   total bytes moved, and per-grid-dimension traffic (the
-  communication-lower-bound comparison; see DESIGN.md §9).
+  communication-lower-bound comparison; see DESIGN.md §9).  ``--json``
+  emits the per-layout cells and the declared winner as one JSON
+  document on stdout for scripted consumers.
+* ``tune``      — ask the cost-model autotuner (DESIGN.md §10) to pick
+  the best (algorithm, layout) for a cell, print the ranked decision
+  table, and optionally verify the pick against the exhaustive oracle
+  (``--oracle``) with a regret gate (``--max-regret``).
 """
 
 from __future__ import annotations
@@ -141,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--out", default=None,
-        help="write a repro-perf/7 telemetry JSON to this path",
+        help="write a repro-perf/8 telemetry JSON to this path",
     )
 
     serve = sub.add_parser(
@@ -176,8 +182,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 unless fused/serial requests-per-sec >= this",
     )
     serve.add_argument(
+        "--auto-layout", action="store_true",
+        help=(
+            "let the autotuner pick each group's process-grid layout "
+            "(ServePolicy.auto_layout; see DESIGN.md §10)"
+        ),
+    )
+    serve.add_argument(
         "--out", default=None,
-        help="write a repro-perf/7 telemetry JSON to this path",
+        help="write a repro-perf/8 telemetry JSON to this path",
     )
 
     gs = sub.add_parser(
@@ -219,8 +232,71 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     gs.add_argument(
+        "--json", action="store_true",
+        help=(
+            "emit machine-readable JSON on stdout (per-layout cells + "
+            "declared winner) instead of the table"
+        ),
+    )
+    gs.add_argument(
         "--out", default=None,
-        help="write a repro-perf/7 telemetry JSON to this path",
+        help="write a repro-perf/8 telemetry JSON to this path",
+    )
+
+    tune = sub.add_parser(
+        "tune",
+        help="cost-model autotuner: pick algorithm + layout for a cell",
+    )
+    tune.add_argument(
+        "--matrix", default="web", choices=suite.matrix_names()
+    )
+    tune.add_argument("--k", type=int, default=64)
+    tune.add_argument("--nodes", type=int, default=16)
+    tune.add_argument(
+        "--size", default="tiny", choices=list(suite.SIZE_CLASSES)
+    )
+    tune.add_argument(
+        "--algorithms", nargs="+", default=None,
+        choices=algorithm_names(),
+        help="candidate algorithms (default: the full registry)",
+    )
+    tune.add_argument(
+        "--probe", action="store_true",
+        help=(
+            "execute the top-2 predicted candidates on a truncated "
+            "K-panel and pick the measured winner"
+        ),
+    )
+    tune.add_argument(
+        "--probe-k", type=int, default=None,
+        help="probe panel width (default: max(8, K // 4))",
+    )
+    tune.add_argument(
+        "--cache-dir", default=None,
+        help="persist tuner decisions under this directory",
+    )
+    tune.add_argument(
+        "--require-cache-hit", action="store_true",
+        help="exit 1 unless the decision came from the decision cache",
+    )
+    tune.add_argument(
+        "--oracle", action="store_true",
+        help=(
+            "run every feasible candidate and report the tuner's "
+            "regret against the measured winner"
+        ),
+    )
+    tune.add_argument(
+        "--max-regret", type=float, default=None,
+        help=(
+            "with --oracle: exit 1 if the chosen candidate's measured "
+            "seconds exceed the oracle winner's by more than this "
+            "fraction (e.g. 0.10)"
+        ),
+    )
+    tune.add_argument(
+        "--out", default=None,
+        help="write a repro-perf/8 telemetry JSON to this path",
     )
     return parser
 
@@ -520,16 +596,20 @@ def cmd_serve(args) -> int:
         max_fused_k=args.max_fused_k,
         max_batch_delay=args.max_batch_delay,
         max_queue_depth=args.max_queue_depth,
+        auto_layout=args.auto_layout,
     )
     machine = MachineConfig(n_nodes=args.nodes)
 
     reports = {}
     walls = {}
+    tuner_stats = {}
     for mode, fuse in (("fused", True), ("serial", False)):
         scheduler = ServeScheduler(machine, matrices, policy=policy)
         started = time.perf_counter()
         reports[mode] = scheduler.serve(trace, fuse=fuse)
         walls[mode] = time.perf_counter() - started
+        if args.auto_layout:
+            tuner_stats[mode] = scheduler.tuner_stats()
     fused, serial = reports["fused"], reports["serial"]
     fs, ss = fused.serving_summary(), serial.serving_summary()
 
@@ -560,6 +640,17 @@ def cmd_serve(args) -> int:
         if ss["requests_per_sec"] > 0 else float("nan")
     )
     print(f"fused/serial requests-per-sec speedup: {speedup:.2f}x")
+    if args.auto_layout:
+        for mode, per_shape in sorted(tuner_stats.items()):
+            for shape, stats in sorted(per_shape.items()):
+                cache = stats["decision_cache"]
+                print(
+                    f"autotuner [{mode}, {shape}]: "
+                    f"{cache['hits']} cache hits, "
+                    f"{cache['misses']} misses, "
+                    f"{cache['invalidations']} invalidations, "
+                    f"{stats['recalibrations']} recalibrations"
+                )
     if mismatched:
         print(
             "FAILURE: fused outputs differ from unbatched execution "
@@ -584,6 +675,8 @@ def cmd_serve(args) -> int:
             "speedup",
             {"requests_per_sec": speedup, "byte_identical": not mismatched},
         )
+        if args.auto_layout:
+            log.record_experiment("autotuner", tuner_stats)
         log.write(args.out)
         print(f"telemetry written to {args.out}")
 
@@ -601,9 +694,16 @@ def cmd_serve(args) -> int:
 
 
 def cmd_grid_sweep(args) -> int:
-    from .bench.telemetry import PerfLog
+    import json as json_mod
+
+    from .bench.telemetry import PERF_SCHEMA, PerfLog, latency_summary
     from .dist.grid import make_grid
     from .errors import PartitionError
+
+    # With --json, stdout carries exactly one JSON document; human
+    # narration moves to stderr so scripted consumers can pipe stdout.
+    def note(message: str) -> None:
+        print(message, file=sys.stderr if args.json else sys.stdout)
 
     harness = ExperimentHarness(size=args.size, plan_cache=None)
     machine = MachineConfig(n_nodes=args.nodes)
@@ -620,12 +720,13 @@ def cmd_grid_sweep(args) -> int:
                 )
             )
         except PartitionError as exc:
-            print(f"{layout}: {exc}")
+            note(f"{layout}: {exc}")
             return 2
 
     log = PerfLog(label=f"grid-sweep-{args.matrix}-{args.algorithm}")
     results = {}
     rows = []
+    json_cells = []
     base_seconds = None
     for grid in grids:
         result = harness.run_one(
@@ -635,6 +736,10 @@ def cmd_grid_sweep(args) -> int:
         results[token] = result
         if result.failed:
             rows.append([token, "OOM", "-", "-", "-", "-", "-", "-"])
+            json_cells.append(
+                {"grid": token, "failed": True,
+                 "failure": str(result.failure)}
+            )
             continue
         if grid.depth == 1 and base_seconds is None:
             base_seconds = result.seconds
@@ -651,6 +756,23 @@ def cmd_grid_sweep(args) -> int:
             grid=token,
         )
         traffic = result.traffic
+        json_cells.append(
+            {
+                "grid": token,
+                "failed": False,
+                "simulated_seconds": result.seconds,
+                "total_bytes": int(traffic.total_bytes),
+                "row_bytes": int(traffic.dim_bytes.get("row", 0)),
+                "col_bytes": int(traffic.dim_bytes.get("col", 0)),
+                "fiber_bytes": int(traffic.dim_bytes.get("fiber", 0)),
+                "collective_ops": int(traffic.collective_ops),
+                # Load-balance view: percentile summary of per-node
+                # completion times (the shared telemetry aggregation).
+                "node_seconds": latency_summary(
+                    [n.total for n in result.breakdown.nodes]
+                ),
+            }
+        )
         rows.append(
             [
                 token,
@@ -666,22 +788,31 @@ def cmd_grid_sweep(args) -> int:
                 result.traffic.collective_ops,
             ]
         )
-    print_table(
-        [
-            "grid", "sim seconds", "vs 1d", "total MB",
-            "row MB", "col MB", "fiber MB", "collectives",
-        ],
-        rows,
-        title=(
-            f"grid sweep: {args.algorithm} on {args.matrix}, "
-            f"K={args.k}, p={args.nodes}, size={args.size}"
-        ),
+    succeeded = [c for c in json_cells if not c["failed"]]
+    winner = (
+        min(succeeded, key=lambda c: (c["simulated_seconds"], c["grid"]))
+        ["grid"] if succeeded else None
     )
+    if not args.json:
+        print_table(
+            [
+                "grid", "sim seconds", "vs 1d", "total MB",
+                "row MB", "col MB", "fiber MB", "collectives",
+            ],
+            rows,
+            title=(
+                f"grid sweep: {args.algorithm} on {args.matrix}, "
+                f"K={args.k}, p={args.nodes}, size={args.size}"
+            ),
+        )
+        if winner is not None:
+            print(f"winner: {winner}")
 
     if args.out is not None:
         log.write(args.out)
-        print(f"telemetry written to {args.out}")
+        note(f"telemetry written to {args.out}")
 
+    check_failed = False
     if args.check_1d:
         legacy = harness.run_one(
             args.matrix, args.algorithm, args.k, machine, grid=None
@@ -701,15 +832,151 @@ def cmd_grid_sweep(args) -> int:
             and legacy.events == grid1d.events
         )
         if not identical:
-            print(
+            note(
                 "FAILURE: Grid1D run is not bitwise identical to the "
                 "grid-free path"
             )
-            return 1
-        print(
-            "Grid1D matches the grid-free path bit-for-bit "
-            "(output, simulated seconds, traffic events)"
+            check_failed = True
+        else:
+            note(
+                "Grid1D matches the grid-free path bit-for-bit "
+                "(output, simulated seconds, traffic events)"
+            )
+
+    if args.json:
+        document = {
+            "schema": PERF_SCHEMA,
+            "command": "grid-sweep",
+            "matrix": args.matrix,
+            "algorithm": args.algorithm,
+            "k": args.k,
+            "n_nodes": args.nodes,
+            "size": args.size,
+            "cells": json_cells,
+            "winner": winner,
+        }
+        print(json_mod.dumps(document, indent=2, sort_keys=True))
+    return 1 if check_failed else 0
+
+
+def cmd_tune(args) -> int:
+    import time
+
+    from .bench.telemetry import PerfLog
+    from .tune import Tuner
+
+    A = suite.load(args.matrix, size=args.size)
+    machine = MachineConfig(n_nodes=args.nodes)
+    tuner = Tuner(
+        machine,
+        algorithms=tuple(args.algorithms) if args.algorithms else None,
+        probe=args.probe,
+        probe_k=args.probe_k,
+        cache=args.cache_dir,
+    )
+    started = time.perf_counter()
+    decision = tuner.tune(A, args.k)
+    wall = time.perf_counter() - started
+
+    rows = []
+    for i, cand in enumerate(decision.candidates):
+        rows.append(
+            [
+                "*" if i == decision.chosen else "",
+                cand["algorithm"],
+                cand["grid"],
+                (
+                    f"{cand['seconds']:.6f}"
+                    if cand["feasible"] else "infeasible"
+                ),
+                cand["note"],
+            ]
         )
+    print_table(
+        ["", "algorithm", "grid", "predicted s", "note"],
+        rows,
+        title=(
+            f"tune: {args.matrix}, K={args.k}, p={args.nodes}, "
+            f"size={args.size}"
+        ),
+    )
+    print(
+        f"chosen: {decision.label} "
+        f"(predicted {decision.predicted_seconds:.6f}s, "
+        f"{'cache hit' if decision.cache_hit else 'cache miss'}"
+        f"{', probed' if decision.probed else ''})"
+    )
+
+    regret = 0.0
+    observed = None
+    if args.oracle:
+        oracle_rows = []
+        measured = {}
+        grids_by_token = {g.cache_token(): g for g in tuner.grids}
+        for cand in decision.candidates:
+            if not cand["feasible"]:
+                continue
+            algo = tuner.make_algorithm(cand["algorithm"])
+            grid = grids_by_token[cand["grid"]]
+            B = np.ones((A.shape[1], args.k))
+            result = algo.run(A, B, machine, grid=grid)
+            if result.failed:
+                continue
+            label = f"{cand['algorithm']}@{cand['grid']}"
+            measured[label] = result.seconds
+            oracle_rows.append(
+                [label, f"{cand['seconds']:.6f}", f"{result.seconds:.6f}"]
+            )
+        if decision.label not in measured:
+            print("FAILURE: the chosen candidate failed to run")
+            return 1
+        best_label = min(measured, key=lambda lab: (measured[lab], lab))
+        observed = measured[decision.label]
+        regret = observed / measured[best_label] - 1.0
+        tuner.record_run(decision, observed)
+        print_table(
+            ["candidate", "predicted s", "measured s"],
+            oracle_rows,
+            title="oracle (exhaustive measured sweep)",
+        )
+        print(
+            f"oracle winner: {best_label} "
+            f"({measured[best_label]:.6f}s); tuner regret: "
+            f"{regret * 100:.2f}%"
+        )
+
+    if args.out is not None:
+        log = PerfLog(label=f"tune-{args.matrix}")
+        log.record_tune_cell(
+            name=f"tune-{args.matrix}-k{args.k}-p{args.nodes}",
+            matrix=args.matrix,
+            k=args.k,
+            n_nodes=args.nodes,
+            chosen=decision.label,
+            predicted_seconds=decision.predicted_seconds,
+            observed_seconds=observed,
+            regret=regret,
+            probed=decision.probed,
+            tuner_stats=tuner.stats(),
+            grid=decision.grid_token,
+            wall_seconds=wall,
+        )
+        log.write(args.out)
+        print(f"telemetry written to {args.out}")
+
+    if args.require_cache_hit and not decision.cache_hit:
+        print("FAILURE: decision was not served from the decision cache")
+        return 1
+    if args.max_regret is not None:
+        if not args.oracle:
+            print("FAILURE: --max-regret requires --oracle")
+            return 2
+        if regret > args.max_regret:
+            print(
+                f"FAILURE: regret {regret * 100:.2f}% exceeds "
+                f"--max-regret {args.max_regret * 100:.2f}%"
+            )
+            return 1
     return 0
 
 
@@ -723,6 +990,7 @@ _COMMANDS = {
     "chaos": cmd_chaos,
     "serve": cmd_serve,
     "grid-sweep": cmd_grid_sweep,
+    "tune": cmd_tune,
 }
 
 

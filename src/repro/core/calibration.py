@@ -176,6 +176,32 @@ def fit_coefficients(
     )
 
 
+def fit_correction(
+    predicted: Sequence[float], observed: Sequence[float]
+) -> float:
+    """Least-squares multiplicative correction ``observed ~ s * predicted``.
+
+    The autotuner's drift feedback (DESIGN.md §10): when predicted and
+    observed simulated seconds drift apart — faults, a re-scaled
+    machine, a stale coefficient set — the cheapest recalibration is a
+    single non-negative scale per algorithm, fitted over the recorded
+    (predicted, observed) pairs.  Returns 1.0 when there is nothing to
+    fit (no samples, or degenerate all-zero predictions).
+    """
+    p = np.asarray(predicted, dtype=np.float64)
+    o = np.asarray(observed, dtype=np.float64)
+    if p.shape != o.shape:
+        raise CalibrationError(
+            f"predicted/observed length mismatch: {p.shape} vs {o.shape}"
+        )
+    keep = np.isfinite(p) & np.isfinite(o)
+    p, o = p[keep], o[keep]
+    denom = float((p * p).sum())
+    if not len(p) or denom <= 0.0:
+        return 1.0
+    return max(float((p * o).sum() / denom), 0.0)
+
+
 def calibrate(
     A: COOMatrix,
     machine: MachineConfig,

@@ -5,6 +5,7 @@ from .grid import (
     Grid2D,
     Grid15D,
     ProcessGrid,
+    enumerate_grids,
     make_grid,
     square_factors,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "Grid2D",
     "ProcessGrid",
     "RowPartition",
+    "enumerate_grids",
     "make_grid",
     "square_factors",
 ]

@@ -342,6 +342,62 @@ def make_grid(
     )
 
 
+def enumerate_grids(
+    n_nodes: int,
+    layouts: Optional[List[str]] = None,
+    max_depth: Optional[int] = None,
+) -> List[ProcessGrid]:
+    """Every legal grid over ``n_nodes`` ranks, deduped by token.
+
+    Enumerates the 1D grid, all 1.5D grids ``Grid15D(n/c, c)`` for
+    divisors ``c`` of ``n_nodes`` with ``2 <= c <= p_r``, and all 2D
+    grids ``Grid2D(n/p_c, p_c)`` for divisors ``p_c >= 2`` — the
+    candidate space the autotuner ranks.  Degenerate factorisations
+    normalise to ``Grid1D`` (via :func:`make_grid`) and are deduped by
+    ``cache_token``, so every returned grid is a distinct geometry.
+
+    Args:
+        n_nodes: total simulated node count.
+        layouts: restrict to these layout names (default: all three).
+        max_depth: cap the depth dimension (``c`` / ``p_c``); useful to
+            bound the candidate set for huge highly-composite counts.
+    """
+    if n_nodes < 1:
+        raise PartitionError(f"need at least 1 node, got {n_nodes}")
+    wanted = set(layouts) if layouts is not None else {"1d", "1.5d", "2d"}
+    unknown = wanted - set(GRID_LAYOUT_CODES)
+    if unknown:
+        raise PartitionError(
+            f"unknown grid layout(s) {sorted(unknown)!r} "
+            "(expected 1d, 1.5d, or 2d)"
+        )
+    divisors = [d for d in range(2, n_nodes + 1) if n_nodes % d == 0]
+    grids: List[ProcessGrid] = []
+    seen = set()
+
+    def add(grid: ProcessGrid) -> None:
+        token = grid.cache_token()
+        if token not in seen:
+            seen.add(token)
+            grids.append(grid)
+
+    if "1d" in wanted:
+        add(Grid1D(n_nodes))
+    if "1.5d" in wanted:
+        for c in divisors:
+            if c > n_nodes // c:
+                break
+            if max_depth is not None and c > max_depth:
+                break
+            add(make_grid("1.5d", n_nodes, c=c))
+    if "2d" in wanted:
+        for p_c in divisors:
+            if max_depth is not None and p_c > max_depth:
+                break
+            add(make_grid("2d", n_nodes, p_c=p_c))
+    return grids
+
+
 #: Stable layout codes used by the plan container (format v4).
 GRID_LAYOUT_CODES = {"1d": 1, "1.5d": 2, "2d": 3}
 

@@ -51,6 +51,12 @@ class DistSpMMEngine:
             layer uses this so a fused K-panel and each request's
             unbatched run accumulate ``C`` in the same order — the
             byte-identity guarantee of DESIGN.md §8.
+        grid: optional process-grid layout every multiply runs under
+            (``None``/``Grid1D`` keep the byte-identical 1D path).
+            Layered grids re-plan per layer inside the run, so the
+            engine's per-K plan reuse is bypassed — hand a persistent
+            ``plan_cache`` to amortise layer planning instead (the
+            serving scheduler's tuned groups do exactly that).
     """
 
     def __init__(
@@ -62,7 +68,10 @@ class DistSpMMEngine:
         algorithm_factory=None,
         plan_cache: PlanCacheLike = AUTO,
         classify_k: Optional[int] = None,
+        grid=None,
     ):
+        if grid is not None:
+            grid.validate_nodes(machine.n_nodes)
         self.A = A
         self.machine = machine
         self.stripe_width = stripe_width or stripe_width_for(A.shape[0])
@@ -70,6 +79,7 @@ class DistSpMMEngine:
         self._factory = algorithm_factory
         self.plan_cache = plan_cache
         self.classify_k = classify_k
+        self.grid = grid
         self._plans: Dict[int, object] = {}
         self.spmm_seconds = 0.0
         self.preprocess_seconds = 0.0
@@ -109,7 +119,7 @@ class DistSpMMEngine:
             )
         k = B.shape[1]
         algorithm = self._algorithm_for(k, plan_cache)
-        result = algorithm.run(self.A, B, self.machine)
+        result = algorithm.run(self.A, B, self.machine, grid=self.grid)
         if result.failed:
             raise ReproError(f"distributed SpMM failed: {result.failure}")
         self._after_run(k, algorithm)
@@ -125,10 +135,14 @@ class DistSpMMEngine:
             plan_cache = self.plan_cache
         if self._factory is not None:
             return self._factory(self._plans.get(k))
+        # A precomputed 1D plan cannot be re-partitioned onto a layered
+        # grid (the runner's layer clone would refuse it), so layered
+        # engines plan through the plan cache on every multiply.
+        layered = self.grid is not None and self.grid.depth > 1
         return TwoFace(
             stripe_width=self.stripe_width,
             coeffs=self.coeffs,
-            plan=self._plans.get(k),
+            plan=None if layered else self._plans.get(k),
             plan_cache=plan_cache,
             classify_k=self.classify_k,
         )
@@ -136,6 +150,10 @@ class DistSpMMEngine:
     def _after_run(self, k: int, algorithm: DistSpMMAlgorithm) -> None:
         """Cache the plan and record the one-time preprocessing cost."""
         if not isinstance(algorithm, TwoFace):
+            return
+        if self.grid is not None and self.grid.depth > 1:
+            # last_plan is the final layer's sub-plan, not a 1D plan
+            # for this K; reusing it would corrupt later multiplies.
             return
         if k not in self._plans and algorithm.last_plan is not None:
             self._plans[k] = algorithm.last_plan

@@ -68,12 +68,20 @@ class ServePolicy:
             which matches between a fused and an unbatched replay of
             the same trace as long as no request is rejected; set it
             explicitly when comparing replays under heavy backpressure.
+        auto_layout: let the autotuner (:mod:`repro.tune`) pick each
+            group's process-grid layout at group formation, tuned at
+            the saturated fused-panel width (``max_fused_k``).  The
+            tuned layout token becomes part of the group key, so
+            requests tuned to different layouts are never fused into
+            one K-panel.  False (the default) keeps the pre-tuner 1D
+            path byte-identical.
     """
 
     max_fused_k: int = 256
     max_batch_delay: float = 0.05
     max_queue_depth: int = 64
     classify_k: Optional[int] = None
+    auto_layout: bool = False
 
     def __post_init__(self) -> None:
         if self.max_fused_k < 1:
@@ -191,6 +199,11 @@ class ServeScheduler:
         plan_cache: the *shared* persistent cache tenants namespace
             into; AUTO resolves ``REPRO_PLAN_CACHE``, None disables
             persistent caching (engines still reuse plans per width).
+        tuner: the autotuner consulted when ``policy.auto_layout`` is
+            on; built lazily (TwoFace over every legal layout of the
+            default machine) when omitted.  Its content-addressed
+            decision cache makes repeat group formations a dictionary
+            lookup.
     """
 
     def __init__(
@@ -201,6 +214,7 @@ class ServeScheduler:
         stripe_width: Optional[int] = None,
         coeffs: Optional[CostCoefficients] = None,
         plan_cache: PlanCacheLike = AUTO,
+        tuner=None,
     ):
         if not matrices:
             raise ConfigurationError("scheduler needs at least one matrix")
@@ -215,6 +229,10 @@ class ServeScheduler:
         self._shared_cache: Optional[PlanCache] = parent
         self._tenant_caches: Dict[str, Optional[PlanCacheNamespace]] = {}
         self._engines: Dict[Tuple, DistSpMMEngine] = {}
+        self._tuners: Dict[Tuple, object] = {}
+        self._group_grids: Dict[Tuple, object] = {}
+        if tuner is not None:
+            self._tuners[self._machine_shape(tuner.machine)] = tuner
 
     # ------------------------------------------------------------------
     def tenant_cache(self, tenant: str) -> Optional[PlanCacheNamespace]:
@@ -231,6 +249,46 @@ class ServeScheduler:
             )
         return self._tenant_caches[tenant]
 
+    @staticmethod
+    def _machine_shape(machine: MachineConfig) -> Tuple:
+        return (
+            machine.n_nodes,
+            machine.threads_per_node,
+            machine.memory_capacity,
+        )
+
+    def _tuner_for(self, machine: MachineConfig, pin: int):
+        """The (memoised) autotuner for one (machine shape, pin).
+
+        Serving engines execute Two-Face, so the candidate set is
+        TwoFace over every legal layout; decisions are shared across
+        groups via the tuner's content-addressed cache.  The tuner
+        models classification at ``pin`` — the same width the group's
+        engine will pin at — so the static 1D configuration is always
+        one of its candidates and a tuned group can never be slower
+        than the untuned path.  An injected tuner (the ``tuner`` ctor
+        arg, stored under the bare machine shape) answers every pin.
+        """
+        shape = self._machine_shape(machine)
+        injected = self._tuners.get(shape)
+        if injected is not None:
+            return injected
+        key = shape + (pin,)
+        tuner = self._tuners.get(key)
+        if tuner is None:
+            from ..tune import Tuner
+
+            tuner = Tuner(
+                machine,
+                coeffs=self.coeffs,
+                algorithms=("TwoFace",),
+                stripe_width=self.stripe_width,
+                classify_k=pin,
+                plan_cache=self._shared_cache,
+            )
+            self._tuners[key] = tuner
+        return tuner
+
     def _group_key(self, request: ServeRequest) -> Tuple:
         if request.matrix not in self.matrices:
             raise ConfigurationError(
@@ -238,12 +296,36 @@ class ServeScheduler:
                 f"{request.matrix!r}"
             )
         machine = request.machine or self.machine
-        return (
+        key = (
             matrix_content_digest(self.matrices[request.matrix]),
             machine.n_nodes,
             machine.threads_per_node,
             machine.memory_capacity,
         )
+        if not self.policy.auto_layout:
+            return key
+        # Layout decision at group formation: the tuned token joins
+        # the key, so requests whose cells tune to different layouts
+        # land in different groups and are never fused.  Tuning is at
+        # the saturated dispatch width (the fused-panel cap) rather
+        # than the single request's k — throughput is set by the full
+        # K-panels — but classification is modelled at the pin the
+        # group's engine will actually use (``classify_k`` or the
+        # lead's width).  This is self-consistent: a group's lead is
+        # the first request whose token formed the group, and that
+        # request tuned under its own k.
+        pin = (
+            self.policy.classify_k
+            if self.policy.classify_k is not None
+            else request.k
+        )
+        decision = self._tuner_for(machine, pin).tune(
+            self.matrices[request.matrix],
+            max(request.k, self.policy.max_fused_k),
+        )
+        key = key + (decision.grid_token,)
+        self._group_grids.setdefault(key, decision.grid)
+        return key
 
     def _engine_for(self, key: Tuple, lead: ServeRequest) -> DistSpMMEngine:
         """The group's engine, built on first dispatch.
@@ -252,6 +334,10 @@ class ServeScheduler:
         ``classify_k`` or, by default, the lead (earliest) request's
         width — identical between fused and serial replays of one
         trace, so their plans accumulate ``C`` in the same order.
+
+        Autotuned groups use the same pin: the layout decision was
+        modelled under ``classify_k = lead.k`` (see ``_group_key``), so
+        the engine runs exactly the configuration the tuner priced.
         """
         engine = self._engines.get(key)
         if engine is None:
@@ -263,9 +349,22 @@ class ServeScheduler:
                 coeffs=self.coeffs,
                 plan_cache=None,
                 classify_k=pin if pin is not None else lead.k,
+                grid=self._group_grids.get(key),
             )
             self._engines[key] = engine
         return engine
+
+    def tuner_stats(self) -> Dict[str, dict]:
+        """Per-(machine shape, pin) autotuner telemetry (empty off).
+
+        Built tuners are labelled ``p<nodes>t<threads>k<pin>``; an
+        injected tuner (no pin of its own) drops the ``k`` suffix.
+        """
+        return {
+            f"p{key[0]}t{key[1]}"
+            + (f"k{key[3]}" if len(key) > 3 else ""): tuner.stats()
+            for key, tuner in self._tuners.items()
+        }
 
     # ------------------------------------------------------------------
     def serve(

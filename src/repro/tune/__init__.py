@@ -1,0 +1,37 @@
+"""Cost-model autotuner: layout + algorithm selection (DESIGN.md §10).
+
+``CostModel`` predicts simulated seconds for every registry algorithm
+on every legal :func:`repro.dist.grid.make_grid` factorisation by
+mirroring the simulator's own analytic charges; ``Tuner`` wraps it
+with a content-addressed decision cache, an optional top-2 probe, and
+predicted-vs-observed drift feedback that re-fits per-algorithm
+corrections and invalidates only affected decisions.
+"""
+
+from .model import (
+    INFEASIBLE,
+    CandidatePrediction,
+    CostModel,
+    rank_predictions,
+)
+from .tuner import (
+    DEFAULT_ALGORITHMS,
+    TUNER_VERSION,
+    DecisionCache,
+    DecisionCacheStats,
+    TuneDecision,
+    Tuner,
+)
+
+__all__ = [
+    "CandidatePrediction",
+    "CostModel",
+    "DEFAULT_ALGORITHMS",
+    "DecisionCache",
+    "DecisionCacheStats",
+    "INFEASIBLE",
+    "TUNER_VERSION",
+    "TuneDecision",
+    "Tuner",
+    "rank_predictions",
+]

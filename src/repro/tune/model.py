@@ -1,0 +1,617 @@
+"""Analytic per-cell cost model for layout + algorithm selection.
+
+The autotuner's question — *which (ProcessGrid, algorithm) pair is
+fastest for this (matrix, K, machine) cell?* — is answered here without
+running a single simulated SpMM.  The simulator itself is an analytic
+cost model (``NetworkModel`` / ``ComputeModel`` formulas over exact
+per-rank sparsity statistics), so the predictor can *mirror* the
+charges each algorithm makes instead of approximating them:
+
+* **AllGather / DS(c) / AsyncCoarse** — closed forms over per-rank
+  (and per-owner-block) nonzero and unique-row counts, computed with a
+  handful of ``bincount``/``unique`` passes over the layer's compacted
+  column space.  These reproduce the exact lane charges of
+  ``repro.algorithms.{allgather,dense_shifting,async_coarse}``.
+* **TwoFace / AsyncFine** — the plan *is* the cost structure: the
+  model runs the real (cached) preprocessing on a cluster-free
+  ``DistSparseMatrix`` — no memory-ledger charges, and the plan-cache
+  key is identical to the one the eventual real run uses, so the
+  planning work is shared, not duplicated — then replays the
+  executor's per-charge arithmetic over the plan's stripe
+  destinations, transfer schedules, and sync-local panels.
+* **Grid layers** (depth > 1) — each layer's charges land on its
+  disjoint global rank range, and the partial-``C`` reduction is
+  mirrored including the barrier-wait term, which requires carrying
+  the full five-lane per-node state (``total`` is a *max* over lanes,
+  so post-barrier waits are nonlinear in the per-lane sums).
+
+Feasibility is screened with a lower-bound memory-ledger mirror (base
+containers plus each algorithm's replica/fetch charges).  A predicted
+OOM is a real OOM; rare unmodelled overshoot is caught by the tuner's
+probe mode and drift feedback (DESIGN.md §10).
+
+Fault injection perturbs charges with seeded per-link/per-rank scale
+factors the model does not track; tuning a chaos run is refused rather
+than silently mispredicted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.base import BASE_SETUP_SECONDS
+from ..cluster.machine import MachineConfig
+from ..core.executor import TWOFACE_SETUP_SECONDS
+from ..core.formats import TransferCacheStats
+from ..core.model import CostCoefficients
+from ..core.plancache import AUTO, PlanCacheLike, cached_preprocess
+from ..dist.grid import ProcessGrid
+from ..dist.matrices import DistSparseMatrix
+from ..dist.oned import RowPartition
+from ..errors import ConfigurationError, PartitionError
+from ..runtime.threads import ThreadConfig, max_coalescing_gap
+from ..sparse.coo import COOMatrix
+from ..sparse.suite import stripe_width_for
+
+#: Predicted seconds of an infeasible (simulated-OOM) candidate.
+INFEASIBLE = float("inf")
+
+
+@dataclass(frozen=True)
+class CandidatePrediction:
+    """Model verdict for one (algorithm, grid) candidate.
+
+    ``seconds`` is the predicted simulated makespan — exact (to float
+    round-off) for feasible fault-free cells — or ``inf`` when the
+    memory mirror predicts a simulated OOM (``feasible`` False, the
+    reason in ``note``).
+    """
+
+    algorithm: str
+    grid: ProcessGrid
+    seconds: float
+    feasible: bool = True
+    note: str = ""
+
+    @property
+    def grid_token(self) -> str:
+        return self.grid.cache_token()
+
+    @property
+    def label(self) -> str:
+        """``algorithm@grid`` — the spelling used in decision tables."""
+        return f"{self.algorithm}@{self.grid_token}"
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "grid": self.grid_token,
+            "layout": self.grid.layout,
+            "p_r": self.grid.p_r,
+            "depth": self.grid.depth,
+            "seconds": self.seconds,
+            "feasible": self.feasible,
+            "note": self.note,
+        }
+
+
+class _Lanes:
+    """Five-lane per-node breakdown mirror (numpy over global ranks)."""
+
+    def __init__(self, n_nodes: int):
+        self.sync_comm = np.zeros(n_nodes)
+        self.sync_comp = np.zeros(n_nodes)
+        self.async_comm = np.zeros(n_nodes)
+        self.async_comp = np.zeros(n_nodes)
+        self.other = np.zeros(n_nodes)
+
+    def totals(self) -> np.ndarray:
+        """``max(sync lane, async lane) + other``, per node."""
+        return (
+            np.maximum(
+                self.sync_comm + self.sync_comp,
+                self.async_comm + self.async_comp,
+            )
+            + self.other
+        )
+
+    def makespan(self) -> float:
+        return float(self.totals().max())
+
+
+@dataclass
+class _LayerStats:
+    """Per-rank sparsity aggregates of one grid layer's 1D sub-problem.
+
+    All arrays are indexed by the layer's local rank ``0..p_r-1``;
+    ``(rank, block)`` matrices are ``p_r x p_r`` (block = owner of the
+    column in the layer's compacted column space).
+    """
+
+    ranks: List[int]  # global ranks, layer-major
+    col_ids: np.ndarray
+    A_sub: COOMatrix
+    row_part: RowPartition  # rows of A over p_r
+    col_part: RowPartition  # compacted columns over p_r
+    nnz_r: np.ndarray  # nnz per rank slab
+    rows_r: np.ndarray  # nonempty output rows per rank slab
+    nnz_rb: np.ndarray  # nnz per (rank, owner block)
+    rows_rb: np.ndarray  # unique nonempty rows per (rank, block) piece
+    slab_bytes_r: np.ndarray  # COO slab bytes per rank (24 B / nnz)
+    plans: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def p_r(self) -> int:
+        return self.row_part.n_parts
+
+    def block_bytes(self, k: int) -> np.ndarray:
+        """Dense ``B`` block bytes per rank at width ``k``."""
+        return np.array(
+            [self.col_part.size(r) * k * 8 for r in range(self.p_r)],
+            dtype=np.int64,
+        )
+
+
+class CostModel:
+    """Exact-mirror cost model over the registry algorithms and grids.
+
+    Args:
+        machine: the simulated machine candidates would run on; must be
+            fault-free (chaos runs are not tunable).
+        coeffs: Two-Face classifier coefficients the eventual run will
+            use (layer clones re-scale them exactly like the grid
+            runner does).
+        stripe_width: Two-Face stripe width override (default: the
+            dimension-scaled rule, like the algorithms themselves).
+        classify_k: classification pin forwarded to preprocessing —
+            serving tunes with the fused group's canonical width here
+            so the model prices the plan the scheduler will execute.
+        plan_cache: plan cache used for Two-Face/AsyncFine predictions;
+            AUTO follows ``REPRO_PLAN_CACHE``.  Keys are identical to
+            the real run's, so predicted plans are warm starts.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        coeffs: Optional[CostCoefficients] = None,
+        threads: Optional[ThreadConfig] = None,
+        stripe_width: Optional[int] = None,
+        classify_k: Optional[int] = None,
+        plan_cache: PlanCacheLike = AUTO,
+    ):
+        if machine.faults is not None:
+            raise ConfigurationError(
+                "the cost model mirrors fault-free charges only; "
+                "tune on a healthy machine, run chaos separately"
+            )
+        self.machine = machine
+        self.coeffs = coeffs if coeffs is not None else CostCoefficients()
+        self.threads = threads or ThreadConfig.for_machine(
+            machine.threads_per_node
+        )
+        self.stripe_width = stripe_width
+        self.classify_k = classify_k
+        self.plan_cache = plan_cache
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def predict(
+        self, A: COOMatrix, k: int, algorithm: str, grid: ProcessGrid
+    ) -> CandidatePrediction:
+        """Predicted simulated seconds of one candidate."""
+        return self.predict_cell(A, k, [algorithm], [grid])[0]
+
+    def predict_cell(
+        self,
+        A: COOMatrix,
+        k: int,
+        algorithms: Sequence[str],
+        grids: Sequence[ProcessGrid],
+    ) -> List[CandidatePrediction]:
+        """Predictions for the cross product ``algorithms x grids``.
+
+        Layer statistics are computed once per grid and shared across
+        the algorithms.  Candidates whose geometry cannot host the
+        matrix at all (a rank would own no rows) come back infeasible
+        rather than raising — the tuner skips them like OOM cells.
+        """
+        out: List[CandidatePrediction] = []
+        for grid in grids:
+            try:
+                grid.validate_nodes(self.machine.n_nodes)
+                layers = self._layer_stats(A, grid)
+            except PartitionError as exc:
+                out.extend(
+                    CandidatePrediction(
+                        name, grid, INFEASIBLE, feasible=False,
+                        note=str(exc),
+                    )
+                    for name in algorithms
+                )
+                continue
+            for name in algorithms:
+                out.append(self._predict_on_grid(name, A, k, grid, layers))
+        return out
+
+    # ------------------------------------------------------------------
+    # Layer geometry and sparsity statistics
+    # ------------------------------------------------------------------
+    def _layer_stats(
+        self, A: COOMatrix, grid: ProcessGrid
+    ) -> List[_LayerStats]:
+        from ..algorithms.gridrun import column_subset
+
+        p_r = grid.p_r
+        row_part = RowPartition(A.shape[0], p_r)
+        base, extra = divmod(A.shape[0], p_r)
+        if base == 0 and extra < p_r:
+            raise PartitionError(
+                f"matrix of shape {A.shape} cannot be split into "
+                f"{p_r} row blocks"
+            )
+        layers: List[_LayerStats] = []
+        for layer in range(grid.depth):
+            col_ids = grid.layer_col_ids(layer, A.shape[1])
+            cbase, cextra = divmod(len(col_ids), p_r)
+            if cbase == 0 and cextra < p_r:
+                raise PartitionError(
+                    f"layer {layer} owns {len(col_ids)} columns, too few "
+                    f"for {p_r} dense blocks"
+                )
+            A_sub = column_subset(A, col_ids)
+            col_part = RowPartition(len(col_ids), p_r)
+            rank_of = row_part.owners_of(A_sub.rows)
+            block_of = col_part.owners_of(A_sub.cols)
+            nnz_r = np.bincount(rank_of, minlength=p_r)
+            uniq_rows = np.unique(A_sub.rows)
+            rows_r = (
+                np.bincount(row_part.owners_of(uniq_rows), minlength=p_r)
+                if len(uniq_rows)
+                else np.zeros(p_r, dtype=np.int64)
+            )
+            key = rank_of * p_r + block_of
+            nnz_rb = np.bincount(key, minlength=p_r * p_r).reshape(
+                p_r, p_r
+            )
+            row_block = A_sub.rows * p_r + block_of
+            uniq_rb = np.unique(row_block)
+            if len(uniq_rb):
+                rb_rank = row_part.owners_of(uniq_rb // p_r)
+                rows_rb = np.bincount(
+                    rb_rank * p_r + (uniq_rb % p_r),
+                    minlength=p_r * p_r,
+                ).reshape(p_r, p_r)
+            else:
+                rows_rb = np.zeros((p_r, p_r), dtype=np.int64)
+            layers.append(
+                _LayerStats(
+                    ranks=grid.layer_ranks(layer),
+                    col_ids=col_ids,
+                    A_sub=A_sub,
+                    row_part=row_part,
+                    col_part=col_part,
+                    nnz_r=nnz_r,
+                    rows_r=rows_r,
+                    nnz_rb=nnz_rb,
+                    rows_rb=rows_rb,
+                    slab_bytes_r=nnz_rb.sum(axis=1) * 24,
+                )
+            )
+        return layers
+
+    # ------------------------------------------------------------------
+    # Candidate dispatch
+    # ------------------------------------------------------------------
+    def _predict_on_grid(
+        self,
+        name: str,
+        A: COOMatrix,
+        k: int,
+        grid: ProcessGrid,
+        layers: List[_LayerStats],
+    ) -> CandidatePrediction:
+        lanes = _Lanes(self.machine.n_nodes)
+        try:
+            for stats in layers:
+                ranks = np.asarray(stats.ranks)
+                lanes.other[ranks] += BASE_SETUP_SECONDS
+                self._charge_layer(name, k, grid, stats, lanes, ranks)
+        except PartitionError as exc:
+            return CandidatePrediction(
+                name, grid, INFEASIBLE, feasible=False, note=str(exc)
+            )
+        except _Infeasible as oom:
+            return CandidatePrediction(
+                name, grid, INFEASIBLE, feasible=False, note=str(oom)
+            )
+        if grid.depth > 1:
+            self._charge_reduction(grid, layers[0].row_part, k, lanes)
+        return CandidatePrediction(name, grid, lanes.makespan())
+
+    def _charge_layer(
+        self,
+        name: str,
+        k: int,
+        grid: ProcessGrid,
+        stats: _LayerStats,
+        lanes: _Lanes,
+        ranks: np.ndarray,
+    ) -> None:
+        if name == "Allgather":
+            self._charge_allgather(k, stats, lanes, ranks)
+        elif name.startswith("DS") and name[2:].isdigit():
+            self._charge_dense_shifting(
+                int(name[2:]), k, stats, lanes, ranks
+            )
+        elif name == "AsyncCoarse":
+            self._charge_async_coarse(k, stats, lanes, ranks)
+        elif name in ("TwoFace", "AsyncFine"):
+            self._charge_twoface(
+                k, grid, stats, lanes, ranks,
+                force_all_async=(name == "AsyncFine"),
+            )
+        else:
+            raise ConfigurationError(
+                f"no cost mirror for algorithm {name!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Memory feasibility (lower-bound ledger mirror)
+    # ------------------------------------------------------------------
+    def _base_bytes(self, k: int, stats: _LayerStats) -> np.ndarray:
+        """Container charges per rank: A slab + B block + C block."""
+        p_r = stats.p_r
+        c_bytes = np.array(
+            [stats.row_part.size(r) * k * 8 for r in range(p_r)],
+            dtype=np.int64,
+        )
+        return stats.slab_bytes_r + stats.block_bytes(k) + c_bytes
+
+    def _require_fits(self, extra: np.ndarray, base: np.ndarray) -> None:
+        peak = base + extra
+        worst = int(peak.argmax())
+        if peak[worst] > self.machine.memory_capacity:
+            raise _Infeasible(
+                f"rank {worst} needs {int(peak[worst])} B of "
+                f"{self.machine.memory_capacity} B"
+            )
+
+    # ------------------------------------------------------------------
+    # Closed-form mirrors of the baselines
+    # ------------------------------------------------------------------
+    def _charge_allgather(
+        self, k: int, stats: _LayerStats, lanes: _Lanes, ranks: np.ndarray
+    ) -> None:
+        net = self.machine.network
+        compute = self.machine.compute
+        p_r = stats.p_r
+        block_bytes = stats.block_bytes(k)
+        self._require_fits(
+            int(block_bytes.sum()) - block_bytes, self._base_bytes(k, stats)
+        )
+        gather = net.allgather_time(stats.col_part.max_size() * k * 8, p_r)
+        lanes.sync_comm[ranks] += gather
+        lanes.sync_comp[ranks] += [
+            compute.sync_panel_time(
+                int(stats.nnz_r[r]), k, int(stats.rows_r[r]),
+                self.threads.total,
+            )
+            for r in range(p_r)
+        ]
+
+    def _charge_dense_shifting(
+        self,
+        replication: int,
+        k: int,
+        stats: _LayerStats,
+        lanes: _Lanes,
+        ranks: np.ndarray,
+    ) -> None:
+        net = self.machine.network
+        compute = self.machine.compute
+        p_r = stats.p_r
+        c = min(replication, p_r)
+        n_groups = math.ceil(p_r / c)
+        max_block_bytes = stats.col_part.max_size() * k * 8
+        bundle_blocks = c + (c if n_groups > 1 else 0)
+        self._require_fits(
+            np.full(p_r, (bundle_blocks - 1) * max_block_bytes),
+            self._base_bytes(k, stats),
+        )
+        if c > 1:
+            lanes.sync_comm[ranks] += net.allgather_time(max_block_bytes, c)
+        groups = [
+            list(range(g * c, min((g + 1) * c, p_r)))
+            for g in range(n_groups)
+        ]
+        shift_cost = net.p2p_time(c * max_block_bytes)
+        comp = np.zeros(p_r)
+        for step in range(n_groups):
+            for r in range(p_r):
+                my_group = min(r // c, n_groups - 1)
+                held = groups[(my_group + step) % n_groups]
+                comp[r] = compute.sync_panel_time(
+                    int(stats.nnz_rb[r, held].sum()),
+                    k,
+                    int(stats.rows_rb[r, held].sum()),
+                    self.threads.total,
+                )
+            step_max = float(comp.max(initial=0.0))
+            lanes.sync_comp[ranks] += comp
+            lanes.sync_comm[ranks] += step_max - comp
+            if step != n_groups - 1:
+                lanes.sync_comm[ranks] += shift_cost
+
+    def _charge_async_coarse(
+        self, k: int, stats: _LayerStats, lanes: _Lanes, ranks: np.ndarray
+    ) -> None:
+        net = self.machine.network
+        compute = self.machine.compute
+        p_r = stats.p_r
+        block_bytes = stats.block_bytes(k)
+        needed = stats.nnz_rb > 0
+        np.fill_diagonal(needed, False)
+        self._require_fits(
+            needed @ block_bytes, self._base_bytes(k, stats)
+        )
+        for r in range(p_r):
+            if not stats.nnz_r[r]:
+                continue
+            get_time = sum(
+                net.rget_time(int(block_bytes[b]), n_chunks=1)
+                for b in np.flatnonzero(needed[r])
+            )
+            node = ranks[r]
+            lanes.async_comm[node] += get_time / self.threads.async_comm
+            lanes.sync_comp[node] += compute.sync_panel_time(
+                int(stats.nnz_r[r]), k, int(stats.rows_r[r]),
+                self.threads.total,
+            )
+
+    # ------------------------------------------------------------------
+    # Plan-replay mirror of the Two-Face executor
+    # ------------------------------------------------------------------
+    def _charge_twoface(
+        self,
+        k: int,
+        grid: ProcessGrid,
+        stats: _LayerStats,
+        lanes: _Lanes,
+        ranks: np.ndarray,
+        force_all_async: bool,
+    ) -> None:
+        net = self.machine.network
+        compute = self.machine.compute
+        p_r = stats.p_r
+        threads = self.threads
+        layered = grid.depth > 1
+        coeffs = (
+            self.coeffs.for_group_size(p_r, grid.n_nodes)
+            if layered
+            else self.coeffs
+        )
+        width = self.stripe_width or stripe_width_for(
+            stats.row_part.n_rows
+        )
+        cache_key = ("AsyncFine" if force_all_async else "TwoFace")
+        plan = stats.plans.get(cache_key)
+        if plan is None:
+            A_dist = DistSparseMatrix(
+                stats.A_sub, stats.row_part, label="A_slab"
+            )
+            plan, _ = cached_preprocess(
+                A_dist,
+                k=k,
+                stripe_width=width,
+                coeffs=coeffs,
+                machine=replace(self.machine, n_nodes=p_r),
+                panel_height=threads.panel_height,
+                force_all_async=force_all_async,
+                cache=self.plan_cache,
+                classify_k=self.classify_k,
+                grid=grid if layered else None,
+            )
+            stats.plans[cache_key] = plan
+
+        lanes.other[ranks] += TWOFACE_SETUP_SECONDS
+        geometry = plan.geometry
+
+        # Phase 1: dense-stripe multicasts (sync lane, both ends).
+        recv_bytes = np.zeros(p_r, dtype=np.int64)
+        for gid, dests in sorted(plan.stripe_destinations.items()):
+            if not dests:
+                continue
+            owner = geometry.owner_of_stripe(gid)
+            lo, hi = geometry.col_bounds(gid)
+            nbytes = (hi - lo) * k * 8
+            receivers = [d for d in dests if d != owner]
+            if not receivers:
+                continue
+            cost = net.bcast_time(nbytes, len(receivers))
+            lanes.sync_comm[ranks[owner]] += cost
+            for dest in receivers:
+                lanes.sync_comm[ranks[dest]] += cost
+                recv_bytes[dest] += nbytes
+
+        # Phases 2+3: async stripe fetch/compute and sync row panels.
+        max_gap = max_coalescing_gap(k)
+        scratch = TransferCacheStats()
+        peak_fetch = np.zeros(p_r, dtype=np.int64)
+        for r in range(p_r):
+            rank_plan = plan.rank_plan(r)
+            comm_seconds = 0.0
+            comp_seconds = 0.0
+            for stripe in rank_plan.async_matrix.stripes:
+                block_start, _ = stats.col_part.bounds(stripe.owner)
+                schedule = stripe.ensure_schedule(
+                    block_start, max_gap, stats=scratch
+                )
+                nbytes = int(schedule.chunk_sizes.sum()) * k * 8
+                comm_seconds += net.rget_time(
+                    nbytes, n_chunks=schedule.n_chunks
+                )
+                comp_seconds += compute.async_stripe_time(
+                    stripe.nnz, k, threads.async_comp, n_stripes=1
+                )
+                peak_fetch[r] = max(peak_fetch[r], nbytes)
+            node = ranks[r]
+            lanes.async_comm[node] += comm_seconds / threads.async_comm
+            lanes.async_comp[node] += comp_seconds
+            sync_local = rank_plan.sync_local
+            lanes.sync_comp[node] += (
+                compute.sync_panel_time(
+                    sync_local.nnz, k, sync_local.nonempty_rows(),
+                    threads.sync_comp,
+                )
+                + sync_local.n_panels * compute.panel_overhead
+            )
+        self._require_fits(
+            recv_bytes + peak_fetch, self._base_bytes(k, stats)
+        )
+
+    # ------------------------------------------------------------------
+    # Partial-C reduction across the depth dimension
+    # ------------------------------------------------------------------
+    def _charge_reduction(
+        self,
+        grid: ProcessGrid,
+        row_part: RowPartition,
+        k: int,
+        lanes: _Lanes,
+    ) -> None:
+        net = self.machine.network
+        totals = lanes.totals()
+        for block, group in enumerate(grid.reduce_groups()):
+            nbytes = int(row_part.size(block) * k * 8)
+            members = np.asarray(group)
+            t_max = float(totals[members].max())
+            cost = net.allreduce_time(nbytes, len(group))
+            lanes.sync_comm[members] += (t_max - totals[members]) + cost
+
+
+class _Infeasible(Exception):
+    """Internal: the memory mirror predicts a simulated OOM."""
+
+
+def rank_predictions(
+    predictions: Sequence[CandidatePrediction],
+    corrections: Optional[Dict[str, float]] = None,
+) -> List[CandidatePrediction]:
+    """Feasible candidates, fastest first, under optional per-algorithm
+    multiplicative corrections (the drift-feedback factors).
+
+    Ties break on the candidate label so ranking is deterministic.
+    """
+    corrections = corrections or {}
+
+    def corrected(p: CandidatePrediction) -> float:
+        return p.seconds * corrections.get(p.algorithm, 1.0)
+
+    feasible = [p for p in predictions if p.feasible]
+    return sorted(feasible, key=lambda p: (corrected(p), p.label))

@@ -151,8 +151,8 @@ class TestPerfLog:
         assert cell.events_dropped == 7
         reset_resilience_stats()
 
-    def test_schema_is_v6(self):
-        assert PERF_SCHEMA == "repro-perf/7"
+    def test_schema_is_v8(self):
+        assert PERF_SCHEMA == "repro-perf/8"
 
     def test_document_schema(self):
         log = PerfLog(label="TEST")
@@ -216,3 +216,61 @@ class TestPerfLog:
         assert doc["schema"] == PERF_SCHEMA
         assert doc["cells"][0]["wall_seconds"] == pytest.approx(1.25)
         assert doc["cells"][0]["simulated_seconds"] == pytest.approx(0.5)
+
+
+class TestTuneCells:
+    def test_record_tune_cell_fields(self):
+        log = PerfLog(label="TEST")
+        cell = log.record_tune_cell(
+            name="tune-web", matrix="web", k=64, n_nodes=16,
+            chosen="TwoFace@1.5d:r8c2",
+            predicted_seconds=0.001,
+            observed_seconds=0.0011,
+            regret=0.0,
+            probed=True,
+            tuner_stats={
+                "decision_cache": {
+                    "hits": 3, "misses": 1, "invalidations": 2,
+                },
+                "recalibrations": 1,
+            },
+            grid="1.5d:r8c2",
+        )
+        assert cell.algorithm == "TwoFace"
+        assert cell.grid == "1.5d:r8c2"
+        assert cell.tune_chosen == "TwoFace@1.5d:r8c2"
+        assert cell.tune_predicted_seconds == 0.001
+        assert cell.tune_observed_seconds == 0.0011
+        assert cell.simulated_seconds == 0.0011
+        assert cell.tune_regret == 0.0
+        assert cell.tune_probed is True
+        assert cell.tune_cache_hits == 3
+        assert cell.tune_cache_misses == 1
+        assert cell.tune_cache_invalidations == 2
+        assert cell.tune_recalibrations == 1
+
+    def test_untuned_cells_default_zero(self):
+        log = PerfLog(label="TEST")
+        cell = log.record_cell(
+            name="c", matrix="m", algorithm="a", k=8, n_nodes=4,
+            wall_seconds=None, simulated_seconds=None,
+        )
+        assert cell.tune_chosen == ""
+        assert cell.tune_regret == 0.0
+        assert cell.tune_probed is False
+
+    def test_tune_cell_survives_roundtrip(self, tmp_path):
+        from repro.bench.telemetry import load_perf_json
+
+        log = PerfLog(label="TEST")
+        log.record_tune_cell(
+            name="t", matrix="m", k=8, n_nodes=4,
+            chosen="Allgather@1d", predicted_seconds=0.5,
+        )
+        path = tmp_path / "perf.json"
+        log.write(path)
+        doc = load_perf_json(path)
+        (cell,) = doc["cells"]
+        assert cell["schema"] == PERF_SCHEMA
+        assert cell["tune_chosen"] == "Allgather@1d"
+        assert cell["tune_predicted_seconds"] == 0.5

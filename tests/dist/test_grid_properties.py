@@ -1,0 +1,158 @@
+"""Property-based tests for grid factorisation and enumeration.
+
+Hypothesis sweeps the node-count space so the edge cases the autotuner
+depends on — prime counts, degenerate factorisations, replication
+bounds, token uniqueness — hold for every ``n``, not just the
+hand-picked examples in ``test_grid.py``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.grid import (
+    Grid1D,
+    Grid2D,
+    Grid15D,
+    enumerate_grids,
+    make_grid,
+    square_factors,
+)
+from repro.errors import PartitionError
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+node_counts = st.integers(min_value=1, max_value=512)
+
+
+def _is_prime(n: int) -> bool:
+    return n >= 2 and all(n % d for d in range(2, int(n**0.5) + 1))
+
+
+class TestSquareFactors:
+    @SETTINGS
+    @given(node_counts)
+    def test_product_and_orientation(self, n):
+        p_r, p_c = square_factors(n)
+        assert p_r * p_c == n
+        assert p_r >= p_c >= 1
+        assert p_c * p_c <= n
+
+    @SETTINGS
+    @given(node_counts)
+    def test_p_c_is_largest_divisor_below_sqrt(self, n):
+        _, p_c = square_factors(n)
+        better = [
+            d for d in range(p_c + 1, int(n**0.5) + 1) if n % d == 0
+        ]
+        assert not better
+
+    @SETTINGS
+    @given(node_counts.filter(_is_prime))
+    def test_prime_counts_degenerate(self, n):
+        assert square_factors(n) == (n, 1)
+
+
+class TestMakeGridProperties:
+    @SETTINGS
+    @given(node_counts)
+    def test_auto_15d_covers_nodes(self, n):
+        grid = make_grid("1.5d", n)
+        assert grid.n_nodes == n
+        # Degenerate replication (c == 1) must normalise to Grid1D.
+        if isinstance(grid, Grid15D):
+            assert grid.depth >= 2
+        else:
+            assert isinstance(grid, Grid1D)
+
+    @SETTINGS
+    @given(node_counts.filter(_is_prime))
+    def test_prime_counts_normalise_to_1d(self, n):
+        # A prime node count admits no real 1.5D factorisation; the
+        # auto path must fall back to Grid1D, never raise.
+        assert isinstance(make_grid("1.5d", n), Grid1D)
+        p_r, p_c = square_factors(n)
+        assert isinstance(
+            make_grid("2d", n, p_r=p_r, p_c=p_c), Grid1D
+        )
+
+    @SETTINGS
+    @given(st.integers(1, 64), st.integers(1, 64))
+    def test_replication_exceeding_p_r_rejected(self, p_r, c):
+        if c > p_r:
+            with pytest.raises(PartitionError):
+                Grid15D(p_r=p_r, c=c)
+        elif c >= 2:
+            grid = Grid15D(p_r=p_r, c=c)
+            assert grid.n_nodes == p_r * c
+
+    @SETTINGS
+    @given(node_counts, st.integers(1, 32))
+    def test_explicit_c_divisibility(self, n, c):
+        if n % c != 0:
+            with pytest.raises(PartitionError):
+                make_grid("1.5d", n, c=c)
+        elif c > n // c:
+            # Divides, but replication would exceed the layer width.
+            with pytest.raises(PartitionError):
+                make_grid("1.5d", n, c=c)
+        else:
+            grid = make_grid("1.5d", n, c=c)
+            expected = Grid1D if c == 1 else Grid15D
+            assert isinstance(grid, expected)
+
+    @SETTINGS
+    @given(node_counts)
+    def test_degenerate_2d_normalises_to_1d(self, n):
+        assert isinstance(make_grid("2d", n, p_c=1), Grid1D)
+        assert isinstance(make_grid("2d", n, p_r=n), Grid1D)
+
+
+class TestEnumerateGrids:
+    @SETTINGS
+    @given(node_counts)
+    def test_tokens_unique_and_cover_nodes(self, n):
+        grids = enumerate_grids(n)
+        tokens = [g.cache_token() for g in grids]
+        assert len(tokens) == len(set(tokens))
+        for grid in grids:
+            grid.validate_nodes(n)
+
+    @SETTINGS
+    @given(node_counts)
+    def test_always_includes_1d(self, n):
+        grids = enumerate_grids(n)
+        assert any(isinstance(g, Grid1D) for g in grids)
+
+    @SETTINGS
+    @given(node_counts.filter(_is_prime))
+    def test_prime_counts_have_no_layered_15d(self, n):
+        # Prime p: no divisor c with 2 <= c <= p_r, so the only
+        # layered candidate is the degenerate-free 2D column strip.
+        grids = enumerate_grids(n)
+        assert not any(isinstance(g, Grid15D) for g in grids)
+        layered = [g for g in grids if g.depth > 1]
+        assert all(isinstance(g, Grid2D) for g in layered)
+
+    @SETTINGS
+    @given(node_counts, st.integers(1, 8))
+    def test_max_depth_bounds_candidates(self, n, max_depth):
+        for grid in enumerate_grids(n, max_depth=max_depth):
+            if isinstance(grid, (Grid15D, Grid2D)):
+                assert grid.depth <= max_depth
+
+    @SETTINGS
+    @given(node_counts)
+    def test_layout_filter(self, n):
+        only_1d = enumerate_grids(n, layouts=["1d"])
+        assert len(only_1d) == 1 and isinstance(only_1d[0], Grid1D)
+        for grid in enumerate_grids(n, layouts=["2d"]):
+            assert isinstance(grid, (Grid1D, Grid2D))
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(PartitionError):
+            enumerate_grids(8, layouts=["3d"])
+
+    def test_nonpositive_nodes_rejected(self):
+        with pytest.raises(PartitionError):
+            enumerate_grids(0)

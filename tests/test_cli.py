@@ -119,10 +119,10 @@ class TestCommands:
         import json
 
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/7"
+        assert doc["schema"] == "repro-perf/8"
         assert len(doc["cells"]) == 3  # intensities 0, half, full
         top = doc["cells"][-1]
-        assert top["schema"] == "repro-perf/7"  # per-record stamp
+        assert top["schema"] == "repro-perf/8"  # per-record stamp
         assert top["fault_rget_failures"] >= 0
         assert {"fault_retries", "fault_lane_fallbacks",
                 "fault_rechunks"} <= set(top)
@@ -163,7 +163,7 @@ class TestCommands:
         import json
 
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/7"
+        assert doc["schema"] == "repro-perf/8"
         by_name = {cell["name"]: cell for cell in doc["cells"]}
         assert set(by_name) == {
             "grid-1d", "grid-1.5d:r4c2", "grid-2d:r4x2"
@@ -213,7 +213,7 @@ class TestCommands:
         import json
 
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/7"
+        assert doc["schema"] == "repro-perf/8"
         by_name = {cell["name"]: cell for cell in doc["cells"]}
         fused = by_name["serve-hot-fused"]
         serial = by_name["serve-hot-serial"]
@@ -234,3 +234,83 @@ class TestCommands:
         )
         assert code == 1
         assert "below required" in capsys.readouterr().out
+
+    def test_grid_sweep_json(self, capsys):
+        import json
+
+        code = main(
+            ["grid-sweep", "--matrix", "web", "--k", "8",
+             "--nodes", "8", "--size", "tiny",
+             "--algorithm", "TwoFace", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-perf/8"
+        assert doc["command"] == "grid-sweep"
+        tokens = {cell["grid"] for cell in doc["cells"]}
+        assert tokens == {"1d", "1.5d:r4c2", "2d:r4x2"}
+        succeeded = [c for c in doc["cells"] if not c["failed"]]
+        best = min(succeeded, key=lambda c: c["simulated_seconds"])
+        assert doc["winner"] == best["grid"]
+        summary = succeeded[0]["node_seconds"]
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_tune_oracle_zero_regret(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "tune.json"
+        code = main(
+            ["tune", "--matrix", "web", "--k", "8", "--nodes", "4",
+             "--size", "tiny", "--oracle", "--max-regret", "0.10",
+             "--out", str(out_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chosen:" in out
+        assert "oracle winner" in out
+        assert "FAILURE" not in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro-perf/8"
+        (cell,) = doc["cells"]
+        assert cell["tune_chosen"]
+        assert cell["tune_predicted_seconds"] > 0
+        assert cell["tune_regret"] == 0.0
+        assert cell["tune_cache_misses"] == 1
+
+    def test_tune_cache_hit_across_invocations(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "decisions")
+        argv = [
+            "tune", "--matrix", "web", "--k", "8", "--nodes", "4",
+            "--size", "tiny", "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        assert "cache miss" in capsys.readouterr().out
+        assert main(argv + ["--require-cache-hit"]) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_tune_require_cache_hit_fails_cold(self, capsys):
+        code = main(
+            ["tune", "--matrix", "web", "--k", "8", "--nodes", "4",
+             "--size", "tiny", "--require-cache-hit"]
+        )
+        assert code == 1
+        assert "decision cache" in capsys.readouterr().out
+
+    def test_tune_max_regret_requires_oracle(self, capsys):
+        code = main(
+            ["tune", "--matrix", "web", "--k", "8", "--nodes", "4",
+             "--size", "tiny", "--max-regret", "0.1"]
+        )
+        assert code == 2
+        assert "requires --oracle" in capsys.readouterr().out
+
+    def test_serve_auto_layout(self, capsys):
+        code = main(
+            ["serve", "--trace", "bursty", "--matrices", "queen",
+             "--requests", "6", "--k", "4", "--nodes", "4",
+             "--size", "tiny", "--auto-layout"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "autotuner" in out
+        assert "byte-identical" in out

@@ -1,0 +1,1 @@
+"""Tests for the cost-model autotuner (:mod:`repro.tune`)."""
