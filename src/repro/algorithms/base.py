@@ -100,6 +100,7 @@ class DistSpMMAlgorithm(abc.ABC):
         machine: MachineConfig,
         threads: Optional[ThreadConfig] = None,
         grid=None,
+        transport=None,
     ) -> SpMMResult:
         """Distribute inputs, execute, and collect the result.
 
@@ -115,10 +116,26 @@ class DistSpMMAlgorithm(abc.ABC):
                 simulated seconds, and traffic events); 1.5D/2D layouts
                 run each depth layer as a 1D sub-problem and reduce the
                 partial outputs across the depth dimension.
+            transport: data-plane selection (:mod:`repro.transport`):
+                ``None``/``"sim"`` for the simulator (byte-identical to
+                the pre-transport path), ``"shm"`` for real OS
+                processes over shared memory (wall-clock seconds), or a
+                constructed transport instance.
 
         Returns:
             The result; ``failed=True`` on simulated OOM.
         """
+        if transport is not None:
+            from ..transport import get_transport
+
+            resolved = get_transport(transport)
+            if not (isinstance(resolved, type)
+                    and issubclass(resolved, SimMPI)):
+                # Executor transport (shm/mpi): it owns distribution,
+                # worker lifecycle, and timing end to end.
+                return resolved.run_algorithm(
+                    self, A, B, machine, threads=threads, grid=grid
+                )
         B = np.ascontiguousarray(B, dtype=np.float64)
         if B.ndim != 2 or B.shape[0] != A.shape[1]:
             raise ShapeError(
@@ -131,8 +148,10 @@ class DistSpMMAlgorithm(abc.ABC):
                 from .gridrun import run_on_grid
 
                 return run_on_grid(self, A, B, machine, threads, grid)
+        from ..transport.sim import SimTransport
+
         cluster = Cluster(machine)
-        mpi = SimMPI(cluster)
+        mpi = SimTransport(cluster)
         breakdown = TimeBreakdown.zeros(machine.n_nodes)
         resil_before = (
             resilience_stats().snapshot() if cluster.faults is not None

@@ -32,6 +32,45 @@ class _RankPieces:
     rows_by_block: Dict[int, int]  # nonempty output rows per piece
 
 
+def bucket_slab(slab, col_partition, n_blocks: int, n_cols: int) -> _RankPieces:
+    """Split one rank's slab into per-owner-block scipy CSR pieces.
+
+    Shared by the simulator path below and the shared-memory transport
+    (which pre-buckets on the driver before forking workers).
+
+    Args:
+        slab: the rank's row-rebased :class:`~repro.sparse.coo.COOMatrix`.
+        col_partition: the dense-row partition of ``B`` (block owners).
+        n_blocks: number of ``B`` blocks (= ranks).
+        n_cols: global dense row count (``B.shape[0]``; pieces span the
+            full column space so ``piece @ B`` works unsliced).
+    """
+    import scipy.sparse as sp
+
+    by_block: Dict[int, object] = {}
+    nnz_by_block: Dict[int, int] = {}
+    rows_by_block: Dict[int, int] = {}
+    if slab.nnz == 0:
+        return _RankPieces(by_block, nnz_by_block, rows_by_block)
+    owners = col_partition.owners_of(slab.cols)
+    order = np.argsort(owners, kind="stable")
+    sorted_owners = owners[order]
+    boundaries = np.searchsorted(sorted_owners, np.arange(n_blocks + 1))
+    for block_id in range(n_blocks):
+        lo, hi = boundaries[block_id], boundaries[block_id + 1]
+        if lo == hi:
+            continue
+        sel = order[lo:hi]
+        piece = sp.csr_matrix(
+            (slab.vals[sel], (slab.rows[sel], slab.cols[sel])),
+            shape=(slab.shape[0], n_cols),
+        )
+        by_block[block_id] = piece
+        nnz_by_block[block_id] = int(hi - lo)
+        rows_by_block[block_id] = int(len(np.unique(slab.rows[sel])))
+    return _RankPieces(by_block, nnz_by_block, rows_by_block)
+
+
 class DenseShifting(DistSpMMAlgorithm):
     """DS with replication factor ``c`` (DS1/DS2/DS4/DS8 in the paper)."""
 
@@ -128,33 +167,9 @@ class DenseShifting(DistSpMMAlgorithm):
     # ------------------------------------------------------------------
     def _bucket_slab(self, ctx: RunContext, rank: int) -> _RankPieces:
         """Split a rank's slab into per-block scipy CSR pieces."""
-        import scipy.sparse as sp
-
-        slab = ctx.A.slab(rank)
-        by_block: Dict[int, object] = {}
-        nnz_by_block: Dict[int, int] = {}
-        rows_by_block: Dict[int, int] = {}
-        if slab.nnz == 0:
-            return _RankPieces(by_block, nnz_by_block, rows_by_block)
-        owners = ctx.B.partition.owners_of(slab.cols)
-        order = np.argsort(owners, kind="stable")
-        sorted_owners = owners[order]
-        boundaries = np.searchsorted(
-            sorted_owners, np.arange(ctx.n_nodes + 1)
+        return bucket_slab(
+            ctx.A.slab(rank), ctx.B.partition, ctx.n_nodes, ctx.B.shape[0]
         )
-        for block_id in range(ctx.n_nodes):
-            lo, hi = boundaries[block_id], boundaries[block_id + 1]
-            if lo == hi:
-                continue
-            sel = order[lo:hi]
-            piece = sp.csr_matrix(
-                (slab.vals[sel], (slab.rows[sel], slab.cols[sel])),
-                shape=(slab.shape[0], ctx.B.shape[0]),
-            )
-            by_block[block_id] = piece
-            nnz_by_block[block_id] = int(hi - lo)
-            rows_by_block[block_id] = int(len(np.unique(slab.rows[sel])))
-        return _RankPieces(by_block, nnz_by_block, rows_by_block)
 
     def _extras(self, ctx: RunContext) -> dict:
         return {"replication": self.replication}

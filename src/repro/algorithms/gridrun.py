@@ -40,8 +40,8 @@ import numpy as np
 
 from ..cluster.faults import resilience_stats
 from ..cluster.machine import Cluster, MachineConfig, SimNode
-from ..cluster.simmpi import SimMPI
 from ..dist.grid import ProcessGrid
+from ..transport.sim import SimTransport
 from ..dist.matrices import DistDenseMatrix, DistSparseMatrix
 from ..dist.oned import RowPartition
 from ..errors import ConfigurationError, OutOfMemoryError
@@ -183,7 +183,7 @@ def run_on_grid(
 
     grid.validate_nodes(machine.n_nodes)
     cluster = Cluster(machine)
-    parent_mpi = SimMPI(cluster)
+    parent_mpi = SimTransport(cluster)
     breakdown = TimeBreakdown.zeros(machine.n_nodes)
     resil_before = (
         resilience_stats().snapshot() if cluster.faults is not None
@@ -206,7 +206,7 @@ def run_on_grid(
                 if cluster.faults is not None else None
             )
             subcluster = SubCluster(cluster, ranks, sub_machine, faults_view)
-            sub_mpi = SimMPI(subcluster)
+            sub_mpi = SimTransport(subcluster)
             sub_breakdown = TimeBreakdown(
                 nodes=[breakdown.nodes[r] for r in ranks]
             )
@@ -274,7 +274,7 @@ def run_on_grid(
 
 def _charge_reduction(
     grid: ProcessGrid,
-    mpi: SimMPI,
+    mpi: SimTransport,
     breakdown: TimeBreakdown,
     row_part: RowPartition,
     k: int,

@@ -177,19 +177,28 @@ class ExperimentHarness:
         k: int,
         machine: MachineConfig,
         grid=None,
+        transport=None,
     ) -> SpMMResult:
         """Run one (matrix, algorithm, K) cell.
 
         The host wall-clock time of the cell is recorded in
         ``result.extras["wall_seconds"]`` for perf telemetry; it never
         affects the simulated seconds.  ``grid`` selects a process-grid
-        layout (None = plain 1D; see :mod:`repro.dist.grid`).
+        layout (None = plain 1D; see :mod:`repro.dist.grid`);
+        ``transport`` selects the data plane (None/"sim"/"shm" or an
+        instance; see :mod:`repro.transport`).  An executor transport
+        reports its own wall clock (the worker makespan), which is
+        kept; only simulator cells get the host cell time filled in.
         """
         A = self.matrix(matrix)
         B = self.dense_input(matrix, k)
         started = time.perf_counter()
-        result = self.make(algorithm).run(A, B, machine, grid=grid)
-        result.extras["wall_seconds"] = time.perf_counter() - started
+        result = self.make(algorithm).run(
+            A, B, machine, grid=grid, transport=transport
+        )
+        result.extras.setdefault(
+            "wall_seconds", time.perf_counter() - started
+        )
         return result
 
     def sweep(

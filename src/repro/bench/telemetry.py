@@ -7,10 +7,10 @@ schema (see the README's "Benchmark telemetry" section):
 
 ```
 {
-  "schema": "repro-perf/8",
+  "schema": "repro-perf/9",
   "label": "<free-form document label, e.g. BENCH_PR4>",
   "cells": [
-    {"schema": "repro-perf/8",
+    {"schema": "repro-perf/9",
      "name": ..., "matrix": ..., "algorithm": ..., "k": ...,
      "n_nodes": ..., "grid": ...,
      "wall_seconds": ..., "simulated_seconds": ...,
@@ -36,7 +36,8 @@ schema (see the README's "Benchmark telemetry" section):
      "tune_observed_seconds": ..., "tune_regret": ...,
      "tune_probed": ..., "tune_cache_hits": ...,
      "tune_cache_misses": ..., "tune_cache_invalidations": ...,
-     "tune_recalibrations": ...},
+     "tune_recalibrations": ...,
+     "transport": ...},
     ...
   ],
   "experiments": {"<name>": {...free-form...}, ...}
@@ -94,6 +95,18 @@ document also measured (0.0 when the tuner picked the winner), whether
 the top-2 probe ran, and the tuner's decision-cache and drift-feedback
 counters (hits/misses/invalidations, recalibrations).  Untuned cells
 leave the fields at their zero/empty defaults.
+
+Schema ``repro-perf/9`` adds the pluggable transport layer
+(:mod:`repro.transport`): ``transport`` names the data plane that
+executed the cell (``"sim"``, ``"shm"``, ``"mpi"``; empty = the
+default simulator, recorded before the field existed).  The meaning of
+``wall_seconds`` depends on it — for ``sim`` cells it is host time
+spent *running the simulator*, while for ``shm`` cells it is the
+makespan of real OS processes doing the actual SpMM (the slowest
+worker's barrier-to-barrier time), directly comparable across worker
+counts.  ``simulated_seconds`` is ``None`` for non-sim transports:
+real data planes measure time instead of modelling it (see
+``docs/transports.md``).
 """
 
 from __future__ import annotations
@@ -110,7 +123,7 @@ from ..core.formats import transfer_cache_stats
 from ..core.plancache import plan_cache_stats
 from ..sparse.ops import scatter_stats
 
-PERF_SCHEMA = "repro-perf/8"
+PERF_SCHEMA = "repro-perf/9"
 
 
 # ----------------------------------------------------------------------
@@ -197,6 +210,7 @@ class PerfCell:
     tune_cache_misses: int = 0
     tune_cache_invalidations: int = 0
     tune_recalibrations: int = 0
+    transport: str = ""
 
 
 @dataclass
@@ -224,6 +238,7 @@ class PerfLog:
         events_dropped: int = 0,
         traffic=None,
         grid: str = "",
+        transport: str = "",
     ) -> PerfCell:
         """Append one cell record.
 
@@ -255,6 +270,10 @@ class PerfLog:
                 ``dim_bytes``.  Omit to record zeros.
             grid: the run's grid cache token (e.g. ``"2d:r16x16"``;
                 empty = not recorded, 1D runs record ``"1d"``).
+            transport: the data plane that executed the cell
+                (``"sim"``, ``"shm"``, ``"mpi"``; empty = default
+                simulator).  Changes what ``wall_seconds`` means — see
+                the module docstring.
         """
         hits = recomputes = 0
         if cache_snapshot is not None:
@@ -334,6 +353,7 @@ class PerfLog:
                 int(traffic.dim_bytes.get("fiber", 0))
                 if traffic is not None else 0
             ),
+            transport=transport,
         )
         self.cells.append(cell)
         return cell

@@ -60,6 +60,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--size", default="small", choices=list(suite.SIZE_CLASSES)
     )
+    run.add_argument(
+        "--transport", default="sim", choices=["sim", "shm", "mpi"],
+        help=(
+            "data plane: 'sim' (default) charges simulated seconds; "
+            "'shm' executes on real OS processes over shared memory "
+            "and reports wall-clock seconds (see docs/transports.md)"
+        ),
+    )
+    run.add_argument(
+        "--processes", type=int, default=None,
+        help="shm worker process count (default: min(nodes, host CPUs))",
+    )
+    run.add_argument(
+        "--repeats", type=int, default=1,
+        help="shm timed repetitions (wall seconds = per-repeat makespan)",
+    )
+    run.add_argument(
+        "--check", action="store_true",
+        help=(
+            "also run the simulator and require the transport's C to "
+            "match (exit 1 on divergence)"
+        ),
+    )
 
     sweep = sub.add_parser(
         "sweep", help="all algorithms over matrices (mini Fig. 7/8)"
@@ -147,7 +170,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--out", default=None,
-        help="write a repro-perf/8 telemetry JSON to this path",
+        help="write a repro-perf/9 telemetry JSON to this path",
+    )
+    chaos.add_argument(
+        "--check-transport", action="store_true",
+        help=(
+            "re-run every intensity on the shm transport and require "
+            "the same C, the same resilience invariant, and (when the "
+            "simulator re-chunked nothing) the same traffic counters"
+        ),
     )
 
     serve = sub.add_parser(
@@ -190,7 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--out", default=None,
-        help="write a repro-perf/8 telemetry JSON to this path",
+        help="write a repro-perf/9 telemetry JSON to this path",
     )
 
     gs = sub.add_parser(
@@ -240,7 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gs.add_argument(
         "--out", default=None,
-        help="write a repro-perf/8 telemetry JSON to this path",
+        help="write a repro-perf/9 telemetry JSON to this path",
     )
 
     tune = sub.add_parser(
@@ -296,37 +327,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tune.add_argument(
         "--out", default=None,
-        help="write a repro-perf/8 telemetry JSON to this path",
+        help="write a repro-perf/9 telemetry JSON to this path",
     )
     return parser
 
 
 def cmd_run(args) -> int:
+    from .transport import get_transport
+
     harness = ExperimentHarness(size=args.size)
     machine = MachineConfig(n_nodes=args.nodes)
-    result = harness.run_one(args.matrix, args.algorithm, args.k, machine)
+    transport = None
+    if args.transport != "sim":
+        if args.transport == "shm":
+            from .transport.shm import ShmTransport
+
+            transport = ShmTransport(
+                processes=args.processes, repeats=args.repeats
+            )
+        else:
+            transport = get_transport(args.transport)
+        if not transport.available():
+            print(f"transport {args.transport!r} is not available here")
+            return 2
+    result = harness.run_one(
+        args.matrix, args.algorithm, args.k, machine, transport=transport
+    )
     if result.failed:
         print(f"{args.algorithm} on {args.matrix}: OOM ({result.failure})")
         return 1
     means = result.breakdown.component_means()
-    print_table(
-        ["metric", "value"],
-        [
-            ["algorithm", args.algorithm],
-            ["matrix", args.matrix],
-            ["K", args.k],
-            ["nodes", args.nodes],
-            ["simulated seconds", result.seconds],
-            ["sync comm (mean/node)", means.sync_comm],
-            ["sync comp (mean/node)", means.sync_comp],
-            ["async comm (mean/node)", means.async_comm],
-            ["async comp (mean/node)", means.async_comp],
-            ["collective MB", result.traffic.collective_bytes / 1e6],
-            ["one-sided MB", result.traffic.onesided_bytes / 1e6],
-            ["one-sided requests", result.traffic.onesided_requests],
-        ],
-        title="distributed SpMM",
+    seconds_label = (
+        "wall-clock seconds" if transport is not None
+        else "simulated seconds"
     )
+    rows = [
+        ["algorithm", args.algorithm],
+        ["matrix", args.matrix],
+        ["K", args.k],
+        ["nodes", args.nodes],
+        ["transport", args.transport],
+        [seconds_label, result.seconds],
+        ["sync comm (mean/node)", means.sync_comm],
+        ["sync comp (mean/node)", means.sync_comp],
+        ["async comm (mean/node)", means.async_comm],
+        ["async comp (mean/node)", means.async_comp],
+        ["collective MB", result.traffic.collective_bytes / 1e6],
+        ["one-sided MB", result.traffic.onesided_bytes / 1e6],
+        ["one-sided requests", result.traffic.onesided_requests],
+    ]
+    if transport is not None:
+        rows.append(
+            ["worker processes", result.extras.get("transport_processes")]
+        )
+    print_table(["metric", "value"], rows, title="distributed SpMM")
+    if args.check:
+        reference = harness.run_one(
+            args.matrix, args.algorithm, args.k, machine
+        )
+        if reference.failed:
+            print(f"check: simulator reference failed ({reference.failure})")
+            return 1
+        if transport is None:
+            ok = np.array_equal(reference.C, result.C)
+        else:
+            ok = np.allclose(reference.C, result.C, rtol=0.0, atol=1e-12)
+        print(
+            "check: C matches the simulator" if ok
+            else "check: FAILURE — C diverges from the simulator"
+        )
+        if not ok:
+            return 1
     return 0
 
 
@@ -494,11 +565,23 @@ def cmd_chaos(args) -> int:
         )
         return 1
 
+    check_transport = args.check_transport
+    if check_transport:
+        from .transport.shm import ShmTransport
+
+        if not ShmTransport.available():
+            print(
+                "note: shm transport unavailable on this host; "
+                "--check-transport skipped"
+            )
+            check_transport = False
+
     intensities = [args.intensity * f for f in (0.0, 0.5, 1.0)]
     log = PerfLog(label=f"chaos-{args.matrix}-{args.algorithm}")
     rows = []
     exact = True
     invariant_ok = True
+    transport_ok = True
     for intensity in intensities:
         faults = (
             FaultConfig.from_intensity(intensity, seed=args.seed)
@@ -530,6 +613,7 @@ def cmd_chaos(args) -> int:
             events_dropped=result.traffic.events_dropped,
             traffic=result.traffic,
             grid=grid.cache_token(),
+            transport="sim",
         )
         # Every one-sided failure is absorbed by either a retry or a
         # sync-lane fallback — on any grid layout (DESIGN.md §7).
@@ -538,23 +622,32 @@ def cmd_chaos(args) -> int:
             != cell.fault_rget_failures
         ):
             invariant_ok = False
-        rows.append(
-            [
-                f"{intensity:.3f}",
-                f"{result.seconds:.6f}",
-                f"{result.seconds / baseline.seconds:.2f}x",
-                cell.fault_rget_failures,
-                cell.fault_retries,
-                cell.fault_lane_fallbacks,
-                cell.fault_rechunks,
-                "exact" if ok else "WRONG",
-            ]
-        )
+        row = [
+            f"{intensity:.3f}",
+            f"{result.seconds:.6f}",
+            f"{result.seconds / baseline.seconds:.2f}x",
+            cell.fault_rget_failures,
+            cell.fault_retries,
+            cell.fault_lane_fallbacks,
+            cell.fault_rechunks,
+            "exact" if ok else "WRONG",
+        ]
+        if check_transport:
+            row.append(
+                _chaos_transport_check(
+                    harness, args, machine, grid, result, cell
+                )
+            )
+            transport_ok = transport_ok and row[-1] == "ok"
+        rows.append(row)
+    headers = [
+        "intensity", "sim seconds", "slowdown", "rget fails",
+        "retries", "fallbacks", "re-chunks", "C vs fault-free",
+    ]
+    if check_transport:
+        headers.append("shm transport")
     print_table(
-        [
-            "intensity", "sim seconds", "slowdown", "rget fails",
-            "retries", "fallbacks", "re-chunks", "C vs fault-free",
-        ],
+        headers,
         rows,
         title=(
             f"chaos sweep: {args.algorithm} on {args.matrix}, "
@@ -574,7 +667,53 @@ def cmd_chaos(args) -> int:
     if not exact:
         print("FAILURE: injected faults changed the computed result")
         return 1
+    if not transport_ok:
+        print(
+            "FAILURE: shm transport diverged from the simulator under "
+            "fault injection"
+        )
+        return 1
     return 0
+
+
+def _chaos_transport_check(
+    harness, args, machine, grid, sim_result, cell
+) -> str:
+    """One intensity's cross-transport conformance verdict.
+
+    Re-runs the cell on the shm transport under the identical fault
+    plan and checks, in order: the resilience invariant (every
+    one-sided failure absorbed by a retry or a lane fallback), the
+    numerical result, and — only when the simulator re-chunked nothing
+    (shm never models the memory squeeze that triggers re-chunking) —
+    the exact traffic counters.
+    """
+    from .transport.shm import ShmTransport
+
+    shm = harness.run_one(
+        args.matrix, args.algorithm, args.k, machine, grid=grid,
+        transport=ShmTransport(),
+    )
+    if shm.failed:
+        return f"FAILED ({shm.failure})"
+    resil = shm.extras.get("resilience", {})
+    if (
+        resil.get("retries", 0) + resil.get("lane_fallbacks", 0)
+        != resil.get("rget_failures", 0)
+    ):
+        return "INVARIANT"
+    if not np.allclose(sim_result.C, shm.C, rtol=0.0, atol=1e-12):
+        return "C DIVERGES"
+    if cell.fault_rechunks == 0:
+        t_sim, t_shm = sim_result.traffic, shm.traffic
+        for field in (
+            "p2p_bytes", "p2p_messages", "collective_bytes",
+            "collective_ops", "onesided_bytes", "onesided_requests",
+            "per_node_recv_bytes", "dim_bytes",
+        ):
+            if getattr(t_sim, field) != getattr(t_shm, field):
+                return f"COUNTER {field}"
+    return "ok"
 
 
 def cmd_serve(args) -> int:
@@ -754,6 +893,7 @@ def cmd_grid_sweep(args) -> int:
             events_dropped=result.traffic.events_dropped,
             traffic=result.traffic,
             grid=token,
+            transport="sim",
         )
         traffic = result.traffic
         json_cells.append(

@@ -75,6 +75,25 @@ class FetchArena:
         out = self.request(slot, len(indices), source.shape[1], source.dtype)
         return np.take(source, indices, axis=0, out=out)
 
+    @classmethod
+    def with_buffers(cls, buffers: Dict[str, np.ndarray]) -> "FetchArena":
+        """An arena whose slots are pre-seeded with caller storage.
+
+        The shared-memory transport carves each worker process's slots
+        out of ``multiprocessing.shared_memory`` segments, so the rget
+        destination and gather scratch are zero-copy views of shared
+        pages.  Requests within the seeded capacity are ordinary hits;
+        an oversized request falls back to a private grow exactly like
+        an unseeded arena (correct, just no longer shared).
+
+        Args:
+            buffers: slot name -> flat (1-D) backing array.
+        """
+        arena = cls()
+        for slot, flat in buffers.items():
+            arena._slots[slot] = flat.reshape(-1)
+        return arena
+
     # ------------------------------------------------------------------
     def capacity_bytes(self) -> int:
         return int(sum(buf.nbytes for buf in self._slots.values()))

@@ -56,6 +56,105 @@ class CommEvent:
 MAX_RECORDED_EVENTS = 200_000
 
 
+class _EventRing:
+    """Preallocated structured-array store of recorded comm events.
+
+    Creating a :class:`CommEvent` dataclass per operation is pure
+    overhead on the data-plane hot path (it shows up at p=256, where a
+    single execution logs hundreds of thousands of rget legs).  The
+    ring stores each event as one row of a structured ndarray — the
+    kind and detail strings interned into small side pools — and only
+    materialises :class:`CommEvent` objects when somebody actually
+    reads :attr:`SimMPI.events`.
+
+    The buffer doubles geometrically from a small initial capacity, so
+    short runs stay tiny while the longest (capped) logs settle at one
+    ~22-byte row per event instead of one dataclass + 5 boxed fields.
+    """
+
+    _DTYPE = np.dtype(
+        [
+            ("kind", np.int16),
+            ("source", np.int32),
+            ("destination", np.int32),
+            ("nbytes", np.int64),
+            ("detail", np.int32),
+        ]
+    )
+    _INITIAL_CAPACITY = 1024
+
+    __slots__ = (
+        "_buf", "count", "_kind_codes", "_kinds", "_detail_codes",
+        "_details", "_view",
+    )
+
+    def __init__(self) -> None:
+        self._buf = np.empty(self._INITIAL_CAPACITY, dtype=self._DTYPE)
+        self.count = 0
+        self._kind_codes: Dict[str, int] = {}
+        self._kinds: List[str] = []
+        self._detail_codes: Dict[str, int] = {}
+        self._details: List[str] = []
+        #: Materialised :class:`CommEvent` prefix; extended lazily (and
+        #: in place, so a list handed out earlier keeps seeing appends).
+        self._view: List[CommEvent] = []
+
+    def append(
+        self, kind: str, source: int, destination: int, nbytes: int,
+        detail: str,
+    ) -> None:
+        i = self.count
+        buf = self._buf
+        if i == len(buf):
+            grown = np.empty(2 * len(buf), dtype=self._DTYPE)
+            grown[:i] = buf
+            self._buf = buf = grown
+        code = self._kind_codes.get(kind)
+        if code is None:
+            code = len(self._kinds)
+            self._kind_codes[kind] = code
+            self._kinds.append(kind)
+        detail_code = self._detail_codes.get(detail)
+        if detail_code is None:
+            detail_code = len(self._details)
+            self._detail_codes[detail] = detail_code
+            self._details.append(detail)
+        row = buf[i]
+        row["kind"] = code
+        row["source"] = source
+        row["destination"] = destination
+        row["nbytes"] = nbytes
+        row["detail"] = detail_code
+        self.count = i + 1
+
+    def view(self) -> List[CommEvent]:
+        """The events as a plain list, materialised on demand.
+
+        Always the *same* list object, extended in place with any rows
+        appended since the previous call — callers that stashed the
+        list (``SpMMResult.events``) keep the aliasing behaviour of the
+        old plain-list attribute.
+        """
+        events = self._view
+        n = self.count
+        lo = len(events)
+        if lo < n:
+            rows = self._buf[lo:n]
+            kinds = self._kinds
+            details = self._details
+            events.extend(
+                CommEvent(kinds[k], s, d, b, details[t])
+                for k, s, d, b, t in zip(
+                    rows["kind"].tolist(),
+                    rows["source"].tolist(),
+                    rows["destination"].tolist(),
+                    rows["nbytes"].tolist(),
+                    rows["detail"].tolist(),
+                )
+            )
+        return events
+
+
 @dataclass(frozen=True)
 class _OneSidedCharge:
     """Accounting of one MPI_Rget/MPI_Get, applied now or deferred.
@@ -230,20 +329,27 @@ class SimMPI:
     def __init__(self, cluster: Cluster, record_events: bool = True):
         self.cluster = cluster
         self.traffic = TrafficStats(n_nodes=cluster.n_nodes)
-        self.events: List[CommEvent] = []
+        self._ring = _EventRing()
         self._record = record_events
         self._net = cluster.config.network
         #: The run's compiled fault plan (None on a healthy machine).
         self.faults = getattr(cluster, "faults", None)
 
+    @property
+    def events(self) -> List[CommEvent]:
+        """The recorded operations as a plain list (issue order).
+
+        Backed by the structured-array ring; :class:`CommEvent`
+        objects are materialised lazily, once, on first read.
+        """
+        return self._ring.view()
+
     def _log(self, kind: str, source: int, destination: int, nbytes: int,
              detail: str = "") -> None:
         if not self._record:
             return
-        if len(self.events) < MAX_RECORDED_EVENTS:
-            self.events.append(
-                CommEvent(kind, source, destination, nbytes, detail)
-            )
+        if self._ring.count < MAX_RECORDED_EVENTS:
+            self._ring.append(kind, source, destination, nbytes, detail)
             return
         if self.traffic.events_dropped == 0:
             warnings.warn(

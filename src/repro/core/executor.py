@@ -97,6 +97,57 @@ def arena_ceilings(plan: TwoFacePlan, k: int) -> dict:
     }
 
 
+def accumulate_async_stripe(
+    c_block: np.ndarray,
+    fetched: np.ndarray,
+    stripe,
+    packed: np.ndarray,
+    vals: np.ndarray,
+    segmented: bool,
+    arena,
+    scatter: ScatterStats,
+    keep: Optional[np.ndarray] = None,
+) -> None:
+    """Accumulate one async stripe's contribution into ``c_block``.
+
+    The scatter half of the async lane, shared verbatim by the
+    simulator path below and the shared-memory transport
+    (:mod:`repro.transport.shm`): given the fetched dense rows, apply
+    either the segmented-reduction kernel or the pinned atomic
+    reference, in the plan's deterministic order.
+
+    Args:
+        c_block: the rank's output block (accumulated in place).
+        fetched: the stripe's fetched dense rows, fetch order.
+        stripe: the :class:`~repro.core.formats.AsyncStripe`.
+        packed: the schedule's per-nonzero fetched-row index.
+        vals: the stripe's nonzero values.
+        segmented: pre-resolved ``scatter_mode() == SCATTER_SEGMENTED``.
+        arena: the worker's :class:`~repro.cluster.buffers.FetchArena`.
+        scatter: counter sink.
+        keep: optional per-nonzero sampling mask (None = all live).
+    """
+    if segmented:
+        reduce = stripe.ensure_reduce_schedule()
+        if keep is None:
+            vals_perm = reduce.permuted_vals(vals)
+        else:
+            vals_perm = (vals * keep)[reduce.order]
+        segmented_reduce_into(
+            c_block, fetched, reduce.gather_indices(packed),
+            vals_perm, reduce.seg_ptrs(), reduce.out_rows,
+            arena=arena, stats=scatter,
+        )
+    else:
+        if keep is not None:
+            vals = vals * keep
+        scatter_add(
+            c_block, stripe.nonzeros.rows, vals,
+            arena.take_rows(fetched, packed, "async_gather"),
+            arena=arena, stats=scatter,
+        )
+
+
 def execute_plan(
     plan: TwoFacePlan,
     ctx: RunContext,
@@ -434,32 +485,16 @@ def _async_lane(
                 nnz_live = int(np.count_nonzero(keep))
                 if nnz_live == stripe.nnz:
                     keep = None  # keep-all: bitwise fast path
-            if segmented:
-                # Segmented reduction: one csr_matvecs call sums each
-                # output row's segment straight out of the fetch buffer
-                # (indices = the plan-resident composition
-                # packed[order], data = the cached permuted values),
-                # then each output row lands with a single
-                # fancy-indexed +=.  No gather, no materialised
-                # products.
-                reduce = stripe.ensure_reduce_schedule()
-                if keep is None:
-                    vals_perm = reduce.permuted_vals(vals)
-                else:
-                    vals_perm = (vals * keep)[reduce.order]
-                segmented_reduce_into(
-                    c_block, fetched, reduce.gather_indices(packed),
-                    vals_perm, reduce.seg_ptrs(), reduce.out_rows,
-                    arena=arena, stats=scatter,
-                )
-            else:
-                if keep is not None:
-                    vals = vals * keep
-                scatter_add(
-                    c_block, stripe.nonzeros.rows, vals,
-                    arena.take_rows(fetched, packed, "async_gather"),
-                    arena=arena, stats=scatter,
-                )
+            # Segmented mode: one csr_matvecs call sums each output
+            # row's segment straight out of the fetch buffer (indices =
+            # the plan-resident composition packed[order], data = the
+            # cached permuted values), then each output row lands with
+            # a single fancy-indexed +=.  No gather, no materialised
+            # products.
+            accumulate_async_stripe(
+                c_block, fetched, stripe, packed, vals, segmented,
+                arena, scatter, keep=keep,
+            )
             stripe_comp = compute.async_stripe_time(
                 nnz_live, k, ctx.threads.async_comp, n_stripes=1
             )

@@ -1,0 +1,44 @@
+"""mpi4py transport stub.
+
+Lands the third implementation behind the same protocol so the
+registry, CLI choices, and CI leg exist; execution requires ``mpi4py``,
+which this environment does not ship, so ``run_algorithm`` raises
+:class:`~repro.transport.base.TransportUnavailable` and every consumer
+(tests, CI) skips cleanly.  The intended mapping mirrors ShmTransport:
+one MPI rank per simulated node, ``MPI.Win`` RMA windows over the dense
+B panel for the one-sided lane, ``Allgatherv``/``Allreduce`` for the
+collective lane, plan and schedules broadcast once at setup.
+"""
+
+from __future__ import annotations
+
+from .base import Transport, TransportUnavailable
+
+try:  # pragma: no cover - exercised only where mpi4py is installed
+    from mpi4py import MPI as _MPI  # noqa: N811
+
+    HAVE_MPI4PY = True
+except ImportError:  # pragma: no cover - the common case here
+    _MPI = None
+    HAVE_MPI4PY = False
+
+
+class MpiTransport(Transport):
+    """mpi4py-backed transport (stub; requires the optional dependency)."""
+
+    name = "mpi"
+
+    @classmethod
+    def available(cls):
+        return HAVE_MPI4PY
+
+    def run_algorithm(self, algorithm, A, B, machine, threads=None, grid=None):
+        if not HAVE_MPI4PY:
+            raise TransportUnavailable(
+                "transport 'mpi' needs mpi4py, which is not installed; "
+                "use --transport sim or --transport shm"
+            )
+        raise TransportUnavailable(
+            "transport 'mpi' is a stub in this build; the shm transport "
+            "provides the real-process execution path"
+        )

@@ -1,0 +1,816 @@
+"""Shared-memory transport: the plans on real OS processes.
+
+``ShmTransport`` executes the same distributed-SpMM plans the simulator
+charges time for, but on actual processes with actual memory movement:
+
+* The dense ``B`` panel (one per grid layer), the output ``C``, any
+  per-layer partials, and each worker's fetch arenas live in
+  ``multiprocessing.shared_memory`` segments.  Workers are **forked**,
+  so they inherit the mappings — zero pickling, zero copies.
+* A one-sided row-chunk get is a direct ``np.take`` out of the owner's
+  region of the shared ``B`` panel, driven by the plan's cached
+  :class:`~repro.core.formats.TransferSchedule` offsets into the
+  worker's shared-segment arena — exactly the paper's RMA access
+  pattern, with the OS page cache standing in for the NIC.
+* Collectives need no wire: every rank reads the shared panel in
+  place, and the partial-``C`` reduction is a barriered in-place sum
+  over the shared partial segments (layer order, matching the
+  simulator's summation order bit for bit).
+* Each worker stamps ``time.perf_counter`` around its rank loop into a
+  shared wall-clock array — the new wall-seconds telemetry lane.
+
+Numerical contract: the kernels, their inputs, and their accumulation
+order are identical to the simulator's (the async-stripe scatter is the
+*same function*, :func:`~repro.core.executor.accumulate_async_stripe`),
+so ``C`` matches the simulator to 1e-12 (in practice bitwise);
+``tests/transport`` enforces this at worker widths 1/2/4.
+
+Traffic counters are computed analytically on the driver by mirroring
+the simulator's charging formulas — they describe what the plan
+*moves*, which is transport-invariant.  Fault injection consumes the
+same compiled :class:`~repro.cluster.faults.FaultPlan`: attempt
+outcomes are pure functions of structural coordinates, so the driver
+replays the simulator's retry/fallback loops for the counters (the
+``retries + lane_fallbacks == rget_failures`` invariant holds by
+construction) while workers serve the injected delays as real
+``time.sleep`` calls (rget backoff, compute-skew stragglers).
+
+What shm does **not** model: simulated seconds (no clocks advance; the
+result's ``seconds`` is the wall-clock makespan), the memory ledger
+(real allocation replaces simulated OOM), and fault-driven stripe
+re-chunking (ledger-dependent; shm always fetches whole stripes, so
+under *memory-squeeze* faults its counters can differ from the
+simulator's — the chaos cross-check compares counters only when the
+simulator reports zero rechunks).
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import os
+import time
+import traceback
+from dataclasses import replace
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.buffers import FetchArena
+from ..cluster.faults import ResilienceStats, compile_faults
+from ..cluster.simmpi import TrafficStats
+from ..dist.oned import RowPartition
+from ..errors import ShapeError
+from ..runtime.threads import ThreadConfig, max_coalescing_gap
+from ..runtime.trace import TimeBreakdown
+from .base import Transport, TransportError, TransportUnavailable
+
+#: One stage of the execution: global rank -> callable(arena).  A
+#: process barrier separates consecutive stages (DS steps, the grid
+#: reduction); within a stage, ranks are independent.
+_Stage = Dict[int, Callable]
+
+
+# ----------------------------------------------------------------------
+# Shared-segment lifecycle
+# ----------------------------------------------------------------------
+#: Segments created by this process that are not yet unlinked.  Tests
+#: assert this (and ``/dev/shm``) drains on success, failure, and
+#: KeyboardInterrupt; the atexit hook is the last-resort sweep.
+_LIVE_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def live_segment_names() -> List[str]:
+    """Names of shared segments this process still owns (test hook)."""
+    return sorted(_LIVE_SEGMENTS)
+
+
+def _release_segment(seg: shared_memory.SharedMemory) -> None:
+    try:
+        seg.close()
+    except BufferError:
+        # ndarray views are still alive somewhere; the mapping stays
+        # until process exit, but unlink below still removes the
+        # /dev/shm entry — nothing leaks past the process.
+        pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def _cleanup_all_segments() -> None:
+    for name in list(_LIVE_SEGMENTS):
+        _release_segment(_LIVE_SEGMENTS.pop(name))
+
+
+atexit.register(_cleanup_all_segments)
+
+
+class SegmentPool:
+    """Owner of one run's shared segments (context-managed).
+
+    Every array the workers touch is carved from a segment created
+    here; ``close`` (always reached via ``finally``) unlinks them all,
+    so no ``/dev/shm`` entry survives the run — on success, on a worker
+    crash, or on KeyboardInterrupt.
+    """
+
+    def __init__(self):
+        self._segs: List[shared_memory.SharedMemory] = []
+
+    def create(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """A zero-initialised shared float64 array of ``shape``."""
+        nbytes = max(8, int(np.prod(shape, dtype=np.int64)) * 8)
+        seg = shared_memory.SharedMemory(create=True, size=nbytes)
+        _LIVE_SEGMENTS[seg.name] = seg
+        self._segs.append(seg)
+        # /dev/shm segments are zero-filled at creation (ftruncate).
+        return np.ndarray(shape, dtype=np.float64, buffer=seg.buf)
+
+    def close(self) -> None:
+        for seg in self._segs:
+            _LIVE_SEGMENTS.pop(seg.name, None)
+            _release_segment(seg)
+        self._segs.clear()
+
+    def __enter__(self) -> "SegmentPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Driver-side fault replay (counters + injected-delay schedule)
+# ----------------------------------------------------------------------
+def _fault_onesided(
+    faults, origin_l: int, target_l: int, origin_g: int, nbytes: int,
+    request_seq: int, traffic: TrafficStats, resil: ResilienceStats,
+) -> Tuple[float, int]:
+    """Replay one one-sided request's attempt loop (driver side).
+
+    Same policy and counter transitions as the simulator's resilient
+    lanes (one piece — shm never re-chunks): a failed attempt counts a
+    failure; a re-issue counts a retry and accrues real backoff sleep
+    for the worker; an exhausted budget counts a lane fallback and the
+    payload arrives as collective traffic instead.  Fault decisions key
+    on layer-local structural coordinates (matching
+    :class:`~repro.algorithms.gridrun.SubFaultPlan` remapping); traffic
+    lands on the global rank.
+
+    Returns ``(backoff_sleep_seconds, next_request_seq)``.
+    """
+    cfg = faults.config
+    sleep_s = 0.0
+    attempt = 0
+    while True:
+        if not faults.rget_attempt_fails(
+            origin_l, target_l, request_seq, attempt
+        ):
+            traffic.onesided_bytes += nbytes
+            traffic.onesided_requests += 1
+            traffic._recv(origin_g, nbytes)
+            break
+        resil.rget_failures += 1
+        attempt += 1
+        if attempt >= cfg.rget_max_attempts:
+            resil.lane_fallbacks += 1
+            traffic.collective_bytes += nbytes
+            traffic.collective_ops += 1
+            traffic._recv(origin_g, nbytes)
+            break
+        backoff = cfg.rget_backoff_base * (2 ** (attempt - 1))
+        resil.retries += 1
+        resil.backoff_seconds += backoff
+        sleep_s += backoff
+    return sleep_s, request_seq + 1
+
+
+def _skew_of(faults_view, rank_l: int) -> float:
+    return faults_view.compute_skew(rank_l) if faults_view is not None else 1.0
+
+
+def _skewed(fn: Callable, skew: float) -> Callable:
+    """Wrap a rank body to emulate a compute-skew straggler.
+
+    The simulator multiplies the rank's modelled compute time by the
+    skew; here the worker measures its own elapsed time and sleeps the
+    surplus — the same slowdown, in real seconds.
+    """
+    if skew <= 1.0:
+        return fn
+
+    def slowed(arena):
+        t0 = time.perf_counter()
+        fn(arena)
+        time.sleep((time.perf_counter() - t0) * (skew - 1.0))
+
+    return slowed
+
+
+# ----------------------------------------------------------------------
+# Per-algorithm stage builders (driver side, pre-fork)
+# ----------------------------------------------------------------------
+class _Layer:
+    """One grid layer's prepared execution (1D runs are one layer)."""
+
+    def __init__(self, ranks, row_part, col_part, B_l, out):
+        self.ranks = list(ranks)  # global ranks, layer-local order
+        self.row_part = row_part
+        self.col_part = col_part
+        self.B_l = B_l  # shared (m_layer, k) panel
+        self.out = out  # shared (n, k) output / partial
+        self.stages: List[Dict[int, Callable]] = []
+        self.arena_ceilings: Dict[str, Tuple[int, int]] = {}
+        self.extras: dict = {}
+
+
+def _build_twoface(layer: _Layer, algo, A_sub, k, sub_machine, threads,
+                   traffic, faults_view, resil) -> None:
+    from ..core.executor import (
+        accumulate_async_stripe, arena_ceilings,
+    )
+    from ..core.plancache import cached_preprocess
+    from ..errors import PartitionError
+    from ..sparse.ops import SCATTER_SEGMENTED, ScatterStats, scatter_mode
+    from ..sparse.suite import stripe_width_for
+
+    p_r = layer.row_part.n_parts
+    plan = algo.plan
+    if plan is not None:
+        if plan.n_nodes != p_r or plan.k != k:
+            raise PartitionError(
+                "precomputed plan does not match this run "
+                f"(plan: p={plan.n_nodes}, K={plan.k}; "
+                f"run: p={p_r}, K={k})"
+            )
+    else:
+        width = algo.stripe_width or stripe_width_for(A_sub.shape[0])
+        plan, _report = cached_preprocess(
+            A_sub, k=k, stripe_width=width, coeffs=algo.coeffs,
+            machine=sub_machine, panel_height=threads.panel_height,
+            force_all_async=algo.force_all_async,
+            force_all_sync=algo.force_all_sync,
+            classify_override=algo.classify_override,
+            cache=algo.plan_cache, classify_k=algo.classify_k,
+            grid=algo.grid,
+        )
+    plan.ensure_finalized()
+    gap = max_coalescing_gap(k)
+    segmented = scatter_mode() == SCATTER_SEGMENTED
+    layer.arena_ceilings = arena_ceilings(plan, k)
+    layer.extras = {
+        "sync_stripes": plan.total_sync_stripes(),
+        "async_stripes": plan.total_async_stripes(),
+        "local_stripes": plan.total_local_stripes(),
+    }
+
+    # Sync-lane multicasts: counter arithmetic mirrors SimMPI.multicast.
+    geometry = plan.geometry
+    for gid, dests in sorted(plan.stripe_destinations.items()):
+        if not dests:
+            continue
+        owner = geometry.owner_of_stripe(gid)
+        lo, hi = geometry.col_bounds(gid)
+        nbytes = int((hi - lo) * k * 8)
+        receivers = [d for d in dests if d != owner]
+        if not receivers:
+            continue
+        traffic.collective_bytes += nbytes
+        traffic.collective_ops += 1
+        for dest in receivers:
+            traffic._recv(layer.ranks[dest], nbytes)
+
+    B_l, out = layer.B_l, layer.out
+    stage: Dict[int, Callable] = {}
+    for rank in range(p_r):
+        rank_plan = plan.rank_plan(rank)
+        lo, hi = layer.row_part.bounds(rank)
+        backoff_s = 0.0
+        request_seq = 0
+        stripes_data = []
+        for stripe in rank_plan.async_matrix.stripes:
+            if stripe.owner == rank:
+                raise PartitionError(
+                    f"stripe {stripe.gid} is local to rank {rank} but "
+                    "was classified asynchronous"
+                )
+            b_lo, _b_hi = layer.col_part.bounds(stripe.owner)
+            schedule = stripe.ensure_schedule(b_lo, gap)
+            if not stripe.covers_columns(schedule):
+                raise PartitionError(
+                    f"stripe {stripe.gid}: fetched rows do not cover "
+                    "the stripe's c_ids"
+                )
+            if schedule.n_chunks == 0:
+                continue
+            rows = schedule.local_rows()
+            nbytes = int(len(rows) * k * 8)
+            if faults_view is None:
+                traffic.onesided_bytes += nbytes
+                traffic.onesided_requests += 1
+                traffic._recv(layer.ranks[rank], nbytes)
+            else:
+                slept, request_seq = _fault_onesided(
+                    faults_view, rank, stripe.owner, layer.ranks[rank],
+                    nbytes, request_seq, traffic, resil,
+                )
+                backoff_s += slept
+            # Pre-touch every plan-resident cache so forked children
+            # inherit warm, shared (copy-on-write) schedule state.
+            if segmented:
+                reduce = stripe.ensure_reduce_schedule()
+                reduce.seg_ptrs()
+                reduce.gather_indices(schedule.packed)
+                reduce.permuted_vals(stripe.nonzeros.vals)
+            stripes_data.append(
+                (stripe, schedule.local_rows(), schedule.packed, b_lo)
+            )
+        sync_local = rank_plan.sync_local
+        csr = (
+            sync_local.scipy_handle() if sync_local.nnz else None
+        )
+
+        def fn(arena, _lo=lo, _hi=hi, _stripes=tuple(stripes_data),
+               _csr=csr, _sleep=backoff_s):
+            c_block = out[_lo:_hi]
+            c_block[:] = 0.0
+            if _sleep > 0.0:
+                time.sleep(_sleep)
+            scatter = ScatterStats()
+            for stripe, rows, packed, b_lo in _stripes:
+                fetched = np.take(
+                    B_l[b_lo:], rows, axis=0,
+                    out=arena.request("async_fetch", len(rows), k),
+                )
+                accumulate_async_stripe(
+                    c_block, fetched, stripe, packed,
+                    stripe.nonzeros.vals, segmented, arena, scatter,
+                )
+            if _csr is not None:
+                c_block += _csr @ B_l
+            return None
+
+        stage[layer.ranks[rank]] = _skewed(fn, _skew_of(faults_view, rank))
+    layer.stages = [stage]
+
+
+def _build_allgather(layer: _Layer, A_sub, k, traffic,
+                     faults_view) -> None:
+    p_r = layer.row_part.n_parts
+    sizes = [layer.col_part.size(r) * k * 8 for r in range(p_r)]
+    total = sum(sizes)
+    traffic.collective_bytes += total
+    traffic.collective_ops += 1
+    for rank in range(p_r):
+        traffic._recv(layer.ranks[rank], total - sizes[rank])
+    _build_block_compute(layer, A_sub, k, faults_view)
+
+
+def _build_async_coarse(layer: _Layer, A_sub, k, traffic,
+                        faults_view, resil, slabs) -> None:
+    p_r = layer.row_part.n_parts
+    backoffs = [0.0] * p_r
+    for rank in range(p_r):
+        slab = slabs[rank]
+        if slab.nnz == 0:
+            continue
+        request_seq = 0
+        needed = np.unique(layer.col_part.owners_of(slab.cols))
+        for block_id in needed.tolist():
+            if block_id == rank:
+                continue
+            nbytes = int(layer.col_part.size(block_id) * k * 8)
+            if faults_view is None:
+                traffic.onesided_bytes += nbytes
+                traffic.onesided_requests += 1
+                traffic._recv(layer.ranks[rank], nbytes)
+            else:
+                slept, request_seq = _fault_onesided(
+                    faults_view, rank, block_id, layer.ranks[rank],
+                    nbytes, request_seq, traffic, resil,
+                )
+                backoffs[rank] += slept
+    _build_block_compute(layer, A_sub, k, faults_view, backoffs=backoffs)
+
+
+def _build_block_compute(layer: _Layer, A_dist, k, faults_view,
+                         backoffs: Optional[List[float]] = None) -> None:
+    """The shared compute body of AllGather / AsyncCoarse: with the
+    whole panel visible, each rank is one CSR SpMM over its slab."""
+    p_r = layer.row_part.n_parts
+    B_l, out = layer.B_l, layer.out
+    stage: Dict[int, Callable] = {}
+    for rank in range(p_r):
+        lo, hi = layer.row_part.bounds(rank)
+        slab = A_dist.slab(rank)
+        csr = slab.to_scipy().tocsr() if slab.nnz else None
+        sleep_s = backoffs[rank] if backoffs else 0.0
+
+        def fn(arena, _lo=lo, _hi=hi, _csr=csr, _sleep=sleep_s):
+            c_block = out[_lo:_hi]
+            c_block[:] = 0.0
+            if _sleep > 0.0:
+                time.sleep(_sleep)
+            if _csr is not None:
+                c_block += _csr @ B_l
+            return None
+
+        stage[layer.ranks[rank]] = _skewed(fn, _skew_of(faults_view, rank))
+    layer.stages = [stage]
+
+
+def _build_dense_shifting(layer: _Layer, algo, A_sub, k, traffic,
+                          faults_view, slabs) -> None:
+    from ..algorithms.dense_shifting import bucket_slab
+
+    p_r = layer.row_part.n_parts
+    c = min(algo.replication, p_r)
+    n_groups = math.ceil(p_r / c)
+    groups = [
+        list(range(g * c, min((g + 1) * c, p_r))) for g in range(n_groups)
+    ]
+    max_block_bytes = layer.col_part.max_size() * k * 8
+
+    if c > 1:
+        gathered = (c - 1) * max_block_bytes
+        for rank in range(p_r):
+            traffic._recv(layer.ranks[rank], gathered)
+        traffic.collective_bytes += p_r * gathered
+        traffic.collective_ops += n_groups
+    shift_bytes = c * max_block_bytes
+    for step in range(n_groups - 1):
+        for rank in range(p_r):
+            traffic.p2p_bytes += shift_bytes
+            traffic.p2p_messages += 1
+            traffic._recv(layer.ranks[rank], shift_bytes)
+
+    pieces = [
+        bucket_slab(slabs[r], layer.col_part, p_r, layer.B_l.shape[0])
+        for r in range(p_r)
+    ]
+    B_l, out = layer.B_l, layer.out
+    stages: List[Dict[int, Callable]] = []
+    for step in range(n_groups):
+        stage: Dict[int, Callable] = {}
+        for rank in range(p_r):
+            lo, hi = layer.row_part.bounds(rank)
+            my_group = min(rank // c, n_groups - 1)
+            held = groups[(my_group + step) % n_groups]
+            step_pieces = tuple(
+                pieces[rank].by_block[b]
+                for b in held if b in pieces[rank].by_block
+            )
+
+            def fn(arena, _lo=lo, _hi=hi, _pieces=step_pieces,
+                   _zero=(step == 0)):
+                c_block = out[_lo:_hi]
+                if _zero:
+                    c_block[:] = 0.0
+                for piece in _pieces:
+                    c_block += piece @ B_l
+                return None
+
+            stage[layer.ranks[rank]] = _skewed(
+                fn, _skew_of(faults_view, rank)
+            )
+        stages.append(stage)
+    layer.stages = stages
+
+
+# ----------------------------------------------------------------------
+# The transport
+# ----------------------------------------------------------------------
+class ShmTransport(Transport):
+    """Real-process execution over ``multiprocessing.shared_memory``.
+
+    Args:
+        processes: worker process count (clamped to the rank count);
+            default ``min(n_nodes, os.cpu_count())``.  Ranks are split
+            into contiguous per-worker ranges.
+        repeats: timed repetitions; the reported wall seconds are the
+            per-repeat makespan (counters cover one execution).
+        barrier_timeout: seconds a worker waits at a stage barrier
+            before declaring the fleet wedged.
+    """
+
+    name = "shm"
+
+    def __init__(self, processes: Optional[int] = None, repeats: int = 1,
+                 barrier_timeout: float = 120.0):
+        if processes is not None and processes < 1:
+            raise TransportError(f"processes must be >= 1: {processes}")
+        if repeats < 1:
+            raise TransportError(f"repeats must be >= 1: {repeats}")
+        self.processes = processes
+        self.repeats = repeats
+        self.barrier_timeout = barrier_timeout
+
+    _availability: Optional[bool] = None
+
+    @classmethod
+    def available(cls) -> bool:
+        """Fork start method + a working shared-memory mount."""
+        if cls._availability is None:
+            import multiprocessing as mp
+
+            ok = "fork" in mp.get_all_start_methods()
+            if ok:
+                try:
+                    probe = shared_memory.SharedMemory(create=True, size=8)
+                    probe.close()
+                    probe.unlink()
+                except (OSError, ValueError):
+                    ok = False
+            cls._availability = ok
+        return cls._availability
+
+    # ------------------------------------------------------------------
+    def run_algorithm(self, algorithm, A, B, machine, threads=None,
+                      grid=None):
+        from ..algorithms.base import SpMMResult
+
+        if not self.available():
+            raise TransportUnavailable(
+                "transport 'shm' needs the fork start method and a "
+                "writable shared-memory mount (/dev/shm)"
+            )
+        B = np.ascontiguousarray(B, dtype=np.float64)
+        if B.ndim != 2 or B.shape[0] != A.shape[1]:
+            raise ShapeError(
+                f"B shape {B.shape} incompatible with A shape {A.shape}"
+            )
+        threads = threads or ThreadConfig.for_machine(
+            machine.threads_per_node
+        )
+        if grid is not None:
+            grid.validate_nodes(machine.n_nodes)
+        p = machine.n_nodes
+        n, k = A.shape[0], B.shape[1]
+        depth = grid.depth if grid is not None else 1
+        faults = compile_faults(machine.faults, p)
+        traffic = TrafficStats(n_nodes=p)
+        resil = ResilienceStats()
+        W = min(self.processes or (os.cpu_count() or 1), p)
+
+        with SegmentPool() as pool:
+            C = pool.create((n, k))
+            wall = pool.create((W,))
+            stages, layers = self._prepare(
+                algorithm, A, B, machine, threads, grid, depth, faults,
+                traffic, resil, pool, C,
+            )
+            # Per-worker fetch arenas, carved from shared segments and
+            # sized to the largest stripe of any layer's plan.
+            ceilings: Dict[str, Tuple[int, int]] = {}
+            for layer in layers:
+                for slot, (r, cdim) in layer.arena_ceilings.items():
+                    prev = ceilings.get(slot, (0, 0))
+                    if r * cdim > prev[0] * prev[1]:
+                        ceilings[slot] = (r, cdim)
+            arenas = []
+            for _w in range(W):
+                slots = {
+                    slot: pool.create((rows * cols,))
+                    for slot, (rows, cols) in ceilings.items()
+                }
+                arenas.append(FetchArena.with_buffers(slots))
+
+            before = time.perf_counter()
+            self._run_workers(stages, arenas, wall, W, p)
+            driver_wall = time.perf_counter() - before
+            wall_each = [float(w) / self.repeats for w in wall]
+            C_out = np.array(C, copy=True)
+
+        seconds = max(wall_each) if wall_each else 0.0
+        breakdown = TimeBreakdown.zeros(p)
+        rank_ranges = np.array_split(np.arange(p), W)
+        for w, ranks in enumerate(rank_ranges):
+            for r in ranks.tolist():
+                breakdown.node(r).other += wall_each[w]
+        extras = {
+            "transport": self.name,
+            "transport_processes": W,
+            "transport_repeats": self.repeats,
+            "wall_seconds": seconds,
+            "wall_seconds_per_process": wall_each,
+            "driver_wall_seconds": driver_wall,
+            "host_cpus": os.cpu_count() or 1,
+        }
+        if grid is not None:
+            extras["grid"] = grid.describe()
+        if layers and layers[0].extras:
+            extras["plan"] = layers[0].extras
+        if faults is not None:
+            extras["faults"] = faults.describe()
+            extras["resilience"] = resil.as_dict()
+        return SpMMResult(
+            algorithm=algorithm.name,
+            C=C_out,
+            seconds=seconds,
+            breakdown=breakdown,
+            traffic=traffic,
+            extras=extras,
+            events=[],
+        )
+
+    # ------------------------------------------------------------------
+    def _prepare(self, algorithm, A, B, machine, threads, grid, depth,
+                 faults, traffic, resil, pool, C):
+        """Build shared panels and per-rank stage bodies (pre-fork)."""
+        from ..algorithms.allgather import AllGather
+        from ..algorithms.async_coarse import AsyncCoarse
+        from ..algorithms.dense_shifting import DenseShifting
+        from ..algorithms.gridrun import SubFaultPlan, column_subset
+        from ..algorithms.twoface import TwoFace
+        from ..dist.matrices import DistSparseMatrix
+
+        p = machine.n_nodes
+        n, k = A.shape[0], B.shape[1]
+        layer_algo = (
+            algorithm._grid_layer_algorithm(grid) if depth > 1 else algorithm
+        )
+        p_r = grid.p_r if grid is not None else p
+        sub_machine = (
+            replace(machine, n_nodes=p_r) if depth > 1 else machine
+        )
+        row_part = RowPartition(n, p_r)
+
+        layers: List[_Layer] = []
+        for g in range(depth):
+            if grid is not None:
+                ranks = grid.layer_ranks(g)
+                col_ids = grid.layer_col_ids(g, B.shape[0])
+                A_sub = column_subset(A, col_ids)
+                B_sub = B[col_ids]
+            else:
+                ranks = list(range(p))
+                A_sub = A
+                B_sub = B
+            before_bytes = traffic.total_bytes
+            col_part = RowPartition(B_sub.shape[0], p_r)
+            # Ledger-free distributed view: same row-rebased slabs the
+            # simulator's RunContext serves, without a cluster.
+            A_dist = DistSparseMatrix(A_sub, row_part, label="A_slab")
+            B_l = pool.create(B_sub.shape)
+            B_l[:] = B_sub
+            out = C if depth == 1 else pool.create((n, k))
+            layer = _Layer(ranks, row_part, col_part, B_l, out)
+            faults_view = (
+                SubFaultPlan(faults, ranks)
+                if faults is not None and grid is not None
+                else faults
+            )
+            if isinstance(layer_algo, TwoFace):
+                if layer_algo.mask is not None:
+                    raise TransportError(
+                        "transport 'shm' does not support sampling masks"
+                    )
+                _build_twoface(
+                    layer, layer_algo, A_dist, k, sub_machine, threads,
+                    traffic, faults_view, resil,
+                )
+            elif isinstance(layer_algo, AllGather):
+                _build_allgather(layer, A_dist, k, traffic, faults_view)
+            elif isinstance(layer_algo, AsyncCoarse):
+                slabs = [A_dist.slab(r) for r in range(p_r)]
+                _build_async_coarse(
+                    layer, A_dist, k, traffic, faults_view, resil, slabs,
+                )
+            elif isinstance(layer_algo, DenseShifting):
+                slabs = [A_dist.slab(r) for r in range(p_r)]
+                _build_dense_shifting(
+                    layer, layer_algo, A_dist, k, traffic, faults_view,
+                    slabs,
+                )
+            else:
+                raise TransportError(
+                    f"transport 'shm' does not support algorithm "
+                    f"{algorithm.name!r}"
+                )
+            if depth > 1:
+                # The simulator attributes dimension bytes only on the
+                # grid-runner path (depth > 1); a Grid1D run takes the
+                # plain 1D path with empty dim_bytes.
+                traffic.add_dim_bytes(
+                    grid.intra_dim, traffic.total_bytes - before_bytes
+                )
+            layers.append(layer)
+
+        # Merge layers into a single stage sequence: layers own
+        # disjoint rank sets, so their same-index stages run
+        # concurrently (exactly the simulator's overlapped layers).
+        n_stages = max(len(layer.stages) for layer in layers)
+        stages: List[_Stage] = []
+        for s in range(n_stages):
+            merged: _Stage = {}
+            for layer in layers:
+                if s < len(layer.stages):
+                    merged.update(layer.stages[s])
+            stages.append(merged)
+
+        if depth > 1:
+            stages.append(
+                self._reduce_stage(grid, layers, row_part, k, traffic, C)
+            )
+        return stages, layers
+
+    @staticmethod
+    def _reduce_stage(grid, layers, row_part, k, traffic, C) -> _Stage:
+        """The partial-``C`` reduction across the depth dimension.
+
+        Rank ``i`` of layer 0 owns row block ``i``'s reduction; the sum
+        runs in layer order, matching the simulator's
+        ``C = partials[0]; C += partials[g]`` accumulation bit for bit.
+        Counter arithmetic mirrors ``SimMPI.group_allreduce``.
+        """
+        partials = [layer.out for layer in layers]
+        stage: _Stage = {}
+        depth_total = 0
+        for block, group in enumerate(grid.reduce_groups()):
+            nbytes = int(row_part.size(block) * k * 8)
+            recv_each = int(2 * nbytes * (len(group) - 1) // len(group))
+            for rank in group:
+                traffic._recv(rank, recv_each)
+            traffic.collective_bytes += nbytes
+            traffic.collective_ops += 1
+            depth_total += nbytes
+            lo, hi = row_part.bounds(block)
+
+            def fn(arena, _lo=lo, _hi=hi):
+                acc = C[_lo:_hi]
+                acc[:] = partials[0][_lo:_hi]
+                for partial in partials[1:]:
+                    acc += partial[_lo:_hi]
+                return None
+
+            stage[group[0]] = fn
+        traffic.add_dim_bytes(grid.reduce_dim, depth_total)
+        return stage
+
+    # ------------------------------------------------------------------
+    def _run_workers(self, stages, arenas, wall, W: int, p: int) -> None:
+        """Fork W workers, run the stage sequence ``repeats`` times."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork")
+        barrier = ctx.Barrier(W)
+        err_q = ctx.SimpleQueue()
+        rank_ranges = [r.tolist() for r in np.array_split(np.arange(p), W)]
+        repeats = self.repeats
+        timeout = self.barrier_timeout
+
+        def worker_main(w: int) -> None:
+            # Forked: shared mappings, plans, and stage closures are
+            # all inherited — no pickling, no copies.
+            arena = arenas[w]
+            my_ranks = rank_ranges[w]
+            try:
+                for _rep in range(repeats):
+                    barrier.wait(timeout)
+                    t0 = time.perf_counter()
+                    for stage in stages:
+                        for r in my_ranks:
+                            fn = stage.get(r)
+                            if fn is not None:
+                                fn(arena)
+                        barrier.wait(timeout)
+                    wall[w] += time.perf_counter() - t0
+            except BaseException:
+                try:
+                    err_q.put(f"worker {w}:\n{traceback.format_exc()}")
+                finally:
+                    barrier.abort()
+                    os._exit(1)
+            os._exit(0)
+
+        procs = [
+            ctx.Process(target=worker_main, args=(w,), daemon=True)
+            for w in range(W)
+        ]
+        try:
+            for proc in procs:
+                proc.start()
+            deadline = time.monotonic() + timeout * (
+                len(stages) + 1
+            ) * repeats + 60.0
+            failed = False
+            for proc in procs:
+                proc.join(max(1.0, deadline - time.monotonic()))
+                if proc.exitcode != 0:
+                    failed = True
+            if failed:
+                messages = []
+                while not err_q.empty():
+                    messages.append(err_q.get())
+                raise TransportError(
+                    "shm transport worker failed:\n"
+                    + ("\n".join(messages) or "(no traceback captured)")
+                )
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(5.0)

@@ -1,0 +1,21 @@
+"""The simulator transport — SimMPI under its transport name.
+
+``SimTransport`` *is* :class:`~repro.cluster.simmpi.SimMPI`; it adds a
+``transport_name`` tag and nothing else, so selecting it (the default)
+is bitwise identical to the pre-transport code path: same output, same
+simulated seconds, same traffic counters, same event log.
+"""
+
+from __future__ import annotations
+
+from ..cluster.simmpi import SimMPI
+
+
+class SimTransport(SimMPI):
+    """Simulated data plane (the default transport)."""
+
+    transport_name = "sim"
+
+    @classmethod
+    def available(cls):
+        return True

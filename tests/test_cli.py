@@ -119,10 +119,10 @@ class TestCommands:
         import json
 
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/8"
+        assert doc["schema"] == "repro-perf/9"
         assert len(doc["cells"]) == 3  # intensities 0, half, full
         top = doc["cells"][-1]
-        assert top["schema"] == "repro-perf/8"  # per-record stamp
+        assert top["schema"] == "repro-perf/9"  # per-record stamp
         assert top["fault_rget_failures"] >= 0
         assert {"fault_retries", "fault_lane_fallbacks",
                 "fault_rechunks"} <= set(top)
@@ -163,7 +163,7 @@ class TestCommands:
         import json
 
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/8"
+        assert doc["schema"] == "repro-perf/9"
         by_name = {cell["name"]: cell for cell in doc["cells"]}
         assert set(by_name) == {
             "grid-1d", "grid-1.5d:r4c2", "grid-2d:r4x2"
@@ -213,7 +213,7 @@ class TestCommands:
         import json
 
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/8"
+        assert doc["schema"] == "repro-perf/9"
         by_name = {cell["name"]: cell for cell in doc["cells"]}
         fused = by_name["serve-hot-fused"]
         serial = by_name["serve-hot-serial"]
@@ -245,7 +245,7 @@ class TestCommands:
         )
         assert code == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro-perf/8"
+        assert doc["schema"] == "repro-perf/9"
         assert doc["command"] == "grid-sweep"
         tokens = {cell["grid"] for cell in doc["cells"]}
         assert tokens == {"1d", "1.5d:r4c2", "2d:r4x2"}
@@ -270,7 +270,7 @@ class TestCommands:
         assert "oracle winner" in out
         assert "FAILURE" not in out
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/8"
+        assert doc["schema"] == "repro-perf/9"
         (cell,) = doc["cells"]
         assert cell["tune_chosen"]
         assert cell["tune_predicted_seconds"] > 0

@@ -1,0 +1,139 @@
+"""Shared-segment lifecycle: nothing leaks into ``/dev/shm``.
+
+Every segment the shm transport creates is owned by a context-managed
+:class:`~repro.transport.shm.SegmentPool` and unlinked in ``finally``
+— on success, when a worker dies mid-run, and when the driver is
+interrupted.  These tests snapshot the process-local registry (and the
+host's shared-memory mount, when one is visible) around each scenario.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig
+from repro.algorithms.twoface import TwoFace
+from repro.sparse import erdos_renyi
+from repro.transport import TransportError
+from repro.transport.shm import (
+    SegmentPool,
+    ShmTransport,
+    live_segment_names,
+)
+
+needs_shm = pytest.mark.skipif(
+    not ShmTransport.available(),
+    reason="shm transport needs fork + a writable /dev/shm",
+)
+
+SHM_MOUNT = "/dev/shm"
+
+
+def shm_entries():
+    """Snapshot of the host shared-memory mount (None when hidden)."""
+    if not os.path.isdir(SHM_MOUNT):
+        return None
+    return set(os.listdir(SHM_MOUNT))
+
+
+@pytest.fixture
+def problem():
+    A = erdos_renyi(64, 64, 320, seed=7)
+    B = np.random.default_rng(0).standard_normal((64, 8))
+    machine = MachineConfig(n_nodes=4, memory_capacity=1 << 30)
+    return A, B, machine
+
+
+@needs_shm
+def test_no_segments_survive_a_successful_run(problem):
+    A, B, machine = problem
+    before = shm_entries()
+    TwoFace().run(A, B, machine, transport=ShmTransport(processes=2))
+    assert live_segment_names() == []
+    if before is not None:
+        assert shm_entries() == before
+
+
+@needs_shm
+def test_no_segments_survive_a_worker_crash(problem):
+    A, B, machine = problem
+    transport = ShmTransport(processes=2, barrier_timeout=30.0)
+    before = shm_entries()
+
+    original = transport._run_workers
+
+    def explode(stages, arenas, wall, W, p):
+        def boom(arena):
+            raise RuntimeError("injected worker failure")
+
+        return original([{0: boom}], arenas, wall, W, p)
+
+    transport._run_workers = explode
+    with pytest.raises(TransportError, match="injected worker failure"):
+        TwoFace().run(A, B, machine, transport=transport)
+    assert live_segment_names() == []
+    if before is not None:
+        assert shm_entries() == before
+
+
+@needs_shm
+def test_no_segments_survive_keyboard_interrupt(problem):
+    A, B, machine = problem
+    transport = ShmTransport(processes=2)
+    before = shm_entries()
+
+    def interrupted(stages, arenas, wall, W, p):
+        raise KeyboardInterrupt
+
+    transport._run_workers = interrupted
+    with pytest.raises(KeyboardInterrupt):
+        TwoFace().run(A, B, machine, transport=transport)
+    assert live_segment_names() == []
+    if before is not None:
+        assert shm_entries() == before
+
+
+@needs_shm
+def test_segment_pool_unlinks_even_with_live_views():
+    before = shm_entries()
+    pool = SegmentPool()
+    array = pool.create((8, 4))
+    array[:] = 1.0
+    copied = np.array(array, copy=True)
+    # Close with the ndarray view still alive: tolerated (the transport
+    # hits this when stage closures still reference the panels), and
+    # the /dev/shm entry must be gone regardless.  The view itself is
+    # dead after close — consumers must copy out first, as the
+    # transport does for ``C``.
+    pool.close()
+    assert live_segment_names() == []
+    if before is not None:
+        assert shm_entries() == before
+    assert float(copied.sum()) == 32.0
+
+
+@needs_shm
+def test_worker_error_message_reaches_the_driver(problem):
+    A, B, machine = problem
+    transport = ShmTransport(processes=1, barrier_timeout=30.0)
+    original = transport._run_workers
+
+    def explode(stages, arenas, wall, W, p):
+        def boom(arena):
+            raise ValueError("distinctive-error-marker")
+
+        return original([{0: boom}], arenas, wall, W, p)
+
+    transport._run_workers = explode
+    with pytest.raises(TransportError, match="distinctive-error-marker"):
+        TwoFace().run(A, B, machine, transport=transport)
+
+
+def test_transport_rejects_bad_parameters():
+    with pytest.raises(TransportError):
+        ShmTransport(processes=0)
+    with pytest.raises(TransportError):
+        ShmTransport(repeats=0)
