@@ -7,10 +7,10 @@ schema (see the README's "Benchmark telemetry" section):
 
 ```
 {
-  "schema": "repro-perf/9",
+  "schema": "repro-perf/10",
   "label": "<free-form document label, e.g. BENCH_PR4>",
   "cells": [
-    {"schema": "repro-perf/9",
+    {"schema": "repro-perf/10",
      "name": ..., "matrix": ..., "algorithm": ..., "k": ...,
      "n_nodes": ..., "grid": ...,
      "wall_seconds": ..., "simulated_seconds": ...,
@@ -30,6 +30,13 @@ schema (see the README's "Benchmark telemetry" section):
      "serve_p50_latency": ..., "serve_p99_latency": ...,
      "serve_requests_per_sec": ..., "serve_peak_queue_depth": ...,
      "serve_deadline_misses": ...,
+     "serve_availability": ..., "serve_replicas": ...,
+     "serve_rejected_queue_full": ..., "serve_rejected_shed": ...,
+     "serve_retries": ..., "serve_hedges": ...,
+     "serve_hedge_wins": ..., "serve_hedge_wasted_seconds": ...,
+     "serve_crashes": ..., "serve_timeouts": ...,
+     "serve_shed": ..., "serve_degraded": ...,
+     "serve_breaker_opens": ..., "serve_probes": ...,
      "comm_total_bytes": ..., "comm_row_bytes": ...,
      "comm_col_bytes": ..., "comm_fiber_bytes": ...,
      "tune_chosen": ..., "tune_predicted_seconds": ...,
@@ -107,6 +114,19 @@ worker's barrier-to-barrier time), directly comparable across worker
 counts.  ``simulated_seconds`` is ``None`` for non-sim transports:
 real data planes measure time instead of modelling it (see
 ``docs/transports.md``).
+
+Schema ``repro-perf/10`` adds the serving resilience tier
+(:mod:`repro.serve.resilience`): ``serve_availability`` is the
+completed fraction of submitted requests, ``serve_replicas`` the
+replica count behind the balancer, and the remaining new counters
+record how hard the tier worked — per-reason rejection splits
+(``serve_rejected_queue_full`` / ``serve_rejected_shed``), dispatch
+retries, hedged dispatches and their wins plus the duplicated seconds
+charged to losers (``serve_hedge_wasted_seconds``), injected executor
+crashes and per-attempt timeouts survived, SLO sheds and degraded
+dispatches (stale-plan / half-K-panel), circuit-breaker opens, and
+synthetic health probes run.  Single-executor serve cells leave them
+at their zero defaults, so pre-PR documents compare field-for-field.
 """
 
 from __future__ import annotations
@@ -123,7 +143,7 @@ from ..core.formats import transfer_cache_stats
 from ..core.plancache import plan_cache_stats
 from ..sparse.ops import scatter_stats
 
-PERF_SCHEMA = "repro-perf/9"
+PERF_SCHEMA = "repro-perf/10"
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +216,20 @@ class PerfCell:
     serve_requests_per_sec: float = 0.0
     serve_peak_queue_depth: int = 0
     serve_deadline_misses: int = 0
+    serve_availability: float = 0.0
+    serve_replicas: int = 0
+    serve_rejected_queue_full: int = 0
+    serve_rejected_shed: int = 0
+    serve_retries: int = 0
+    serve_hedges: int = 0
+    serve_hedge_wins: int = 0
+    serve_hedge_wasted_seconds: float = 0.0
+    serve_crashes: int = 0
+    serve_timeouts: int = 0
+    serve_shed: int = 0
+    serve_degraded: int = 0
+    serve_breaker_opens: int = 0
+    serve_probes: int = 0
     grid: str = ""
     comm_total_bytes: int = 0
     comm_row_bytes: int = 0
@@ -378,9 +412,15 @@ class PerfLog:
                 picked up: ``requests``, ``completed``, ``rejected``,
                 ``failed``, ``batches``, ``fusion_factor``,
                 ``p50_latency``, ``p99_latency``, ``requests_per_sec``,
-                ``peak_queue_depth``, ``deadline_misses``.  Unknown
-                keys are ignored so the summary can carry extra detail
-                for ``experiments`` records.
+                ``peak_queue_depth``, ``deadline_misses``, and (from a
+                :class:`~repro.serve.resilience.ResilienceReport`)
+                ``availability``, ``replicas``,
+                ``rejected_queue_full``, ``rejected_shed``,
+                ``retries``, ``hedges``, ``hedge_wins``,
+                ``hedge_wasted_seconds``, ``crashes``, ``timeouts``,
+                ``shed``, ``degraded``, ``breaker_opens``, and
+                ``probes``.  Unknown keys are ignored so the summary
+                can carry extra detail for ``experiments`` records.
             simulated_seconds: defaults to the summary's ``makespan``.
         """
         if simulated_seconds is None:
@@ -408,6 +448,24 @@ class PerfLog:
                 serving.get("peak_queue_depth", 0)
             ),
             serve_deadline_misses=int(serving.get("deadline_misses", 0)),
+            serve_availability=float(serving.get("availability", 0.0)),
+            serve_replicas=int(serving.get("replicas", 0)),
+            serve_rejected_queue_full=int(
+                serving.get("rejected_queue_full", 0)
+            ),
+            serve_rejected_shed=int(serving.get("rejected_shed", 0)),
+            serve_retries=int(serving.get("retries", 0)),
+            serve_hedges=int(serving.get("hedges", 0)),
+            serve_hedge_wins=int(serving.get("hedge_wins", 0)),
+            serve_hedge_wasted_seconds=float(
+                serving.get("hedge_wasted_seconds", 0.0)
+            ),
+            serve_crashes=int(serving.get("crashes", 0)),
+            serve_timeouts=int(serving.get("timeouts", 0)),
+            serve_shed=int(serving.get("shed", 0)),
+            serve_degraded=int(serving.get("degraded", 0)),
+            serve_breaker_opens=int(serving.get("breaker_opens", 0)),
+            serve_probes=int(serving.get("probes", 0)),
         )
         self.cells.append(cell)
         return cell

@@ -170,7 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--out", default=None,
-        help="write a repro-perf/9 telemetry JSON to this path",
+        help="write a repro-perf/10 telemetry JSON to this path",
     )
     chaos.add_argument(
         "--check-transport", action="store_true",
@@ -220,8 +220,53 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--replicas", type=int, default=1,
+        help=(
+            "replicated executors behind the load balancer; 1 with "
+            "--chaos-intensity 0 keeps the single-executor path "
+            "byte-identical (resilience tier: DESIGN.md §12)"
+        ),
+    )
+    serve.add_argument(
+        "--chaos-intensity", type=float, default=0.0,
+        help=(
+            "fault intensity injected into every replica (distinct "
+            "seeds), executor crashes included at 0.4x this rate"
+        ),
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="base fault seed; replica r runs under seed + r",
+    )
+    serve.add_argument(
+        "--slo", type=float, default=None,
+        help=(
+            "per-request completion deadline, simulated seconds after "
+            "arrival (misses are telemetry, not drops)"
+        ),
+    )
+    serve.add_argument(
+        "--hedge-delay", type=float, default=None,
+        help=(
+            "issue a backup dispatch on the next-best replica this "
+            "long after the primary (first success wins)"
+        ),
+    )
+    serve.add_argument(
+        "--attempt-timeout", type=float, default=None,
+        help="per-attempt service-time cap, simulated seconds",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=4,
+        help="re-dispatches before a request group is marked failed",
+    )
+    serve.add_argument(
+        "--require-availability", type=float, default=None,
+        help="exit 1 unless the resilient replay's availability >= this",
+    )
+    serve.add_argument(
         "--out", default=None,
-        help="write a repro-perf/9 telemetry JSON to this path",
+        help="write a repro-perf/10 telemetry JSON to this path",
     )
 
     gs = sub.add_parser(
@@ -271,7 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gs.add_argument(
         "--out", default=None,
-        help="write a repro-perf/9 telemetry JSON to this path",
+        help="write a repro-perf/10 telemetry JSON to this path",
     )
 
     tune = sub.add_parser(
@@ -327,7 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tune.add_argument(
         "--out", default=None,
-        help="write a repro-perf/9 telemetry JSON to this path",
+        help="write a repro-perf/10 telemetry JSON to this path",
     )
     return parser
 
@@ -731,6 +776,13 @@ def cmd_serve(args) -> int:
     if args.trace in ("bursty", "hot"):
         trace_kwargs["burst_gap"] = args.burst_gap
     trace = make_trace(args.trace, matrices, **trace_kwargs)
+    if args.slo is not None:
+        for req in trace:
+            req.deadline = req.arrival + args.slo
+    if args.replicas > 1 or args.chaos_intensity > 0.0:
+        # The resilience tier; --replicas 1 --chaos-intensity 0 stays
+        # on the single-executor path below, byte for byte.
+        return _cmd_serve_resilient(args, matrices, trace)
     policy = ServePolicy(
         max_fused_k=args.max_fused_k,
         max_batch_delay=args.max_batch_delay,
@@ -827,6 +879,172 @@ def cmd_serve(args) -> int:
         print(
             f"FAILURE: fused speedup {speedup:.2f}x below required "
             f"{args.require_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+def _cmd_serve_resilient(args, matrices, trace) -> int:
+    """Replicated serving under chaos: resilient vs single-executor.
+
+    Runs the trace three ways — the replicated/resilient scheduler, a
+    single-executor baseline under the *same* faults (one replica, no
+    retries/hedging), and a fault-free reference — then checks every
+    completed request's output slice byte-for-byte against the
+    reference.  ``--require-availability`` gates on the resilient
+    run's completed fraction.
+    """
+    import time
+
+    from .bench.telemetry import PerfLog
+    from .cluster.faults import FaultConfig
+    from .serve import (
+        DONE,
+        ResiliencePolicy,
+        ResilientScheduler,
+        ServePolicy,
+        ServeScheduler,
+    )
+
+    # Degradation/shedding changes batch composition, so classification
+    # is pinned at the trace's K to keep every completed slice
+    # byte-identical to the fault-free reference (DESIGN.md §8/§12).
+    policy = ServePolicy(
+        max_fused_k=args.max_fused_k,
+        max_batch_delay=args.max_batch_delay,
+        max_queue_depth=args.max_queue_depth,
+        auto_layout=args.auto_layout,
+        classify_k=args.k,
+    )
+    machine = MachineConfig(n_nodes=args.nodes)
+    faults = None
+    if args.chaos_intensity > 0.0:
+        faults = FaultConfig.from_intensity(
+            args.chaos_intensity,
+            seed=args.fault_seed,
+            executor_crash_rate=min(1.0, 0.4 * args.chaos_intensity),
+        )
+
+    configs = {
+        "resilient": ResiliencePolicy(
+            n_replicas=args.replicas,
+            max_retries=args.max_retries,
+            hedge_delay=args.hedge_delay,
+            timeout=args.attempt_timeout,
+        ),
+        "single": ResiliencePolicy(n_replicas=1, max_retries=0),
+    }
+    reports = {}
+    walls = {}
+    for mode, resilience in configs.items():
+        scheduler = ResilientScheduler(
+            machine, matrices, policy=policy, resilience=resilience,
+            faults=faults,
+        )
+        started = time.perf_counter()
+        reports[mode] = scheduler.serve(trace, fuse=True)
+        walls[mode] = time.perf_counter() - started
+
+    reference = ServeScheduler(machine, matrices, policy=policy)
+    ref_report = reference.serve(trace, fuse=True)
+    ref_bytes = {
+        o.request_id: o.C.tobytes()
+        for o in ref_report.outcomes if o.status == DONE
+    }
+    mismatched = []
+    for mode, report in reports.items():
+        for o in report.outcomes:
+            if o.status == DONE and (
+                o.C.tobytes() != ref_bytes.get(o.request_id)
+            ):
+                mismatched.append((mode, o.request_id))
+
+    res, single = reports["resilient"], reports["single"]
+    rs, ss = res.serving_summary(), single.serving_summary()
+    rows = []
+    for metric in (
+        "completed", "rejected", "rejected_queue_full", "rejected_shed",
+        "failed", "availability", "batches", "retries", "hedges",
+        "hedge_wins", "hedge_wasted_seconds", "crashes", "timeouts",
+        "shed", "degraded", "breaker_opens", "probes", "p50_latency",
+        "p99_latency", "requests_per_sec", "deadline_misses",
+        "makespan",
+    ):
+        rows.append([metric, rs[metric], ss[metric]])
+    print_table(
+        ["metric", "resilient", "single"],
+        rows,
+        title=(
+            f"{args.trace} trace: {len(trace)} requests, K={args.k}, "
+            f"p={args.nodes}, replicas={args.replicas}, "
+            f"chaos={args.chaos_intensity:g}, seed={args.fault_seed}"
+        ),
+    )
+    replica_rows = [
+        [
+            rid,
+            info["dispatches"], info["successes"], info["failures"],
+            info["crashes"], info["timeouts"], info["state"],
+            info["opens"], f"{info['busy_seconds']:.4f}",
+        ]
+        for rid, info in sorted(res.replica_stats.items())
+    ]
+    print_table(
+        [
+            "replica", "dispatches", "ok", "failed", "crashes",
+            "timeouts", "breaker", "opens", "busy s",
+        ],
+        replica_rows,
+        title="resilient replica set",
+    )
+    print(
+        f"availability: resilient {rs['availability']:.4f}, "
+        f"single-executor {ss['availability']:.4f}"
+    )
+    if mismatched:
+        print(
+            "FAILURE: completed outputs diverge from the fault-free "
+            f"reference for {mismatched[:8]}"
+        )
+    else:
+        print(
+            "completed output slices are byte-identical to the "
+            "fault-free reference"
+        )
+
+    if args.out is not None:
+        log = PerfLog(label=f"serve-resilient-{args.trace}")
+        for mode, report in reports.items():
+            log.record_serve_cell(
+                name=f"serve-{args.trace}-{mode}",
+                matrix=",".join(sorted(matrices)),
+                algorithm=f"TwoFace/{mode}",
+                k=args.k,
+                n_nodes=args.nodes,
+                serving=report.serving_summary(),
+                wall_seconds=walls[mode],
+            )
+        log.record_experiment(
+            "resilience",
+            {
+                "chaos_intensity": args.chaos_intensity,
+                "replicas": args.replicas,
+                "availability": rs["availability"],
+                "single_availability": ss["availability"],
+                "byte_identical": not mismatched,
+            },
+        )
+        log.write(args.out)
+        print(f"telemetry written to {args.out}")
+
+    if mismatched:
+        return 1
+    if args.require_availability is not None and not (
+        rs["availability"] >= args.require_availability
+    ):
+        print(
+            f"FAILURE: availability {rs['availability']:.4f} below "
+            f"required {args.require_availability:.4f}"
         )
         return 1
     return 0

@@ -32,6 +32,12 @@ Fault classes (compiled once per run into a :class:`FaultPlan`):
   ``memory_pressure_rate``; a ``memory_pressure_fraction`` slice of its
   ledger capacity is pinned at cluster construction, forcing the
   executor's stripe re-chunking (or a genuine simulated OOM).
+* **Executor crashes** — each *dispatch* (identified by the caller's
+  ``crash_epoch`` sequence number) crashes a deterministically-drawn
+  rank with probability ``executor_crash_rate``, raising
+  :class:`~repro.errors.ExecutorCrashError` before any work runs.  The
+  serving resilience tier threads a fresh epoch per dispatch attempt
+  and retries the lost request group on another replica.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ _STREAM_RGET = 0x1
 _STREAM_LINK = 0x2
 _STREAM_STRAGGLER = 0x3
 _STREAM_SQUEEZE = 0x4
+_STREAM_CRASH = 0x5
 
 _MASK64 = (1 << 64) - 1
 
@@ -96,6 +103,17 @@ class FaultConfig:
         memory_pressure_rate: probability a rank's memory is squeezed.
         memory_pressure_fraction: fraction of ledger capacity pinned on
             squeezed ranks (in [0, 1)).
+        executor_crash_rate: per-dispatch probability that the executor
+            crashes (``ExecutorCrashError``) before producing a result.
+            Deliberately *not* moved by :meth:`from_intensity` — a
+            crash aborts the run, so single-executor chaos sweeps keep
+            their exactness contract; the serving resilience tier opts
+            in explicitly.
+        crash_epoch: the dispatch sequence number the crash draw is
+            keyed on.  Callers issuing multiple dispatches against one
+            logical config thread a fresh epoch per attempt via
+            ``dataclasses.replace`` (changing it perturbs no other
+            fault decision — every other stream ignores it).
     """
 
     seed: int = 0
@@ -108,6 +126,8 @@ class FaultConfig:
     straggler_skew: float = 3.0
     memory_pressure_rate: float = 0.0
     memory_pressure_fraction: float = 0.25
+    executor_crash_rate: float = 0.0
+    crash_epoch: int = 0
 
     def __post_init__(self) -> None:
         if self.seed < 0:
@@ -116,9 +136,14 @@ class FaultConfig:
             raise ConfigurationError(
                 f"rget_max_attempts must be >= 1: {self.rget_max_attempts}"
             )
+        if self.crash_epoch < 0:
+            raise ConfigurationError(
+                f"crash_epoch must be >= 0: {self.crash_epoch}"
+            )
         for name in (
             "rget_failure_rate", "link_degradation_rate",
             "straggler_rate", "memory_pressure_rate",
+            "executor_crash_rate",
         ):
             rate = getattr(self, name)
             if not (math.isfinite(rate) and 0.0 <= rate <= 1.0):
@@ -156,6 +181,7 @@ class FaultConfig:
             or self.link_degradation_rate > 0.0
             or self.straggler_rate > 0.0
             or self.memory_pressure_rate > 0.0
+            or self.executor_crash_rate > 0.0
         )
 
     @classmethod
@@ -240,6 +266,24 @@ class FaultPlan:
                 origin, target, request_index, attempt,
             )
             < rate
+        )
+
+    def crash_rank(self) -> Optional[int]:
+        """The rank crashed by this dispatch, or None.
+
+        Keyed on ``config.crash_epoch`` alone (plus the crash stream),
+        so whether dispatch ``n`` crashes is identical no matter which
+        replica, pool width, or transport executes it — and threading a
+        fresh epoch per retry re-rolls only this decision.
+        """
+        rate = self.config.executor_crash_rate
+        if rate <= 0.0:
+            return None
+        if _u01(self.config.seed, _STREAM_CRASH, self.config.crash_epoch) >= rate:
+            return None
+        return int(
+            _u01(self.config.seed, _STREAM_CRASH, self.config.crash_epoch, 0xF)
+            * self.n_nodes
         )
 
     def link_scale(self, src: int, dst: int) -> float:

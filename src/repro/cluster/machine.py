@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..errors import ConfigurationError, OutOfMemoryError
+from ..errors import ConfigurationError, ExecutorCrashError, OutOfMemoryError
 from .faults import FaultConfig, compile_faults
 from .network import ComputeModel, NetworkModel
 
@@ -153,6 +153,11 @@ class Cluster:
         ]
         self.faults = compile_faults(config.faults, config.n_nodes)
         if self.faults is not None:
+            crashed = self.faults.crash_rank()
+            if crashed is not None:
+                raise ExecutorCrashError(
+                    crashed, self.faults.config.crash_epoch
+                )
             for node in self.nodes:
                 fraction = self.faults.squeeze_fraction(node.rank)
                 if fraction > 0.0:

@@ -51,3 +51,22 @@ class CalibrationError(ReproError, RuntimeError):
 
 class ConfigurationError(ReproError, ValueError):
     """An algorithm or machine configuration is invalid."""
+
+
+class ExecutorCrashError(ReproError, RuntimeError):
+    """An injected ``executor_crash`` fault killed a simulated executor
+    mid-batch.
+
+    The whole in-flight request group is lost; the serving resilience
+    tier (:mod:`repro.serve.resilience`) catches this and retries the
+    group on another replica.  Deterministic: whether a given dispatch
+    crashes is a pure function of the fault seed and the dispatch's
+    ``crash_epoch`` (see :class:`repro.cluster.faults.FaultConfig`).
+    """
+
+    def __init__(self, rank: int, epoch: int):
+        self.rank = rank
+        self.epoch = epoch
+        super().__init__(
+            f"injected executor crash on rank {rank} (crash epoch {epoch})"
+        )

@@ -92,7 +92,10 @@ class DistSpMMEngine:
 
     # ------------------------------------------------------------------
     def multiply(
-        self, B: np.ndarray, plan_cache: PlanCacheLike = _ENGINE_DEFAULT
+        self,
+        B: np.ndarray,
+        plan_cache: PlanCacheLike = _ENGINE_DEFAULT,
+        machine: Optional[MachineConfig] = None,
     ) -> Tuple[np.ndarray, float]:
         """Compute ``A @ B`` on the simulated cluster.
 
@@ -104,6 +107,11 @@ class DistSpMMEngine:
                 so a cold plan build is attributed to that tenant.
                 Defaults to the engine's own cache.  Only consulted
                 when this K has no engine-cached plan yet.
+            machine: per-call machine override.  The resilience tier
+                threads a fresh fault ``crash_epoch`` per dispatch
+                attempt this way; the override must keep the node
+                count/shape of the engine's machine (plans are shaped
+                by it).  None uses the engine's machine.
 
         Returns:
             ``(C, simulated_seconds)``; running totals are accumulated
@@ -119,7 +127,8 @@ class DistSpMMEngine:
             )
         k = B.shape[1]
         algorithm = self._algorithm_for(k, plan_cache)
-        result = algorithm.run(self.A, B, self.machine, grid=self.grid)
+        run_machine = machine if machine is not None else self.machine
+        result = algorithm.run(self.A, B, run_machine, grid=self.grid)
         if result.failed:
             raise ReproError(f"distributed SpMM failed: {result.failure}")
         self._after_run(k, algorithm)

@@ -14,7 +14,23 @@ event loop), :class:`ServePolicy` (fusion/backpressure knobs),
 ``repro serve --trace`` CLI for fused-vs-serial replays.
 """
 
-from .request import DONE, FAILED, REJECTED, ServeOutcome, ServeRequest
+from .request import (
+    DONE,
+    FAILED,
+    REJECTED,
+    RejectReason,
+    ServeOutcome,
+    ServeRequest,
+)
+from .resilience import (
+    CircuitBreaker,
+    LoadBalancer,
+    Replica,
+    ReplicaSet,
+    ResilienceReport,
+    ResiliencePolicy,
+    ResilientScheduler,
+)
 from .scheduler import BatchRecord, ServePolicy, ServeReport, ServeScheduler
 from .traces import (
     DEFAULT_TENANTS,
@@ -27,10 +43,18 @@ from .traces import (
 
 __all__ = [
     "BatchRecord",
+    "CircuitBreaker",
     "DEFAULT_TENANTS",
     "DONE",
     "FAILED",
+    "LoadBalancer",
     "REJECTED",
+    "RejectReason",
+    "Replica",
+    "ReplicaSet",
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "ResilientScheduler",
     "ServeOutcome",
     "ServePolicy",
     "ServeReport",

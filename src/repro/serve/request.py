@@ -13,6 +13,7 @@ Everything here is plain data; the event loop lives in
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -25,6 +26,20 @@ from ..errors import ConfigurationError, ShapeError
 DONE = "done"
 REJECTED = "rejected"
 FAILED = "failed"
+
+
+class RejectReason(str, enum.Enum):
+    """Why a request was rejected (structured; ``str`` for telemetry).
+
+    Attributes:
+        QUEUE_FULL: backpressure — the global queue was at
+            ``max_queue_depth`` when the request arrived.
+        SHED: SLO-aware load shedding — the resilience tier dropped it
+            as the lowest-priority queued work under pressure.
+    """
+
+    QUEUE_FULL = "queue_full"
+    SHED = "shed_low_priority"
 
 
 @dataclass
@@ -46,6 +61,10 @@ class ServeRequest:
         machine: optional per-request machine config; None uses the
             scheduler's.  Requests only fuse with requests on the same
             (matrix content, machine) group.
+        priority: SLO class, >= 0; higher is more important.  The
+            baseline scheduler ignores it (pure FIFO); the resilience
+            tier sheds lowest-priority queued work first under
+            pressure.
     """
 
     request_id: int
@@ -55,8 +74,13 @@ class ServeRequest:
     arrival: float
     deadline: Optional[float] = None
     machine: Optional[MachineConfig] = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
+        if self.priority < 0:
+            raise ConfigurationError(
+                f"priority must be >= 0, got {self.priority}"
+            )
         self.B = np.asarray(self.B, dtype=np.float64)
         if self.B.ndim != 2 or self.B.shape[1] < 1:
             raise ShapeError(
@@ -94,6 +118,16 @@ class ServeOutcome:
         latency: ``completion - arrival`` (0.0 for rejects).
         deadline_missed: True when a deadline existed and completion
             overran it.
+        reject_reason: structured :class:`RejectReason` (None unless
+            rejected).
+        replica: id of the replica that produced the result (None on
+            the single-executor path).
+        attempts: dispatch attempts the resilience tier spent on the
+            request's group (0 on the single-executor path).
+        hedged: True when a hedged backup dispatch was issued for the
+            request's group.
+        degraded: degradation mode applied by the resilience tier
+            (e.g. ``"k_panel"``), or None.
         C: the request's own output slice ``A @ B`` (None unless done).
     """
 
@@ -107,4 +141,9 @@ class ServeOutcome:
     completion: float = 0.0
     latency: float = 0.0
     deadline_missed: bool = False
+    reject_reason: Optional[RejectReason] = None
+    replica: Optional[int] = None
+    attempts: int = 0
+    hedged: bool = False
+    degraded: Optional[str] = None
     C: Optional[np.ndarray] = field(default=None, repr=False)

@@ -45,7 +45,14 @@ from ..core.plancache import (
 from ..errors import ConfigurationError, ReproError
 from ..gnn.engine import DistSpMMEngine
 from ..sparse.coo import COOMatrix
-from .request import DONE, FAILED, REJECTED, ServeOutcome, ServeRequest
+from .request import (
+    DONE,
+    FAILED,
+    REJECTED,
+    RejectReason,
+    ServeOutcome,
+    ServeRequest,
+)
 
 
 @dataclass(frozen=True)
@@ -164,6 +171,14 @@ class ServeReport:
             "requests": len(self.outcomes),
             "completed": len(done),
             "rejected": len(rejected),
+            "rejected_queue_full": sum(
+                1 for o in rejected
+                if o.reject_reason is RejectReason.QUEUE_FULL
+            ),
+            "rejected_shed": sum(
+                1 for o in rejected
+                if o.reject_reason is RejectReason.SHED
+            ),
             "failed": len(failed),
             "batches": len(self.batches),
             "fusion_factor": (
@@ -406,6 +421,7 @@ class ServeScheduler:
                         matrix=req.matrix,
                         status=REJECTED,
                         completion=req.arrival,
+                        reject_reason=RejectReason.QUEUE_FULL,
                     )
                     continue
                 queues.setdefault(self._group_key(req), []).append(req)

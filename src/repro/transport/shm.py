@@ -61,7 +61,7 @@ from ..cluster.buffers import FetchArena
 from ..cluster.faults import ResilienceStats, compile_faults
 from ..cluster.simmpi import TrafficStats
 from ..dist.oned import RowPartition
-from ..errors import ShapeError
+from ..errors import ExecutorCrashError, ShapeError
 from ..runtime.threads import ThreadConfig, max_coalescing_gap
 from ..runtime.trace import TimeBreakdown
 from .base import Transport, TransportError, TransportUnavailable
@@ -551,6 +551,12 @@ class ShmTransport(Transport):
         n, k = A.shape[0], B.shape[1]
         depth = grid.depth if grid is not None else 1
         faults = compile_faults(machine.faults, p)
+        if faults is not None:
+            crashed = faults.crash_rank()
+            if crashed is not None:
+                raise ExecutorCrashError(
+                    crashed, faults.config.crash_epoch
+                )
         traffic = TrafficStats(n_nodes=p)
         resil = ResilienceStats()
         W = min(self.processes or (os.cpu_count() or 1), p)
@@ -752,12 +758,25 @@ class ShmTransport(Transport):
 
     # ------------------------------------------------------------------
     def _run_workers(self, stages, arenas, wall, W: int, p: int) -> None:
-        """Fork W workers, run the stage sequence ``repeats`` times."""
+        """Fork W workers, run the stage sequence ``repeats`` times.
+
+        Every stage barrier carries ``barrier_timeout``; each worker
+        bumps a shared progress counter after every barrier it passes.
+        When a worker hangs (or is killed) before a barrier, its peers
+        time out and exit, the driver breaks the barrier, and after a
+        short grace period the survivor is terminated and *named* —
+        worker index, the global ranks it drives, and the stage it
+        stalled in — in the raised :class:`TransportError`, instead of
+        the driver deadlocking on a full-run join.
+        """
         import multiprocessing as mp
 
         ctx = mp.get_context("fork")
         barrier = ctx.Barrier(W)
         err_q = ctx.SimpleQueue()
+        #: Barriers passed per worker; each slot is written only by its
+        #: own worker, so no lock is needed.
+        progress = ctx.Array("l", W, lock=False)
         rank_ranges = [r.tolist() for r in np.array_split(np.arange(p), W)]
         repeats = self.repeats
         timeout = self.barrier_timeout
@@ -770,6 +789,7 @@ class ShmTransport(Transport):
             try:
                 for _rep in range(repeats):
                     barrier.wait(timeout)
+                    progress[w] += 1
                     t0 = time.perf_counter()
                     for stage in stages:
                         for r in my_ranks:
@@ -777,6 +797,7 @@ class ShmTransport(Transport):
                             if fn is not None:
                                 fn(arena)
                         barrier.wait(timeout)
+                        progress[w] += 1
                     wall[w] += time.perf_counter() - t0
             except BaseException:
                 try:
@@ -796,21 +817,85 @@ class ShmTransport(Transport):
             deadline = time.monotonic() + timeout * (
                 len(stages) + 1
             ) * repeats + 60.0
-            failed = False
-            for proc in procs:
-                proc.join(max(1.0, deadline - time.monotonic()))
-                if proc.exitcode != 0:
-                    failed = True
-            if failed:
+            pending = dict(enumerate(procs))
+            bad_exits: Dict[int, int] = {}
+            failure_at: Optional[float] = None
+            while pending:
+                for w, proc in list(pending.items()):
+                    proc.join(0.05 if failure_at is not None else 0.2)
+                    if proc.exitcode is not None:
+                        del pending[w]
+                        if proc.exitcode != 0:
+                            bad_exits[w] = proc.exitcode
+                if pending and (bad_exits or time.monotonic() > deadline):
+                    if failure_at is None:
+                        # First sign of trouble: break the barrier so
+                        # healthy waiters exit now, then give genuinely
+                        # stalled workers one grace window.
+                        failure_at = time.monotonic()
+                        barrier.abort()
+                    elif time.monotonic() - failure_at > min(
+                        5.0, max(1.0, timeout)
+                    ):
+                        break
+            stalled = sorted(pending)
+            for w in stalled:
+                pending[w].terminate()
+                pending[w].join(5.0)
+            if stalled:
+                raise TransportError(
+                    f"shm transport stage barrier timed out after "
+                    f"{timeout:g}s: "
+                    + "; ".join(
+                        self._describe_stall(
+                            w, rank_ranges[w], progress[w], len(stages)
+                        )
+                        for w in stalled
+                    )
+                )
+            if bad_exits:
                 messages = []
                 while not err_q.empty():
                     messages.append(err_q.get())
+                # Victims of an aborted barrier report BrokenBarrierError;
+                # surface the root cause when one exists.
+                primary = [
+                    m for m in messages if "BrokenBarrierError" not in m
+                ] or messages
+                killed = [
+                    self._describe_stall(
+                        w, rank_ranges[w], progress[w], len(stages)
+                    )
+                    + f" (exit code {code})"
+                    for w, code in sorted(bad_exits.items())
+                    if code < 0
+                ]
                 raise TransportError(
                     "shm transport worker failed:\n"
-                    + ("\n".join(messages) or "(no traceback captured)")
+                    + "\n".join(killed + primary)
+                    if killed or primary
+                    else "shm transport worker failed: "
+                    "(no traceback captured)"
                 )
         finally:
             for proc in procs:
                 if proc.is_alive():
                     proc.terminate()
                     proc.join(5.0)
+
+    @staticmethod
+    def _describe_stall(
+        w: int, ranks: List[int], passed: int, n_stages: int
+    ) -> str:
+        """Human-readable location of a stalled worker, e.g.
+        ``worker 1 (ranks 2..3) stalled in stage 0``."""
+        span = (
+            f"rank {ranks[0]}" if len(ranks) == 1
+            else f"ranks {ranks[0]}..{ranks[-1]}"
+        )
+        idx = passed % (n_stages + 1)
+        where = (
+            "before the start barrier" if idx == 0
+            else f"in stage {idx - 1}"
+        )
+        return f"worker {w} ({span}) stalled {where}"

@@ -152,7 +152,7 @@ class TestPerfLog:
         reset_resilience_stats()
 
     def test_schema_is_v8(self):
-        assert PERF_SCHEMA == "repro-perf/9"
+        assert PERF_SCHEMA == "repro-perf/10"
 
     def test_document_schema(self):
         log = PerfLog(label="TEST")

@@ -1,8 +1,11 @@
 """Tests for the deterministic fault-injection layer."""
 
 import math
+from dataclasses import replace
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.faults import (
     FaultConfig,
@@ -238,3 +241,111 @@ class TestResilienceStats:
     def test_math_isfinite_guard(self):
         # Defensive: the config validators rely on math.isfinite.
         assert math.isfinite(FaultConfig().rget_backoff_base)
+
+
+class TestFromIntensityProperties:
+    """Property coverage for the chaos-knob constructor (hypothesis)."""
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_in_range_sets_the_four_rates(self, intensity):
+        config = FaultConfig.from_intensity(intensity, seed=3)
+        assert config.rget_failure_rate == intensity
+        assert config.link_degradation_rate == intensity
+        assert config.straggler_rate == intensity
+        assert config.memory_pressure_rate == intensity
+        # The crash knob is opt-in: one scalar must not start killing
+        # executors (existing chaos sweeps stay crash-free).
+        assert config.executor_crash_rate == 0.0
+        assert config.active == (intensity > 0.0)
+
+    @given(
+        st.one_of(
+            st.floats(
+                min_value=1.0, exclude_min=True, allow_nan=False,
+                allow_infinity=True,
+            ),
+            st.floats(
+                max_value=0.0, exclude_max=True, allow_nan=False,
+                allow_infinity=True,
+            ),
+            st.just(float("nan")),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_out_of_range_raises_value_error(self, intensity):
+        # ConfigurationError subclasses ValueError, so callers catching
+        # either see a clear message naming the offending value.
+        with pytest.raises(ValueError, match="fault intensity"):
+            FaultConfig.from_intensity(intensity)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_crash_rate_rides_along_as_override(self, intensity):
+        config = FaultConfig.from_intensity(
+            intensity, executor_crash_rate=0.5
+        )
+        assert config.executor_crash_rate == 0.5
+        assert config.active
+
+
+class TestExecutorCrash:
+    def test_no_crash_when_rate_zero(self):
+        plan = FaultPlan(FaultConfig(straggler_rate=0.5), 4)
+        assert plan.crash_rank() is None
+
+    def test_certain_crash_names_a_rank(self):
+        plan = FaultPlan(
+            FaultConfig(executor_crash_rate=1.0, seed=5), 4
+        )
+        rank = plan.crash_rank()
+        assert rank is not None
+        assert 0 <= rank < 4
+
+    def test_crash_decision_is_per_epoch(self):
+        config = FaultConfig(executor_crash_rate=0.5, seed=7)
+        fired = sum(
+            1
+            for epoch in range(400)
+            if FaultPlan(
+                replace(config, crash_epoch=epoch), 4
+            ).crash_rank() is not None
+        )
+        assert fired / 400 == pytest.approx(0.5, abs=0.08)
+
+    def test_crash_replays_deterministically(self):
+        config = FaultConfig(executor_crash_rate=0.7, seed=9,
+                             crash_epoch=3)
+        assert (
+            FaultPlan(config, 8).crash_rank()
+            == FaultPlan(config, 8).crash_rank()
+        )
+
+    def test_crash_rate_activates_config(self):
+        assert FaultConfig(executor_crash_rate=0.1).active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"executor_crash_rate": -0.1},
+            {"executor_crash_rate": 1.5},
+            {"executor_crash_rate": float("nan")},
+            {"crash_epoch": -1},
+        ],
+    )
+    def test_invalid_crash_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**kwargs)
+
+    def test_cluster_raises_executor_crash(self):
+        from repro.cluster.machine import Cluster, MachineConfig
+        from repro.errors import ExecutorCrashError
+
+        machine = MachineConfig(
+            n_nodes=4,
+            faults=FaultConfig(executor_crash_rate=1.0, seed=5),
+        )
+        with pytest.raises(ExecutorCrashError) as info:
+            Cluster(machine)
+        assert 0 <= info.value.rank < 4
+        assert "crash epoch 0" in str(info.value)

@@ -119,10 +119,10 @@ class TestCommands:
         import json
 
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/9"
+        assert doc["schema"] == "repro-perf/10"
         assert len(doc["cells"]) == 3  # intensities 0, half, full
         top = doc["cells"][-1]
-        assert top["schema"] == "repro-perf/9"  # per-record stamp
+        assert top["schema"] == "repro-perf/10"  # per-record stamp
         assert top["fault_rget_failures"] >= 0
         assert {"fault_retries", "fault_lane_fallbacks",
                 "fault_rechunks"} <= set(top)
@@ -163,7 +163,7 @@ class TestCommands:
         import json
 
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/9"
+        assert doc["schema"] == "repro-perf/10"
         by_name = {cell["name"]: cell for cell in doc["cells"]}
         assert set(by_name) == {
             "grid-1d", "grid-1.5d:r4c2", "grid-2d:r4x2"
@@ -213,7 +213,7 @@ class TestCommands:
         import json
 
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/9"
+        assert doc["schema"] == "repro-perf/10"
         by_name = {cell["name"]: cell for cell in doc["cells"]}
         fused = by_name["serve-hot-fused"]
         serial = by_name["serve-hot-serial"]
@@ -235,6 +235,93 @@ class TestCommands:
         assert code == 1
         assert "below required" in capsys.readouterr().out
 
+    def test_serve_resilient_under_chaos(self, capsys, tmp_path):
+        out_path = tmp_path / "resilient.json"
+        code = main(
+            ["serve", "--trace", "hot", "--matrices", "queen",
+             "--requests", "12", "--k", "4", "--nodes", "4",
+             "--size", "tiny", "--replicas", "3",
+             "--chaos-intensity", "0.5", "--require-availability",
+             "0.99", "--out", str(out_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resilient replica set" in out
+        assert "byte-identical to the fault-free reference" in out
+        assert "FAILURE" not in out
+
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro-perf/10"
+        by_name = {cell["name"]: cell for cell in doc["cells"]}
+        res = by_name["serve-hot-resilient"]
+        single = by_name["serve-hot-single"]
+        assert res["serve_replicas"] == 3
+        assert res["serve_availability"] >= 0.99
+        assert single["serve_replicas"] == 1
+        exp = doc["experiments"]["resilience"]
+        assert exp["byte_identical"] is True
+        assert exp["chaos_intensity"] == 0.5
+
+    def test_serve_require_availability_can_fail(self, capsys):
+        code = main(
+            ["serve", "--trace", "hot", "--matrices", "queen",
+             "--requests", "6", "--k", "4", "--nodes", "4",
+             "--size", "tiny", "--replicas", "2",
+             "--chaos-intensity", "0.2",
+             "--require-availability", "2.0"]
+        )
+        assert code == 1
+        assert "below required" in capsys.readouterr().out
+
+    def test_serve_slo_sets_deadlines(self, capsys):
+        # A vanishing SLO makes every request miss its deadline on
+        # both the plain and resilient paths.
+        code = main(
+            ["serve", "--trace", "hot", "--matrices", "queen",
+             "--requests", "6", "--k", "4", "--nodes", "4",
+             "--size", "tiny", "--slo", "1e-12",
+             "--replicas", "2", "--chaos-intensity", "0.1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "deadline_misses" in out
+
+    def test_serve_default_flags_keep_plain_path(self, capsys, tmp_path):
+        """--replicas 1 --chaos-intensity 0 is the pre-existing
+        single-executor path: same stdout, same telemetry document
+        (modulo host wall seconds) as not passing the flags at all."""
+        import json
+
+        base = ["serve", "--trace", "hot", "--matrices", "queen",
+                "--requests", "8", "--k", "4", "--nodes", "4",
+                "--size", "tiny"]
+        docs = []
+        outs = []
+        for tag, extra in (
+            ("plain", []),
+            ("flagged", ["--replicas", "1", "--chaos-intensity", "0"]),
+        ):
+            out_path = tmp_path / f"{tag}.json"
+            assert main(base + extra + ["--out", str(out_path)]) == 0
+            outs.append([
+                line for line in capsys.readouterr().out.splitlines()
+                if not line.startswith("telemetry written")
+            ])
+            doc = json.loads(out_path.read_text())
+            for cell in doc["cells"]:
+                cell["wall_seconds"] = 0.0
+            docs.append(doc)
+        assert outs[0] == outs[1]
+        assert docs[0] == docs[1]
+        # The plain path leaves every resilience field at its zero
+        # default, so pre-PR documents compare field-for-field.
+        for cell in docs[0]["cells"]:
+            assert cell["serve_replicas"] == 0
+            assert cell["serve_retries"] == 0
+            assert cell["serve_availability"] == 0.0
+
     def test_grid_sweep_json(self, capsys):
         import json
 
@@ -245,7 +332,7 @@ class TestCommands:
         )
         assert code == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro-perf/9"
+        assert doc["schema"] == "repro-perf/10"
         assert doc["command"] == "grid-sweep"
         tokens = {cell["grid"] for cell in doc["cells"]}
         assert tokens == {"1d", "1.5d:r4c2", "2d:r4x2"}
@@ -270,7 +357,7 @@ class TestCommands:
         assert "oracle winner" in out
         assert "FAILURE" not in out
         doc = json.loads(out_path.read_text())
-        assert doc["schema"] == "repro-perf/9"
+        assert doc["schema"] == "repro-perf/10"
         (cell,) = doc["cells"]
         assert cell["tune_chosen"]
         assert cell["tune_predicted_seconds"] > 0

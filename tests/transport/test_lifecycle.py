@@ -137,3 +137,41 @@ def test_transport_rejects_bad_parameters():
         ShmTransport(processes=0)
     with pytest.raises(TransportError):
         ShmTransport(repeats=0)
+
+
+@needs_shm
+def test_stage_barrier_timeout_names_the_stalled_rank(problem):
+    """A worker that never reaches a stage barrier must not deadlock
+    the driver: its peers time out, the stalled worker is terminated,
+    and the TransportError names it and the stage it wedged in."""
+    import time
+
+    A, B, machine = problem
+    transport = ShmTransport(processes=2, barrier_timeout=0.5)
+    before = shm_entries()
+    original = transport._run_workers
+
+    def wedge(stages, arenas, wall, W, p):
+        def ok(arena):
+            pass
+
+        def stall(arena):
+            time.sleep(600)  # never reaches the stage barrier
+
+        # Worker 0 drives ranks 0..1 and wedges on rank 1; worker 1
+        # has no work and waits at the stage barrier until timeout.
+        return original([{0: ok, 1: stall}], arenas, wall, W, p)
+
+    transport._run_workers = wedge
+    started = time.monotonic()
+    with pytest.raises(
+        TransportError,
+        match=r"timed out after 0\.5s.*worker 0 .*stalled in stage 0",
+    ):
+        TwoFace().run(A, B, machine, transport=transport)
+    # Well under the old whole-run join (which waited on the sleeping
+    # worker indefinitely).
+    assert time.monotonic() - started < 30.0
+    assert live_segment_names() == []
+    if before is not None:
+        assert shm_entries() == before
